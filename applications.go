@@ -1,0 +1,119 @@
+package centuryscale
+
+import (
+	"centuryscale/internal/airfield"
+	"centuryscale/internal/concrete"
+	"centuryscale/internal/core"
+	"centuryscale/internal/metering"
+	"centuryscale/internal/rng"
+	"centuryscale/internal/traffic"
+)
+
+// Application workloads the paper motivates (§1, §2): concrete-health
+// monitoring, block-granularity air-quality sensing, and advanced
+// metering infrastructure. Exposed here so examples and downstream users
+// can compose them with the fleet/experiment machinery.
+
+// Concrete-health monitoring (§1, §4.1).
+type (
+	// Structure is a reinforced-concrete asset with curing, chloride
+	// ingress, and corrosion models.
+	Structure = concrete.Structure
+)
+
+// Bridge returns the ~50-year-median-service-life bridge deck.
+func Bridge() Structure { return concrete.Bridge() }
+
+// RoadDeck returns the ~25-year-median-service-life road deck.
+func RoadDeck() Structure { return concrete.RoadDeck() }
+
+// Air quality (§2).
+type (
+	// AirField is a synthetic ground-truth pollution field.
+	AirField = airfield.Field
+	// AirSample is one sensor observation of the field.
+	AirSample = airfield.Sample
+	// AirDensityResult is one row of a density study.
+	AirDensityResult = airfield.DensityResult
+)
+
+// SyntheticAirField builds a city-scale pollution field with block-scale
+// sources, deterministically from the seed.
+func SyntheticAirField(sideMeters float64, nSources int, seed uint64) *AirField {
+	return airfield.Synthetic(sideMeters, nSources, rng.New(seed))
+}
+
+// AirDensityStudy sweeps sensor counts over the field and reports
+// reconstruction RMSE and correlation — the §2 "city-block granularity"
+// analysis.
+func AirDensityStudy(f *AirField, counts []int, noiseSigma float64, seed uint64) []AirDensityResult {
+	return f.DensityStudy(counts, noiseSigma, rng.New(seed))
+}
+
+// Advanced metering infrastructure (§2).
+type (
+	// MeterFleet is a population of interval meters.
+	MeterFleet = metering.Fleet
+	// MeterTariff prices energy (flat and time-of-use).
+	MeterTariff = metering.Tariff
+	// DREvent is a demand-response request.
+	DREvent = metering.DREvent
+	// MeterRunResult summarises a billing-period simulation.
+	MeterRunResult = metering.RunResult
+	// OutageParams configures an outage-detection study.
+	OutageParams = metering.OutageParams
+	// OutageResult reports detection latency.
+	OutageResult = metering.OutageResult
+)
+
+// NewMeterFleet builds n meters with the given demand-response
+// enrollment fraction, deterministically from the seed.
+func NewMeterFleet(n int, drFraction float64, seed uint64) *MeterFleet {
+	return metering.NewFleet(n, drFraction, rng.New(seed))
+}
+
+// DefaultTariff returns representative flat and TOU residential rates.
+func DefaultTariff() MeterTariff { return metering.DefaultTariff() }
+
+// DetectOutage computes when the headend notices a feeder outage.
+func DetectOutage(p OutageParams) OutageResult { return metering.DetectOutage(p) }
+
+// Traffic sensing (§2).
+type (
+	// TrafficNetwork is a synthetic city traffic grid.
+	TrafficNetwork = traffic.Network
+	// TrafficCoverage is one row of a coverage study.
+	TrafficCoverage = traffic.CoverageResult
+)
+
+// Traffic sampling strategies.
+const (
+	SampleRandom  = traffic.SampleRandom
+	SampleBusiest = traffic.SampleBusiest
+)
+
+// SynthesizeTraffic routes OD trips over a gridSide×gridSide network.
+func SynthesizeTraffic(gridSide, trips int, seed uint64) *TrafficNetwork {
+	return traffic.Synthesize(gridSide, trips, rng.New(seed))
+}
+
+// TrafficCoverageStudy sweeps instrumented-intersection counts and
+// reports citywide-estimate error per placement strategy.
+func TrafficCoverageStudy(n *TrafficNetwork, counts []int, trials int, seed uint64) []TrafficCoverage {
+	return n.CoverageStudy(counts, trials, rng.New(seed))
+}
+
+// The coupled bridge scenario (§1, §4.1).
+type (
+	// BridgeConfig parameterises the coupled structure+sensor run.
+	BridgeConfig = core.BridgeConfig
+	// BridgeOutcome reports it.
+	BridgeOutcome = core.BridgeOutcome
+)
+
+// DefaultBridgeScenario returns the paper's initial coupled deployment.
+func DefaultBridgeScenario() BridgeConfig { return core.DefaultBridge() }
+
+// RunBridgeScenario executes the coupled simulation across the
+// structure's service life.
+func RunBridgeScenario(cfg BridgeConfig) *BridgeOutcome { return core.RunBridge(cfg) }

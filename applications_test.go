@@ -1,0 +1,82 @@
+package centuryscale_test
+
+import (
+	"testing"
+	"time"
+
+	"centuryscale"
+)
+
+func TestPublicConcreteAPI(t *testing.T) {
+	b := centuryscale.Bridge()
+	r := centuryscale.RoadDeck()
+	if b.ServiceLifeYears() < 45 || b.ServiceLifeYears() > 58 {
+		t.Fatalf("bridge life = %v", b.ServiceLifeYears())
+	}
+	if r.ServiceLifeYears() >= b.ServiceLifeYears() {
+		t.Fatal("road must wear out before bridge")
+	}
+	// Health declines over the structure's life.
+	if b.HealthIndex(centuryscale.Years(55)) >= b.HealthIndex(centuryscale.Years(20)) {
+		t.Fatal("health did not decline")
+	}
+}
+
+func TestPublicAirQualityAPI(t *testing.T) {
+	f := centuryscale.SyntheticAirField(2000, 10, 3)
+	res := centuryscale.AirDensityStudy(f, []int{10, 1000}, 0.05, 3)
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[1].Corr <= res[0].Corr {
+		t.Fatal("density did not improve reconstruction")
+	}
+}
+
+func TestPublicMeteringAPI(t *testing.T) {
+	fleet := centuryscale.NewMeterFleet(200, 0.5, 4)
+	base := fleet.Run(2, centuryscale.DefaultTariff(), nil)
+	if base.TotalKWh <= 0 || base.PeakKW <= 0 {
+		t.Fatalf("run = %+v", base)
+	}
+	out := centuryscale.DetectOutage(centuryscale.OutageParams{
+		ReportEvery:   time.Hour,
+		MissesToAlarm: 1,
+		OutageAt:      90 * time.Minute,
+		MetersOut:     10,
+	})
+	if out.Latency <= 0 || out.Latency > time.Hour {
+		t.Fatalf("latency = %v", out.Latency)
+	}
+}
+
+func TestPublicTrafficAPI(t *testing.T) {
+	n := centuryscale.SynthesizeTraffic(10, 5000, 2)
+	res := centuryscale.TrafficCoverageStudy(n, []int{2, 100}, 10, 2)
+	var sparse, dense float64
+	for _, r := range res {
+		if r.Strategy == centuryscale.SampleRandom {
+			if r.Instrumented == 2 {
+				sparse = r.AbsRelErr
+			} else {
+				dense = r.AbsRelErr
+			}
+		}
+	}
+	if dense >= sparse {
+		t.Fatalf("coverage did not reduce error: %v vs %v", dense, sparse)
+	}
+}
+
+func TestPublicBridgeScenarioAPI(t *testing.T) {
+	cfg := centuryscale.DefaultBridgeScenario()
+	cfg.Sensors = 4
+	cfg.Horizon = centuryscale.Years(3)
+	out := centuryscale.RunBridgeScenario(cfg)
+	if out.PacketsAccepted == 0 {
+		t.Fatal("no packets accepted")
+	}
+	if out.HealthAtYear[1] < 0.9 {
+		t.Fatalf("year-1 health = %v", out.HealthAtYear[1])
+	}
+}

@@ -1,0 +1,161 @@
+// Benchmarks: one per reproduced table/figure (E1-E12; see DESIGN.md for
+// the experiment index and EXPERIMENTS.md for recorded outputs). Each
+// bench regenerates its experiment's full table from scratch, so
+// `go test -bench=. -benchmem` both re-derives every claim and measures
+// the cost of doing so.
+package centuryscale_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/experiments"
+)
+
+// sink defeats dead-code elimination of table construction.
+var sink int
+
+func benchTable(b *testing.B, f func(uint64) experiments.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := f(uint64(i + 1))
+		sink += len(t.Rows)
+	}
+}
+
+// BenchmarkE1Hierarchy regenerates Figure 1 (deployment hierarchy).
+func BenchmarkE1Hierarchy(b *testing.B) {
+	benchTable(b, experiments.E1Hierarchy)
+}
+
+// BenchmarkE2LaborModel regenerates §1's LA replacement-labor analysis.
+func BenchmarkE2LaborModel(b *testing.B) {
+	benchTable(b, func(uint64) experiments.Table { return experiments.E2Labor() })
+}
+
+// BenchmarkE3TodayScale regenerates §2's 500-5,000-node sweep.
+func BenchmarkE3TodayScale(b *testing.B) {
+	benchTable(b, experiments.E3TodayScale)
+}
+
+// BenchmarkE4HeliumWallet regenerates §4.4's data-credit arithmetic.
+func BenchmarkE4HeliumWallet(b *testing.B) {
+	benchTable(b, func(uint64) experiments.Table { return experiments.E4HeliumWallet() })
+}
+
+// BenchmarkE5BackhaulDiversity regenerates §4.3's AS census.
+func BenchmarkE5BackhaulDiversity(b *testing.B) {
+	benchTable(b, experiments.E5BackhaulDiversity)
+}
+
+// BenchmarkE6SurvivalRace regenerates the battery-vs-harvesting survival
+// table (§1, §4).
+func BenchmarkE6SurvivalRace(b *testing.B) {
+	benchTable(b, experiments.E6SurvivalRace)
+}
+
+// BenchmarkE7TippingPoint regenerates §3.4's tipping-point sweep.
+func BenchmarkE7TippingPoint(b *testing.B) {
+	benchTable(b, func(uint64) experiments.Table { return experiments.E7TippingPoint() })
+}
+
+// BenchmarkE8FiberVsCellular regenerates §3.3's backhaul comparison.
+func BenchmarkE8FiberVsCellular(b *testing.B) {
+	benchTable(b, experiments.E8FiberVsCellular)
+}
+
+// BenchmarkE9ShipOfTheseus regenerates §1's pipelined-cohort comparison.
+func BenchmarkE9ShipOfTheseus(b *testing.B) {
+	benchTable(b, experiments.E9ShipOfTheseus)
+}
+
+// BenchmarkE10FiftyYear regenerates the full §4 experiment, both designs,
+// 50 simulated years each. This is the heavyweight end-to-end bench.
+func BenchmarkE10FiftyYear(b *testing.B) {
+	benchTable(b, experiments.E10FiftyYear)
+}
+
+// BenchmarkE11SmartTrash regenerates §2's Seoul comparison.
+func BenchmarkE11SmartTrash(b *testing.B) {
+	benchTable(b, experiments.E11SmartTrash)
+}
+
+// BenchmarkE12Interop regenerates §3.2's open-vs-locked coverage table.
+func BenchmarkE12Interop(b *testing.B) {
+	benchTable(b, experiments.E12Interop)
+}
+
+// Ablation benches (A1-A7): the design-choice sweeps and application
+// workloads indexed in DESIGN.md.
+
+// BenchmarkA1LoRaSweep regenerates the spreading-factor trade table.
+func BenchmarkA1LoRaSweep(b *testing.B) {
+	benchTable(b, func(uint64) experiments.Table { return experiments.A1LoRaSweep() })
+}
+
+// BenchmarkA2StorageSizing regenerates the supercap-sizing table.
+func BenchmarkA2StorageSizing(b *testing.B) {
+	benchTable(b, func(uint64) experiments.Table { return experiments.A2StorageSizing() })
+}
+
+// BenchmarkA3GatewayDensity regenerates the gateway-density table
+// (four 10-year end-to-end runs per iteration).
+func BenchmarkA3GatewayDensity(b *testing.B) {
+	benchTable(b, experiments.A3GatewayDensity)
+}
+
+// BenchmarkA4ReplacementPolicies regenerates the policy comparison.
+func BenchmarkA4ReplacementPolicies(b *testing.B) {
+	benchTable(b, experiments.A4ReplacementPolicies)
+}
+
+// BenchmarkA5SensingDensity regenerates the air-quality density study.
+func BenchmarkA5SensingDensity(b *testing.B) {
+	benchTable(b, experiments.A5SensingDensity)
+}
+
+// BenchmarkA6Metering regenerates the AMI demand-response/outage table.
+func BenchmarkA6Metering(b *testing.B) {
+	benchTable(b, experiments.A6Metering)
+}
+
+// BenchmarkA7BridgeMonitor regenerates the bridge-sensor physics table.
+func BenchmarkA7BridgeMonitor(b *testing.B) {
+	benchTable(b, func(uint64) experiments.Table { return experiments.A7BridgeMonitor() })
+}
+
+// BenchmarkA8GatewayMigration regenerates the gateway-swap drill.
+func BenchmarkA8GatewayMigration(b *testing.B) {
+	benchTable(b, experiments.A8GatewayMigration)
+}
+
+// BenchmarkA9FiftyYearTimeline regenerates the decade-by-decade diary
+// chart (two 50-year end-to-end runs per iteration).
+func BenchmarkA9FiftyYearTimeline(b *testing.B) {
+	benchTable(b, experiments.A9FiftyYearTimeline)
+}
+
+// BenchmarkA10TrafficCoverage regenerates the intersection-coverage study.
+func BenchmarkA10TrafficCoverage(b *testing.B) {
+	benchTable(b, experiments.A10TrafficCoverage)
+}
+
+// BenchmarkA11Obsolescence regenerates the forced-EOL cost table.
+func BenchmarkA11Obsolescence(b *testing.B) {
+	benchTable(b, experiments.A11Obsolescence)
+}
+
+// BenchmarkA12BridgeLifetime regenerates the coupled bridge run (a full
+// ~57-year coupled simulation per iteration).
+func BenchmarkA12BridgeLifetime(b *testing.B) {
+	benchTable(b, experiments.A12BridgeLifetime)
+}
+
+// BenchmarkA13SharedInfra regenerates the amortization table.
+func BenchmarkA13SharedInfra(b *testing.B) {
+	benchTable(b, func(uint64) experiments.Table { return experiments.A13SharedInfra() })
+}
+
+// BenchmarkA14Century regenerates the hundred-year run.
+func BenchmarkA14Century(b *testing.B) {
+	benchTable(b, experiments.A14Century)
+}

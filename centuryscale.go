@@ -1,0 +1,248 @@
+// Package centuryscale is a reproduction of "Century-Scale Smart
+// Infrastructure" (Jagtap, Bhaskar, Pannuto — HotOS '21): a simulation
+// and runtime toolkit for reasoning about smart-city sensing systems
+// designed to operate for decades.
+//
+// The package is the stable public face of the library. It re-exports the
+// pieces a downstream user composes:
+//
+//   - The 50-year experiment (§4): RunExperiment simulates transmit-only
+//     energy-harvesting devices, owned 802.15.4 or third-party LoRa
+//     gateways, backhaul, and the public data endpoint, end to end, and
+//     reports the paper's weekly-uptime metric.
+//   - The deployment hierarchy (Figure 1): BuildHierarchy quantifies
+//     fan-in and lifetime variability per tier.
+//   - Fleet lifecycle (§1, §3.4): Ship-of-Theseus replacement policies
+//     and aggregate availability, via the Fleet* types.
+//   - City economics (§1, §2, §3.4): Los Angeles replacement labor,
+//     Seoul's sensor-driven trash collection, and the owned-vs-leased
+//     tipping point.
+//   - Helium-style economics (§4.3-4.4): prepaid data-credit wallets and
+//     AS-diversity analysis of a semi-federated gateway network.
+//
+// Everything is deterministic: every entry point takes (or embeds) a
+// seed, and equal seeds reproduce results bit for bit. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-versus-measured
+// numbers for every claim reproduced.
+package centuryscale
+
+import (
+	"time"
+
+	"centuryscale/internal/backhaul"
+	"centuryscale/internal/city"
+	"centuryscale/internal/core"
+	"centuryscale/internal/device"
+	"centuryscale/internal/econ"
+	"centuryscale/internal/fleet"
+	"centuryscale/internal/helium"
+	"centuryscale/internal/reliability"
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+// Time helpers: the simulator measures virtual time as a time.Duration
+// offset from the deployment epoch, with Julian years.
+const (
+	Day  = sim.Day
+	Week = sim.Week
+	Year = sim.Year
+)
+
+// Years converts fractional years to a simulation duration.
+func Years(y float64) time.Duration { return sim.Years(y) }
+
+// ToYears converts a simulation duration to fractional years.
+func ToYears(d time.Duration) float64 { return sim.ToYears(d) }
+
+// The 50-year experiment (§4).
+type (
+	// ExperimentConfig parameterises one end-to-end run.
+	ExperimentConfig = core.ExperimentConfig
+	// Outcome is what a run reports.
+	Outcome = core.Outcome
+	// GatewayDesign selects owned 802.15.4 vs third-party LoRa.
+	GatewayDesign = core.GatewayDesign
+)
+
+// Gateway designs.
+const (
+	OwnedWPAN      = core.OwnedWPAN
+	ThirdPartyLoRa = core.ThirdPartyLoRa
+)
+
+// DefaultExperiment returns the paper's initial deployment configuration
+// for a design point.
+func DefaultExperiment(design GatewayDesign) ExperimentConfig {
+	return core.DefaultExperiment(design)
+}
+
+// RunExperiment executes an end-to-end simulated run.
+func RunExperiment(cfg ExperimentConfig) *Outcome { return core.RunExperiment(cfg) }
+
+// Device classes (§4.1 vs today's deployments).
+const (
+	ClassBattery    = device.ClassBattery
+	ClassHarvesting = device.ClassHarvesting
+)
+
+// The deployment hierarchy (Figure 1).
+type (
+	// HierarchyConfig sets tier populations.
+	HierarchyConfig = core.HierarchyConfig
+	// HierarchyReport quantifies fan-in and lifetime spread per tier.
+	HierarchyReport = core.HierarchyReport
+)
+
+// DefaultHierarchy returns a municipal-scale hierarchy.
+func DefaultHierarchy() HierarchyConfig { return core.DefaultHierarchy() }
+
+// BuildHierarchy samples the hierarchy report.
+func BuildHierarchy(cfg HierarchyConfig) HierarchyReport { return core.BuildHierarchy(cfg) }
+
+// Fleet lifecycle (§1, §3.4).
+type (
+	// FleetConfig parameterises a Ship-of-Theseus fleet run.
+	FleetConfig = fleet.Config
+	// FleetResult reports availability, cost, and the maintenance diary.
+	FleetResult = fleet.Result
+	// FleetPolicy selects the replacement strategy.
+	FleetPolicy = fleet.Policy
+)
+
+// Fleet replacement policies.
+const (
+	PolicyNone      = fleet.PolicyNone
+	PolicyOnFailure = fleet.PolicyOnFailure
+	PolicyBatch     = fleet.PolicyBatch
+	PolicyScheduled = fleet.PolicyScheduled
+)
+
+// RunFleet simulates a device fleet under a replacement policy. The seed
+// makes the run reproducible.
+func RunFleet(cfg FleetConfig, seed uint64) *FleetResult {
+	return fleet.Run(cfg, rng.New(seed))
+}
+
+// Device lifetime distributions for fleet runs.
+
+// BatteryDeviceLifetime returns the series-system lifetime distribution of
+// a conventional battery-powered sensor (mean ~10 years).
+func BatteryDeviceLifetime() reliability.Distribution {
+	return reliability.BatteryDeviceBOM().System()
+}
+
+// HarvestingDeviceLifetime returns the lifetime distribution of the
+// paper's batteryless, energy-harvesting design.
+func HarvestingDeviceLifetime() reliability.Distribution {
+	return reliability.HarvestingDeviceBOM().System()
+}
+
+// FifteenYearDevices returns the paper's illustrative "15-year sensor"
+// wear-out distribution.
+func FifteenYearDevices() reliability.Distribution {
+	return reliability.WeibullFromMean(3, 15)
+}
+
+// City economics (§1, §2).
+type (
+	// Inventory counts municipal assets by type.
+	Inventory = city.Inventory
+	// LaborModel prices device-touch labor.
+	LaborModel = city.LaborModel
+	// ReplacementReport compares en-masse vs rolling recovery.
+	ReplacementReport = city.ReplacementReport
+	// TrashResult reports a waste-collection policy run.
+	TrashResult = city.TrashResult
+	// BinConfig parameterises the bin population.
+	BinConfig = city.BinConfig
+)
+
+// LosAngeles returns the paper's §1 asset inventory.
+func LosAngeles() Inventory { return city.LosAngeles() }
+
+// DefaultLabor returns the paper-anchored labor model.
+func DefaultLabor() LaborModel { return city.DefaultLabor() }
+
+// CityReplacement computes the §1 labor analysis.
+func CityReplacement(inv Inventory, m LaborModel, cycleYears float64) ReplacementReport {
+	return city.Replacement(inv, m, cycleYears)
+}
+
+// DefaultBins returns the Seoul-style bin district configuration.
+func DefaultBins() BinConfig { return city.DefaultBins() }
+
+// SeoulComparison runs fixed-schedule vs sensor-driven waste collection
+// on the same bin population (§2's 66%/83% claim).
+func SeoulComparison(cfg BinConfig, days int, seed uint64) (fixed, sensor TrashResult) {
+	return city.SeoulComparison(cfg, days, seed)
+}
+
+// Backhaul and ownership (§3.3).
+type (
+	// BackhaulProfile prices and risks one backhaul option.
+	BackhaulProfile = backhaul.Profile
+	// BackhaulTech is the technology (fiber, cellular generations, ...).
+	BackhaulTech = backhaul.Tech
+	// Ownership is who operates it.
+	Ownership = backhaul.Ownership
+)
+
+// Backhaul technologies.
+const (
+	Fiber      = backhaul.Fiber
+	Ethernet   = backhaul.Ethernet
+	Cellular2G = backhaul.Cellular2G
+	Cellular3G = backhaul.Cellular3G
+	Cellular4G = backhaul.Cellular4G
+	Cellular5G = backhaul.Cellular5G
+	WiMAX      = backhaul.WiMAX
+)
+
+// Ownership models.
+const (
+	Municipal          = backhaul.Municipal
+	Commercial         = backhaul.Commercial
+	VerticalIntegrated = backhaul.VerticalIntegrated
+)
+
+// BackhaulDefaults returns the reference cost/risk profile for a
+// technology under an ownership model.
+func BackhaulDefaults(t BackhaulTech, o Ownership) BackhaulProfile {
+	return backhaul.DefaultProfile(t, o)
+}
+
+// Tipping point (§3.4).
+type (
+	// TippingConfig parameterises the owned-vs-leased comparison.
+	TippingConfig = econ.TippingConfig
+	// Cents is an exact currency amount.
+	Cents = econ.Cents
+)
+
+// Helium-style economics (§4.3-4.4).
+type (
+	// Wallet is a prepaid data-credit balance.
+	Wallet = helium.Wallet
+	// HeliumConfig parameterises the synthetic hotspot network.
+	HeliumConfig = helium.NetworkConfig
+	// HeliumNetwork is a synthetic hotspot population.
+	HeliumNetwork = helium.Network
+)
+
+// NewWallet returns a wallet holding the given data credits.
+func NewWallet(credits int64) *Wallet { return helium.NewWallet(credits) }
+
+// CreditsForUplink returns the §4.4 data-credit arithmetic.
+func CreditsForUplink(interval, span time.Duration) int64 {
+	return helium.CreditsForUplink(interval, span)
+}
+
+// DefaultHeliumNetwork returns the measured-snapshot configuration
+// (~12,400 hotspots, ~200 ASes).
+func DefaultHeliumNetwork() HeliumConfig { return helium.DefaultNetworkConfig() }
+
+// NewHeliumNetwork synthesises a hotspot population.
+func NewHeliumNetwork(cfg HeliumConfig, seed uint64) *HeliumNetwork {
+	return helium.NewNetwork(cfg, rng.New(seed))
+}

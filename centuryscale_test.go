@@ -1,0 +1,95 @@
+package centuryscale_test
+
+import (
+	"testing"
+	"time"
+
+	"centuryscale"
+)
+
+func TestPublicExperimentAPI(t *testing.T) {
+	cfg := centuryscale.DefaultExperiment(centuryscale.OwnedWPAN)
+	cfg.Horizon = centuryscale.Years(3)
+	cfg.NumDevices = 10
+	cfg.ReportInterval = 12 * time.Hour
+	out := centuryscale.RunExperiment(cfg)
+	if out.PacketsAccepted == 0 {
+		t.Fatal("no packets accepted via public API")
+	}
+	if out.WeeklyUptime <= 0.9 {
+		t.Fatalf("weekly uptime = %v", out.WeeklyUptime)
+	}
+}
+
+func TestPublicFleetAPI(t *testing.T) {
+	res := centuryscale.RunFleet(centuryscale.FleetConfig{
+		Slots:    100,
+		Horizon:  centuryscale.Years(50),
+		Lifetime: centuryscale.FifteenYearDevices(),
+		Policy:   centuryscale.PolicyOnFailure,
+	}, 1)
+	if res.Availability() < 0.95 {
+		t.Fatalf("availability = %v", res.Availability())
+	}
+	if res.Replacements == 0 {
+		t.Fatal("no replacements over 50 years of 15-year devices")
+	}
+}
+
+func TestPublicLifetimeDistributions(t *testing.T) {
+	batt := centuryscale.BatteryDeviceLifetime()
+	harv := centuryscale.HarvestingDeviceLifetime()
+	if batt.Survival(30) >= harv.Survival(30) {
+		t.Fatal("harvesting must outlive battery at 30 years")
+	}
+}
+
+func TestPublicCityAPI(t *testing.T) {
+	rep := centuryscale.CityReplacement(centuryscale.LosAngeles(), centuryscale.DefaultLabor(), 25)
+	if rep.PersonHours < 190000 || rep.PersonHours > 200000 {
+		t.Fatalf("person-hours = %v", rep.PersonHours)
+	}
+	fixed, sensor := centuryscale.SeoulComparison(centuryscale.DefaultBins(), 180, 1)
+	if sensor.CostCents >= fixed.CostCents {
+		t.Fatal("sensor-driven collection must cost less")
+	}
+}
+
+func TestPublicWalletAPI(t *testing.T) {
+	if got := centuryscale.CreditsForUplink(time.Hour, 50*365*24*time.Hour); got != 438000 {
+		t.Fatalf("credits = %d", got)
+	}
+	w := centuryscale.NewWallet(10)
+	if err := w.Charge(11); err == nil {
+		t.Fatal("overdraft allowed")
+	}
+}
+
+func TestPublicHierarchyAPI(t *testing.T) {
+	rep := centuryscale.BuildHierarchy(centuryscale.DefaultHierarchy())
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestPublicBackhaulAPI(t *testing.T) {
+	fiber := centuryscale.BackhaulDefaults(centuryscale.Fiber, centuryscale.Municipal)
+	cell := centuryscale.BackhaulDefaults(centuryscale.Cellular4G, centuryscale.Commercial)
+	// Compare while both are still in service (4G sunsets at year 25 and
+	// stops accruing — and stops carrying packets).
+	if fiber.TCOCents(centuryscale.Years(25)) >= cell.TCOCents(centuryscale.Years(25)) {
+		t.Fatal("fiber must undercut cellular by year 25")
+	}
+	if cell.SunsetAfterYears == 0 {
+		t.Fatal("cellular must carry a sunset")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if centuryscale.ToYears(centuryscale.Years(50)) != 50 {
+		t.Fatal("year round trip broken")
+	}
+	if centuryscale.Week != 7*centuryscale.Day {
+		t.Fatal("week definition broken")
+	}
+}

@@ -1,0 +1,87 @@
+// Command endpointd is the public data endpoint of the experiment: the
+// centurysensors.com piece. It accepts raw 24-byte telemetry packets on
+// POST /ingest, verifies and deduplicates them, and publishes the living
+// status page on GET /.
+//
+//	endpointd -listen :8080 -master fleet-master-secret \
+//	          -snapshot /var/lib/century/store.json -save-every 10m
+//
+// Device keys are derived from the fleet master secret and each device's
+// EUI-64, so the endpoint needs no per-device database. With -snapshot
+// set, state is restored at boot and saved atomically on the given
+// interval and on clean shutdown — a 50-year service must assume its
+// host will be replaced many times.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"centuryscale/internal/cloud"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		master    = flag.String("master", "", "fleet master secret (required)")
+		snapshot  = flag.String("snapshot", "", "snapshot file for durable state (optional)")
+		saveEvery = flag.Duration("save-every", 10*time.Minute, "snapshot interval when -snapshot is set")
+	)
+	flag.Parse()
+	if *master == "" {
+		log.Fatal("endpointd: -master is required")
+	}
+
+	store := cloud.NewStore(cloud.StaticKeys([]byte(*master)))
+	if *snapshot != "" {
+		if err := store.LoadFile(*snapshot); err != nil {
+			log.Fatalf("endpointd: restoring %s: %v", *snapshot, err)
+		}
+		log.Printf("endpointd: restored %d readings from %s", store.Count(), *snapshot)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: cloud.NewServer(store, time.Now())}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *snapshot != "" {
+		go func() {
+			tick := time.NewTicker(*saveEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := store.SaveFile(*snapshot); err != nil {
+						log.Printf("endpointd: snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("endpointd: listening on %s", *listen)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("endpointd: %v", err)
+	}
+	if *snapshot != "" {
+		if err := store.SaveFile(*snapshot); err != nil {
+			log.Fatalf("endpointd: final snapshot: %v", err)
+		}
+		log.Printf("endpointd: saved %d readings to %s", store.Count(), *snapshot)
+	}
+}

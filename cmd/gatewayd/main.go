@@ -1,0 +1,60 @@
+// Command gatewayd is an open gateway: it listens for link-layer frames
+// on UDP and forwards device payloads to the endpoint over HTTP —
+// deliberately nothing more (§3.2: gateways should act as routers and
+// defer decisions to other components).
+//
+//	gatewayd -listen :7000 -endpoint http://127.0.0.1:8080
+//
+// An optional -block flag seeds the blocklist with comma-separated
+// EUI-64 addresses of known-bad devices.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"centuryscale/internal/daemon"
+	"centuryscale/internal/gateway"
+	"centuryscale/internal/lpwan"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7000", "UDP listen address for device frames")
+		endpoint = flag.String("endpoint", "http://127.0.0.1:8080", "endpoint base URL")
+		id       = flag.String("id", "gatewayd", "gateway identity")
+		block    = flag.String("block", "", "comma-separated EUI-64 blocklist")
+	)
+	flag.Parse()
+
+	gw := gateway.New(gateway.Config{ID: *id}, &daemon.HTTPUplink{URL: *endpoint})
+	if *block != "" {
+		for _, s := range strings.Split(*block, ",") {
+			e, err := lpwan.ParseEUI64(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("gatewayd: bad blocklist entry %q: %v", s, err)
+			}
+			gw.Block(e)
+		}
+	}
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		log.Fatalf("gatewayd: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("gatewayd %s: forwarding %s -> %s", *id, conn.LocalAddr(), *endpoint)
+	if err := daemon.ServeUDP(ctx, conn, gw); err != nil {
+		log.Fatalf("gatewayd: %v", err)
+	}
+	s := gw.Stats()
+	log.Printf("gatewayd: done. forwarded=%d malformed=%d blocked=%d uplink-errors=%d",
+		s.Forwarded, s.DropMalformed, s.DropBlocked, s.UplinkErrors)
+}

@@ -1,0 +1,39 @@
+// Command hotspotd is a deliberately dumb third-party hotspot: it reads
+// raw LoRaWAN frames from UDP and POSTs them to the network router. It
+// holds no keys and makes no decisions — exactly the §4.2 trust split
+// that lets anyone (including the deployment's own operator, as the
+// hedge) run one.
+//
+//	hotspotd -listen :7100 -router http://127.0.0.1:9000
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os/signal"
+	"syscall"
+
+	"centuryscale/internal/daemon"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7100", "UDP listen address for LoRaWAN frames")
+		router = flag.String("router", "http://127.0.0.1:9000", "network router base URL")
+	)
+	flag.Parse()
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		log.Fatalf("hotspotd: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("hotspotd: forwarding %s -> %s", conn.LocalAddr(), *router)
+	if err := daemon.ServeHotspot(ctx, conn, *router, nil); err != nil {
+		log.Fatalf("hotspotd: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+// Command routerd is the third-party network's router: it accepts raw
+// LoRaWAN uplinks POSTed by hotspots on /uplink, MIC-verifies them,
+// enforces frame-counter freshness, charges the prepaid data-credit
+// wallet, and forwards the decrypted 24-byte telemetry to the owner's
+// endpoint.
+//
+//	routerd -listen :9000 -abp-master 0123456789abcdef \
+//	        -endpoint http://127.0.0.1:8080 -credits 500000
+//
+// The ABP master must be exactly 16 bytes; device session keys derive
+// from it and each frame's DevAddr. The credit balance is the paper's
+// §4.4 prepayment: when it runs dry the router answers 402 and the
+// hotspots stop getting paid.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"centuryscale/internal/daemon"
+	"centuryscale/internal/helium"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":9000", "HTTP listen address for hotspot uplinks")
+		master   = flag.String("abp-master", "", "16-byte ABP master secret (required)")
+		endpoint = flag.String("endpoint", "http://127.0.0.1:8080", "owner endpoint base URL")
+		credits  = flag.Int64("credits", 500000, "initial data-credit balance (the $5 wallet)")
+	)
+	flag.Parse()
+	if len(*master) != 16 {
+		log.Fatalf("routerd: -abp-master must be exactly 16 bytes, got %d", len(*master))
+	}
+
+	wallet := helium.NewWallet(*credits)
+	router, err := helium.NewRouter([]byte(*master), wallet)
+	if err != nil {
+		log.Fatalf("routerd: %v", err)
+	}
+	uplink := &daemon.HTTPUplink{URL: *endpoint}
+	handler := daemon.RouterHandler(router, uplink.Send)
+
+	log.Printf("routerd: listening on %s, forwarding to %s, %d credits", *listen, *endpoint, wallet.Balance())
+	if err := http.ListenAndServe(*listen, handler); err != nil {
+		log.Fatalf("routerd: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+// Command sensornode emulates one transmit-only, energy-harvesting sensor
+// on a real network: it sends a signed 24-byte reading to a gateway over
+// UDP on a fixed interval and listens for nothing (§4.1).
+//
+//	sensornode -gateway 127.0.0.1:7000 -device 42 -master fleet-master-secret -interval 10s
+//
+// The device key is derived exactly as endpointd derives it, so readings
+// verify end to end.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"centuryscale/internal/daemon"
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/telemetry"
+)
+
+func main() {
+	var (
+		gwAddr    = flag.String("gateway", "127.0.0.1:7000", "gateway/hotspot UDP address")
+		devID     = flag.Uint64("device", 1, "device ID (EUI-64 as integer)")
+		master    = flag.String("master", "", "fleet master secret (required)")
+		interval  = flag.Duration("interval", time.Minute, "report interval")
+		count     = flag.Int("count", 0, "number of reports to send (0 = until interrupted)")
+		abpMaster = flag.String("abp-master", "", "16-byte ABP master: send LoRaWAN uplinks (third-party path) instead of lpwan frames")
+	)
+	flag.Parse()
+	if *master == "" {
+		log.Fatal("sensornode: -master is required")
+	}
+
+	id := lpwan.EUIFromUint64(*devID)
+	node := &daemon.SensorNode{
+		ID:       id,
+		Key:      telemetry.DeriveKey([]byte(*master), id),
+		Sensor:   telemetry.SensorConcreteEMI,
+		Interval: *interval,
+	}
+	if *abpMaster != "" {
+		sess, err := daemon.NewLoRaWANSession([]byte(*abpMaster), uint32(*devID))
+		if err != nil {
+			log.Fatalf("sensornode: %v", err)
+		}
+		node.LoRaWAN = sess
+	}
+	to, err := net.ResolveUDPAddr("udp", *gwAddr)
+	if err != nil {
+		log.Fatalf("sensornode: %v", err)
+	}
+	conn, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		log.Fatalf("sensornode: %v", err)
+	}
+	defer conn.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("sensornode %v: reporting to %s every %v", id, *gwAddr, *interval)
+	if *count > 0 {
+		for i := 0; i < *count; i++ {
+			if err := node.SendOnce(conn, to, time.Now()); err != nil {
+				log.Fatalf("sensornode: %v", err)
+			}
+			if i < *count-1 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(*interval):
+				}
+			}
+		}
+		return
+	}
+	if err := node.Run(ctx, conn, to); err != nil {
+		log.Fatalf("sensornode: %v", err)
+	}
+}

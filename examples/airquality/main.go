@@ -1,0 +1,30 @@
+// Airquality: §2's density argument — "Air pollution is highly localized,
+// and requires measurement at city-block granularity." This example
+// builds a synthetic city-scale pollution field, deploys sensor fleets of
+// increasing density, reconstructs the field from each, and reports how
+// reconstruction quality depends on sensor spacing.
+package main
+
+import (
+	"fmt"
+
+	"centuryscale"
+)
+
+func main() {
+	// A 4 km × 4 km district with 25 block-scale emission sources.
+	field := centuryscale.SyntheticAirField(4000, 25, 7)
+
+	fmt.Println("air-quality field reconstruction vs sensor density (4 km district)")
+	fmt.Printf("%10s %14s %14s %14s\n", "sensors", "spacing (m)", "RMSE (µg/m³)", "correlation")
+	results := centuryscale.AirDensityStudy(field, []int{5, 20, 100, 500, 2000}, 0.05, 7)
+	for _, r := range results {
+		fmt.Printf("%10d %14.0f %14.2f %14.2f\n", r.Sensors, r.MetersPerSide, r.RMSE, r.Corr)
+	}
+	fmt.Println()
+	fmt.Println("The knee: until sensor spacing approaches the ~100-180 m footprint of a")
+	fmt.Println("pollution source (one city block), the reconstructed map barely correlates")
+	fmt.Println("with reality — a handful of monitoring stations cannot see the structure.")
+	fmt.Println("This is why the paper argues deployments must scale to tens of thousands")
+	fmt.Println("of devices, and why device lifetime economics dominate system design.")
+}

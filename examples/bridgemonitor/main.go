@@ -1,0 +1,42 @@
+// Bridgemonitor: the paper's flagship device (§1, §4.1) — a sensor cast
+// into a bridge deck that reports the concrete's health and powers itself
+// from the corrosion of the rebar it is watching, for as long as the
+// structure lasts. This example walks the structure's whole service life
+// and shows the coupled physics: the health signal an EMI sensor reads,
+// the chloride front creeping toward the rebar, and the harvest budget
+// the corrosion cell provides.
+package main
+
+import (
+	"fmt"
+
+	"centuryscale"
+)
+
+func main() {
+	for _, s := range []centuryscale.Structure{centuryscale.Bridge(), centuryscale.RoadDeck()} {
+		fmt.Printf("structure: %s (service life %.1f years; paper cites %s)\n",
+			s.Name, s.ServiceLifeYears(), paperMedian(s.Name))
+		fmt.Printf("  corrosion initiates at year %.1f (chloride reaches rebar at %.0f mm cover)\n",
+			s.InitiationYears(), s.CoverMM)
+		fmt.Printf("  %6s  %12s  %16s  %12s\n", "year", "health-index", "chloride@rebar", "harvest-µW")
+		for _, y := range []float64{1, 5, 15, 25, 35, 45, 55} {
+			at := centuryscale.Years(y)
+			fmt.Printf("  %6.0f  %12.2f  %16.2f  %12.1f\n",
+				y, s.HealthIndex(at), s.ChlorideAt(s.CoverMM, at),
+				s.HarvestMicroWatts(100, 0.5, at))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The coupling the paper highlights: the same electrochemistry that ends the")
+	fmt.Println("structure's life powers the sensor that reports on it. Harvest power rises")
+	fmt.Println("exactly when the health signal starts to matter most.")
+}
+
+func paperMedian(name string) string {
+	if name == "bridge" {
+		return "50 y median"
+	}
+	return "25 y median"
+}

@@ -1,0 +1,35 @@
+// Smarttrash: the Seoul case study from §2 — what a city actually buys
+// when bin-fill telemetry replaces a fixed collection schedule. The paper
+// reports 66% less overflow and 83% lower collection cost; this example
+// regenerates the comparison on a synthetic district.
+package main
+
+import (
+	"fmt"
+
+	"centuryscale"
+)
+
+func main() {
+	cfg := centuryscale.DefaultBins()
+	fixed, sensor := centuryscale.SeoulComparison(cfg, 365, 42)
+
+	fmt.Printf("district: %d bins, mean fill time %.0f days, $%.2f per collection visit\n",
+		cfg.Bins, cfg.MeanFillDays, float64(cfg.TripCents)/100)
+	fmt.Println()
+	fmt.Printf("%-24s %16s %16s\n", "one simulated year", "fixed schedule", "sensor-driven")
+	fmt.Printf("%-24s %16d %16d\n", "collections", fixed.Collections, sensor.Collections)
+	fmt.Printf("%-24s %16d %16d\n", "overflow events", fixed.OverflowEvents, sensor.OverflowEvents)
+	fmt.Printf("%-24s %16v %16v\n", "cost",
+		centuryscale.Cents(fixed.CostCents), centuryscale.Cents(sensor.CostCents))
+	fmt.Println()
+
+	overflowCut := 1 - float64(sensor.OverflowEvents)/float64(fixed.OverflowEvents)
+	costCut := 1 - float64(sensor.CostCents)/float64(fixed.CostCents)
+	fmt.Printf("overflow reduction: %.0f%%   (paper: 66%%)\n", overflowCut*100)
+	fmt.Printf("cost reduction:     %.0f%%   (paper: 83%%)\n", costCut*100)
+	fmt.Println()
+	fmt.Println("Why it works: bins fill at wildly uneven rates, so any blind schedule")
+	fmt.Println("over-serves the slow bins and overflows the fast ones. Telemetry plus a")
+	fmt.Println("compacting bin collects each bin exactly when needed.")
+}

@@ -1,0 +1,61 @@
+// Tippingpoint: §3.4's planning exercise. A municipality leasing
+// gateway/backhaul service pays recurring fees and — worse — absorbs a
+// fleet replacement every time the leased technology sunsets. Owning the
+// infrastructure is a large, fleet-size-independent capital project. This
+// example sweeps fleet size and finds where the curves cross, the point
+// at which every entity "should reserve the option of vertical
+// integration".
+package main
+
+import (
+	"fmt"
+
+	"centuryscale"
+)
+
+func main() {
+	cfg := centuryscale.TippingConfig{
+		HorizonYears:          50,
+		Gateways:              40,
+		LeasedPerGatewayMonth: 3000,        // $30/gateway/month
+		SunsetEveryYears:      12,          // one 2G-style sunset per ~decade
+		DeviceReplaceCents:    15000,       // $150 hardware+labor per stranded device
+		OwnedBaseCapex:        200_000_000, // $2M build-out
+		OwnedPerGatewayCapex:  1_000_000,   // $10k per gateway lateral
+		OwnedOpexMonth:        200_000,     // $2k/month operations
+	}
+
+	fmt.Println("Owned vs leased infrastructure over 50 years (§3.4)")
+	fmt.Printf("%-10s %16s %16s %10s\n", "devices", "leased TCO", "owned TCO", "winner")
+	for _, n := range []int{100, 1000, 2000, 5000, 10000, 50000} {
+		leased := cfg.LeasedTCO(n)
+		owned := cfg.OwnedTCO(n)
+		winner := "lease"
+		if owned <= leased {
+			winner = "own"
+		}
+		fmt.Printf("%-10d %16v %16v %10s\n", n, leased, owned, winner)
+	}
+	fmt.Println()
+
+	tip := cfg.TippingPoint(10_000_000)
+	fmt.Printf("tipping point: owning wins from %d devices up\n", tip)
+	fmt.Println()
+
+	// Sensitivity: the faster leased tech sunsets, the earlier owning wins.
+	fmt.Println("sensitivity to sunset cadence:")
+	for _, sunset := range []float64{8, 12, 20, 0} {
+		c := cfg
+		c.SunsetEveryYears = sunset
+		tip := c.TippingPoint(100_000_000)
+		label := fmt.Sprintf("every %.0f years", sunset)
+		if sunset == 0 {
+			label = "never (hypothetical)"
+		}
+		val := "never"
+		if tip >= 0 {
+			val = fmt.Sprintf("%d devices", tip)
+		}
+		fmt.Printf("  sunsets %-22s -> tipping point at %s\n", label, val)
+	}
+}

@@ -1,0 +1,3 @@
+module centuryscale
+
+go 1.22

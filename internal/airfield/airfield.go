@@ -1,0 +1,195 @@
+// Package airfield models urban air pollution as a spatial field and the
+// sensing-density question the paper raises in §2: "Air pollution is
+// highly localized, and requires measurement at city-block granularity."
+//
+// The ground truth is a synthetic but structured field: a city-wide
+// background plus Gaussian plumes around emission sources (arterial
+// roads, industry) whose footprints are block-scale, modulated by a
+// diurnal traffic cycle. A deployment samples the field at sensor
+// positions (with instrument noise); an analyst reconstructs the full
+// field from those samples with inverse-distance weighting. The
+// experiment the package supports: reconstruction error versus sensor
+// density, which quantifies why instrumenting one intersection "will not
+// give city planners an accurate picture."
+package airfield
+
+import (
+	"math"
+	"time"
+
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+	"centuryscale/internal/stats"
+)
+
+// Source is one pollution emitter: a Gaussian plume of the given peak
+// strength (µg/m³ above background at the center) and radius (meters to
+// the 1/e point).
+type Source struct {
+	X, Y     float64
+	Strength float64
+	Radius   float64
+	// TrafficLinked sources follow the diurnal cycle; others (industry)
+	// emit steadily.
+	TrafficLinked bool
+}
+
+// Field is a synthetic ground-truth pollution field over a square city.
+type Field struct {
+	// SideMeters is the city square's side.
+	SideMeters float64
+	// Background is the city-wide floor in µg/m³.
+	Background float64
+	// DiurnalSwing in [0,1): traffic-linked sources swing ±this fraction
+	// over the day (rush-hour peaks at 8am and 6pm).
+	DiurnalSwing float64
+	Sources      []Source
+}
+
+// Synthetic builds a field with the given number of block-scale sources
+// scattered deterministically from the seed source.
+func Synthetic(sideMeters float64, nSources int, src *rng.Source) *Field {
+	if sideMeters <= 0 || nSources <= 0 {
+		panic("airfield: empty field config")
+	}
+	f := &Field{
+		SideMeters:   sideMeters,
+		Background:   8, // typical urban PM2.5 floor
+		DiurnalSwing: 0.4,
+	}
+	for i := 0; i < nSources; i++ {
+		f.Sources = append(f.Sources, Source{
+			X:             src.Uniform(0, sideMeters),
+			Y:             src.Uniform(0, sideMeters),
+			Strength:      src.Uniform(10, 60),
+			Radius:        src.Uniform(60, 180), // block-scale footprints
+			TrafficLinked: src.Bernoulli(0.7),
+		})
+	}
+	return f
+}
+
+// diurnal returns the traffic modulation factor at virtual time t:
+// 1 ± swing with peaks near 8:00 and 18:00.
+func (f *Field) diurnal(t time.Duration) float64 {
+	if f.DiurnalSwing <= 0 {
+		return 1
+	}
+	dayFrac := math.Mod(float64(t)/float64(sim.Day), 1)
+	// Two peaks per day, shifted so maxima land near 8am and 6pm.
+	cycle := math.Sin(2*2*math.Pi*dayFrac - 1.3)
+	return 1 + f.DiurnalSwing*cycle
+}
+
+// At returns the concentration at (x, y) at time t in µg/m³.
+func (f *Field) At(x, y float64, t time.Duration) float64 {
+	v := f.Background
+	mod := f.diurnal(t)
+	for _, s := range f.Sources {
+		dx, dy := x-s.X, y-s.Y
+		g := s.Strength * math.Exp(-(dx*dx+dy*dy)/(s.Radius*s.Radius))
+		if s.TrafficLinked {
+			g *= mod
+		}
+		v += g
+	}
+	return v
+}
+
+// Sample is one sensor observation.
+type Sample struct {
+	X, Y float64
+	V    float64
+}
+
+// SampleGrid places n sensors uniformly at random in the city and samples
+// the field at time t with multiplicative log-normal instrument noise of
+// the given sigma (0 disables noise).
+func (f *Field) SampleGrid(n int, t time.Duration, noiseSigma float64, src *rng.Source) []Sample {
+	if n <= 0 {
+		panic("airfield: non-positive sensor count")
+	}
+	// Positions come from the primary stream and noise from a split
+	// child, so the same seed places sensors identically whether or not
+	// noise is enabled — comparisons then isolate the noise effect.
+	noise := src.Split("instrument-noise")
+	out := make([]Sample, n)
+	for i := range out {
+		x := src.Uniform(0, f.SideMeters)
+		y := src.Uniform(0, f.SideMeters)
+		v := f.At(x, y, t)
+		if noiseSigma > 0 {
+			v *= noise.LogNormal(0, noiseSigma)
+		}
+		out[i] = Sample{X: x, Y: y, V: v}
+	}
+	return out
+}
+
+// IDW estimates the field at (x, y) from samples by inverse-distance
+// weighting with the given power (2 is the standard choice). A sample
+// within 1 m returns its value directly.
+func IDW(samples []Sample, x, y, power float64) float64 {
+	if len(samples) == 0 {
+		panic("airfield: IDW with no samples")
+	}
+	num, den := 0.0, 0.0
+	for _, s := range samples {
+		dx, dy := x-s.X, y-s.Y
+		d2 := dx*dx + dy*dy
+		if d2 < 1 {
+			return s.V
+		}
+		w := 1 / math.Pow(d2, power/2)
+		num += w * s.V
+		den += w
+	}
+	return num / den
+}
+
+// ReconstructionError evaluates IDW reconstruction from the samples
+// against ground truth on a res×res grid at time t, returning RMSE
+// (µg/m³) and Pearson correlation.
+func (f *Field) ReconstructionError(samples []Sample, res int, t time.Duration) (rmse, corr float64) {
+	if res <= 1 {
+		panic("airfield: evaluation grid too small")
+	}
+	truth := make([]float64, 0, res*res)
+	est := make([]float64, 0, res*res)
+	step := f.SideMeters / float64(res-1)
+	for i := 0; i < res; i++ {
+		for j := 0; j < res; j++ {
+			x, y := float64(i)*step, float64(j)*step
+			truth = append(truth, f.At(x, y, t))
+			est = append(est, IDW(samples, x, y, 2))
+		}
+	}
+	return stats.RMSE(truth, est), stats.Pearson(truth, est)
+}
+
+// DensityResult is one row of the density study.
+type DensityResult struct {
+	Sensors       int
+	MetersPerSide float64 // mean inter-sensor spacing (side/sqrt(n))
+	RMSE          float64
+	Corr          float64
+}
+
+// DensityStudy sweeps sensor counts and reports reconstruction quality.
+// The paper's claim corresponds to the knee: error stays high until mean
+// sensor spacing approaches the source radius (a city block).
+func (f *Field) DensityStudy(counts []int, noiseSigma float64, src *rng.Source) []DensityResult {
+	out := make([]DensityResult, 0, len(counts))
+	t := 8 * time.Hour // morning rush: the hardest, most structured field
+	for _, n := range counts {
+		samples := f.SampleGrid(n, t, noiseSigma, src.Split("density"))
+		rmse, corr := f.ReconstructionError(samples, 30, t)
+		out = append(out, DensityResult{
+			Sensors:       n,
+			MetersPerSide: f.SideMeters / math.Sqrt(float64(n)),
+			RMSE:          rmse,
+			Corr:          corr,
+		})
+	}
+	return out
+}

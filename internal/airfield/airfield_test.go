@@ -1,0 +1,185 @@
+package airfield
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"centuryscale/internal/rng"
+)
+
+func testField() *Field {
+	return Synthetic(4000, 25, rng.New(1))
+}
+
+func TestFieldAboveBackground(t *testing.T) {
+	f := testField()
+	for probe := 0; probe < 100; probe++ {
+		x := float64(probe) * 40
+		v := f.At(x, x, 12*time.Hour)
+		if v < f.Background*0.5 {
+			t.Fatalf("field at (%v,%v) = %v, below background", x, x, v)
+		}
+	}
+}
+
+func TestFieldPeaksAtSources(t *testing.T) {
+	f := &Field{
+		SideMeters: 1000, Background: 8,
+		Sources: []Source{{X: 500, Y: 500, Strength: 40, Radius: 100}},
+	}
+	center := f.At(500, 500, 0)
+	if math.Abs(center-48) > 1e-9 {
+		t.Fatalf("center = %v, want background+strength", center)
+	}
+	far := f.At(0, 0, 0)
+	if far > 8.1 {
+		t.Fatalf("far field = %v, want ~background", far)
+	}
+	// Localized: one radius away the plume has decayed to 1/e.
+	at1r := f.At(600, 500, 0)
+	if math.Abs(at1r-(8+40/math.E)) > 0.1 {
+		t.Fatalf("1-radius value = %v", at1r)
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	f := &Field{
+		SideMeters: 1000, Background: 0, DiurnalSwing: 0.4,
+		Sources: []Source{{X: 500, Y: 500, Strength: 10, Radius: 100, TrafficLinked: true}},
+	}
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for h := 0; h < 24; h++ {
+		v := f.At(500, 500, time.Duration(h)*time.Hour)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi/lo < 1.5 {
+		t.Fatalf("diurnal swing too small: %v..%v", lo, hi)
+	}
+	// Non-traffic sources are steady.
+	steady := &Field{
+		SideMeters: 1000, DiurnalSwing: 0.4,
+		Sources: []Source{{X: 500, Y: 500, Strength: 10, Radius: 100}},
+	}
+	if steady.At(500, 500, 0) != steady.At(500, 500, 8*time.Hour) {
+		t.Fatal("industrial source varied with time of day")
+	}
+}
+
+func TestIDWInterpolates(t *testing.T) {
+	samples := []Sample{
+		{X: 0, Y: 0, V: 10},
+		{X: 100, Y: 0, V: 20},
+	}
+	// Exactly at a sample: its value.
+	if v := IDW(samples, 0, 0, 2); v != 10 {
+		t.Fatalf("at sample = %v", v)
+	}
+	// Midpoint: average.
+	if v := IDW(samples, 50, 0, 2); math.Abs(v-15) > 1e-9 {
+		t.Fatalf("midpoint = %v", v)
+	}
+	// Near one sample: close to it.
+	if v := IDW(samples, 95, 0, 2); v < 18 {
+		t.Fatalf("near-sample estimate = %v", v)
+	}
+}
+
+func TestIDWPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty IDW did not panic")
+		}
+	}()
+	IDW(nil, 0, 0, 2)
+}
+
+func TestReconstructionImprovesWithDensity(t *testing.T) {
+	// The §2 claim: block-granularity measurement is required. Error
+	// must fall substantially as density rises to block scale.
+	f := testField()
+	res := f.DensityStudy([]int{5, 50, 500, 5000}, 0.05, rng.New(2))
+	if len(res) != 4 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].RMSE >= res[i-1].RMSE {
+			t.Fatalf("RMSE not decreasing with density: %+v", res)
+		}
+	}
+	// Sparse (city-scale spacing): poor correlation. Dense (block-scale
+	// spacing): good.
+	if res[0].Corr > 0.6 {
+		t.Fatalf("5 sensors correlate too well: %v", res[0].Corr)
+	}
+	if res[3].Corr < 0.9 {
+		t.Fatalf("5000 sensors correlate too poorly: %v", res[3].Corr)
+	}
+	// The knee: by the time spacing reaches ~source radius (block
+	// scale), correlation exceeds 0.8.
+	if res[2].MetersPerSide > 200 {
+		t.Fatalf("500-sensor spacing = %v m", res[2].MetersPerSide)
+	}
+	if res[2].Corr < 0.75 {
+		t.Fatalf("block-scale correlation = %v", res[2].Corr)
+	}
+}
+
+func TestSampleNoise(t *testing.T) {
+	f := testField()
+	clean := f.SampleGrid(200, 0, 0, rng.New(3))
+	noisy := f.SampleGrid(200, 0, 0.3, rng.New(3))
+	// Same positions (same seed), different values on average.
+	diff := 0
+	for i := range clean {
+		if clean[i].X != noisy[i].X {
+			t.Fatal("positions diverged under same seed")
+		}
+		if clean[i].V != noisy[i].V {
+			diff++
+		}
+	}
+	if diff < 190 {
+		t.Fatalf("only %d of 200 samples perturbed by noise", diff)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(4000, 25, rng.New(7))
+	b := Synthetic(4000, 25, rng.New(7))
+	for i := range a.Sources {
+		if a.Sources[i] != b.Sources[i] {
+			t.Fatal("fields differ under same seed")
+		}
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty-field": func() { Synthetic(0, 5, rng.New(1)) },
+		"no-sensors":  func() { testField().SampleGrid(0, 0, 0, rng.New(1)) },
+		"tiny-grid":   func() { testField().ReconstructionError([]Sample{{V: 1}}, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkDensityStudy(b *testing.B) {
+	f := testField()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.DensityStudy([]int{50, 500}, 0.05, rng.New(uint64(i)))
+	}
+}

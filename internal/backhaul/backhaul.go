@@ -1,0 +1,266 @@
+// Package backhaul models the network tier between gateways and the cloud
+// (§3.3): fiber, Ethernet, cellular generations, and WiMAX, under
+// municipal, commercial, or vertically-integrated ownership.
+//
+// The paper's backhaul argument has three prongs, and each is a model
+// parameter here. First, cost structure: wired options are capex-heavy and
+// opex-light (the trench is the cost; capacity rides transceiver
+// upgrades), while cellular is capex-light and opex-heavy (subscriptions
+// accumulate forever) — so their 50-year TCO curves cross. Second, sunset
+// risk: spectrum is a leased resource, so cellular generations are
+// *retired by others* on a schedule the deployment cannot control (the 2G
+// sunset stranding devices, §3.4), while a wire, once trenched, "generally
+// will not go anywhere". Third, ownership: commercially-provided service
+// can be deprioritised (longer repair times) and repriced, while
+// municipal networks run at cost — the paper's survey of Chattanooga,
+// Santa Monica, Chanute et al. (§3.3.3).
+package backhaul
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+// Tech is a backhaul technology.
+type Tech int
+
+// Backhaul technologies.
+const (
+	Fiber Tech = iota
+	Ethernet
+	Cellular2G
+	Cellular3G
+	Cellular4G
+	Cellular5G
+	WiMAX
+)
+
+var techNames = map[Tech]string{
+	Fiber:      "fiber",
+	Ethernet:   "ethernet",
+	Cellular2G: "cellular-2g",
+	Cellular3G: "cellular-3g",
+	Cellular4G: "cellular-4g",
+	Cellular5G: "cellular-5g",
+	WiMAX:      "wimax",
+}
+
+// String implements fmt.Stringer.
+func (t Tech) String() string {
+	if n, ok := techNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("tech(%d)", int(t))
+}
+
+// Cellular reports whether the technology rides carrier spectrum —
+// the sunset-prone class.
+func (t Tech) Cellular() bool {
+	return t >= Cellular2G && t <= Cellular5G
+}
+
+// Ownership is who operates the backhaul.
+type Ownership int
+
+// Ownership models (§3.3.3).
+const (
+	Municipal Ownership = iota
+	Commercial
+	VerticalIntegrated
+)
+
+var ownershipNames = map[Ownership]string{
+	Municipal:          "municipal",
+	Commercial:         "commercial",
+	VerticalIntegrated: "vertical",
+}
+
+// String implements fmt.Stringer.
+func (o Ownership) String() string {
+	if n, ok := ownershipNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("ownership(%d)", int(o))
+}
+
+// Profile parameterises one backhaul option for one gateway link.
+// Currency is integer cents to keep ledgers exact.
+type Profile struct {
+	Tech      Tech
+	Ownership Ownership
+
+	// CapexCents is the up-front cost to light the link (trenching
+	// share, modem, radio).
+	CapexCents int64
+	// OpexCentsPerMonth is the recurring cost (subscription, power,
+	// upkeep share).
+	OpexCentsPerMonth int64
+
+	// MTBFYears / MTTRHours parameterise the outage process.
+	MTBFYears float64
+	MTTRHours float64
+
+	// SunsetAfterYears, if positive, is when the technology is retired
+	// by its operator, permanently stranding links that still use it.
+	SunsetAfterYears float64
+}
+
+// DefaultProfile returns the reference parameters used across the
+// experiments. Cost anchors: a fiber lateral's trench share ~$5,000 with
+// trivial recurring cost; an IoT cellular plan ~$25-35/month on ~$200 of
+// modem; municipally-run WiMAX (the Chanute model) sits between. The
+// ownership dimension shifts repair priority (commercial service restores
+// institutional customers last, §3.3.3) and whether wired service can be
+// repriced away.
+func DefaultProfile(t Tech, o Ownership) Profile {
+	p := Profile{Tech: t, Ownership: o}
+	switch t {
+	case Fiber:
+		p.CapexCents = 500_000 // $5,000 trench share per link
+		p.OpexCentsPerMonth = 1_500
+		p.MTBFYears, p.MTTRHours = 8, 8
+	case Ethernet:
+		p.CapexCents = 80_000
+		p.OpexCentsPerMonth = 2_000
+		p.MTBFYears, p.MTTRHours = 5, 8
+	case Cellular2G, Cellular3G, Cellular4G, Cellular5G:
+		p.CapexCents = 20_000 // modem
+		p.OpexCentsPerMonth = 3_000
+		p.MTBFYears, p.MTTRHours = 3, 4
+		// Spectrum sunsets measured from the simulation epoch; the
+		// earlier the generation, the sooner the axe (2G-style sunsets).
+		switch t {
+		case Cellular2G:
+			p.SunsetAfterYears = 10
+		case Cellular3G:
+			p.SunsetAfterYears = 15
+		case Cellular4G:
+			p.SunsetAfterYears = 25
+		case Cellular5G:
+			p.SunsetAfterYears = 35
+		}
+	case WiMAX:
+		p.CapexCents = 150_000
+		p.OpexCentsPerMonth = 1_000
+		p.MTBFYears, p.MTTRHours = 4, 12
+		if o == Commercial {
+			// Commercially-operated WiMAX was abandoned; owned WiMAX
+			// (Chanute) keeps running.
+			p.SunsetAfterYears = 12
+		}
+	default:
+		panic(fmt.Sprintf("backhaul: unknown tech %d", int(t)))
+	}
+	if o == Commercial {
+		// Institutional traffic is deprioritised: slower restoration,
+		// and recurring prices drift upward (captured as +50% opex).
+		p.MTTRHours *= 3
+		p.OpexCentsPerMonth = p.OpexCentsPerMonth * 3 / 2
+	}
+	return p
+}
+
+// interval is a half-open outage window [start, end).
+type interval struct{ start, end time.Duration }
+
+// Backhaul is one link instance with a pre-generated outage history over a
+// horizon, so availability queries are deterministic and O(log n).
+type Backhaul struct {
+	Profile  Profile
+	horizon  time.Duration
+	outages  []interval
+	sunsetAt time.Duration // 0 = never
+}
+
+// New generates a link's outage history over the horizon from the seeded
+// source. Outages arrive as a Poisson process at 1/MTBF per year and last
+// MTTR (exponentially distributed) hours each.
+func New(p Profile, horizon time.Duration, src *rng.Source) *Backhaul {
+	b := &Backhaul{Profile: p, horizon: horizon}
+	if p.SunsetAfterYears > 0 {
+		b.sunsetAt = sim.Years(p.SunsetAfterYears)
+	}
+	if p.MTBFYears <= 0 {
+		return b
+	}
+	t := time.Duration(0)
+	for {
+		gap := sim.Years(src.Exponential(p.MTBFYears))
+		t += gap
+		if t >= horizon {
+			break
+		}
+		repair := time.Duration(src.Exponential(p.MTTRHours) * float64(time.Hour))
+		b.outages = append(b.outages, interval{start: t, end: t + repair})
+		t += repair
+	}
+	return b
+}
+
+// SunsetAt returns when the link is permanently retired (0 = never).
+func (b *Backhaul) SunsetAt() time.Duration { return b.sunsetAt }
+
+// Stranded reports whether the technology has been sunset at time t.
+func (b *Backhaul) Stranded(t time.Duration) bool {
+	return b.sunsetAt > 0 && t >= b.sunsetAt
+}
+
+// AvailableAt reports whether the link carries traffic at time t: not
+// stranded and not inside an outage window.
+func (b *Backhaul) AvailableAt(t time.Duration) bool {
+	if b.Stranded(t) {
+		return false
+	}
+	// Binary search the sorted outage list for a window containing t.
+	i := sort.Search(len(b.outages), func(i int) bool { return b.outages[i].end > t })
+	return i >= len(b.outages) || b.outages[i].start > t
+}
+
+// Availability returns the fraction of [0, d) during which the link was
+// up (stranding counts as down for the remainder).
+func (b *Backhaul) Availability(d time.Duration) float64 {
+	if d <= 0 {
+		return 1
+	}
+	end := d
+	if b.sunsetAt > 0 && b.sunsetAt < end {
+		end = b.sunsetAt
+	}
+	down := d - end // stranded tail
+	for _, o := range b.outages {
+		if o.start >= end {
+			break
+		}
+		oe := o.end
+		if oe > end {
+			oe = end
+		}
+		down += oe - o.start
+	}
+	return 1 - float64(down)/float64(d)
+}
+
+// Outages returns the number of outage windows generated over the horizon.
+func (b *Backhaul) Outages() int { return len(b.outages) }
+
+// TCOCents returns the total cost of ownership of the link over the first
+// d of service: capex plus monthly opex. Opex stops accruing after a
+// sunset (there is nothing left to pay for).
+func (b *Backhaul) TCOCents(d time.Duration) int64 {
+	return b.Profile.TCOCents(d)
+}
+
+// TCOCents computes capex + opex over d, clipped at the sunset.
+func (p Profile) TCOCents(d time.Duration) int64 {
+	if p.SunsetAfterYears > 0 {
+		if s := sim.Years(p.SunsetAfterYears); d > s {
+			d = s
+		}
+	}
+	months := int64(sim.ToYears(d) * 12)
+	return p.CapexCents + months*p.OpexCentsPerMonth
+}

@@ -1,0 +1,230 @@
+package backhaul
+
+import (
+	"testing"
+	"time"
+
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+func TestTechNames(t *testing.T) {
+	if Fiber.String() != "fiber" || Cellular3G.String() != "cellular-3g" || WiMAX.String() != "wimax" {
+		t.Fatal("tech names wrong")
+	}
+	if Tech(99).String() != "tech(99)" {
+		t.Fatal("unknown tech fallback")
+	}
+}
+
+func TestCellularClass(t *testing.T) {
+	for _, tech := range []Tech{Cellular2G, Cellular3G, Cellular4G, Cellular5G} {
+		if !tech.Cellular() {
+			t.Fatalf("%v not cellular", tech)
+		}
+	}
+	for _, tech := range []Tech{Fiber, Ethernet, WiMAX} {
+		if tech.Cellular() {
+			t.Fatalf("%v cellular", tech)
+		}
+	}
+}
+
+func TestOwnershipNames(t *testing.T) {
+	if Municipal.String() != "municipal" || Commercial.String() != "commercial" || VerticalIntegrated.String() != "vertical" {
+		t.Fatal("ownership names wrong")
+	}
+	if Ownership(9).String() != "ownership(9)" {
+		t.Fatal("unknown ownership fallback")
+	}
+}
+
+func TestDefaultProfileShapes(t *testing.T) {
+	fiber := DefaultProfile(Fiber, Municipal)
+	cell := DefaultProfile(Cellular4G, Municipal)
+	// The cost-structure argument: fiber capex-heavy/opex-light,
+	// cellular the reverse.
+	if fiber.CapexCents <= cell.CapexCents {
+		t.Fatal("fiber capex must exceed cellular capex")
+	}
+	if fiber.OpexCentsPerMonth >= cell.OpexCentsPerMonth {
+		t.Fatal("fiber opex must undercut cellular opex")
+	}
+	// Only spectrum-borne techs sunset under municipal ownership.
+	if fiber.SunsetAfterYears != 0 {
+		t.Fatal("municipal fiber must never sunset")
+	}
+	if cell.SunsetAfterYears <= 0 {
+		t.Fatal("cellular must carry a sunset")
+	}
+}
+
+func TestSunsetOrdering(t *testing.T) {
+	prev := 0.0
+	for _, tech := range []Tech{Cellular2G, Cellular3G, Cellular4G, Cellular5G} {
+		s := DefaultProfile(tech, Municipal).SunsetAfterYears
+		if s <= prev {
+			t.Fatalf("%v sunset %v not after previous %v", tech, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestCommercialPenalty(t *testing.T) {
+	muni := DefaultProfile(Fiber, Municipal)
+	comm := DefaultProfile(Fiber, Commercial)
+	if comm.MTTRHours <= muni.MTTRHours {
+		t.Fatal("commercial restoration must be slower (deprioritised institutional service)")
+	}
+	if comm.OpexCentsPerMonth <= muni.OpexCentsPerMonth {
+		t.Fatal("commercial recurring cost must exceed municipal")
+	}
+}
+
+func TestCommercialWiMAXSunsets(t *testing.T) {
+	if DefaultProfile(WiMAX, Municipal).SunsetAfterYears != 0 {
+		t.Fatal("owned WiMAX (the Chanute model) must not sunset")
+	}
+	if DefaultProfile(WiMAX, Commercial).SunsetAfterYears == 0 {
+		t.Fatal("commercial WiMAX must sunset")
+	}
+}
+
+func TestOutageGeneration(t *testing.T) {
+	p := DefaultProfile(Fiber, Municipal)
+	b := New(p, sim.Years(50), rng.New(1))
+	// ~50/8 ≈ 6 outages expected; allow wide tolerance.
+	if b.Outages() < 1 || b.Outages() > 25 {
+		t.Fatalf("fiber 50y outages = %d", b.Outages())
+	}
+	// All windows inside the horizon start and ordered.
+	prevEnd := time.Duration(0)
+	for _, o := range b.outages {
+		if o.start < prevEnd {
+			t.Fatal("outage windows overlap or unordered")
+		}
+		if o.start >= sim.Years(50) {
+			t.Fatal("outage starts past horizon")
+		}
+		if o.end <= o.start {
+			t.Fatal("empty outage window")
+		}
+		prevEnd = o.end
+	}
+}
+
+func TestAvailableAt(t *testing.T) {
+	b := &Backhaul{
+		Profile: Profile{},
+		outages: []interval{
+			{start: 10 * time.Hour, end: 12 * time.Hour},
+			{start: 100 * time.Hour, end: 101 * time.Hour},
+		},
+	}
+	cases := []struct {
+		t    time.Duration
+		want bool
+	}{
+		{0, true},
+		{10*time.Hour - 1, true},
+		{10 * time.Hour, false},
+		{11 * time.Hour, false},
+		{12 * time.Hour, true},
+		{100*time.Hour + 30*time.Minute, false},
+		{200 * time.Hour, true},
+	}
+	for _, c := range cases {
+		if got := b.AvailableAt(c.t); got != c.want {
+			t.Fatalf("AvailableAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestStranding(t *testing.T) {
+	p := DefaultProfile(Cellular2G, Municipal)
+	b := New(p, sim.Years(50), rng.New(2))
+	sunset := b.SunsetAt()
+	if sunset != sim.Years(10) {
+		t.Fatalf("2G sunset at %v years", sim.ToYears(sunset))
+	}
+	if b.Stranded(sunset - 1) {
+		t.Fatal("stranded before sunset")
+	}
+	if !b.Stranded(sunset) || b.AvailableAt(sunset+sim.Years(1)) {
+		t.Fatal("not stranded after sunset")
+	}
+}
+
+func TestAvailabilityHighForFiber(t *testing.T) {
+	b := New(DefaultProfile(Fiber, Municipal), sim.Years(50), rng.New(3))
+	a := b.Availability(sim.Years(50))
+	// 8h MTTR every ~8 years: availability is five nines-ish; accept >99.9%.
+	if a < 0.999 || a > 1 {
+		t.Fatalf("fiber availability = %v", a)
+	}
+}
+
+func TestAvailabilityCollapsesAtSunset(t *testing.T) {
+	b := New(DefaultProfile(Cellular2G, Municipal), sim.Years(50), rng.New(4))
+	// Sunset at year 10 of 50: availability can be at most 20%.
+	if a := b.Availability(sim.Years(50)); a > 0.2001 {
+		t.Fatalf("2G 50-year availability = %v, want <= 0.2", a)
+	}
+	// But decent before the sunset.
+	if a := b.Availability(sim.Years(9)); a < 0.99 {
+		t.Fatalf("2G 9-year availability = %v", a)
+	}
+}
+
+func TestTCOCrossover(t *testing.T) {
+	fiber := DefaultProfile(Fiber, Municipal)
+	cell := DefaultProfile(Cellular4G, Commercial)
+	// Cellular wins early (low capex), fiber wins by 50 years.
+	if fiber.TCOCents(sim.Years(1)) <= cell.TCOCents(sim.Years(1)) {
+		t.Fatal("cellular must be cheaper in year 1")
+	}
+	// Compare at the 4G sunset (25y) where cellular opex has accrued.
+	if fiber.TCOCents(sim.Years(25)) >= cell.TCOCents(sim.Years(25)) {
+		t.Fatalf("fiber TCO %d must undercut cellular %d by year 25",
+			fiber.TCOCents(sim.Years(25)), cell.TCOCents(sim.Years(25)))
+	}
+}
+
+func TestTCOStopsAtSunset(t *testing.T) {
+	cell := DefaultProfile(Cellular2G, Municipal) // sunset year 10
+	at10 := cell.TCOCents(sim.Years(10))
+	at50 := cell.TCOCents(sim.Years(50))
+	if at10 != at50 {
+		t.Fatalf("opex accrued past sunset: %d vs %d", at10, at50)
+	}
+}
+
+func TestDeterministicOutages(t *testing.T) {
+	a := New(DefaultProfile(Fiber, Municipal), sim.Years(50), rng.New(7))
+	b := New(DefaultProfile(Fiber, Municipal), sim.Years(50), rng.New(7))
+	if a.Outages() != b.Outages() {
+		t.Fatal("same seed produced different outage histories")
+	}
+	for i := range a.outages {
+		if a.outages[i] != b.outages[i] {
+			t.Fatal("outage windows differ")
+		}
+	}
+}
+
+func TestUnknownTechPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown tech did not panic")
+		}
+	}()
+	DefaultProfile(Tech(42), Municipal)
+}
+
+func BenchmarkAvailabilityQuery(b *testing.B) {
+	bh := New(DefaultProfile(Ethernet, Commercial), sim.Years(50), rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = bh.AvailableAt(sim.Years(25))
+	}
+}

@@ -1,0 +1,242 @@
+// Package city models the municipal substrate: the asset inventory that
+// sensors attach to, the labor arithmetic of touching those assets, the
+// geography over which gateways must provide coverage, and the batched
+// infrastructure projects through which cities actually deploy and replace
+// equipment.
+//
+// The numbers anchoring the model are the paper's (§1): Los Angeles has
+// over 320,000 utility poles, 61,315 intersections, and 210,000
+// streetlights — "three common targets for monitoring sensors" — and at a
+// "very generous" 20 minutes of total replacement time per device,
+// recovering a dead citywide deployment costs nearly 200,000 person-hours.
+// The paper's counterpoint is that cities do not do anything en masse:
+// work happens in geographic batches ("one project repaves a block,
+// installs its traffic sensors, and replaces its streetlights"), which
+// this package models as zone projects on a rolling schedule.
+package city
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+// AssetType is a class of municipal asset that can host a sensor.
+type AssetType int
+
+// Asset types.
+const (
+	UtilityPole AssetType = iota
+	Intersection
+	Streetlight
+	Bridge
+	RoadSegment
+	WasteBin
+)
+
+var assetNames = map[AssetType]string{
+	UtilityPole:  "utility-pole",
+	Intersection: "intersection",
+	Streetlight:  "streetlight",
+	Bridge:       "bridge",
+	RoadSegment:  "road-segment",
+	WasteBin:     "waste-bin",
+}
+
+// String implements fmt.Stringer.
+func (a AssetType) String() string {
+	if n, ok := assetNames[a]; ok {
+		return n
+	}
+	return fmt.Sprintf("asset(%d)", int(a))
+}
+
+// Inventory counts assets by type.
+type Inventory map[AssetType]int
+
+// LosAngeles returns the paper's §1 inventory.
+func LosAngeles() Inventory {
+	return Inventory{
+		UtilityPole:  320000,
+		Intersection: 61315,
+		Streetlight:  210000,
+	}
+}
+
+// Total sums all assets.
+func (inv Inventory) Total() int {
+	n := 0
+	for _, c := range inv {
+		n += c
+	}
+	return n
+}
+
+// LaborModel converts device-touch counts into person-time.
+type LaborModel struct {
+	// MinutesPerDevice is total replacement time including travel; the
+	// paper calls 20 minutes "very generous".
+	MinutesPerDevice float64
+	// CrewSize and WorkdayHours convert person-hours to calendar time.
+	CrewSize     int
+	WorkdayHours float64
+	// CentsPerPersonHour is the fully-loaded labor rate.
+	CentsPerPersonHour int64
+}
+
+// DefaultLabor returns the paper-anchored labor model: 20 minutes per
+// device, 50 two-person crews, $75/hr loaded.
+func DefaultLabor() LaborModel {
+	return LaborModel{
+		MinutesPerDevice:   20,
+		CrewSize:           100, // 50 crews of 2
+		WorkdayHours:       8,
+		CentsPerPersonHour: 7500,
+	}
+}
+
+// PersonHours returns the person-hours to touch n devices.
+func (m LaborModel) PersonHours(n int) float64 {
+	return float64(n) * m.MinutesPerDevice / 60
+}
+
+// CalendarDays returns working days for the full crew pool to touch n
+// devices.
+func (m LaborModel) CalendarDays(n int) float64 {
+	if m.CrewSize <= 0 || m.WorkdayHours <= 0 {
+		panic("city: labor model without crew capacity")
+	}
+	return m.PersonHours(n) / (float64(m.CrewSize) * m.WorkdayHours)
+}
+
+// LaborCostCents returns the labor cost of touching n devices.
+func (m LaborModel) LaborCostCents(n int) int64 {
+	return int64(m.PersonHours(n) * float64(m.CentsPerPersonHour))
+}
+
+// Point is a planar city coordinate in meters.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance in meters.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Zone is one geographic batch: the unit in which projects touch assets.
+type Zone struct {
+	ID     int
+	Center Point
+	Assets int
+}
+
+// Grid lays out a city as zones on a square grid.
+type Grid struct {
+	// SideMeters is the city's square side length.
+	SideMeters float64
+	Zones      []Zone
+}
+
+// NewGrid splits totalAssets across zonesPerSide² zones, scattering zone
+// asset counts ±25% deterministically from the seed.
+func NewGrid(sideMeters float64, zonesPerSide, totalAssets int, src *rng.Source) *Grid {
+	if zonesPerSide <= 0 {
+		panic("city: non-positive grid size")
+	}
+	nz := zonesPerSide * zonesPerSide
+	g := &Grid{SideMeters: sideMeters}
+	cell := sideMeters / float64(zonesPerSide)
+
+	// Draw zone weights, then apportion the exact total across them so
+	// asset counts conserve regardless of the draws.
+	weights := make([]float64, nz)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = src.Uniform(0.75, 1.25)
+		sum += weights[i]
+	}
+	assigned := 0
+	for i := 0; i < nz; i++ {
+		row, col := i/zonesPerSide, i%zonesPerSide
+		var count int
+		if i == nz-1 {
+			count = totalAssets - assigned
+		} else {
+			count = int(float64(totalAssets) * weights[i] / sum)
+		}
+		assigned += count
+		g.Zones = append(g.Zones, Zone{
+			ID:     i,
+			Center: Point{X: (float64(col) + 0.5) * cell, Y: (float64(row) + 0.5) * cell},
+			Assets: count,
+		})
+	}
+	return g
+}
+
+// TotalAssets sums zone asset counts.
+func (g *Grid) TotalAssets() int {
+	n := 0
+	for _, z := range g.Zones {
+		n += z.Assets
+	}
+	return n
+}
+
+// ProjectPlan is a rolling schedule of zone projects: every interval, the
+// next zone's assets get touched (repaved, relit — and re-sensored).
+type ProjectPlan struct {
+	Interval time.Duration
+	Order    []int // zone IDs in visit order
+}
+
+// RollingPlan visits zones in ID order, spreading the full city across
+// cycleYears (the infrastructure renewal cycle: ~25 years for roads).
+func RollingPlan(g *Grid, cycleYears float64) ProjectPlan {
+	order := make([]int, len(g.Zones))
+	for i := range order {
+		order[i] = i
+	}
+	return ProjectPlan{
+		Interval: time.Duration(sim.Years(cycleYears).Nanoseconds() / int64(len(g.Zones))),
+		Order:    order,
+	}
+}
+
+// ZoneAt returns which zone (by plan order index) is under project at
+// time t, cycling indefinitely, plus the cycle number.
+func (p ProjectPlan) ZoneAt(t time.Duration) (orderIdx, cycle int) {
+	if p.Interval <= 0 || len(p.Order) == 0 {
+		panic("city: empty project plan")
+	}
+	steps := int(t / p.Interval)
+	return steps % len(p.Order), steps / len(p.Order)
+}
+
+// ReplacementReport compares the two deployment-recovery strategies of §1:
+// replacing everything at once versus riding the rolling project schedule.
+type ReplacementReport struct {
+	Devices          int
+	PersonHours      float64
+	EnMasseDays      float64 // all crews, dedicated blitz
+	RollingYears     float64 // piggybacking on the project cycle
+	LaborCostCents   int64
+	PerDeviceMinutes float64
+}
+
+// Replacement computes the report for touching every device in the
+// inventory under the labor model, with the rolling alternative spread
+// over the grid's project cycle.
+func Replacement(inv Inventory, m LaborModel, cycleYears float64) ReplacementReport {
+	n := inv.Total()
+	return ReplacementReport{
+		Devices:          n,
+		PersonHours:      m.PersonHours(n),
+		EnMasseDays:      m.CalendarDays(n),
+		RollingYears:     cycleYears,
+		LaborCostCents:   m.LaborCostCents(n),
+		PerDeviceMinutes: m.MinutesPerDevice,
+	}
+}

@@ -1,0 +1,140 @@
+package city
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+func TestLosAngelesInventory(t *testing.T) {
+	// The paper's §1 numbers, exactly.
+	inv := LosAngeles()
+	if inv[UtilityPole] != 320000 || inv[Intersection] != 61315 || inv[Streetlight] != 210000 {
+		t.Fatalf("inventory = %v", inv)
+	}
+	if inv.Total() != 591315 {
+		t.Fatalf("total = %d, want 591,315", inv.Total())
+	}
+}
+
+func TestPaperLaborClaim(t *testing.T) {
+	// §1: "at a very generous 20 minute total replacement time per
+	// device, recovering the deployment would require nearly 200,000
+	// person-hours of labor".
+	m := DefaultLabor()
+	hours := m.PersonHours(LosAngeles().Total())
+	if hours < 190000 || hours > 200000 {
+		t.Fatalf("LA replacement = %v person-hours, paper says nearly 200,000", hours)
+	}
+}
+
+func TestLaborCalendarAndCost(t *testing.T) {
+	m := LaborModel{MinutesPerDevice: 30, CrewSize: 10, WorkdayHours: 8, CentsPerPersonHour: 6000}
+	// 160 devices * 0.5h = 80 person-hours; 10 people * 8h = 80/day -> 1 day.
+	if got := m.CalendarDays(160); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("calendar days = %v", got)
+	}
+	if got := m.LaborCostCents(160); got != 80*6000 {
+		t.Fatalf("labor cost = %d", got)
+	}
+}
+
+func TestLaborPanicsWithoutCrew(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no-crew labor model did not panic")
+		}
+	}()
+	LaborModel{MinutesPerDevice: 20}.CalendarDays(10)
+}
+
+func TestAssetNames(t *testing.T) {
+	if UtilityPole.String() != "utility-pole" || WasteBin.String() != "waste-bin" {
+		t.Fatal("asset names wrong")
+	}
+	if AssetType(42).String() != "asset(42)" {
+		t.Fatal("unknown asset fallback")
+	}
+}
+
+func TestGridConservesAssets(t *testing.T) {
+	g := NewGrid(40000, 10, 591315, rng.New(1))
+	if len(g.Zones) != 100 {
+		t.Fatalf("zones = %d", len(g.Zones))
+	}
+	if g.TotalAssets() != 591315 {
+		t.Fatalf("grid total = %d, want exact conservation", g.TotalAssets())
+	}
+	// Zone centers inside the city square.
+	for _, z := range g.Zones {
+		if z.Center.X < 0 || z.Center.X > 40000 || z.Center.Y < 0 || z.Center.Y > 40000 {
+			t.Fatalf("zone %d center %v outside city", z.ID, z.Center)
+		}
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	a := NewGrid(40000, 8, 100000, rng.New(5))
+	b := NewGrid(40000, 8, 100000, rng.New(5))
+	for i := range a.Zones {
+		if a.Zones[i] != b.Zones[i] {
+			t.Fatal("grids differ under same seed")
+		}
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	if d := (Point{0, 0}).Dist(Point{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestRollingPlanCycles(t *testing.T) {
+	g := NewGrid(10000, 5, 1000, rng.New(2))
+	plan := RollingPlan(g, 25)
+	// Whole city within 25 years: interval = 25y/25 zones = 1y.
+	if got := sim.ToYears(plan.Interval); math.Abs(got-1) > 0.01 {
+		t.Fatalf("interval = %v years", got)
+	}
+	idx, cycle := plan.ZoneAt(0)
+	if idx != 0 || cycle != 0 {
+		t.Fatalf("start = zone %d cycle %d", idx, cycle)
+	}
+	idx, cycle = plan.ZoneAt(sim.Years(26))
+	if cycle != 1 || idx != 1 {
+		t.Fatalf("year 26 = zone %d cycle %d, want zone 1 of cycle 1", idx, cycle)
+	}
+}
+
+func TestZoneAtPanicsOnEmptyPlan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty plan did not panic")
+		}
+	}()
+	ProjectPlan{}.ZoneAt(time.Hour)
+}
+
+func TestReplacementReport(t *testing.T) {
+	rep := Replacement(LosAngeles(), DefaultLabor(), 25)
+	if rep.Devices != 591315 {
+		t.Fatalf("devices = %d", rep.Devices)
+	}
+	if rep.PersonHours < 190000 || rep.PersonHours > 200000 {
+		t.Fatalf("person-hours = %v", rep.PersonHours)
+	}
+	// 100 workers * 8h = 800 person-hours/day -> ~246 working days.
+	if rep.EnMasseDays < 200 || rep.EnMasseDays > 300 {
+		t.Fatalf("en-masse days = %v", rep.EnMasseDays)
+	}
+	if rep.RollingYears != 25 {
+		t.Fatalf("rolling years = %v", rep.RollingYears)
+	}
+	// ~197k hours at $75 ≈ $14.8M.
+	if rep.LaborCostCents < 1_400_000_000 || rep.LaborCostCents > 1_600_000_000 {
+		t.Fatalf("labor cost = %d cents", rep.LaborCostCents)
+	}
+}

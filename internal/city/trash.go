@@ -1,0 +1,168 @@
+package city
+
+import (
+	"centuryscale/internal/rng"
+)
+
+// The Seoul case study (§2): sensor-driven waste collection "reduced
+// overflow of trash bins in Seoul by 66% and cost of waste collection by
+// 83%". The mechanism is simple and reproducible: bins fill at uneven,
+// location-dependent rates, so any fixed schedule simultaneously
+// over-serves slow bins (wasted trips) and under-serves fast ones
+// (overflow). Fill-level telemetry replaces the schedule with a
+// threshold policy: collect a bin exactly when it reports nearly full.
+
+// BinConfig parameterises a bin population.
+type BinConfig struct {
+	Bins int
+	// MeanFillDays is the population-average time for a bin to fill.
+	MeanFillDays float64
+	// FillSpreadSigma is the log-normal sigma of per-bin fill rates;
+	// the heterogeneity is what kills fixed schedules.
+	FillSpreadSigma float64
+	// TripCents is the cost of collecting one bin once.
+	TripCents int64
+}
+
+// DefaultBins returns a plausible district: 1,000 bins, 4-day mean fill,
+// wide (sigma 0.7) rate spread, $12 per collection visit.
+func DefaultBins() BinConfig {
+	return BinConfig{Bins: 1000, MeanFillDays: 4, FillSpreadSigma: 0.7, TripCents: 1200}
+}
+
+// CollectionPolicy selects how bins get collected.
+type CollectionPolicy int
+
+// Policies.
+const (
+	// FixedSchedule collects every bin every FixedEveryDays, blind.
+	FixedSchedule CollectionPolicy = iota
+	// SensorDriven collects a bin when its reported fill crosses the
+	// threshold (plus a dispatch latency).
+	SensorDriven
+)
+
+// TrashParams configures one policy run.
+type TrashParams struct {
+	Policy CollectionPolicy
+	// FixedEveryDays is the blind schedule period (FixedSchedule only).
+	FixedEveryDays float64
+	// Threshold is the fill fraction that triggers dispatch
+	// (SensorDriven only), e.g. 0.85.
+	Threshold float64
+	// DispatchHours is the sensor-to-truck latency (SensorDriven only).
+	DispatchHours float64
+	// CompactionFactor is the capacity multiplier of the smart bin
+	// (Seoul's deployment used solar compacting bins holding 5-8x a
+	// plain bin's volume — that compaction, plus skipping not-yet-full
+	// bins, is where the 83% cost cut comes from). 0 or 1 = no compactor.
+	CompactionFactor float64
+}
+
+// TrashResult summarises a run.
+type TrashResult struct {
+	Days            float64
+	Bins            int
+	Collections     int64
+	OverflowEvents  int64 // a bin reaching 100% before collection
+	OverflowBinDays float64
+	CostCents       int64
+}
+
+// OverflowRate returns overflow events per bin per year.
+func (r TrashResult) OverflowRate() float64 {
+	years := r.Days / 365.25
+	if years <= 0 {
+		return 0
+	}
+	return float64(r.OverflowEvents) / float64(r.Bins) / years
+}
+
+// RunTrash simulates the bin population for the given number of days under
+// a policy. Per-bin fill rates are drawn log-normally around the
+// configured mean; each bin then fills linearly with small day-to-day
+// noise, overflowing when it hits capacity before a collection empties it.
+func RunTrash(cfg BinConfig, p TrashParams, days int, src *rng.Source) TrashResult {
+	if cfg.Bins <= 0 || days <= 0 {
+		panic("city: empty trash run")
+	}
+	res := TrashResult{Days: float64(days), Bins: cfg.Bins}
+
+	// Per-bin daily fill fraction: mean 1/MeanFillDays, log-normal spread.
+	rates := make([]float64, cfg.Bins)
+	rateSrc := src.Split("rates")
+	for i := range rates {
+		// LogNormal(mu, sigma) has mean exp(mu + sigma^2/2): pick mu so
+		// the population mean matches the config.
+		mu := -cfg.FillSpreadSigma * cfg.FillSpreadSigma / 2
+		rates[i] = rateSrc.LogNormal(mu, cfg.FillSpreadSigma) / cfg.MeanFillDays
+	}
+
+	fill := make([]float64, cfg.Bins)
+	overflowed := make([]bool, cfg.Bins)
+	noise := src.Split("noise")
+
+	dispatchDays := p.DispatchHours / 24
+	capacity := p.CompactionFactor
+	if capacity <= 0 {
+		capacity = 1
+	}
+
+	for day := 1; day <= days; day++ {
+		for i := range fill {
+			rate := rates[i] * noise.Uniform(0.7, 1.3)
+			fill[i] += rate
+			if fill[i] >= capacity {
+				if !overflowed[i] {
+					res.OverflowEvents++
+					overflowed[i] = true
+				}
+				res.OverflowBinDays++
+				fill[i] = capacity
+			}
+			switch p.Policy {
+			case SensorDriven:
+				// Collected when the (end-of-day) level crosses the
+				// threshold; dispatch latency adds extra fill exposure.
+				if fill[i] >= p.Threshold*capacity {
+					exposure := rate * dispatchDays
+					if fill[i]+exposure >= capacity && !overflowed[i] {
+						res.OverflowEvents++
+						res.OverflowBinDays++
+					}
+					fill[i] = 0
+					overflowed[i] = false
+					res.Collections++
+				}
+			case FixedSchedule:
+				if day%int(p.FixedEveryDays) == 0 {
+					fill[i] = 0
+					overflowed[i] = false
+					res.Collections++
+				}
+			}
+		}
+	}
+	res.CostCents = res.Collections * cfg.TripCents
+	return res
+}
+
+// SeoulComparison runs both policies on the same bin population and
+// returns (fixed, sensorDriven). The fixed baseline collects every
+// MeanFillDays (a schedule designed around the average without
+// telemetry, which over-serves slow bins and overflows the fast tail);
+// the smart deployment pairs fill sensing with a 5x compacting bin, the
+// Seoul configuration.
+func SeoulComparison(cfg BinConfig, days int, seed uint64) (fixed, sensor TrashResult) {
+	fixed = RunTrash(cfg, TrashParams{
+		Policy:         FixedSchedule,
+		FixedEveryDays: cfg.MeanFillDays,
+	}, days, rng.New(seed))
+	sensor = RunTrash(cfg, TrashParams{
+		Policy:           SensorDriven,
+		Threshold:        0.85,
+		DispatchHours:    12,
+		CompactionFactor: 5,
+	}, days, rng.New(seed))
+	return fixed, sensor
+}

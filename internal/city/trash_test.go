@@ -1,0 +1,94 @@
+package city
+
+import (
+	"testing"
+
+	"centuryscale/internal/rng"
+)
+
+func TestSeoulShape(t *testing.T) {
+	// §2: sensor-driven collection reduced overflow by 66% and cost by
+	// 83% in Seoul. The shape to reproduce: both drop by large factors.
+	fixed, sensor := SeoulComparison(DefaultBins(), 365, 42)
+
+	if fixed.OverflowEvents == 0 {
+		t.Fatal("fixed schedule never overflowed; the baseline is implausibly good")
+	}
+	overflowCut := 1 - float64(sensor.OverflowEvents)/float64(fixed.OverflowEvents)
+	if overflowCut < 0.6 {
+		t.Fatalf("overflow reduction = %.0f%%, paper reports 66%%", overflowCut*100)
+	}
+	costCut := 1 - float64(sensor.CostCents)/float64(fixed.CostCents)
+	if costCut < 0.7 || costCut > 0.95 {
+		t.Fatalf("cost reduction = %.0f%%, paper reports 83%%", costCut*100)
+	}
+}
+
+func TestFixedScheduleCollectsEveryone(t *testing.T) {
+	cfg := BinConfig{Bins: 100, MeanFillDays: 4, FillSpreadSigma: 0.5, TripCents: 1000}
+	res := RunTrash(cfg, TrashParams{Policy: FixedSchedule, FixedEveryDays: 2}, 10, rng.New(1))
+	// 10 days / 2-day schedule = 5 rounds of 100 bins.
+	if res.Collections != 500 {
+		t.Fatalf("collections = %d, want 500", res.Collections)
+	}
+	if res.CostCents != 500*1000 {
+		t.Fatalf("cost = %d", res.CostCents)
+	}
+}
+
+func TestSensorDrivenSkipsSlowBins(t *testing.T) {
+	cfg := BinConfig{Bins: 200, MeanFillDays: 10, FillSpreadSigma: 0.3, TripCents: 1000}
+	res := RunTrash(cfg, TrashParams{Policy: SensorDriven, Threshold: 0.9}, 30, rng.New(2))
+	// Bins fill in ~10 days: about 3 collections each over 30 days.
+	perBin := float64(res.Collections) / 200
+	if perBin < 2 || perBin > 4.5 {
+		t.Fatalf("collections per bin = %v, want ~3", perBin)
+	}
+}
+
+func TestCompactionReducesCollections(t *testing.T) {
+	cfg := DefaultBins()
+	plain := RunTrash(cfg, TrashParams{Policy: SensorDriven, Threshold: 0.85}, 365, rng.New(3))
+	compacting := RunTrash(cfg, TrashParams{Policy: SensorDriven, Threshold: 0.85, CompactionFactor: 5}, 365, rng.New(3))
+	if compacting.Collections*3 >= plain.Collections {
+		t.Fatalf("5x compaction should cut collections by >3x: %d vs %d",
+			compacting.Collections, plain.Collections)
+	}
+}
+
+func TestOverflowAccounting(t *testing.T) {
+	// A bin that fills in one day but is collected every 4 overflows.
+	cfg := BinConfig{Bins: 10, MeanFillDays: 1, FillSpreadSigma: 0.01, TripCents: 100}
+	res := RunTrash(cfg, TrashParams{Policy: FixedSchedule, FixedEveryDays: 4}, 40, rng.New(4))
+	if res.OverflowEvents == 0 || res.OverflowBinDays == 0 {
+		t.Fatal("fast bins on a slow schedule must overflow")
+	}
+	if res.OverflowRate() <= 0 {
+		t.Fatal("overflow rate not positive")
+	}
+}
+
+func TestRunTrashPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty run did not panic")
+		}
+	}()
+	RunTrash(BinConfig{}, TrashParams{}, 0, rng.New(1))
+}
+
+func TestTrashDeterministic(t *testing.T) {
+	a := RunTrash(DefaultBins(), TrashParams{Policy: SensorDriven, Threshold: 0.85}, 100, rng.New(9))
+	b := RunTrash(DefaultBins(), TrashParams{Policy: SensorDriven, Threshold: 0.85}, 100, rng.New(9))
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkSeoulYear(b *testing.B) {
+	cfg := DefaultBins()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = SeoulComparison(cfg, 365, uint64(i))
+	}
+}

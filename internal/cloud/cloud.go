@@ -1,0 +1,255 @@
+// Package cloud implements the data endpoint: the backend that receives,
+// authenticates, deduplicates, stores, and publishes device telemetry —
+// the centurysensors.com piece of the paper's 50-year experiment (§4.4-4.5).
+//
+// The paper's end-to-end uptime metric is deliberately modest: "some data
+// arrives at some interval of time up to once a week that is publicly
+// accessible." The Store tracks exactly that — per-week delivery — along
+// with per-device history. The endpoint also carries the one piece of
+// scheduled institutional maintenance the paper calls out as certain: the
+// DNS domain lease, renewable at most every 10 years, whose lapse takes
+// the public page (and thus the metric) down no matter how healthy the
+// sensors are.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/sim"
+	"centuryscale/internal/telemetry"
+)
+
+// KeyResolver maps a device address to its verification key. Returning
+// ok=false rejects the device as unknown.
+type KeyResolver func(dev lpwan.EUI64) (telemetry.Key, bool)
+
+// StaticKeys builds a resolver from a fleet master secret: every derived
+// device key verifies (the manufacturer-provisioning model).
+func StaticKeys(master []byte) KeyResolver {
+	return func(dev lpwan.EUI64) (telemetry.Key, bool) {
+		return telemetry.DeriveKey(master, dev), true
+	}
+}
+
+// Reading is one accepted packet with its arrival time (virtual time in
+// simulations, process-relative wall time in the daemons).
+type Reading struct {
+	At     time.Duration
+	Packet telemetry.Packet
+}
+
+// IngestStats counts the endpoint's traffic disposition.
+type IngestStats struct {
+	Accepted     uint64
+	Duplicates   uint64 // same packet via a second gateway, or replay
+	BadSignature uint64
+	Malformed    uint64
+	UnknownDev   uint64
+	LeaseLapsed  uint64 // arrived while the public endpoint was dark
+	Quarantined  uint64 // from devices whose trust has been revoked
+}
+
+// Store is the endpoint state: authenticated time-series per device plus
+// the weekly-uptime ledger. Safe for concurrent use.
+type Store struct {
+	keys  KeyResolver
+	guard *telemetry.ReplayGuard
+
+	mu       sync.Mutex
+	stats    IngestStats
+	readings map[lpwan.EUI64][]Reading
+	weeks    map[int64]bool // week index -> data arrived
+
+	// lapses are [from,to) windows when the endpoint was unreachable
+	// (e.g. a lapsed domain lease).
+	lapses []window
+
+	// quarantined maps devices to the virtual time their trust was
+	// revoked; see quarantine.go.
+	quarantined map[lpwan.EUI64]time.Duration
+}
+
+type window struct{ from, to time.Duration }
+
+// NewStore returns an endpoint store using the resolver and a replay
+// window tolerant of dual-gateway delivery races.
+func NewStore(keys KeyResolver) *Store {
+	if keys == nil {
+		panic("cloud: nil key resolver")
+	}
+	return &Store{
+		keys:     keys,
+		guard:    telemetry.NewReplayGuard(16),
+		readings: make(map[lpwan.EUI64][]Reading),
+		weeks:    make(map[int64]bool),
+	}
+}
+
+// AddLapse records a public-unreachability window (lease lapse, hosting
+// failure). Packets arriving during a lapse are dropped: nobody was
+// listening at the published name.
+func (s *Store) AddLapse(from, to time.Duration) {
+	if to <= from {
+		panic("cloud: empty lapse window")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lapses = append(s.lapses, window{from, to})
+}
+
+func (s *Store) inLapseLocked(t time.Duration) bool {
+	for _, w := range s.lapses {
+		if t >= w.from && t < w.to {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors from Ingest.
+var (
+	ErrUnknownDevice = errors.New("cloud: unknown device")
+	ErrLeaseLapsed   = errors.New("cloud: endpoint unreachable (lease lapsed)")
+)
+
+// Ingest verifies and stores one raw packet arriving at time at.
+func (s *Store) Ingest(at time.Duration, wire []byte) error {
+	p, err := telemetry.Parse(wire)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Malformed++
+		s.mu.Unlock()
+		return err
+	}
+	key, ok := s.keys(p.Device)
+	if !ok {
+		s.mu.Lock()
+		s.stats.UnknownDev++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrUnknownDevice, p.Device)
+	}
+	if _, err := telemetry.Verify(wire, key); err != nil {
+		s.mu.Lock()
+		s.stats.BadSignature++
+		s.mu.Unlock()
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inLapseLocked(at) {
+		s.stats.LeaseLapsed++
+		return ErrLeaseLapsed
+	}
+	if s.quarantinedLocked(p.Device, at) {
+		s.stats.Quarantined++
+		return fmt.Errorf("%w: %v", ErrQuarantined, p.Device)
+	}
+	if err := s.guard.Admit(p); err != nil {
+		s.stats.Duplicates++
+		return err
+	}
+	s.stats.Accepted++
+	s.readings[p.Device] = append(s.readings[p.Device], Reading{At: at, Packet: p})
+	s.weeks[int64(at/sim.Week)] = true
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() IngestStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Devices returns the addresses with stored data, sorted.
+func (s *Store) Devices() []lpwan.EUI64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]lpwan.EUI64, 0, len(s.readings))
+	for d := range s.readings {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Uint64() < out[j].Uint64() })
+	return out
+}
+
+// History returns a copy of one device's readings in arrival order.
+func (s *Store) History(dev lpwan.EUI64) []Reading {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Reading(nil), s.readings[dev]...)
+}
+
+// Count returns the total accepted readings.
+func (s *Store) Count() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.Accepted
+}
+
+// WeeklyUptime returns the paper's end-to-end metric over [0, horizon):
+// the fraction of weeks in which at least one packet was accepted.
+func (s *Store) WeeklyUptime(horizon time.Duration) float64 {
+	total := int64(horizon / sim.Week)
+	if total <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up := int64(0)
+	for w := range s.weeks {
+		if w < total {
+			up++
+		}
+	}
+	return float64(up) / float64(total)
+}
+
+// LongestGap returns the longest interval between consecutive accepted
+// packets (across all devices) within [0, horizon), including the gap from
+// the last packet to the horizon. It answers "how close did the
+// experiment come to missing its weekly deadline".
+func (s *Store) LongestGap(horizon time.Duration) time.Duration {
+	s.mu.Lock()
+	var times []time.Duration
+	for _, rs := range s.readings {
+		for _, r := range rs {
+			times = append(times, r.At)
+		}
+	}
+	s.mu.Unlock()
+	if len(times) == 0 {
+		return horizon
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	gap := times[0]
+	for i := 1; i < len(times); i++ {
+		if d := times[i] - times[i-1]; d > gap {
+			gap = d
+		}
+	}
+	if d := horizon - times[len(times)-1]; d > gap {
+		gap = d
+	}
+	return gap
+}
+
+// DomainLeaseSchedule returns the renewal deadlines the operators must
+// meet over the horizon given the maximum lease term (10 years per ICANN,
+// §4.5): one renewal at every multiple of the term.
+func DomainLeaseSchedule(horizon time.Duration, maxTerm time.Duration) []time.Duration {
+	if maxTerm <= 0 {
+		panic("cloud: non-positive lease term")
+	}
+	var out []time.Duration
+	for t := maxTerm; t < horizon; t += maxTerm {
+		out = append(out, t)
+	}
+	return out
+}

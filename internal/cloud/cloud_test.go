@@ -1,0 +1,187 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/sim"
+	"centuryscale/internal/telemetry"
+)
+
+var master = []byte("fleet-master-secret")
+
+func sealed(t *testing.T, dev uint64, seq uint32, value float32) []byte {
+	t.Helper()
+	id := lpwan.EUIFromUint64(dev)
+	wire, err := telemetry.Packet{
+		Device: id, Seq: seq, Sensor: telemetry.SensorStrain, Value: value,
+	}.Seal(telemetry.DeriveKey(master, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestIngestAccepts(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	if err := s.Ingest(time.Hour, sealed(t, 1, 1, 20.5)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	h := s.History(lpwan.EUIFromUint64(1))
+	if len(h) != 1 || h[0].Packet.Value != 20.5 || h[0].At != time.Hour {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestIngestRejectsBadSignature(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	wire := sealed(t, 1, 1, 1)
+	wire[15] ^= 0xff
+	if err := s.Ingest(0, wire); err == nil {
+		t.Fatal("tampered packet accepted")
+	}
+	if st := s.Stats(); st.BadSignature != 1 || st.Accepted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIngestRejectsMalformed(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	if err := s.Ingest(0, []byte("not a packet")); err == nil {
+		t.Fatal("malformed accepted")
+	}
+	if st := s.Stats(); st.Malformed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIngestRejectsUnknownDevice(t *testing.T) {
+	known := lpwan.EUIFromUint64(7)
+	resolver := func(dev lpwan.EUI64) (telemetry.Key, bool) {
+		if dev == known {
+			return telemetry.DeriveKey(master, dev), true
+		}
+		return nil, false
+	}
+	s := NewStore(resolver)
+	if err := s.Ingest(0, sealed(t, 8, 1, 1)); !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("unknown device err = %v", err)
+	}
+	if err := s.Ingest(0, sealed(t, 7, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateViaSecondGateway(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	wire := sealed(t, 1, 5, 1)
+	if err := s.Ingest(time.Hour, wire); err != nil {
+		t.Fatal(err)
+	}
+	// The same packet relayed by another gateway minutes later.
+	if err := s.Ingest(time.Hour+3*time.Minute, wire); err == nil {
+		t.Fatal("duplicate accepted twice")
+	}
+	st := s.Stats()
+	if st.Accepted != 1 || st.Duplicates != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOutOfOrderWithinWindow(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	if err := s.Ingest(0, sealed(t, 1, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Seq 9 arrives late via the slower gateway: within window, accept.
+	if err := s.Ingest(time.Minute, sealed(t, 1, 9, 1)); err != nil {
+		t.Fatalf("in-window out-of-order rejected: %v", err)
+	}
+}
+
+func TestWeeklyUptime(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	// Packets in weeks 0, 1, 3 of a 4-week horizon: 3/4 uptime.
+	for i, at := range []time.Duration{sim.Day, sim.Week + sim.Day, 3*sim.Week + sim.Day} {
+		if err := s.Ingest(at, sealed(t, 1, uint32(i+1), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.WeeklyUptime(4 * sim.Week); got != 0.75 {
+		t.Fatalf("weekly uptime = %v, want 0.75", got)
+	}
+}
+
+func TestWeeklyUptimeEmptyHorizon(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	if got := s.WeeklyUptime(time.Hour); got != 0 {
+		t.Fatalf("uptime over sub-week horizon = %v", got)
+	}
+}
+
+func TestLongestGap(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	_ = s.Ingest(sim.Day, sealed(t, 1, 1, 1))
+	_ = s.Ingest(5*sim.Day, sealed(t, 1, 2, 1))
+	// Gaps: 1d (start), 4d (between), 5d (to the 10-day horizon).
+	if got := s.LongestGap(10 * sim.Day); got != 5*sim.Day {
+		t.Fatalf("longest gap = %v", got)
+	}
+	empty := NewStore(StaticKeys(master))
+	if got := empty.LongestGap(sim.Week); got != sim.Week {
+		t.Fatalf("empty-store gap = %v", got)
+	}
+}
+
+func TestLeaseLapseDropsData(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	s.AddLapse(sim.Week, 2*sim.Week)
+	if err := s.Ingest(sim.Week+sim.Day, sealed(t, 1, 1, 1)); !errors.Is(err, ErrLeaseLapsed) {
+		t.Fatalf("lapse err = %v", err)
+	}
+	if err := s.Ingest(2*sim.Week, sealed(t, 1, 2, 1)); err != nil {
+		t.Fatalf("post-lapse packet rejected: %v", err)
+	}
+	st := s.Stats()
+	if st.LeaseLapsed != 1 || st.Accepted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDevicesSorted(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	for i, dev := range []uint64{9, 3, 7} {
+		if err := s.Ingest(0, sealed(t, dev, uint32(i+1), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	devs := s.Devices()
+	if len(devs) != 3 || devs[0].Uint64() != 3 || devs[2].Uint64() != 9 {
+		t.Fatalf("devices = %v", devs)
+	}
+}
+
+func TestDomainLeaseSchedule(t *testing.T) {
+	// 50 years at a 10-year max term: renewals at 10, 20, 30, 40.
+	sched := DomainLeaseSchedule(sim.Years(50), sim.Years(10))
+	if len(sched) != 4 {
+		t.Fatalf("schedule = %v", sched)
+	}
+	if sched[0] != sim.Years(10) || sched[3] != sim.Years(40) {
+		t.Fatalf("schedule = %v", sched)
+	}
+}
+
+func TestDomainLeasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero lease term did not panic")
+		}
+	}()
+	DomainLeaseSchedule(sim.Years(50), 0)
+}

@@ -1,0 +1,172 @@
+package cloud
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"centuryscale/internal/lpwan"
+)
+
+// Server exposes a Store over HTTP: the real, publicly-reachable face of
+// the experiment. Routes:
+//
+//	POST /ingest   raw 24-byte telemetry packet in the body
+//	GET  /status   JSON summary (stats, uptime, device count)
+//	GET  /devices  JSON list of device addresses
+//	GET  /history?device=aa:bb:...  JSON readings for one device
+//	GET  /         human-readable status page (the "living diary")
+//
+// Arrival times are wall-clock durations since the server's start, so the
+// same Store code serves both simulations and the long-running daemon.
+type Server struct {
+	store *Store
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a store; the weekly-uptime clock starts now.
+func NewServer(store *Store, now time.Time) *Server {
+	s := &Server{store: store, start: now, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /status", s.handleStatus)
+	s.mux.HandleFunc("GET /devices", s.handleDevices)
+	s.mux.HandleFunc("GET /history", s.handleHistory)
+	s.mux.HandleFunc("GET /export", s.handleExport)
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) now() time.Duration { return time.Since(s.start) }
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1024))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Ingest(s.now(), body); err != nil {
+		// Duplicates are normal (dual-gateway delivery); report them
+		// as accepted-but-known so gateways don't retry.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+type statusPayload struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Devices       int         `json:"devices"`
+	WeeklyUptime  float64     `json:"weekly_uptime"`
+	Stats         IngestStats `json:"stats"`
+}
+
+func (s *Server) status() statusPayload {
+	return statusPayload{
+		UptimeSeconds: s.now().Seconds(),
+		Devices:       len(s.store.Devices()),
+		WeeklyUptime:  s.store.WeeklyUptime(s.now()),
+		Stats:         s.store.Stats(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing useful left to do.
+		return
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.status())
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, _ *http.Request) {
+	devs := s.store.Devices()
+	out := make([]string, len(devs))
+	for i, d := range devs {
+		out[i] = d.String()
+	}
+	writeJSON(w, out)
+}
+
+type readingPayload struct {
+	AtSeconds float64 `json:"at_seconds"`
+	Seq       uint32  `json:"seq"`
+	Sensor    string  `json:"sensor"`
+	Value     float32 `json:"value"`
+	Uptime    uint32  `json:"device_uptime_seconds"`
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	devStr := r.URL.Query().Get("device")
+	dev, err := parseDevice(devStr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rs := s.store.History(dev)
+	out := make([]readingPayload, len(rs))
+	for i, rd := range rs {
+		out[i] = readingPayload{
+			AtSeconds: rd.At.Seconds(),
+			Seq:       rd.Packet.Seq,
+			Sensor:    rd.Packet.Sensor.String(),
+			Value:     rd.Packet.Value,
+			Uptime:    rd.Packet.UptimeSeconds,
+		}
+	}
+	writeJSON(w, out)
+}
+
+// handleExport streams one device's full history as CSV — the archival
+// format a 2070s researcher will still be able to read (§4.4's data
+// retention concern).
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	dev, err := parseDevice(r.URL.Query().Get("device"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	cw := csv.NewWriter(w)
+	_ = cw.Write([]string{"at_seconds", "seq", "sensor", "value", "device_uptime_seconds"})
+	for _, rd := range s.store.History(dev) {
+		_ = cw.Write([]string{
+			strconv.FormatFloat(rd.At.Seconds(), 'f', 3, 64),
+			strconv.FormatUint(uint64(rd.Packet.Seq), 10),
+			rd.Packet.Sensor.String(),
+			strconv.FormatFloat(float64(rd.Packet.Value), 'g', -1, 32),
+			strconv.FormatUint(uint64(rd.Packet.UptimeSeconds), 10),
+		})
+	}
+	cw.Flush()
+}
+
+func parseDevice(s string) (lpwan.EUI64, error) {
+	if s == "" {
+		return lpwan.EUI64{}, fmt.Errorf("cloud: missing device parameter")
+	}
+	return lpwan.ParseEUI64(s)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	st := s.status()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "century sensors — living experiment status\n")
+	fmt.Fprintf(w, "endpoint uptime: %.0f s\n", st.UptimeSeconds)
+	fmt.Fprintf(w, "devices reporting: %d\n", st.Devices)
+	fmt.Fprintf(w, "weekly uptime: %.3f\n", st.WeeklyUptime)
+	fmt.Fprintf(w, "packets accepted: %d  duplicates: %d  bad-signature: %d  malformed: %d\n",
+		st.Stats.Accepted, st.Stats.Duplicates, st.Stats.BadSignature, st.Stats.Malformed)
+}

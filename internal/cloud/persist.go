@@ -1,0 +1,179 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/telemetry"
+)
+
+// Persistence: a data endpoint that must outlive hardware, hosting
+// migrations, and the operators themselves (§4.4-4.5: "we will have to
+// establish and maintain a reliable endpoint for data collection as well
+// as potential data retention and resiliency") needs its state to be a
+// plain, portable artifact. The snapshot format is versioned JSON —
+// deliberately boring, so that whoever inherits the experiment in 2060
+// can read it with whatever tools exist then.
+
+// snapshotVersion identifies the on-disk format.
+const snapshotVersion = 1
+
+type snapshotReading struct {
+	AtNanos int64   `json:"at"`
+	Seq     uint32  `json:"seq"`
+	Sensor  uint8   `json:"sensor"`
+	Value   float32 `json:"value"`
+	Uptime  uint32  `json:"uptime"`
+}
+
+type snapshotFile struct {
+	Version  int                          `json:"version"`
+	Stats    IngestStats                  `json:"stats"`
+	Readings map[string][]snapshotReading `json:"readings"`
+	Weeks    []int64                      `json:"weeks"`
+	Lapses   [][2]int64                   `json:"lapses"`
+}
+
+// WriteSnapshot serialises the store's full state.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.Lock()
+	snap := snapshotFile{
+		Version:  snapshotVersion,
+		Stats:    s.stats,
+		Readings: make(map[string][]snapshotReading, len(s.readings)),
+	}
+	for dev, rs := range s.readings {
+		out := make([]snapshotReading, len(rs))
+		for i, r := range rs {
+			out[i] = snapshotReading{
+				AtNanos: int64(r.At),
+				Seq:     r.Packet.Seq,
+				Sensor:  uint8(r.Packet.Sensor),
+				Value:   r.Packet.Value,
+				Uptime:  r.Packet.UptimeSeconds,
+			}
+		}
+		snap.Readings[dev.String()] = out
+	}
+	for w := range s.weeks {
+		snap.Weeks = append(snap.Weeks, w)
+	}
+	for _, l := range s.lapses {
+		snap.Lapses = append(snap.Lapses, [2]int64{int64(l.from), int64(l.to)})
+	}
+	s.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("cloud: snapshot encode: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot replaces the store's state with a snapshot's. The replay
+// guard is rebuilt from the restored readings so sequence protection
+// survives the restart.
+func (s *Store) ReadSnapshot(r io.Reader) error {
+	var snap snapshotFile
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("cloud: snapshot decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("cloud: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	}
+
+	readings := make(map[lpwan.EUI64][]Reading, len(snap.Readings))
+	guard := telemetry.NewReplayGuard(16)
+	for devStr, rs := range snap.Readings {
+		dev, err := lpwan.ParseEUI64(devStr)
+		if err != nil {
+			return fmt.Errorf("cloud: snapshot device %q: %w", devStr, err)
+		}
+		out := make([]Reading, len(rs))
+		for i, sr := range rs {
+			p := telemetry.Packet{
+				Device:        dev,
+				Seq:           sr.Seq,
+				Sensor:        telemetry.SensorType(sr.Sensor),
+				Value:         sr.Value,
+				UptimeSeconds: sr.Uptime,
+			}
+			out[i] = Reading{At: time.Duration(sr.AtNanos), Packet: p}
+			// Rebuild the guard's high-water marks; duplicates within
+			// the snapshot itself were already filtered at ingest.
+			_ = guard.Admit(p)
+		}
+		readings[dev] = out
+	}
+
+	weeks := make(map[int64]bool, len(snap.Weeks))
+	for _, w := range snap.Weeks {
+		weeks[w] = true
+	}
+	var lapses []window
+	for _, l := range snap.Lapses {
+		lapses = append(lapses, window{from: time.Duration(l[0]), to: time.Duration(l[1])})
+	}
+
+	s.mu.Lock()
+	s.stats = snap.Stats
+	s.readings = readings
+	s.weeks = weeks
+	s.lapses = lapses
+	s.guard = guard
+	s.mu.Unlock()
+	return nil
+}
+
+// SaveFile writes a snapshot atomically: to a temp file in the same
+// directory, then rename. A crash mid-save leaves the previous snapshot
+// intact.
+func (s *Store) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("cloud: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cloud: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cloud: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cloud: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores the store from a snapshot file. A missing file is
+// not an error: the endpoint simply starts fresh (first boot).
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cloud: snapshot open: %w", err)
+	}
+	defer f.Close()
+	return s.ReadSnapshot(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

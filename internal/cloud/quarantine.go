@@ -1,0 +1,68 @@
+package cloud
+
+import (
+	"fmt"
+	"time"
+
+	"centuryscale/internal/lpwan"
+)
+
+// Quarantine: transmit-only devices have "limited longitudinal trust"
+// (§4.1) — their keys can never rotate, so a device whose key must be
+// presumed leaked cannot be fixed, only distrusted. Gateways carry the
+// blocklist for traffic suppression (§3.2); the endpoint carries the
+// *data* quarantine: new packets from a quarantined device are refused,
+// and its historical readings can be excluded from analyses without
+// being destroyed (the diary keeps everything; analyses choose trust).
+
+// ErrQuarantined is returned by Ingest for quarantined devices.
+var ErrQuarantined = fmt.Errorf("cloud: device quarantined")
+
+// Quarantine marks a device untrusted from virtual time from onward.
+// Packets already stored remain (marked via the cut-off), and subsequent
+// ingest attempts are refused and counted.
+func (s *Store) Quarantine(dev lpwan.EUI64, from time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.quarantined == nil {
+		s.quarantined = make(map[lpwan.EUI64]time.Duration)
+	}
+	if existing, ok := s.quarantined[dev]; !ok || from < existing {
+		s.quarantined[dev] = from
+	}
+}
+
+// Unquarantine restores trust (e.g. after forensics clear the device).
+func (s *Store) Unquarantine(dev lpwan.EUI64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.quarantined, dev)
+}
+
+// Quarantined reports whether the device is distrusted at time t.
+func (s *Store) Quarantined(dev lpwan.EUI64, t time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantinedLocked(dev, t)
+}
+
+func (s *Store) quarantinedLocked(dev lpwan.EUI64, t time.Duration) bool {
+	from, ok := s.quarantined[dev]
+	return ok && t >= from
+}
+
+// TrustedHistory returns the device's readings accepted before its
+// quarantine cut-off (all of them if never quarantined).
+func (s *Store) TrustedHistory(dev lpwan.EUI64) []Reading {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff, quarantined := s.quarantined[dev]
+	out := make([]Reading, 0, len(s.readings[dev]))
+	for _, r := range s.readings[dev] {
+		if quarantined && r.At >= cutoff {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

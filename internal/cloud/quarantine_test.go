@@ -1,0 +1,98 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/sim"
+)
+
+func TestQuarantineBlocksIngest(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	dev := lpwan.EUIFromUint64(1)
+	if err := s.Ingest(sim.Week, sealed(t, 1, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Quarantine(dev, 2*sim.Week)
+	if err := s.Ingest(3*sim.Week, sealed(t, 1, 2, 1)); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined ingest err = %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Accepted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQuarantineCutoffIsTimeAware(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	dev := lpwan.EUIFromUint64(1)
+	s.Quarantine(dev, 10*sim.Week)
+	// Before the cut-off: still trusted.
+	if err := s.Ingest(5*sim.Week, sealed(t, 1, 1, 1)); err != nil {
+		t.Fatalf("pre-cutoff ingest rejected: %v", err)
+	}
+	if s.Quarantined(dev, 5*sim.Week) {
+		t.Fatal("quarantined before cut-off")
+	}
+	if !s.Quarantined(dev, 10*sim.Week) {
+		t.Fatal("not quarantined at cut-off")
+	}
+}
+
+func TestTrustedHistoryExcludesPostCutoff(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	dev := lpwan.EUIFromUint64(1)
+	for seq := uint32(1); seq <= 6; seq++ {
+		at := time.Duration(seq) * sim.Week
+		if err := s.Ingest(at, sealed(t, 1, seq, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quarantine retroactively from week 4: readings at weeks 4-6 are
+	// untrusted but kept.
+	s.Quarantine(dev, 4*sim.Week)
+	trusted := s.TrustedHistory(dev)
+	full := s.History(dev)
+	if len(full) != 6 {
+		t.Fatalf("full history = %d", len(full))
+	}
+	if len(trusted) != 3 {
+		t.Fatalf("trusted history = %d, want 3", len(trusted))
+	}
+	for _, r := range trusted {
+		if r.At >= 4*sim.Week {
+			t.Fatal("untrusted reading leaked into trusted history")
+		}
+	}
+}
+
+func TestUnquarantineRestores(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	dev := lpwan.EUIFromUint64(1)
+	s.Quarantine(dev, 0)
+	if err := s.Ingest(sim.Week, sealed(t, 1, 1, 1)); !errors.Is(err, ErrQuarantined) {
+		t.Fatal("quarantine not effective")
+	}
+	s.Unquarantine(dev)
+	if err := s.Ingest(2*sim.Week, sealed(t, 1, 2, 1)); err != nil {
+		t.Fatalf("post-clear ingest rejected: %v", err)
+	}
+	if len(s.TrustedHistory(dev)) != 1 {
+		t.Fatal("trusted history wrong after clear")
+	}
+}
+
+func TestQuarantineEarliestCutoffWins(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	dev := lpwan.EUIFromUint64(1)
+	s.Quarantine(dev, 10*sim.Week)
+	s.Quarantine(dev, 5*sim.Week) // tighter evidence arrives later
+	if !s.Quarantined(dev, 6*sim.Week) {
+		t.Fatal("earlier cut-off not honored")
+	}
+	s.Quarantine(dev, 20*sim.Week) // looser evidence must not relax it
+	if !s.Quarantined(dev, 6*sim.Week) {
+		t.Fatal("cut-off relaxed by later quarantine call")
+	}
+}

@@ -1,0 +1,68 @@
+package cloud
+
+import (
+	"time"
+)
+
+// Retention (§4.4: "potential data retention and resiliency"): a 50-year
+// endpoint accumulating hourly readings from a growing fleet cannot keep
+// every packet hot forever. The standard answer is tiered thinning: full
+// resolution for the recent window, one representative reading per coarse
+// bucket beyond it. Compaction never touches the weekly-uptime ledger —
+// the experiment's headline metric is append-only.
+
+// RetentionPolicy thins old readings.
+type RetentionPolicy struct {
+	// FullResolutionWindow keeps everything younger than now-window.
+	FullResolutionWindow time.Duration
+	// KeepOnePer is the bucket width for older readings: the first
+	// reading in each bucket survives, the rest drop.
+	KeepOnePer time.Duration
+}
+
+// DefaultRetention keeps 2 years at full rate, then daily samples — a
+// ~97% reduction for hourly reporters, preserving trend analysis.
+func DefaultRetention() RetentionPolicy {
+	return RetentionPolicy{
+		FullResolutionWindow: 2 * 365 * 24 * time.Hour,
+		KeepOnePer:           24 * time.Hour,
+	}
+}
+
+// Compact applies the policy as of virtual time now, returning how many
+// readings were dropped.
+func (s *Store) Compact(now time.Duration, p RetentionPolicy) (dropped int) {
+	if p.KeepOnePer <= 0 {
+		panic("cloud: retention bucket must be positive")
+	}
+	cutoff := now - p.FullResolutionWindow
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for dev, rs := range s.readings {
+		kept := rs[:0]
+		lastBucket := int64(-1)
+		for _, r := range rs {
+			if r.At >= cutoff {
+				kept = append(kept, r)
+				continue
+			}
+			bucket := int64(r.At / p.KeepOnePer)
+			if bucket != lastBucket {
+				kept = append(kept, r)
+				lastBucket = bucket
+			} else {
+				dropped++
+			}
+		}
+		// Re-slice into a fresh array when we dropped a lot, so the old
+		// backing array can be collected on a decades-long run.
+		if len(kept) < len(rs)/2 {
+			fresh := make([]Reading, len(kept))
+			copy(fresh, kept)
+			s.readings[dev] = fresh
+		} else {
+			s.readings[dev] = kept
+		}
+	}
+	return dropped
+}

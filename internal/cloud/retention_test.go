@@ -1,0 +1,97 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/sim"
+)
+
+func TestCompactThinsOldReadings(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	// Hourly readings for 10 days.
+	for h := 0; h < 240; h++ {
+		at := time.Duration(h) * time.Hour
+		if err := s.Ingest(at, sealed(t, 1, uint32(h+1), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep the last 2 days at full rate, older thinned to daily.
+	dropped := s.Compact(240*time.Hour, RetentionPolicy{
+		FullResolutionWindow: 48 * time.Hour,
+		KeepOnePer:           24 * time.Hour,
+	})
+	hist := s.History(lpwan.EUIFromUint64(1))
+	// Old region: 192 hourly readings -> 8 daily survivors. Recent: 48.
+	if len(hist) != 56 {
+		t.Fatalf("kept %d readings, want 56", len(hist))
+	}
+	if dropped != 240-56 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	// Survivors in the old region are bucket-leading (midnight) samples.
+	if hist[0].At != 0 || hist[1].At != 24*time.Hour {
+		t.Fatalf("old survivors at %v, %v", hist[0].At, hist[1].At)
+	}
+	// Recent region untouched and contiguous.
+	last := hist[len(hist)-1]
+	if last.At != 239*time.Hour {
+		t.Fatalf("latest reading at %v", last.At)
+	}
+}
+
+func TestCompactPreservesWeeklyUptime(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	for w := 0; w < 10; w++ {
+		at := time.Duration(w)*sim.Week + sim.Day
+		if err := s.Ingest(at, sealed(t, 1, uint32(w+1), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.WeeklyUptime(10 * sim.Week)
+	s.Compact(10*sim.Week, RetentionPolicy{FullResolutionWindow: 0, KeepOnePer: 30 * sim.Day})
+	after := s.WeeklyUptime(10 * sim.Week)
+	if before != after {
+		t.Fatalf("compaction changed the uptime metric: %v -> %v", before, after)
+	}
+}
+
+func TestCompactNoopOnRecentData(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	for h := 0; h < 24; h++ {
+		if err := s.Ingest(time.Duration(h)*time.Hour, sealed(t, 1, uint32(h+1), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dropped := s.Compact(24*time.Hour, DefaultRetention()); dropped != 0 {
+		t.Fatalf("dropped %d recent readings", dropped)
+	}
+	if len(s.History(lpwan.EUIFromUint64(1))) != 24 {
+		t.Fatal("recent history shrank")
+	}
+}
+
+func TestCompactPanicsOnBadPolicy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bucket did not panic")
+		}
+	}()
+	NewStore(StaticKeys(master)).Compact(0, RetentionPolicy{})
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	for h := 0; h < 200; h++ {
+		if err := s.Ingest(time.Duration(h)*time.Hour, sealed(t, 1, uint32(h+1), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pol := RetentionPolicy{FullResolutionWindow: 24 * time.Hour, KeepOnePer: 24 * time.Hour}
+	first := s.Compact(200*time.Hour, pol)
+	second := s.Compact(200*time.Hour, pol)
+	if first == 0 || second != 0 {
+		t.Fatalf("compaction not idempotent: first=%d second=%d", first, second)
+	}
+}

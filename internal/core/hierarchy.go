@@ -1,0 +1,185 @@
+// Package core wires the substrates into the paper's systems: the
+// Figure-1 deployment hierarchy and the §4 fifty-year experiment, run end
+// to end inside the discrete-event engine.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"centuryscale/internal/reliability"
+	"centuryscale/internal/rng"
+)
+
+// Tier is one level of the Figure-1 deployment hierarchy.
+type Tier int
+
+// Hierarchy tiers, bottom to top.
+const (
+	TierDevice Tier = iota
+	TierGateway
+	TierBackhaul
+	TierCloud
+)
+
+var tierNames = map[Tier]string{
+	TierDevice:   "devices",
+	TierGateway:  "gateways",
+	TierBackhaul: "backhaul",
+	TierCloud:    "cloud",
+}
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	if n, ok := tierNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// LifetimeStat summarises a tier's sampled lifetime distribution.
+type LifetimeStat struct {
+	Count     int
+	MeanYears float64
+	// CoV is the coefficient of variation (sigma/mean): Figure 1's
+	// "lifetime variability" axis.
+	CoV      float64
+	MinYears float64
+	MaxYears float64
+}
+
+// TierRow is one row of the hierarchy report.
+type TierRow struct {
+	Tier Tier
+	// Population at this tier.
+	Count int
+	// RelianceFanIn is how many entities of the tier below rely on one
+	// entity at this tier (devices per gateway, gateways per backhaul).
+	RelianceFanIn float64
+	Lifetimes     LifetimeStat
+}
+
+// HierarchyReport quantifies Figure 1: the further up the hierarchy, the
+// fewer the entities, the more devices rely on each one, and the longer
+// (and less variable) its lifetime must be.
+type HierarchyReport struct {
+	Rows []TierRow
+}
+
+// HierarchyConfig sets the population of each tier.
+type HierarchyConfig struct {
+	Devices   int
+	Gateways  int
+	Backhauls int
+	Seed      uint64
+}
+
+// DefaultHierarchy uses the scale of a municipal deployment: ten thousand
+// devices on forty gateways over two backhaul links into one cloud.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{Devices: 10000, Gateways: 40, Backhauls: 2, Seed: 1}
+}
+
+func statOf(samples []float64) LifetimeStat {
+	if len(samples) == 0 {
+		return LifetimeStat{}
+	}
+	sum, min, max := 0.0, math.Inf(1), math.Inf(-1)
+	for _, v := range samples {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	mean := sum / float64(len(samples))
+	varsum := 0.0
+	for _, v := range samples {
+		varsum += (v - mean) * (v - mean)
+	}
+	cov := 0.0
+	if mean > 0 && len(samples) > 1 {
+		cov = math.Sqrt(varsum/float64(len(samples)-1)) / mean
+	}
+	return LifetimeStat{
+		Count: len(samples), MeanYears: mean, CoV: cov,
+		MinYears: min, MaxYears: max,
+	}
+}
+
+// BuildHierarchy samples lifetimes at every tier and assembles the
+// Figure-1 report. Device and gateway lifetimes come from their BOMs;
+// backhaul lifetime is the structural life of a fiber plant (decades,
+// narrow spread); the cloud tier is institutional — bounded by renewable
+// 10-year commitments rather than hardware, modelled as indefinitely
+// renewable with small variance.
+func BuildHierarchy(cfg HierarchyConfig) HierarchyReport {
+	if cfg.Devices <= 0 || cfg.Gateways <= 0 || cfg.Backhauls <= 0 {
+		panic("core: empty hierarchy config")
+	}
+	src := rng.New(cfg.Seed)
+
+	devBOM := reliability.HarvestingDeviceBOM()
+	devSrc := src.Split("devices")
+	devLives := make([]float64, cfg.Devices)
+	for i := range devLives {
+		devLives[i], _ = devBOM.SampleLifetime(devSrc)
+	}
+
+	gwBOM := reliability.GatewayBOM()
+	gwSrc := src.Split("gateways")
+	gwLives := make([]float64, cfg.Gateways)
+	for i := range gwLives {
+		gwLives[i], _ = gwBOM.SampleLifetime(gwSrc)
+	}
+
+	// Fiber plant structural life: long and comparatively tight (the
+	// Barcelona observation: 30-year-old fiber carrying a new IoT
+	// network).
+	bhSrc := src.Split("backhaul")
+	bhDist := reliability.WeibullFromMean(6, 60)
+	bhLives := make([]float64, cfg.Backhauls)
+	for i := range bhLives {
+		bhLives[i] = bhDist.Sample(bhSrc)
+	}
+
+	// The cloud endpoint's lifetime is institutional: renewable ~10-year
+	// commitments (domain leases, hosting contracts) renewed many times.
+	cloudSrc := src.Split("cloud")
+	cloudDist := reliability.WeibullFromMean(8, 80)
+	cloudLives := []float64{cloudDist.Sample(cloudSrc)}
+
+	return HierarchyReport{Rows: []TierRow{
+		{Tier: TierDevice, Count: cfg.Devices, RelianceFanIn: 0, Lifetimes: statOf(devLives)},
+		{Tier: TierGateway, Count: cfg.Gateways,
+			RelianceFanIn: float64(cfg.Devices) / float64(cfg.Gateways),
+			Lifetimes:     statOf(gwLives)},
+		{Tier: TierBackhaul, Count: cfg.Backhauls,
+			RelianceFanIn: float64(cfg.Gateways) / float64(cfg.Backhauls),
+			Lifetimes:     statOf(bhLives)},
+		{Tier: TierCloud, Count: 1,
+			RelianceFanIn: float64(cfg.Backhauls),
+			Lifetimes:     statOf(cloudLives)},
+	}}
+}
+
+// RelianceAt returns how many devices ultimately rely on one entity at
+// the given tier (the Figure-1 "more devices reliant on stability" axis).
+func (r HierarchyReport) RelianceAt(t Tier) float64 {
+	devices := 0.0
+	var count int
+	for _, row := range r.Rows {
+		if row.Tier == TierDevice {
+			devices = float64(row.Count)
+		}
+		if row.Tier == t {
+			count = row.Count
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return devices / float64(count)
+}

@@ -1,0 +1,93 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"centuryscale/internal/helium"
+)
+
+// Hotspot plumbing: the third-party path's real datapath. A hotspot is
+// deliberately dumb — it lifts LoRaWAN frames off the air (here: off a
+// UDP socket) and POSTs them to the network router, which owns all
+// verification, accounting, and decryption. This mirrors the §4.2
+// trust split: anyone can run a hotspot; only the router holds keys and
+// money.
+
+// RouterHandler exposes a helium.Router over HTTP for hotspots to POST
+// raw LoRaWAN frames to /uplink. Decrypted application payloads are
+// passed to deliver (e.g. a cloud.Store ingest).
+func RouterHandler(r *helium.Router, deliver func(payload []byte) error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /uplink", func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(req.Body, 1024))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		payload, err := r.HandleUplink(body)
+		if err != nil {
+			// The hotspot gets no credit for unverifiable or unfunded
+			// traffic; 402 distinguishes "wallet dry" for operators.
+			status := http.StatusUnprocessableEntity
+			if errors.Is(err, helium.ErrInsufficientCredits) {
+				status = http.StatusPaymentRequired
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		if deliver != nil {
+			if err := deliver(payload); err != nil {
+				// Delivery problems are the owner's, not the hotspot's:
+				// the frame was valid and paid for.
+				w.WriteHeader(http.StatusAccepted)
+				return
+			}
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	return mux
+}
+
+// ServeHotspot forwards raw LoRaWAN frames from a UDP socket to the
+// router URL until the context is cancelled: the entire hotspot,
+// faithfully small.
+func ServeHotspot(ctx context.Context, conn net.PacketConn, routerURL string, client *http.Client) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+	buf := make([]byte, 2048)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("daemon: hotspot read: %w", err)
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		resp, err := client.Post(routerURL+"/uplink", "application/octet-stream", bytes.NewReader(frame))
+		if err != nil {
+			// Backhaul hiccup: drop and carry on; the devices retry by
+			// cadence, not by ACK.
+			continue
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,247 @@
+// Package device implements the edge-device runtime: the paper's
+// transmit-only sensor (§4.1), modelled as a state machine driven by the
+// discrete-event engine.
+//
+// Two device classes carry the paper's central comparison. A battery
+// device owns a finite energy reserve plus the battery's calendar wear-out;
+// it is what today's 2-7-year deployments field (§2). A harvesting device
+// owns no battery: it buffers an ambient trickle in a capacitor and fires
+// whenever a full task's energy has accumulated, so its life is bounded
+// only by its electronics (§1, §4). Note the deliberate asymmetry the paper
+// points out: removing the battery removes both the dominant wear-out
+// component and the implicit lifetime.
+//
+// A device never receives anything — no ACKs, no reconfiguration, no key
+// rotation. Its entire interface to the world is the TransmitFunc the
+// scenario wires in, which represents RF emission; delivery is the
+// channel's and gateways' problem.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"centuryscale/internal/energy"
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/reliability"
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+	"centuryscale/internal/telemetry"
+)
+
+// Class selects the device energy design.
+type Class int
+
+// Device classes.
+const (
+	ClassBattery Class = iota
+	ClassHarvesting
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassBattery:
+		return "battery"
+	case ClassHarvesting:
+		return "harvesting"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Config describes one device.
+type Config struct {
+	ID             lpwan.EUI64
+	Class          Class
+	Sensor         telemetry.SensorType
+	ReportInterval time.Duration
+	Key            telemetry.Key
+
+	// Harvesting class: the ambient source and capacitor buffer.
+	Harvester energy.Harvester
+	Store     *energy.Store
+
+	// Battery class: the finite reserve in µJ and the sleep floor draw.
+	BatteryMicroJoules float64
+	SleepMicroWatts    float64
+
+	// Task is the per-report energy bill (sense + CPU + TX).
+	Task energy.TaskCost
+
+	// ReadSensor produces the reading value; nil defaults to a constant.
+	ReadSensor func(now time.Duration) float32
+}
+
+// TransmitFunc receives the sealed 24-byte telemetry packet at emission
+// time. It represents the RF channel: it may drop the packet, deliver it
+// to one gateway, or deliver it to several.
+type TransmitFunc func(now time.Duration, wire []byte)
+
+// Stats counts a device's activity.
+type Stats struct {
+	Attempts      uint64 // wakeups that wanted to transmit
+	Sent          uint64 // packets actually emitted
+	SkippedEnergy uint64 // wakeups skipped for lack of stored energy
+}
+
+// Device is one edge sensor instance inside a simulation.
+type Device struct {
+	cfg Config
+
+	// hardwareLife is the sampled electronics lifetime (years) and its
+	// cause, drawn from the class BOM at construction.
+	hardwareLife  float64
+	hardwareCause string
+
+	// batteryExhaust is when the battery runs flat (battery class only).
+	batteryExhaust time.Duration
+
+	deployedAt     time.Duration
+	lastIntegrated time.Duration
+	seq            uint32
+	stats          Stats
+	ticker         *sim.Ticker
+	transmit       TransmitFunc
+}
+
+// New builds a device, sampling its hardware lifetime from the
+// class-appropriate bill of materials.
+func New(cfg Config, src *rng.Source) *Device {
+	var bom reliability.BOM
+	switch cfg.Class {
+	case ClassBattery:
+		bom = reliability.BatteryDeviceBOM()
+	case ClassHarvesting:
+		bom = reliability.HarvestingDeviceBOM()
+	default:
+		panic(fmt.Sprintf("device: unknown class %d", int(cfg.Class)))
+	}
+	life, cause := bom.SampleLifetime(src)
+	d := &Device{cfg: cfg, hardwareLife: life, hardwareCause: cause}
+	if cfg.Class == ClassBattery {
+		d.batteryExhaust = d.computeBatteryExhaustion()
+	}
+	return d
+}
+
+// computeBatteryExhaustion returns how long the battery reserve lasts
+// under the configured report cadence and sleep floor.
+func (d *Device) computeBatteryExhaustion() time.Duration {
+	perSecond := d.cfg.SleepMicroWatts // µJ/s
+	if d.cfg.ReportInterval > 0 {
+		perSecond += d.cfg.Task.Total() / d.cfg.ReportInterval.Seconds()
+	}
+	if perSecond <= 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	seconds := d.cfg.BatteryMicroJoules / perSecond
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// ID returns the device address.
+func (d *Device) ID() lpwan.EUI64 { return d.cfg.ID }
+
+// Class returns the device class.
+func (d *Device) Class() Class { return d.cfg.Class }
+
+// HardwareLifeYears returns the sampled electronics lifetime.
+func (d *Device) HardwareLifeYears() float64 { return d.hardwareLife }
+
+// Install schedules the device's behaviour on the engine, starting now.
+// The device reports every ReportInterval until it dies.
+func (d *Device) Install(eng *sim.Engine, tx TransmitFunc) {
+	if d.cfg.ReportInterval <= 0 {
+		panic("device: non-positive report interval")
+	}
+	d.transmit = tx
+	d.deployedAt = eng.Now()
+	d.lastIntegrated = eng.Now()
+	d.ticker = eng.Every(d.cfg.ReportInterval, func() {
+		d.wake(eng)
+	})
+}
+
+// wake is one duty cycle: integrate harvest, check life, attempt a report.
+func (d *Device) wake(eng *sim.Engine) {
+	now := eng.Now()
+	if !d.Alive(now) {
+		d.ticker.Stop()
+		return
+	}
+	d.stats.Attempts++
+
+	if d.cfg.Class == ClassHarvesting {
+		d.integrateHarvest(now)
+		if !d.cfg.Store.TryDraw(d.cfg.Task.Total()) {
+			d.stats.SkippedEnergy++
+			return
+		}
+	}
+
+	value := float32(1)
+	if d.cfg.ReadSensor != nil {
+		value = d.cfg.ReadSensor(now)
+	}
+	d.seq++
+	p := telemetry.Packet{
+		Device:        d.cfg.ID,
+		Seq:           d.seq,
+		Sensor:        d.cfg.Sensor,
+		Value:         value,
+		UptimeSeconds: uint32((now - d.deployedAt) / time.Second),
+	}
+	wire, err := p.Seal(d.cfg.Key)
+	if err != nil {
+		// A config error (bad key): treat as a dead device rather than
+		// crash a 50-year run.
+		d.ticker.Stop()
+		return
+	}
+	d.stats.Sent++
+	if d.transmit != nil {
+		d.transmit(now, wire)
+	}
+}
+
+// integrateHarvest accumulates harvested energy since the last wake.
+// Short gaps sample the midpoint power; long gaps use the long-run mean
+// (the diurnal detail washes out over many cycles).
+func (d *Device) integrateHarvest(now time.Duration) {
+	dt := now - d.lastIntegrated
+	if dt <= 0 {
+		return
+	}
+	var power float64
+	if dt <= 6*time.Hour {
+		power = d.cfg.Harvester.PowerAt(d.lastIntegrated + dt/2)
+	} else {
+		power = d.cfg.Harvester.MeanPower()
+	}
+	d.cfg.Store.Integrate(power, dt)
+	d.lastIntegrated = now
+}
+
+// Alive reports whether the device is functional at virtual time now.
+func (d *Device) Alive(now time.Duration) bool {
+	age := now - d.deployedAt
+	if sim.ToYears(age) >= d.hardwareLife {
+		return false
+	}
+	if d.cfg.Class == ClassBattery && age >= d.batteryExhaust {
+		return false
+	}
+	return true
+}
+
+// FailureAt returns when (relative to deployment) the device dies and why.
+func (d *Device) FailureAt() (time.Duration, string) {
+	hw := sim.Years(d.hardwareLife)
+	if d.cfg.Class == ClassBattery && d.batteryExhaust < hw {
+		return d.batteryExhaust, "battery-exhausted"
+	}
+	return hw, d.hardwareCause
+}
+
+// Stats returns a copy of the device's counters.
+func (d *Device) Stats() Stats { return d.stats }

@@ -1,0 +1,232 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"centuryscale/internal/energy"
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+	"centuryscale/internal/telemetry"
+)
+
+var key = telemetry.DeriveKey([]byte("test-master"), lpwan.EUIFromUint64(0))
+
+func harvestingConfig(id uint64) Config {
+	return Config{
+		ID:             lpwan.EUIFromUint64(id),
+		Class:          ClassHarvesting,
+		Sensor:         telemetry.SensorStrain,
+		ReportInterval: time.Hour,
+		Key:            key,
+		Harvester:      energy.Constant{MicroWatts: 50},
+		Store:          energy.NewStore(5e6, 1),
+		Task:           energy.TaskCost{SenseMicroJoules: 2000, CPUMicroJoules: 3000, TxMicroJoules: 25000},
+	}
+}
+
+func batteryConfig(id uint64) Config {
+	return Config{
+		ID:             lpwan.EUIFromUint64(id),
+		Class:          ClassBattery,
+		Sensor:         telemetry.SensorStrain,
+		ReportInterval: time.Hour,
+		Key:            key,
+		// 2x AA lithium: ~32 kJ.
+		BatteryMicroJoules: 3.24e10,
+		SleepMicroWatts:    6,
+		Task:               energy.TaskCost{SenseMicroJoules: 2000, CPUMicroJoules: 3000, TxMicroJoules: 25000},
+	}
+}
+
+func TestHarvestingDeviceTransmitsHourly(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(harvestingConfig(1), rng.New(1))
+	var packets [][]byte
+	d.Install(eng, func(_ time.Duration, wire []byte) {
+		packets = append(packets, append([]byte(nil), wire...))
+	})
+	eng.Run(24 * time.Hour)
+	// 50 µW harvest, 30 mJ task: interval needs 30000/50 = 600 s < 1 h,
+	// so every hourly wake has energy: 24 packets.
+	if len(packets) != 24 {
+		t.Fatalf("sent %d packets in 24h, want 24", len(packets))
+	}
+	// Packets verify and carry increasing seq.
+	var lastSeq uint32
+	for i, wire := range packets {
+		p, err := telemetry.Verify(wire, key)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if p.Seq <= lastSeq && i > 0 {
+			t.Fatalf("seq not increasing: %d after %d", p.Seq, lastSeq)
+		}
+		lastSeq = p.Seq
+		if p.Device != lpwan.EUIFromUint64(1) {
+			t.Fatalf("wrong device in packet: %v", p.Device)
+		}
+	}
+}
+
+func TestHarvestingDeviceSkipsWhenStarved(t *testing.T) {
+	cfg := harvestingConfig(2)
+	cfg.Harvester = energy.Constant{MicroWatts: 5} // 30 mJ needs 6000 s > 1 h
+	cfg.Store = energy.NewStore(5e6, 0)
+	eng := sim.NewEngine()
+	d := New(cfg, rng.New(2))
+	sent := 0
+	d.Install(eng, func(time.Duration, []byte) { sent++ })
+	eng.Run(24 * time.Hour)
+	st := d.Stats()
+	if st.SkippedEnergy == 0 {
+		t.Fatal("starved device never skipped")
+	}
+	// 5 µW accumulates 18 mJ/h; one 30 mJ task roughly every two hours.
+	if sent < 10 || sent > 14 {
+		t.Fatalf("starved device sent %d packets in 24h, want ~12", sent)
+	}
+	if st.Attempts != 24 {
+		t.Fatalf("attempts = %d, want 24", st.Attempts)
+	}
+}
+
+func TestBatteryDeviceDiesOfExhaustionOrWearOut(t *testing.T) {
+	cfg := batteryConfig(3)
+	d := New(cfg, rng.New(3))
+	at, cause := d.FailureAt()
+	years := sim.ToYears(at)
+	if years <= 0 || years > 40 {
+		t.Fatalf("battery device failure at %v years", years)
+	}
+	if cause == "" || cause == "none" {
+		t.Fatalf("missing failure cause")
+	}
+}
+
+func TestBatteryExhaustionMath(t *testing.T) {
+	cfg := batteryConfig(4)
+	cfg.BatteryMicroJoules = 1e6 // tiny battery
+	cfg.SleepMicroWatts = 0
+	// 30 mJ per hourly report: 1e6/30000 = ~33 reports = ~33 h.
+	d := New(cfg, rng.New(4))
+	eng := sim.NewEngine()
+	sent := 0
+	d.Install(eng, func(time.Duration, []byte) { sent++ })
+	eng.Run(100 * time.Hour)
+	if sent < 30 || sent > 36 {
+		t.Fatalf("tiny-battery device sent %d packets, want ~33", sent)
+	}
+	if d.Alive(eng.Now()) {
+		t.Fatal("device should be dead after battery exhaustion")
+	}
+}
+
+func TestDeviceStopsAtHardwareDeath(t *testing.T) {
+	// Run far beyond any plausible hardware life and check the ticker
+	// stopped (no packets after death).
+	eng := sim.NewEngine()
+	d := New(harvestingConfig(5), rng.New(5))
+	var lastTx time.Duration
+	d.Install(eng, func(now time.Duration, _ []byte) { lastTx = now })
+	eng.Run(sim.Years(120))
+	deathAt, _ := d.FailureAt()
+	if lastTx > deathAt {
+		t.Fatalf("packet at %v after death at %v", lastTx, deathAt)
+	}
+	if d.Alive(eng.Now()) {
+		t.Fatal("device alive after 120 years")
+	}
+}
+
+func TestHarvestingHasNoBatteryDeath(t *testing.T) {
+	d := New(harvestingConfig(6), rng.New(6))
+	_, cause := d.FailureAt()
+	if cause == "battery" || cause == "battery-exhausted" {
+		t.Fatalf("harvesting device died of %q", cause)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassBattery.String() != "battery" || ClassHarvesting.String() != "harvesting" {
+		t.Fatal("class names wrong")
+	}
+	if Class(7).String() != "class(7)" {
+		t.Fatal("unknown class fallback")
+	}
+}
+
+func TestUnknownClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown class did not panic")
+		}
+	}()
+	New(Config{Class: Class(9)}, rng.New(1))
+}
+
+func TestInstallZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	cfg := harvestingConfig(7)
+	cfg.ReportInterval = 0
+	New(cfg, rng.New(1)).Install(sim.NewEngine(), nil)
+}
+
+func TestReadSensorWired(t *testing.T) {
+	cfg := harvestingConfig(8)
+	cfg.ReadSensor = func(now time.Duration) float32 { return float32(now / time.Hour) }
+	eng := sim.NewEngine()
+	d := New(cfg, rng.New(8))
+	var values []float32
+	d.Install(eng, func(_ time.Duration, wire []byte) {
+		p, err := telemetry.Verify(wire, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values = append(values, p.Value)
+	})
+	eng.Run(3 * time.Hour)
+	if len(values) != 3 || values[0] != 1 || values[2] != 3 {
+		t.Fatalf("sensor values = %v", values)
+	}
+}
+
+func TestUptimeFieldAdvances(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(harvestingConfig(9), rng.New(9))
+	var uptimes []uint32
+	d.Install(eng, func(_ time.Duration, wire []byte) {
+		p, _ := telemetry.Verify(wire, key)
+		uptimes = append(uptimes, p.UptimeSeconds)
+	})
+	eng.Run(3 * time.Hour)
+	if len(uptimes) != 3 {
+		t.Fatalf("got %d packets", len(uptimes))
+	}
+	if uptimes[0] != 3600 || uptimes[1] != 7200 || uptimes[2] != 10800 {
+		t.Fatalf("uptimes = %v", uptimes)
+	}
+}
+
+func TestDeterministicLifetimes(t *testing.T) {
+	a := New(harvestingConfig(10), rng.New(42))
+	b := New(harvestingConfig(10), rng.New(42))
+	if a.HardwareLifeYears() != b.HardwareLifeYears() {
+		t.Fatal("same seed produced different lifetimes")
+	}
+}
+
+func BenchmarkDeviceYear(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		d := New(harvestingConfig(1), rng.New(1))
+		d.Install(eng, func(time.Duration, []byte) {})
+		eng.Run(sim.Years(1))
+	}
+}

@@ -1,0 +1,182 @@
+// Package econ provides the cost accounting for century-scale
+// deployments: an exact integer-cents ledger, present-value math, and the
+// owned-versus-leased tipping-point analysis of §3.4.
+//
+// The paper's economic claim is that "there will always be a tipping point
+// where the cost of deploying vertically owned and managed infrastructure
+// is lower than the cost of replacing devices": leased infrastructure
+// carries recurring fees and — worse — periodic technology sunsets that
+// obsolete the entire device fleet, so its cost scales with fleet size,
+// while owned infrastructure is a (mostly) fleet-size-independent capital
+// cost. TippingPoint solves for the fleet size where the curves cross.
+package econ
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"centuryscale/internal/sim"
+)
+
+// Cents is an exact currency amount in US cents.
+type Cents int64
+
+// String renders as dollars: "$1,234.56" (negative amounts as "-$...").
+func (c Cents) String() string {
+	neg := c < 0
+	if neg {
+		c = -c
+	}
+	dollars := int64(c) / 100
+	rem := int64(c) % 100
+	// Insert thousands separators.
+	s := fmt.Sprintf("%d", dollars)
+	out := make([]byte, 0, len(s)+len(s)/3)
+	for i, ch := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, ch)
+	}
+	sign := ""
+	if neg {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s$%s.%02d", sign, out, rem)
+}
+
+// Entry is one ledger line.
+type Entry struct {
+	At       time.Duration
+	Category string
+	Amount   Cents
+	Note     string
+}
+
+// Ledger accumulates dated, categorised costs across a simulation run.
+type Ledger struct {
+	entries []Entry
+	total   Cents
+}
+
+// Add appends an entry.
+func (l *Ledger) Add(at time.Duration, category string, amount Cents, note string) {
+	l.entries = append(l.entries, Entry{At: at, Category: category, Amount: amount, Note: note})
+	l.total += amount
+}
+
+// Total returns the sum of all entries.
+func (l *Ledger) Total() Cents { return l.total }
+
+// Len returns the number of entries.
+func (l *Ledger) Len() int { return len(l.entries) }
+
+// ByCategory sums entries per category.
+func (l *Ledger) ByCategory() map[string]Cents {
+	out := make(map[string]Cents)
+	for _, e := range l.entries {
+		out[e.Category] += e.Amount
+	}
+	return out
+}
+
+// TotalThrough sums entries dated at or before t.
+func (l *Ledger) TotalThrough(t time.Duration) Cents {
+	var sum Cents
+	for _, e := range l.entries {
+		if e.At <= t {
+			sum += e.Amount
+		}
+	}
+	return sum
+}
+
+// NPV discounts the ledger's entries to present value at the given annual
+// rate (e.g. 0.03). Long-horizon municipal planning is exactly where
+// discounting matters: a dollar of opex in year 49 is not a dollar today.
+func (l *Ledger) NPV(annualRate float64) float64 {
+	pv := 0.0
+	for _, e := range l.entries {
+		years := sim.ToYears(e.At)
+		pv += float64(e.Amount) / math.Pow(1+annualRate, years)
+	}
+	return pv
+}
+
+// Amortize spreads a capital cost evenly over a number of months,
+// returning the per-month amount (rounded up so the schedule covers the
+// full principal).
+func Amortize(capex Cents, months int) Cents {
+	if months <= 0 {
+		panic("econ: non-positive amortization period")
+	}
+	return Cents((int64(capex) + int64(months) - 1) / int64(months))
+}
+
+// TippingConfig parameterises the owned-vs-leased comparison of §3.4 for
+// a deployment of a given gateway count over a horizon.
+type TippingConfig struct {
+	HorizonYears float64
+	Gateways     int
+
+	// Leased model: recurring per-gateway service, plus a technology
+	// sunset every SunsetEveryYears that obsoletes the device fleet
+	// (each device replaced at DeviceReplaceCents).
+	LeasedPerGatewayMonth Cents
+	SunsetEveryYears      float64
+	DeviceReplaceCents    Cents
+
+	// Owned model: build-out capex (base + per gateway) and recurring
+	// operations, fleet-size independent. Devices ride undisturbed.
+	OwnedBaseCapex       Cents
+	OwnedPerGatewayCapex Cents
+	OwnedOpexMonth       Cents
+}
+
+// LeasedTCO returns the leased-infrastructure total cost over the horizon
+// for a fleet of devices.
+func (c TippingConfig) LeasedTCO(devices int) Cents {
+	months := int64(c.HorizonYears * 12)
+	service := Cents(months * int64(c.LeasedPerGatewayMonth) * int64(c.Gateways))
+	sunsets := int64(0)
+	if c.SunsetEveryYears > 0 {
+		sunsets = int64(c.HorizonYears / c.SunsetEveryYears)
+	}
+	replacement := Cents(sunsets * int64(devices) * int64(c.DeviceReplaceCents))
+	return service + replacement
+}
+
+// OwnedTCO returns the owned-infrastructure total cost over the horizon;
+// it does not depend on the device count — that is the whole point.
+func (c TippingConfig) OwnedTCO(devices int) Cents {
+	_ = devices
+	months := int64(c.HorizonYears * 12)
+	return c.OwnedBaseCapex +
+		Cents(int64(c.OwnedPerGatewayCapex)*int64(c.Gateways)) +
+		Cents(months*int64(c.OwnedOpexMonth))
+}
+
+// TippingPoint returns the smallest device count at which owning the
+// infrastructure is no more expensive than leasing it, or -1 if owning
+// never wins below the given search cap.
+func (c TippingConfig) TippingPoint(maxDevices int) int {
+	// LeasedTCO is affine and non-decreasing in devices while OwnedTCO is
+	// constant, so binary search the crossover.
+	if c.OwnedTCO(0) <= c.LeasedTCO(0) {
+		return 0
+	}
+	lo, hi := 0, maxDevices
+	if c.OwnedTCO(hi) > c.LeasedTCO(hi) {
+		return -1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.OwnedTCO(mid) <= c.LeasedTCO(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

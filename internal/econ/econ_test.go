@@ -1,0 +1,274 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"centuryscale/internal/sim"
+)
+
+func TestCentsString(t *testing.T) {
+	cases := []struct {
+		c    Cents
+		want string
+	}{
+		{0, "$0.00"},
+		{5, "$0.05"},
+		{123456, "$1,234.56"},
+		{100000000, "$1,000,000.00"},
+		{-9950, "-$99.50"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Fatalf("%d.String() = %q, want %q", int64(tc.c), got, tc.want)
+		}
+	}
+}
+
+func TestLedgerTotals(t *testing.T) {
+	var l Ledger
+	l.Add(0, "capex", 500000, "fiber trench")
+	l.Add(sim.Years(1), "opex", 1500, "month")
+	l.Add(sim.Years(2), "opex", 1500, "month")
+	if l.Total() != 503000 {
+		t.Fatalf("total = %v", l.Total())
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	by := l.ByCategory()
+	if by["capex"] != 500000 || by["opex"] != 3000 {
+		t.Fatalf("by category = %v", by)
+	}
+	if got := l.TotalThrough(sim.Years(1)); got != 501500 {
+		t.Fatalf("through year 1 = %v", got)
+	}
+}
+
+func TestNPVDiscounts(t *testing.T) {
+	var l Ledger
+	l.Add(sim.Years(10), "opex", 10000, "")
+	pv := l.NPV(0.05)
+	want := 10000 / math.Pow(1.05, 10)
+	if math.Abs(pv-want) > 0.01 {
+		t.Fatalf("NPV = %v, want %v", pv, want)
+	}
+	// Zero rate: NPV equals nominal.
+	if got := l.NPV(0); math.Abs(got-10000) > 1e-9 {
+		t.Fatalf("NPV(0) = %v", got)
+	}
+	// Money today is not discounted.
+	var now Ledger
+	now.Add(0, "capex", 10000, "")
+	if got := now.NPV(0.10); math.Abs(got-10000) > 1e-9 {
+		t.Fatalf("NPV of t=0 = %v", got)
+	}
+}
+
+func TestAmortize(t *testing.T) {
+	if got := Amortize(1200, 12); got != 100 {
+		t.Fatalf("Amortize(1200,12) = %v", got)
+	}
+	// Rounds up so the schedule covers principal.
+	if got := Amortize(1000, 3); got != 334 {
+		t.Fatalf("Amortize(1000,3) = %v", got)
+	}
+}
+
+func TestAmortizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Amortize with 0 months did not panic")
+		}
+	}()
+	Amortize(100, 0)
+}
+
+func tippingFixture() TippingConfig {
+	return TippingConfig{
+		HorizonYears:          50,
+		Gateways:              40,
+		LeasedPerGatewayMonth: 3000,        // $30/gw/month
+		SunsetEveryYears:      12,          // four forced fleet replacements
+		DeviceReplaceCents:    15000,       // $150/device (hardware+labor)
+		OwnedBaseCapex:        200_000_000, // $2M headend + trenching program
+		OwnedPerGatewayCapex:  1_000_000,   // $10k fiber lateral per gateway
+		OwnedOpexMonth:        200_000,     // $2k/month operations staff share
+	}
+}
+
+func TestLeasedGrowsWithFleet(t *testing.T) {
+	cfg := tippingFixture()
+	if cfg.LeasedTCO(1000) <= cfg.LeasedTCO(100) {
+		t.Fatal("leased TCO must grow with device count")
+	}
+	if cfg.OwnedTCO(1000) != cfg.OwnedTCO(100) {
+		t.Fatal("owned TCO must not depend on device count")
+	}
+}
+
+func TestTippingPointExists(t *testing.T) {
+	cfg := tippingFixture()
+	n := cfg.TippingPoint(1_000_000)
+	if n <= 0 {
+		t.Fatalf("tipping point = %d, want positive crossover", n)
+	}
+	// At the crossover, owned wins; one below, leased wins.
+	if cfg.OwnedTCO(n) > cfg.LeasedTCO(n) {
+		t.Fatal("owned not cheaper at the tipping point")
+	}
+	if n > 0 && cfg.OwnedTCO(n-1) <= cfg.LeasedTCO(n-1) {
+		t.Fatal("tipping point not minimal")
+	}
+}
+
+func TestTippingPointMovesWithReplacementCost(t *testing.T) {
+	cheap := tippingFixture()
+	expensive := tippingFixture()
+	expensive.DeviceReplaceCents *= 4
+	nc := cheap.TippingPoint(1_000_000)
+	ne := expensive.TippingPoint(1_000_000)
+	if ne >= nc {
+		t.Fatalf("pricier replacement must lower the tipping point: %d vs %d", ne, nc)
+	}
+}
+
+func TestNoSunsetRaisesTippingPoint(t *testing.T) {
+	withSunset := tippingFixture()
+	noSunset := tippingFixture()
+	noSunset.SunsetEveryYears = 0
+	nw := withSunset.TippingPoint(10_000_000)
+	nn := noSunset.TippingPoint(10_000_000)
+	// Without forced replacements the leased option only loses on
+	// service fees, so owning pays off later (or never).
+	if nn != -1 && nn <= nw {
+		t.Fatalf("no-sunset tipping point %d should exceed %d", nn, nw)
+	}
+}
+
+func TestTippingPointZeroWhenOwnedFree(t *testing.T) {
+	cfg := tippingFixture()
+	cfg.OwnedBaseCapex = 0
+	cfg.OwnedPerGatewayCapex = 0
+	cfg.OwnedOpexMonth = 0
+	if n := cfg.TippingPoint(1000); n != 0 {
+		t.Fatalf("free ownership tipping point = %d, want 0", n)
+	}
+}
+
+func TestTippingPointUnreachable(t *testing.T) {
+	cfg := tippingFixture()
+	cfg.SunsetEveryYears = 0
+	cfg.LeasedPerGatewayMonth = 1 // leasing nearly free
+	if n := cfg.TippingPoint(1000); n != -1 {
+		t.Fatalf("tipping point = %d, want -1 (never)", n)
+	}
+}
+
+func TestTippingBinarySearchMatchesLinear(t *testing.T) {
+	cfg := tippingFixture()
+	if err := quick.Check(func(seed uint16) bool {
+		c := cfg
+		c.DeviceReplaceCents = Cents(1000 + int64(seed)%50000)
+		got := c.TippingPoint(200000)
+		// Linear scan reference.
+		want := -1
+		for n := 0; n <= 200000; n++ {
+			if c.OwnedTCO(n) <= c.LeasedTCO(n) {
+				want = n
+				break
+			}
+		}
+		return got == want
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedgerNPVBelowNominalForFutureCosts(t *testing.T) {
+	var l Ledger
+	for y := 1; y <= 50; y++ {
+		l.Add(sim.Years(float64(y)), "opex", 1000, "")
+	}
+	if pv := l.NPV(0.03); pv >= float64(l.Total()) {
+		t.Fatalf("NPV %v should be below nominal %v", pv, l.Total())
+	}
+}
+
+func BenchmarkTippingPoint(b *testing.B) {
+	cfg := tippingFixture()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = cfg.TippingPoint(10_000_000)
+	}
+}
+
+func sharedFixture() SharedInfraPlan {
+	return SharedInfraPlan{
+		BuildCapex:               500_000_000, // $5M citywide plant
+		OpexMonth:                500_000,     // $5k/month
+		HorizonYears:             50,
+		Applications:             4,
+		PerAppDedicatedCapex:     200_000_000, // $2M to go it alone
+		PerAppDedicatedOpexMonth: 300_000,
+	}
+}
+
+func TestSharedCostDividesEvenly(t *testing.T) {
+	p := sharedFixture()
+	// Plant lifetime cost: 500M + 600*0.5M = 800M cents over 4 apps.
+	if got := p.PerAppSharedCost(); got != 200_000_000 {
+		t.Fatalf("per-app shared = %v", got)
+	}
+	// Dedicated: 200M + 600*0.3M = 380M cents.
+	if got := p.PerAppDedicatedCost(); got != 380_000_000 {
+		t.Fatalf("per-app dedicated = %v", got)
+	}
+	if adv := p.SharingAdvantage(); adv < 1.5 || adv > 2.5 {
+		t.Fatalf("advantage = %v", adv)
+	}
+}
+
+func TestSharingBreakEven(t *testing.T) {
+	p := sharedFixture()
+	k := p.BreakEvenApplications(100)
+	// 800M/k <= 380M -> k >= 2.1 -> 3 apps.
+	if k != 3 {
+		t.Fatalf("break-even = %d apps, want 3", k)
+	}
+	// A plant too expensive to ever share out.
+	expensive := p
+	expensive.BuildCapex = 1 << 50
+	if got := expensive.BreakEvenApplications(5); got != -1 {
+		t.Fatalf("impossible break-even = %d", got)
+	}
+}
+
+func TestRevenueOffsetsPlant(t *testing.T) {
+	p := sharedFixture()
+	p.RevenueMonth = p.OpexMonth * 4 // community broadband pays the plant
+	withRev := p.PerAppSharedCost()
+	p.RevenueMonth = 0
+	without := p.PerAppSharedCost()
+	if withRev >= without {
+		t.Fatalf("revenue did not reduce shared cost: %v vs %v", withRev, without)
+	}
+	// Revenue can fully cover the plant: cost floors at zero.
+	p.RevenueMonth = 10_000_000
+	if got := p.PerAppSharedCost(); got != 0 {
+		t.Fatalf("over-funded plant cost = %v", got)
+	}
+	if adv := p.SharingAdvantage(); adv < 1e6 {
+		t.Fatalf("advantage with free plant = %v", adv)
+	}
+}
+
+func TestSharedPlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-app plan did not panic")
+		}
+	}()
+	SharedInfraPlan{HorizonYears: 1}.PerAppSharedCost()
+}

@@ -1,0 +1,80 @@
+package econ
+
+import "fmt"
+
+// Shared-infrastructure amortization (§3.4): "Planners should consider
+// the amortized cost of shared infrastructure over the cost of many
+// applications." A fiber plant or gateway mesh built for one application
+// is expensive; the same plant carrying parking, air quality, structural
+// health, and waste telemetry divides its capital across all of them —
+// and (the San Leandro/Barcelona observation, §3.3.1) can sell surplus
+// capacity outright.
+
+// SharedInfraPlan describes a common infrastructure build-out and the
+// applications riding it.
+type SharedInfraPlan struct {
+	// BuildCapex and OpexMonth are the plant's own costs.
+	BuildCapex Cents
+	OpexMonth  Cents
+	// HorizonYears amortizes the capital.
+	HorizonYears float64
+	// Applications sharing the plant (≥1).
+	Applications int
+	// PerAppDedicatedCapex/OpexMonth is what each application would pay
+	// to build its own dedicated infrastructure instead.
+	PerAppDedicatedCapex     Cents
+	PerAppDedicatedOpexMonth Cents
+	// RevenueMonth is income from selling surplus capacity (community
+	// broadband, §3.3.3), offsetting shared opex.
+	RevenueMonth Cents
+}
+
+// PerAppSharedCost returns each application's share of the plant's
+// lifetime cost (capex + opex − revenue, floored at zero), divided
+// evenly.
+func (p SharedInfraPlan) PerAppSharedCost() Cents {
+	if p.Applications <= 0 || p.HorizonYears <= 0 {
+		panic(fmt.Sprintf("econ: bad shared plan: %d apps over %v years", p.Applications, p.HorizonYears))
+	}
+	months := int64(p.HorizonYears * 12)
+	total := int64(p.BuildCapex) + months*int64(p.OpexMonth) - months*int64(p.RevenueMonth)
+	if total < 0 {
+		total = 0
+	}
+	return Cents(total / int64(p.Applications))
+}
+
+// PerAppDedicatedCost returns what one application pays going it alone.
+func (p SharedInfraPlan) PerAppDedicatedCost() Cents {
+	months := int64(p.HorizonYears * 12)
+	return p.PerAppDedicatedCapex + Cents(months*int64(p.PerAppDedicatedOpexMonth))
+}
+
+// SharingAdvantage returns dedicated/shared per-application cost: >1
+// means sharing wins. Returns +Inf semantics via a large value when the
+// shared cost reaches zero (revenue covers the plant).
+func (p SharedInfraPlan) SharingAdvantage() float64 {
+	shared := p.PerAppSharedCost()
+	dedicated := p.PerAppDedicatedCost()
+	if shared == 0 {
+		if dedicated == 0 {
+			return 1
+		}
+		return 1e9
+	}
+	return float64(dedicated) / float64(shared)
+}
+
+// BreakEvenApplications returns the smallest number of co-resident
+// applications at which sharing beats dedicated build-outs, searching up
+// to maxApps; -1 if never.
+func (p SharedInfraPlan) BreakEvenApplications(maxApps int) int {
+	for k := 1; k <= maxApps; k++ {
+		q := p
+		q.Applications = k
+		if q.PerAppSharedCost() <= q.PerAppDedicatedCost() {
+			return k
+		}
+	}
+	return -1
+}

@@ -1,0 +1,304 @@
+// Package energy models energy harvesting, storage, and the intermittent
+// power budget of transmit-only edge devices.
+//
+// The paper's device design point (§4.1) is an energy-harvesting,
+// batteryless sensor: it trickle-charges a capacitor from an ambient
+// source — the corrosion current of rebar embedded in concrete (an
+// "ambient battery", Jagtap & Pannuto), a small PV cell, a thermal
+// gradient — and fires a burst task (sense + transmit) whenever enough
+// energy has accumulated. This package provides the harvester source
+// models, a supercapacitor store with leakage, and the budget arithmetic
+// that turns harvested power into an achievable transmission cadence.
+//
+// Units: power in microwatts (µW), energy in microjoules (µJ), time as
+// time.Duration of virtual simulation time.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"centuryscale/internal/sim"
+)
+
+// Harvester produces environmental power as a function of virtual time.
+type Harvester interface {
+	// PowerAt returns the instantaneous harvest power in µW at virtual
+	// time t (offset from simulation epoch).
+	PowerAt(t time.Duration) float64
+	// MeanPower returns the long-run average power in µW, used for
+	// budget planning.
+	MeanPower() float64
+}
+
+// Constant is a steady harvester, the idealised "ambient battery".
+type Constant struct {
+	MicroWatts float64
+}
+
+// PowerAt implements Harvester.
+func (c Constant) PowerAt(time.Duration) float64 { return c.MicroWatts }
+
+// MeanPower implements Harvester.
+func (c Constant) MeanPower() float64 { return c.MicroWatts }
+
+// CathodicProtection models harvesting from the impressed current of a
+// cathodic-protection system or rebar corrosion cell: nearly constant, with
+// a very slow multi-decade output decline as electrodes passivate. The
+// paper cites this as a source that lasts literally as long as the
+// structure does.
+type CathodicProtection struct {
+	// InitialMicroWatts is the output at deployment.
+	InitialMicroWatts float64
+	// DeclinePerCentury is the fraction of output lost per 100 years
+	// (e.g. 0.3 = 30% decline after a century). Linear in time.
+	DeclinePerCentury float64
+}
+
+// PowerAt implements Harvester.
+func (c CathodicProtection) PowerAt(t time.Duration) float64 {
+	frac := 1 - c.DeclinePerCentury*(sim.ToYears(t)/100)
+	if frac < 0 {
+		frac = 0
+	}
+	return c.InitialMicroWatts * frac
+}
+
+// MeanPower implements Harvester: the 50-year average.
+func (c CathodicProtection) MeanPower() float64 {
+	return (c.PowerAt(0) + c.PowerAt(sim.Years(50))) / 2
+}
+
+// Solar models a small photovoltaic harvester with diurnal and seasonal
+// cycles. Output is zero at night, sinusoidal during the day, and scaled by
+// a seasonal factor (±SeasonalSwing around 1 across the year).
+type Solar struct {
+	// PeakMicroWatts is the noon output at the equinox.
+	PeakMicroWatts float64
+	// SeasonalSwing in [0,1): fractional winter/summer modulation.
+	SeasonalSwing float64
+	// DerateAfterYears models encapsulant browning: output is linearly
+	// derated to DerateFloor over this many years (0 disables).
+	DerateAfterYears float64
+	// DerateFloor is the fraction of peak remaining after full derating.
+	DerateFloor float64
+}
+
+// PowerAt implements Harvester.
+func (s Solar) PowerAt(t time.Duration) float64 {
+	dayFrac := math.Mod(float64(t)/float64(sim.Day), 1)
+	if dayFrac < 0.25 || dayFrac > 0.75 {
+		return 0 // night: 6pm-6am
+	}
+	// Half-sine across 6am..6pm.
+	diurnal := math.Sin((dayFrac - 0.25) / 0.5 * math.Pi)
+	yearFrac := math.Mod(sim.ToYears(t), 1)
+	seasonal := 1 + s.SeasonalSwing*math.Sin(2*math.Pi*yearFrac)
+	derate := 1.0
+	if s.DerateAfterYears > 0 {
+		progress := sim.ToYears(t) / s.DerateAfterYears
+		if progress > 1 {
+			progress = 1
+		}
+		derate = 1 - (1-s.DerateFloor)*progress
+	}
+	return s.PeakMicroWatts * diurnal * seasonal * derate
+}
+
+// MeanPower implements Harvester: average of the diurnal half-sine over a
+// full day (peak * (2/pi) * 0.5), ignoring derating.
+func (s Solar) MeanPower() float64 {
+	return s.PeakMicroWatts * (2 / math.Pi) * 0.5
+}
+
+// Thermal models a thermoelectric harvester on a diurnal temperature
+// gradient: strongest at dawn and dusk when the structure and air diverge.
+type Thermal struct {
+	PeakMicroWatts float64
+}
+
+// PowerAt implements Harvester.
+func (th Thermal) PowerAt(t time.Duration) float64 {
+	dayFrac := math.Mod(float64(t)/float64(sim.Day), 1)
+	// Two lobes per day; |sin(2pi x)| has maxima at 0.25 and 0.75.
+	return th.PeakMicroWatts * math.Abs(math.Sin(2*math.Pi*dayFrac))
+}
+
+// MeanPower implements Harvester: mean of |sin| is 2/pi.
+func (th Thermal) MeanPower() float64 { return th.PeakMicroWatts * 2 / math.Pi }
+
+// Vibration models a piezoelectric harvester coupled to traffic-induced
+// structural vibration: output follows the daily traffic curve — near
+// zero in the small hours, strong through the working day with rush-hour
+// peaks. This is the harvester for sensors on bridges and roadways whose
+// energy source *is* the thing they monitor.
+type Vibration struct {
+	// PeakMicroWatts is the rush-hour output.
+	PeakMicroWatts float64
+}
+
+// trafficShape is the normalised hourly traffic-intensity curve used by
+// the vibration harvester (peaks at 8:00 and 17:00).
+var trafficShape = [24]float64{
+	0.05, 0.03, 0.02, 0.02, 0.05, 0.15, 0.45, 0.85,
+	1.00, 0.75, 0.60, 0.60, 0.65, 0.65, 0.65, 0.75,
+	0.90, 1.00, 0.90, 0.65, 0.45, 0.30, 0.18, 0.10,
+}
+
+// PowerAt implements Harvester, interpolating linearly between hours.
+func (v Vibration) PowerAt(t time.Duration) float64 {
+	dayHours := math.Mod(float64(t)/float64(time.Hour), 24)
+	if dayHours < 0 {
+		dayHours += 24
+	}
+	lo := int(dayHours) % 24
+	hi := (lo + 1) % 24
+	frac := dayHours - math.Floor(dayHours)
+	shape := trafficShape[lo]*(1-frac) + trafficShape[hi]*frac
+	return v.PeakMicroWatts * shape
+}
+
+// MeanPower implements Harvester: the average of the traffic curve.
+func (v Vibration) MeanPower() float64 {
+	sum := 0.0
+	for _, s := range trafficShape {
+		sum += s
+	}
+	return v.PeakMicroWatts * sum / 24
+}
+
+// Composite sums several harvesters (e.g. solar + thermal backup).
+type Composite []Harvester
+
+// PowerAt implements Harvester.
+func (cs Composite) PowerAt(t time.Duration) float64 {
+	sum := 0.0
+	for _, h := range cs {
+		sum += h.PowerAt(t)
+	}
+	return sum
+}
+
+// MeanPower implements Harvester.
+func (cs Composite) MeanPower() float64 {
+	sum := 0.0
+	for _, h := range cs {
+		sum += h.MeanPower()
+	}
+	return sum
+}
+
+// Store is an energy buffer (supercapacitor) with self-discharge.
+type Store struct {
+	// CapacityMicroJoules is the usable energy between the minimum
+	// operating voltage and the maximum rated voltage.
+	CapacityMicroJoules float64
+	// LeakageMicroWatts is the constant self-discharge draw.
+	LeakageMicroWatts float64
+
+	stored float64
+}
+
+// NewStore returns an empty store. Capacity must be positive.
+func NewStore(capacityMicroJoules, leakageMicroWatts float64) *Store {
+	if capacityMicroJoules <= 0 {
+		panic(fmt.Sprintf("energy: non-positive store capacity %v", capacityMicroJoules))
+	}
+	return &Store{
+		CapacityMicroJoules: capacityMicroJoules,
+		LeakageMicroWatts:   leakageMicroWatts,
+	}
+}
+
+// SupercapStore sizes a store from a capacitance in farads and a voltage
+// window [vmin, vmax]: E = C/2 (vmax² − vmin²), in µJ.
+func SupercapStore(farads, vmin, vmax, leakageMicroWatts float64) *Store {
+	usable := farads / 2 * (vmax*vmax - vmin*vmin) * 1e6
+	return NewStore(usable, leakageMicroWatts)
+}
+
+// Stored returns the currently buffered energy in µJ.
+func (s *Store) Stored() float64 { return s.stored }
+
+// Fraction returns the state of charge in [0, 1].
+func (s *Store) Fraction() float64 { return s.stored / s.CapacityMicroJoules }
+
+// Integrate advances the store by dt under harvest power harvestMicroWatts:
+// it adds harvested energy, subtracts leakage, and clamps to [0, capacity].
+// It returns the energy (µJ) that overflowed (was harvested but could not
+// be stored), which budget analyses use to quantify wasted harvest.
+func (s *Store) Integrate(harvestMicroWatts float64, dt time.Duration) (overflow float64) {
+	seconds := dt.Seconds()
+	delta := (harvestMicroWatts - s.LeakageMicroWatts) * seconds
+	s.stored += delta
+	if s.stored > s.CapacityMicroJoules {
+		overflow = s.stored - s.CapacityMicroJoules
+		s.stored = s.CapacityMicroJoules
+	}
+	if s.stored < 0 {
+		s.stored = 0
+	}
+	return overflow
+}
+
+// TryDraw removes amount µJ if available, reporting whether the draw
+// succeeded. Draws are atomic: an insufficient store is left untouched.
+func (s *Store) TryDraw(amount float64) bool {
+	if amount < 0 {
+		panic("energy: negative draw")
+	}
+	if s.stored < amount {
+		return false
+	}
+	s.stored -= amount
+	return true
+}
+
+// TaskCost is the energy bill for one duty cycle of a transmit-only
+// sensor.
+type TaskCost struct {
+	SenseMicroJoules float64 // sensor excitation + ADC
+	CPUMicroJoules   float64 // wake, pack, sign
+	TxMicroJoules    float64 // radio airtime at TX power
+}
+
+// Total returns the full per-task energy in µJ.
+func (tc TaskCost) Total() float64 {
+	return tc.SenseMicroJoules + tc.CPUMicroJoules + tc.TxMicroJoules
+}
+
+// Budget answers planning questions about a harvester/store/task triple.
+type Budget struct {
+	Harvester Harvester
+	Store     *Store
+	Task      TaskCost
+}
+
+// SustainableInterval returns the shortest steady transmission interval the
+// mean harvest power can sustain after leakage, or ok=false if the
+// harvester cannot even cover leakage.
+func (b Budget) SustainableInterval() (time.Duration, bool) {
+	net := b.Harvester.MeanPower() - b.Store.LeakageMicroWatts
+	if net <= 0 {
+		return 0, false
+	}
+	seconds := b.Task.Total() / net
+	return time.Duration(seconds * float64(time.Second)), true
+}
+
+// TimeToFirstTask simulates charging from empty under mean power and
+// returns how long until the store holds one task's worth of energy, or
+// ok=false if it never will.
+func (b Budget) TimeToFirstTask() (time.Duration, bool) {
+	net := b.Harvester.MeanPower() - b.Store.LeakageMicroWatts
+	if net <= 0 {
+		return 0, false
+	}
+	need := b.Task.Total()
+	if need > b.Store.CapacityMicroJoules {
+		return 0, false // store can never hold enough for one task
+	}
+	seconds := need / net
+	return time.Duration(seconds * float64(time.Second)), true
+}

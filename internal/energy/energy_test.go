@@ -1,0 +1,337 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"centuryscale/internal/sim"
+)
+
+func TestConstantHarvester(t *testing.T) {
+	c := Constant{MicroWatts: 50}
+	if c.PowerAt(0) != 50 || c.PowerAt(sim.Years(40)) != 50 {
+		t.Fatal("constant harvester must not vary")
+	}
+	if c.MeanPower() != 50 {
+		t.Fatal("constant mean != level")
+	}
+}
+
+func TestCathodicProtectionDecline(t *testing.T) {
+	cp := CathodicProtection{InitialMicroWatts: 100, DeclinePerCentury: 0.3}
+	if got := cp.PowerAt(0); got != 100 {
+		t.Fatalf("initial power %v", got)
+	}
+	at50 := cp.PowerAt(sim.Years(50))
+	if math.Abs(at50-85) > 0.5 {
+		t.Fatalf("power at 50y = %v, want ~85 (15%% decline)", at50)
+	}
+	at100 := cp.PowerAt(sim.Years(100))
+	if math.Abs(at100-70) > 0.5 {
+		t.Fatalf("power at 100y = %v, want ~70", at100)
+	}
+	// Never negative even at absurd horizons.
+	if cp.PowerAt(sim.Years(1000)) < 0 {
+		t.Fatal("power went negative")
+	}
+}
+
+func TestSolarDiurnal(t *testing.T) {
+	s := Solar{PeakMicroWatts: 1000}
+	if got := s.PowerAt(0); got != 0 {
+		t.Fatalf("midnight power = %v, want 0", got)
+	}
+	noon := s.PowerAt(12 * time.Hour)
+	if math.Abs(noon-1000) > 1 {
+		t.Fatalf("noon power = %v, want ~1000", noon)
+	}
+	if s.PowerAt(3*time.Hour) != 0 {
+		t.Fatal("3am power should be 0")
+	}
+	morning := s.PowerAt(9 * time.Hour)
+	if morning <= 0 || morning >= noon {
+		t.Fatalf("9am power %v should be between 0 and noon %v", morning, noon)
+	}
+}
+
+func TestSolarNeverNegative(t *testing.T) {
+	s := Solar{PeakMicroWatts: 500, SeasonalSwing: 0.4, DerateAfterYears: 25, DerateFloor: 0.7}
+	if err := quick.Check(func(hours uint32) bool {
+		return s.PowerAt(time.Duration(hours%876000)*time.Hour) >= 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolarDerating(t *testing.T) {
+	s := Solar{PeakMicroWatts: 1000, DerateAfterYears: 25, DerateFloor: 0.7}
+	// Align aged probes to local noon: whole days since epoch + 12h.
+	noonAfter := func(d time.Duration) time.Duration {
+		days := time.Duration(d / sim.Day)
+		return days*sim.Day + 12*time.Hour
+	}
+	fresh := s.PowerAt(12 * time.Hour)
+	aged := s.PowerAt(noonAfter(sim.Years(25)))
+	ratio := aged / fresh
+	if math.Abs(ratio-0.7) > 0.02 {
+		t.Fatalf("derate ratio = %v, want ~0.7", ratio)
+	}
+	// Derating saturates at the floor.
+	older := s.PowerAt(noonAfter(sim.Years(60)))
+	if older < aged*0.95 {
+		t.Fatalf("derating passed the floor: %v < %v", older, aged)
+	}
+}
+
+func TestSolarMeanPower(t *testing.T) {
+	// Numerical average over a year should match MeanPower.
+	s := Solar{PeakMicroWatts: 1000}
+	sum := 0.0
+	n := 0
+	for ti := time.Duration(0); ti < sim.Years(1); ti += 10 * time.Minute {
+		sum += s.PowerAt(ti)
+		n++
+	}
+	got := sum / float64(n)
+	want := s.MeanPower()
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("numeric mean %v vs MeanPower %v", got, want)
+	}
+}
+
+func TestThermalTwoLobes(t *testing.T) {
+	th := Thermal{PeakMicroWatts: 100}
+	if p := th.PowerAt(6 * time.Hour); math.Abs(p-100) > 1 {
+		t.Fatalf("6am thermal = %v, want ~peak", p)
+	}
+	if p := th.PowerAt(12 * time.Hour); p > 1 {
+		t.Fatalf("noon thermal = %v, want ~0 (no gradient)", p)
+	}
+	if p := th.PowerAt(18 * time.Hour); math.Abs(p-100) > 1 {
+		t.Fatalf("6pm thermal = %v, want ~peak", p)
+	}
+}
+
+func TestCompositeSums(t *testing.T) {
+	c := Composite{Constant{10}, Constant{15}}
+	if c.PowerAt(0) != 25 || c.MeanPower() != 25 {
+		t.Fatal("composite must sum members")
+	}
+}
+
+func TestStoreIntegrate(t *testing.T) {
+	s := NewStore(1000, 0)
+	s.Integrate(10, 10*time.Second) // 100 µJ
+	if math.Abs(s.Stored()-100) > 1e-9 {
+		t.Fatalf("stored = %v, want 100", s.Stored())
+	}
+	over := s.Integrate(100, 20*time.Second) // +2000 µJ -> clamp
+	if s.Stored() != 1000 {
+		t.Fatalf("stored = %v, want capacity 1000", s.Stored())
+	}
+	if math.Abs(over-1100) > 1e-9 {
+		t.Fatalf("overflow = %v, want 1100", over)
+	}
+}
+
+func TestStoreLeakage(t *testing.T) {
+	s := NewStore(1000, 5)
+	s.Integrate(105, 10*time.Second) // net 100/s * 10 = 1000 -> full
+	if s.Stored() != 1000 {
+		t.Fatalf("stored = %v", s.Stored())
+	}
+	s.Integrate(0, 100*time.Second) // leak 500
+	if math.Abs(s.Stored()-500) > 1e-9 {
+		t.Fatalf("after leak stored = %v, want 500", s.Stored())
+	}
+	s.Integrate(0, time.Hour) // leaks past empty: clamp at 0
+	if s.Stored() != 0 {
+		t.Fatalf("stored went negative: %v", s.Stored())
+	}
+}
+
+func TestStoreDraw(t *testing.T) {
+	s := NewStore(1000, 0)
+	s.Integrate(100, 5*time.Second)
+	if !s.TryDraw(300) {
+		t.Fatal("draw of 300 from 500 failed")
+	}
+	if math.Abs(s.Stored()-200) > 1e-9 {
+		t.Fatalf("stored = %v, want 200", s.Stored())
+	}
+	if s.TryDraw(300) {
+		t.Fatal("draw of 300 from 200 succeeded")
+	}
+	if math.Abs(s.Stored()-200) > 1e-9 {
+		t.Fatal("failed draw must not change the store")
+	}
+}
+
+func TestStoreDrawNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative draw did not panic")
+		}
+	}()
+	NewStore(10, 0).TryDraw(-1)
+}
+
+func TestSupercapSizing(t *testing.T) {
+	// 0.47F between 1.8V and 5.0V: E = 0.235*(25-3.24) J = 5.1136 J.
+	s := SupercapStore(0.47, 1.8, 5.0, 0)
+	want := 0.47 / 2 * (25 - 3.24) * 1e6
+	if math.Abs(s.CapacityMicroJoules-want) > 1 {
+		t.Fatalf("capacity = %v µJ, want %v", s.CapacityMicroJoules, want)
+	}
+}
+
+func TestStoreFraction(t *testing.T) {
+	s := NewStore(200, 0)
+	s.Integrate(10, 10*time.Second)
+	if f := s.Fraction(); math.Abs(f-0.5) > 1e-9 {
+		t.Fatalf("fraction = %v, want 0.5", f)
+	}
+}
+
+func TestTaskCostTotal(t *testing.T) {
+	tc := TaskCost{SenseMicroJoules: 10, CPUMicroJoules: 20, TxMicroJoules: 70}
+	if tc.Total() != 100 {
+		t.Fatalf("total = %v", tc.Total())
+	}
+}
+
+func TestSustainableInterval(t *testing.T) {
+	// 100 µW harvest, 0 leak, 360,000 µJ task -> 3600 s interval.
+	b := Budget{
+		Harvester: Constant{100},
+		Store:     NewStore(1e6, 0),
+		Task:      TaskCost{TxMicroJoules: 360000},
+	}
+	iv, ok := b.SustainableInterval()
+	if !ok {
+		t.Fatal("sustainable budget reported unsustainable")
+	}
+	if math.Abs(iv.Seconds()-3600) > 1 {
+		t.Fatalf("interval = %v, want ~1h", iv)
+	}
+}
+
+func TestUnsustainableBudget(t *testing.T) {
+	b := Budget{
+		Harvester: Constant{1},
+		Store:     NewStore(1e6, 5), // leakage exceeds harvest
+		Task:      TaskCost{TxMicroJoules: 100},
+	}
+	if _, ok := b.SustainableInterval(); ok {
+		t.Fatal("leak-dominated budget reported sustainable")
+	}
+	if _, ok := b.TimeToFirstTask(); ok {
+		t.Fatal("leak-dominated budget reported reachable first task")
+	}
+}
+
+func TestTimeToFirstTask(t *testing.T) {
+	b := Budget{
+		Harvester: Constant{10},
+		Store:     NewStore(10000, 0),
+		Task:      TaskCost{TxMicroJoules: 1000},
+	}
+	d, ok := b.TimeToFirstTask()
+	if !ok || math.Abs(d.Seconds()-100) > 1 {
+		t.Fatalf("time to first task = %v ok=%v, want 100s", d, ok)
+	}
+}
+
+func TestTaskBiggerThanStore(t *testing.T) {
+	b := Budget{
+		Harvester: Constant{10},
+		Store:     NewStore(100, 0),
+		Task:      TaskCost{TxMicroJoules: 1000},
+	}
+	if _, ok := b.TimeToFirstTask(); ok {
+		t.Fatal("task larger than the store must be unreachable")
+	}
+}
+
+func TestHourlyPacketOnCorrosionBudget(t *testing.T) {
+	// The paper's headline device: hourly 24-byte packet from a rebar
+	// corrosion cell. With a ~50 µW trickle and a ~30 mJ task the cadence
+	// supports an hourly uplink comfortably.
+	b := Budget{
+		Harvester: CathodicProtection{InitialMicroWatts: 50, DeclinePerCentury: 0.3},
+		Store:     SupercapStore(0.1, 1.8, 5.0, 1),
+		Task:      TaskCost{SenseMicroJoules: 2000, CPUMicroJoules: 3000, TxMicroJoules: 25000},
+	}
+	iv, ok := b.SustainableInterval()
+	if !ok {
+		t.Fatal("corrosion budget unsustainable")
+	}
+	if iv > time.Hour {
+		t.Fatalf("sustainable interval %v exceeds the paper's hourly cadence", iv)
+	}
+}
+
+func BenchmarkIntegrateDay(b *testing.B) {
+	s := Solar{PeakMicroWatts: 500}
+	st := NewStore(5e6, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for ti := time.Duration(0); ti < sim.Day; ti += time.Minute {
+			st.Integrate(s.PowerAt(ti), time.Minute)
+		}
+	}
+}
+
+func TestVibrationFollowsTraffic(t *testing.T) {
+	v := Vibration{PeakMicroWatts: 200}
+	rush := v.PowerAt(8 * time.Hour)
+	night := v.PowerAt(3 * time.Hour)
+	if rush < 190 || rush > 200 {
+		t.Fatalf("rush-hour power = %v, want ~peak", rush)
+	}
+	if night > 10 {
+		t.Fatalf("3am power = %v, want near zero", night)
+	}
+	if rush < 20*night {
+		t.Fatalf("rush/night ratio too small: %v / %v", rush, night)
+	}
+}
+
+func TestVibrationInterpolatesSmoothly(t *testing.T) {
+	v := Vibration{PeakMicroWatts: 100}
+	// No discontinuities: adjacent 10-minute samples differ by a small step.
+	prev := v.PowerAt(0)
+	for ti := 10 * time.Minute; ti <= 48*time.Hour; ti += 10 * time.Minute {
+		cur := v.PowerAt(ti)
+		if diff := math.Abs(cur - prev); diff > 12 {
+			t.Fatalf("jump of %v at %v", diff, ti)
+		}
+		prev = cur
+	}
+}
+
+func TestVibrationMeanPower(t *testing.T) {
+	v := Vibration{PeakMicroWatts: 100}
+	sum := 0.0
+	n := 0
+	for ti := time.Duration(0); ti < 24*time.Hour; ti += time.Minute {
+		sum += v.PowerAt(ti)
+		n++
+	}
+	got := sum / float64(n)
+	want := v.MeanPower()
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("numeric mean %v vs MeanPower %v", got, want)
+	}
+}
+
+func TestVibrationNeverNegative(t *testing.T) {
+	v := Vibration{PeakMicroWatts: 100}
+	for ti := time.Duration(0); ti < 3*sim.Day; ti += 7 * time.Minute {
+		if v.PowerAt(ti) < 0 {
+			t.Fatalf("negative power at %v", ti)
+		}
+	}
+}

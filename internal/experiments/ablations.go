@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"centuryscale/internal/airfield"
+	"centuryscale/internal/concrete"
+	"centuryscale/internal/core"
+	"centuryscale/internal/energy"
+	"centuryscale/internal/fleet"
+	"centuryscale/internal/metering"
+	"centuryscale/internal/radio"
+	"centuryscale/internal/reliability"
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+// Ablations and extension studies (A1-A7): design-choice sweeps DESIGN.md
+// calls out, plus the application workloads the paper motivates but does
+// not evaluate. They follow the same Table conventions as E1-E12.
+
+// A1LoRaSweep quantifies the LoRa spreading-factor trade: airtime (which
+// is both energy and regulatory duty-cycle budget) versus link budget
+// (range) for the paper's 24-byte packet.
+func A1LoRaSweep() Table {
+	t := Table{
+		ID:     "A1",
+		Title:  "LoRa spreading-factor trade for 24-byte packets",
+		Header: []string{"SF", "airtime-ms", "energy-mJ@14dBm", "sensitivity-dBm", "range-km", "max-hourly-pkts@1%duty"},
+	}
+	ch := radio.UrbanChannel()
+	link := radio.Link{TxPowerDBm: 14}
+	for sf := 7; sf <= 12; sf++ {
+		cfg := radio.DefaultLoRa(sf)
+		air := cfg.Airtime(24)
+		energyMJ := radio.TxEnergy(air, 14) / 1000
+		rangeKM := link.MaxRangeMeters(ch, cfg.Sensitivity()) / 1000
+		maxPkts := int(0.01 * time.Hour.Seconds() / air.Seconds())
+		t.AddRow(
+			fmt.Sprintf("SF%d", sf),
+			f1(float64(air.Microseconds())/1000),
+			f2(energyMJ),
+			f1(cfg.Sensitivity()),
+			f2(rangeKM),
+			fmt.Sprintf("%d", maxPkts),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"each SF step buys ~2.5 dB of budget at ~2x the airtime/energy; the paper's hourly 24-byte cadence fits the 1% duty cycle at every SF")
+	return t
+}
+
+// A2StorageSizing sweeps the harvesting device's capacitor size under a
+// solar harvester: too small a store cannot hold one task; beyond the
+// knee, extra capacitance buys nothing (and the electrolytic sizes the
+// paper warns about would reintroduce a wear-out part).
+func A2StorageSizing() Table {
+	t := Table{
+		ID:     "A2",
+		Title:  "Supercap sizing for a solar-harvesting hourly reporter",
+		Header: []string{"capacitance-F", "usable-mJ", "holds-one-task", "time-to-first-task", "night-survival"},
+	}
+	task := energy.TaskCost{SenseMicroJoules: 2000, CPUMicroJoules: 3000, TxMicroJoules: 25000}
+	harv := energy.Solar{PeakMicroWatts: 300}
+	for _, farads := range []float64{0.001, 0.01, 0.047, 0.1, 0.47, 1.0} {
+		store := energy.SupercapStore(farads, 1.8, 5.0, 1)
+		b := energy.Budget{Harvester: harv, Store: store, Task: task}
+		holds := task.Total() <= store.CapacityMicroJoules
+		first := "-"
+		if d, ok := b.TimeToFirstTask(); ok {
+			first = fmt.Sprintf("%.0f min", d.Minutes())
+		} else {
+			first = "never"
+		}
+		// Night survival: can a full store cover 12 h of leakage plus
+		// one dawn report?
+		nightNeed := 1*12*3600 + task.Total()
+		survives := store.CapacityMicroJoules >= nightNeed
+		t.AddRow(
+			fmt.Sprintf("%.3f", farads),
+			f1(store.CapacityMicroJoules/1000),
+			fmt.Sprintf("%v", holds),
+			first,
+			fmt.Sprintf("%v", survives),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"the knee sits near 0.047 F: below it a 30 mJ report cannot be buffered; far above it only leakage grows")
+	return t
+}
+
+// A3GatewayDensity sweeps owned-gateway count for a fixed device fleet:
+// the availability/cost trade of the owned design point.
+func A3GatewayDensity(seed uint64) Table {
+	t := Table{
+		ID:     "A3",
+		Title:  "Owned-gateway density vs end-to-end delivery (10-year runs)",
+		Header: []string{"gateways", "devices/gw", "delivery", "weekly-uptime", "gw-replacements"},
+	}
+	for _, gws := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultExperiment(core.OwnedWPAN)
+		cfg.Seed = seed
+		cfg.Horizon = sim.Years(10)
+		cfg.NumDevices = 40
+		cfg.ReportInterval = 12 * time.Hour
+		cfg.NumGateways = gws
+		out := core.RunExperiment(cfg)
+		t.AddRow(
+			fmt.Sprintf("%d", gws),
+			fmt.Sprintf("%d", cfg.NumDevices/gws),
+			pct(out.DeliveryRatio()),
+			pct(out.WeeklyUptime),
+			fmt.Sprintf("%d", out.GatewayReplaced),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"cells are independent in this model, so per-packet delivery is flat; what density buys is uptime — one gateway is a single point of failure during its replacement lag, and weekly uptime only reaches 100% with at least two")
+	return t
+}
+
+// A4ReplacementPolicies compares all four fleet policies on one fleet.
+func A4ReplacementPolicies(seed uint64) Table {
+	t := Table{
+		ID:     "A4",
+		Title:  "Replacement policies on a 600-slot, 15-year-device fleet (50y)",
+		Header: []string{"policy", "availability", "replacements", "cost", "events-logged"},
+	}
+	base := fleet.Config{
+		Slots:          600,
+		Horizon:        sim.Years(50),
+		Lifetime:       reliability.WeibullFromMean(3, 15),
+		RepairLag:      30 * sim.Day,
+		BatchZones:     25,
+		BatchCycle:     sim.Years(25),
+		ScheduledEvery: sim.Years(10),
+		HardwareCents:  10000,
+		LaborCents:     2500,
+	}
+	for _, p := range []fleet.Policy{fleet.PolicyNone, fleet.PolicyOnFailure, fleet.PolicyBatch, fleet.PolicyScheduled} {
+		cfg := base
+		cfg.Policy = p
+		res := fleet.Run(cfg, rng.New(seed))
+		t.AddRow(
+			p.String(),
+			pct(res.Availability()),
+			fmt.Sprintf("%d", res.Replacements),
+			fmt.Sprintf("$%.0f", float64(res.CostCents)/100),
+			fmt.Sprintf("%d", len(res.Diary)),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"batch replacement is the realistic municipal mode (§1): cheaper than on-failure dispatch but it leaves failed slots dark until the project cycle returns")
+	return t
+}
+
+// A5SensingDensity runs the §2 air-quality density study: reconstruction
+// quality versus sensor count.
+func A5SensingDensity(seed uint64) Table {
+	t := Table{
+		ID:     "A5",
+		Title:  "Air-quality sensing density (§2: city-block granularity)",
+		Header: []string{"sensors", "spacing-m", "RMSE-ug/m3", "correlation"},
+	}
+	src := rng.New(seed)
+	f := airfield.Synthetic(4000, 25, src.Split("field"))
+	for _, r := range f.DensityStudy([]int{5, 20, 100, 500, 2000}, 0.05, src.Split("sensors")) {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Sensors),
+			fmt.Sprintf("%.0f", r.MetersPerSide),
+			f2(r.RMSE),
+			f2(r.Corr),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"reconstruction only becomes faithful once sensor spacing approaches the ~100-180 m source footprint — the paper's city-block granularity")
+	return t
+}
+
+// A6Metering runs the AMI study: demand-response peak cut and outage
+// detection latency versus reporting cadence.
+func A6Metering(seed uint64) Table {
+	t := Table{
+		ID:     "A6",
+		Title:  "Advanced metering infrastructure (§2): DR and outage detection",
+		Header: []string{"metric", "value"},
+	}
+	fleetM := metering.NewFleet(2000, 0.4, rng.New(seed))
+	base := fleetM.Run(7, metering.DefaultTariff(), nil)
+	var events []metering.DREvent
+	for d := 0; d < 7; d++ {
+		events = append(events, metering.DREvent{Day: d, StartHour: 17, Hours: 4, ShedFraction: 0.3})
+	}
+	fleetM2 := metering.NewFleet(2000, 0.4, rng.New(seed))
+	dr := fleetM2.Run(7, metering.DefaultTariff(), events)
+	t.AddRow("meters", "2000 (40% DR-enrolled)")
+	t.AddRow("system peak, no DR", fmt.Sprintf("%.0f kW", base.PeakKW))
+	t.AddRow("system peak, with DR", fmt.Sprintf("%.0f kW", dr.PeakKW))
+	t.AddRow("peak reduction", pct(1-dr.PeakKW/base.PeakKW))
+	t.AddRow("energy shed", fmt.Sprintf("%.0f kWh/week", dr.ShedKWh))
+	for _, cadence := range []time.Duration{30 * 24 * time.Hour, 24 * time.Hour, time.Hour} {
+		res := metering.DetectOutage(metering.OutageParams{
+			ReportEvery: cadence, MissesToAlarm: 2,
+			OutageAt: 6*time.Hour + 17*time.Minute, MetersOut: 140,
+		})
+		t.AddRow(fmt.Sprintf("outage latency @ %v reads", cadence),
+			fmt.Sprintf("%.1f h", res.Latency.Hours()))
+	}
+	t.Notes = append(t.Notes,
+		"two-way AMI both shaves the system peak and turns every meter into an outage sensor (the Chattanooga value, §2)")
+	return t
+}
+
+// A7BridgeMonitor composes the concrete model with the energy budget: the
+// paper's flagship device, checked for physical self-consistency over the
+// structure's whole life.
+func A7BridgeMonitor() Table {
+	t := Table{
+		ID:     "A7",
+		Title:  "Bridge-embedded sensor: health signal and harvest budget (§1, §4.1)",
+		Header: []string{"year", "health-index", "chloride@rebar", "harvest-uW", "sustainable-interval"},
+	}
+	b := concrete.Bridge()
+	task := energy.TaskCost{SenseMicroJoules: 2000, CPUMicroJoules: 3000, TxMicroJoules: 25000}
+	for _, y := range []float64{0.1, 1, 10, 25, 40, 50} {
+		at := sim.Years(y)
+		uw := b.HarvestMicroWatts(100, 0.5, at)
+		budget := energy.Budget{
+			Harvester: energy.Constant{MicroWatts: uw},
+			Store:     energy.SupercapStore(0.1, 1.8, 5.0, 1),
+			Task:      task,
+		}
+		interval := "starved"
+		if iv, ok := budget.SustainableInterval(); ok {
+			interval = fmt.Sprintf("%.0f min", iv.Minutes())
+		}
+		t.AddRow(
+			f1(y),
+			f2(b.HealthIndex(at)),
+			f2(b.ChlorideAt(b.CoverMM, at)),
+			f1(uw),
+			interval,
+		)
+	}
+	t.AddRow("service life", f1(b.ServiceLifeYears())+" years", "-", "-", "-")
+	t.Notes = append(t.Notes,
+		"the grim symmetry the paper notes: the corrosion that ends the bridge's life is exactly what powers its sensor — harvest rises as health falls",
+		"hourly reporting is sustainable once corrosion initiates; pre-initiation the passive trickle supports ~2-hourly reports")
+	return t
+}
+
+// AllAblations returns A1-A14 in order.
+func AllAblations(seed uint64) []Table {
+	return []Table{
+		A1LoRaSweep(),
+		A2StorageSizing(),
+		A3GatewayDensity(seed),
+		A4ReplacementPolicies(seed),
+		A5SensingDensity(seed),
+		A6Metering(seed),
+		A7BridgeMonitor(),
+		A8GatewayMigration(seed),
+		A9FiftyYearTimeline(seed),
+		A10TrafficCoverage(seed),
+		A11Obsolescence(seed),
+		A12BridgeLifetime(seed),
+		A13SharedInfra(),
+		A14Century(seed),
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"centuryscale/internal/core"
+)
+
+// A12BridgeLifetime runs the fully-coupled bridge scenario: sensors cast
+// into one bridge deck, harvesting from the corrosion they report on,
+// through the structure's entire ~52-year service life plus five years of
+// aftermath. This is the paper's opening image (§1) executed end to end.
+func A12BridgeLifetime(seed uint64) Table {
+	cfg := core.DefaultBridge()
+	cfg.Seed = seed
+	out := core.RunBridge(cfg)
+
+	t := Table{
+		ID:     "A12",
+		Title:  "Coupled bridge deployment across the structure's service life (§1, §4.1)",
+		Header: []string{"year", "mean-reported-health"},
+	}
+	for _, y := range []int{0, 10, 20, 30, 40, 45, 50, 52, 55} {
+		if y >= len(out.HealthAtYear) {
+			continue
+		}
+		v := "no data (fleet silent)"
+		if h := out.HealthAtYear[y]; h >= 0 {
+			v = f2(h)
+		}
+		t.AddRow(fmt.Sprintf("%d", y), v)
+	}
+	t.AddRow("—", "—")
+	t.AddRow("sensors deployed", fmt.Sprintf("%d (never touched)", cfg.Sensors))
+	t.AddRow("sensors alive at structure EOL", fmt.Sprintf("%d", out.SensorsAliveAtEOL))
+	t.AddRow("packets accepted", fmt.Sprintf("%d", out.PacketsAccepted))
+	t.AddRow("weekly uptime", pct(out.WeeklyUptime))
+	t.AddRow("energy-starved skips", fmt.Sprintf("%d (passive corrosion regime)", out.StarvedSkips))
+	t.Notes = append(t.Notes,
+		"the reported health curve tracks ground truth: flat near 1.0 for four decades, then declining as corrosion initiates around year 44",
+		"with only a dozen never-touched sensors the sensing fleet itself can go extinct near the structure's end of life — the redundancy argument for deploying more sensors than the data strictly needs",
+		"pre-initiation, the passive corrosion trickle starves the 2-hour cadence into skips; once corrosion begins in earnest the same cell funds it comfortably")
+	return t
+}

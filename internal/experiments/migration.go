@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"centuryscale/internal/cloud"
+	"centuryscale/internal/gateway"
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/telemetry"
+)
+
+// A8GatewayMigration drills §3.2/§3.4's runtime-swappable-gateway
+// requirement on the real forwarding objects: a device population runs
+// through a first-generation gateway which has, over its service life,
+// learned a registry and blocklisted an abusive device. At mid-run the
+// gateway is replaced. With the trusted-third-party handoff the successor
+// inherits registry and blocklist and the swap is invisible; with a naive
+// swap the blocklist is lost and the abusive device's traffic flows again
+// until rediscovered.
+func A8GatewayMigration(seed uint64) Table {
+	_ = seed // the drill is fully deterministic
+	t := Table{
+		ID:     "A8",
+		Title:  "Gateway generation swap: trusted-third-party handoff (§3.2)",
+		Header: []string{"swap mode", "good-pkts-delivered", "bad-pkts-leaked", "devices-inherited"},
+	}
+
+	master := []byte("migration-drill-master-secret")
+	secret := []byte("network-operator-secret-0123456789")
+	const (
+		goodDevices = 20
+		epochs      = 40 // reporting rounds; swap after round 20
+	)
+	badDev := lpwan.EUIFromUint64(0xBAD)
+
+	run := func(withHandoff bool) (good, leaked int, inherited int) {
+		store := cloud.NewStore(cloud.StaticKeys(master))
+		now := time.Duration(0)
+		uplink := gateway.UplinkFunc(func(p []byte) error {
+			if err := store.Ingest(now, p); err != nil {
+				return nil // endpoint rejections are not uplink failures
+			}
+			return nil
+		})
+		gen1 := gateway.New(gateway.Config{ID: "gw-gen1"}, uplink)
+		gen1.Block(badDev)
+
+		seqs := make(map[uint64]uint32)
+		sendAll := func(gw *gateway.Gateway) {
+			for i := 0; i < goodDevices; i++ {
+				id := lpwan.EUIFromUint64(0x2000 + uint64(i))
+				seqs[id.Uint64()]++
+				p := telemetry.Packet{Device: id, Seq: seqs[id.Uint64()]}
+				payload, err := p.Seal(telemetry.DeriveKey(master, id))
+				if err != nil {
+					panic(err)
+				}
+				frame, err := (lpwan.Frame{Type: lpwan.FrameData, Source: id, Seq: uint16(p.Seq), Payload: payload}).Encode()
+				if err != nil {
+					panic(err)
+				}
+				_ = gw.HandleFrame(frame)
+			}
+			// The abusive device also transmits every round. Its
+			// packets verify (it holds a fleet key) — only the
+			// gateway blocklist stops them.
+			seqs[badDev.Uint64()]++
+			p := telemetry.Packet{Device: badDev, Seq: seqs[badDev.Uint64()]}
+			payload, err := p.Seal(telemetry.DeriveKey(master, badDev))
+			if err != nil {
+				panic(err)
+			}
+			frame, err := (lpwan.Frame{Type: lpwan.FrameData, Source: badDev, Seq: uint16(p.Seq), Payload: payload}).Encode()
+			if err != nil {
+				panic(err)
+			}
+			_ = gw.HandleFrame(frame)
+		}
+
+		active := gen1
+		for epoch := 0; epoch < epochs; epoch++ {
+			now = time.Duration(epoch) * time.Hour
+			if epoch == epochs/2 {
+				gen2 := gateway.New(gateway.Config{ID: "gw-gen2"}, uplink)
+				if withHandoff {
+					blob, err := gen1.ExportHandoff(secret, "gw-gen2", time.Unix(int64(epoch), 0))
+					if err != nil {
+						panic(err)
+					}
+					if _, err := gen2.ImportHandoff(secret, blob); err != nil {
+						panic(err)
+					}
+				}
+				inherited = len(gen2.Devices())
+				active = gen2
+			}
+			sendAll(active)
+		}
+
+		for _, dev := range store.Devices() {
+			n := len(store.History(dev))
+			if dev == badDev {
+				leaked += n
+			} else {
+				good += n
+			}
+		}
+		return good, leaked, inherited
+	}
+
+	goodH, leakedH, inhH := run(true)
+	goodN, leakedN, inhN := run(false)
+	t.AddRow("trusted-third-party handoff",
+		fmt.Sprintf("%d", goodH), fmt.Sprintf("%d", leakedH), fmt.Sprintf("%d", inhH))
+	t.AddRow("naive swap (registry lost)",
+		fmt.Sprintf("%d", goodN), fmt.Sprintf("%d", leakedN), fmt.Sprintf("%d", inhN))
+	t.Notes = append(t.Notes,
+		"the outgoing gateway signs its registry and blocklist to its successor; a naive swap leaks the blocklisted device's traffic for the rest of the run",
+		"good-device delivery is unaffected either way — open gateways need no per-device provisioning, which is the §3.1 de-risking takeaway")
+	return t
+}

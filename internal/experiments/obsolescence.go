@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"centuryscale/internal/econ"
+	"centuryscale/internal/fleet"
+	"centuryscale/internal/reliability"
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+// A11Obsolescence quantifies §1's central distinction: functional
+// obsolescence (devices retire when they actually break) versus technical
+// or planned obsolescence (an external schedule — a spectrum sunset, a
+// vendor lockout — retires healthy devices). The same 15-year-mean
+// hardware is run under progressively harsher forced-EOL schedules.
+func A11Obsolescence(seed uint64) Table {
+	t := Table{
+		ID:     "A11",
+		Title:  "Functional vs technical obsolescence (§1)",
+		Header: []string{"retirement regime", "effective-mean-life-y", "replacements", "cost-50y", "cost-multiple"},
+	}
+	base := fleet.Config{
+		Slots:         500,
+		Horizon:       sim.Years(50),
+		Lifetime:      reliability.WeibullFromMean(3, 15),
+		Policy:        fleet.PolicyOnFailure,
+		RepairLag:     30 * sim.Day,
+		HardwareCents: 10000,
+		LaborCents:    2500,
+	}
+	var naturalCost int64
+	for _, eol := range []float64{0, 15, 10, 5, 3} {
+		cfg := base
+		cfg.ForcedRetirementYears = eol
+		res := fleet.Run(cfg, rng.New(seed))
+		// Effective mean life = total in-service time / devices used.
+		devicesUsed := 500 + res.Replacements
+		meanLife := res.Availability() * 50 * 500 / float64(devicesUsed)
+		label := "functional (break-only)"
+		if eol > 0 {
+			label = fmt.Sprintf("forced EOL at %gy", eol)
+		}
+		if eol == 0 {
+			naturalCost = res.CostCents
+		}
+		multiple := "-"
+		if naturalCost > 0 {
+			multiple = fmt.Sprintf("%.1fx", float64(res.CostCents)/float64(naturalCost))
+		}
+		t.AddRow(
+			label,
+			f1(meanLife),
+			fmt.Sprintf("%d", res.Replacements),
+			econ.Cents(res.CostCents).String(),
+			multiple,
+		)
+	}
+	t.Notes = append(t.Notes,
+		"the paper's §1 argument in one table: every year an external schedule shaves off a healthy device's life converts directly into replacement labor and hardware",
+		"a 3-year EOL (a fast phone-style cycle) costs ~5x the break-only regime on identical hardware")
+	return t
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Machine-readable output: the tables are also the interchange format
+// for anyone plotting the results, so they serialise to CSV and JSON.
+
+// WriteCSV emits the table as CSV: a header row then data rows. Notes are
+// emitted as trailing comment-style rows prefixed with "#note".
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"#note", n}); err != nil {
+			return fmt.Errorf("experiments: csv note: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonTable is the stable JSON shape.
+type jsonTable struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON emits the table as a single JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonTable{
+		ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+	})
+}
+
+// WriteAllJSON emits several tables as a JSON array.
+func WriteAllJSON(w io.Writer, tables []Table) error {
+	out := make([]jsonTable, len(tables))
+	for i, t := range tables {
+		out[i] = jsonTable{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	t := Table{
+		ID:     "T0",
+		Title:  "sample",
+		Header: []string{"a", "b"},
+		Notes:  []string{"a note, with comma"},
+	}
+	t.AddRow("1", "x,y") // embedded comma must survive CSV quoting
+	t.AddRow("2", "z")
+	return t
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	tab := sampleTable()
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 2 rows + 1 note
+		t.Fatalf("records = %d: %v", len(records), records)
+	}
+	if records[1][1] != "x,y" {
+		t.Fatalf("comma cell mangled: %q", records[1][1])
+	}
+	if records[3][0] != "#note" {
+		t.Fatalf("note row = %v", records[3])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tab := sampleTable()
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonTable
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "T0" || len(got.Rows) != 2 || got.Rows[0][1] != "x,y" {
+		t.Fatalf("json = %+v", got)
+	}
+}
+
+func TestWriteAllJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAllJSON(&buf, []Table{sampleTable(), E4HeliumWallet()}); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonTable
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].ID != "E4" {
+		t.Fatalf("json array = %d entries", len(got))
+	}
+	if !strings.Contains(buf.String(), "438000") {
+		t.Fatal("E4 numbers missing from JSON")
+	}
+}

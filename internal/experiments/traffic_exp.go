@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+
+	"centuryscale/internal/rng"
+	"centuryscale/internal/traffic"
+)
+
+// A10TrafficCoverage quantifies §2's claim that "instrumenting one
+// intersection will not give city planners an accurate picture of the
+// overall city traffic": citywide-flow estimation error versus the
+// fraction of intersections instrumented, for unbiased and
+// arterial-chasing sensor placement.
+func A10TrafficCoverage(seed uint64) Table {
+	t := Table{
+		ID:     "A10",
+		Title:  "Traffic-sensing coverage (§2: one intersection is not a picture)",
+		Header: []string{"instrumented", "fraction", "placement", "mean-abs-error"},
+	}
+	src := rng.New(seed)
+	net := traffic.Synthesize(20, 50000, src.Split("network"))
+	res := net.CoverageStudy([]int{1, 4, 16, 64, 400}, 25, src.Split("sampling"))
+	for _, r := range res {
+		t.AddRow(
+			fmt.Sprintf("%d/400", r.Instrumented),
+			pct(r.Fraction),
+			r.Strategy.String(),
+			pct(r.AbsRelErr),
+		)
+	}
+	t.AddRow("flow concentration", "-", "Gini index", f2(net.GiniIndex()))
+	t.Notes = append(t.Notes,
+		"one instrumented intersection misestimates citywide flow by a large factor; unbiased error shrinks with coverage, while instrumenting only the busiest corridors biases high at every scale")
+	return t
+}

@@ -1,0 +1,341 @@
+// Package fleet implements device-fleet lifecycle management: the Ship of
+// Theseus dynamics at the heart of the paper's argument (§1, §3.4).
+//
+// "The lifetime of a sensing system is the aggregate lifetime of all of
+// its devices across all their deployments. Constituent device lifetimes
+// are pipelined, where some 15-year sensors are 10 years into their
+// service life while others are being freshly deployed." No individual
+// device needs to last 50 years for the *system* to last 50 years — if,
+// and only if, a replacement pipeline exists. This package simulates a
+// fleet of device slots under different replacement policies (none,
+// on-failure dispatch, geographic batch projects, proactive schedule) and
+// measures what the paper cares about: aggregate availability, replacement
+// burden, cost, and the maintenance diary a long-lived experiment keeps.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"centuryscale/internal/reliability"
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+// Policy selects the replacement strategy.
+type Policy int
+
+// Replacement policies.
+const (
+	// PolicyNone deploys once and never replaces: the paper's 50-year
+	// experiment rule for edge devices ("once deployed, never touched").
+	PolicyNone Policy = iota
+	// PolicyOnFailure replaces each device when its failure is noticed,
+	// after a repair lag.
+	PolicyOnFailure
+	// PolicyBatch replaces failed devices only when the rolling
+	// infrastructure project next visits their zone (§1: "infrastructure
+	// projects operate in geographical batches").
+	PolicyBatch
+	// PolicyScheduled proactively replaces every device on a fixed
+	// calendar, failed or not (today's 2-7-year upgrade cycles, §2).
+	PolicyScheduled
+)
+
+var policyNames = map[Policy]string{
+	PolicyNone:      "none",
+	PolicyOnFailure: "on-failure",
+	PolicyBatch:     "batch",
+	PolicyScheduled: "scheduled",
+}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if n, ok := policyNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config parameterises a fleet run.
+type Config struct {
+	// Slots is the number of device positions the application needs
+	// filled (one sensor per bridge pier, per intersection, ...).
+	Slots int
+	// Horizon is how long to simulate.
+	Horizon time.Duration
+	// Lifetime is the device lifetime distribution (from a BOM).
+	Lifetime reliability.Distribution
+	// Policy is the replacement strategy.
+	Policy Policy
+
+	// RepairLag applies to PolicyOnFailure: detect + dispatch + travel.
+	RepairLag time.Duration
+
+	// BatchZones and BatchCycle apply to PolicyBatch: the city is split
+	// into zones visited round-robin, the full rotation taking
+	// BatchCycle.
+	BatchZones int
+	BatchCycle time.Duration
+
+	// ScheduledEvery applies to PolicyScheduled.
+	ScheduledEvery time.Duration
+
+	// StaggerCohorts > 1 pipelines the initial deployment: slot i enters
+	// service at (i mod StaggerCohorts) / StaggerCohorts * StaggerSpan.
+	StaggerCohorts int
+	StaggerSpan    time.Duration
+
+	// ForcedRetirementYears, if positive, truncates every device's life
+	// at this age regardless of health: the paper's §1 obsolescence
+	// taxonomy — planned obsolescence (vendor lockout), or technical
+	// obsolescence when supporting infrastructure (a 2G network, a
+	// vendor cloud) is withdrawn on a schedule the device cannot
+	// influence.
+	ForcedRetirementYears float64
+
+	// PartsAvailableYears, if positive, is how long compatible
+	// replacement hardware can still be bought (the Jang et al.
+	// unplanned-obsolescence problem the paper cites in §1: production
+	// lines close long before deployments do). Replacements scheduled
+	// after this point simply cannot happen; the slot goes dark for
+	// good.
+	PartsAvailableYears float64
+
+	// HardwareCents and LaborCents price each replacement.
+	HardwareCents int64
+	LaborCents    int64
+}
+
+// EventKind labels diary entries.
+type EventKind int
+
+// Diary event kinds.
+const (
+	EventDeploy EventKind = iota
+	EventFailure
+	EventReplace
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventDeploy:
+		return "deploy"
+	case EventFailure:
+		return "failure"
+	case EventReplace:
+		return "replace"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one maintenance-diary line: the "living, public experimental
+// diary" of §4.5.
+type Event struct {
+	At    time.Duration
+	Slot  int
+	Kind  EventKind
+	Cause string
+}
+
+// interval is a half-open service window [from, to).
+type interval struct{ from, to time.Duration }
+
+// Result is the outcome of a fleet run.
+type Result struct {
+	Config       Config
+	Failures     int
+	Replacements int
+	CostCents    int64
+	Diary        []Event
+
+	// up holds each slot's service intervals, sorted by start.
+	up [][]interval
+}
+
+// Run simulates the fleet. All stochasticity comes from src, so runs are
+// reproducible.
+func Run(cfg Config, src *rng.Source) *Result {
+	if cfg.Slots <= 0 || cfg.Horizon <= 0 || cfg.Lifetime == nil {
+		panic("fleet: incomplete config")
+	}
+	res := &Result{Config: cfg, up: make([][]interval, cfg.Slots)}
+
+	for slot := 0; slot < cfg.Slots; slot++ {
+		t := time.Duration(0)
+		if cfg.StaggerCohorts > 1 && cfg.StaggerSpan > 0 {
+			cohort := slot % cfg.StaggerCohorts
+			t = time.Duration(int64(cfg.StaggerSpan) / int64(cfg.StaggerCohorts) * int64(cohort))
+		}
+		res.event(t, slot, EventDeploy, "initial")
+
+		for t < cfg.Horizon {
+			life := sim.Years(cfg.Lifetime.Sample(src))
+			failCause := "wear-out"
+			if cfg.ForcedRetirementYears > 0 {
+				if lim := sim.Years(cfg.ForcedRetirementYears); life > lim {
+					life = lim
+					failCause = "forced-retirement"
+				}
+			}
+			failAt := t + life
+			var next time.Duration // scheduled proactive replacement, if any
+			if cfg.Policy == PolicyScheduled && cfg.ScheduledEvery > 0 {
+				next = t + cfg.ScheduledEvery
+			}
+
+			serviceEnd := failAt
+			failed := true
+			if next > 0 && next < failAt {
+				serviceEnd = next
+				failed = false
+			}
+			if serviceEnd > cfg.Horizon {
+				serviceEnd = cfg.Horizon
+				failed = false
+				res.addUp(slot, t, serviceEnd)
+				break
+			}
+			res.addUp(slot, t, serviceEnd)
+
+			if failed {
+				res.Failures++
+				res.event(serviceEnd, slot, EventFailure, failCause)
+			}
+
+			// When does the replacement arrive?
+			var replaceAt time.Duration
+			switch cfg.Policy {
+			case PolicyNone:
+				// Never: the slot stays dark.
+				replaceAt = cfg.Horizon
+			case PolicyOnFailure:
+				replaceAt = serviceEnd + cfg.RepairLag
+			case PolicyBatch:
+				replaceAt = nextBatchVisit(cfg, slot, serviceEnd)
+			case PolicyScheduled:
+				if failed {
+					// Failed mid-cycle: dark until the next scheduled
+					// refresh.
+					replaceAt = t + cfg.ScheduledEvery
+					for replaceAt <= serviceEnd {
+						replaceAt += cfg.ScheduledEvery
+					}
+				} else {
+					replaceAt = serviceEnd
+				}
+			default:
+				panic(fmt.Sprintf("fleet: unknown policy %d", int(cfg.Policy)))
+			}
+			if replaceAt >= cfg.Horizon {
+				break
+			}
+			if cfg.PartsAvailableYears > 0 && replaceAt >= sim.Years(cfg.PartsAvailableYears) {
+				// Compatible hardware can no longer be sourced: the
+				// slot stays dark for the rest of the horizon.
+				res.event(replaceAt, slot, EventFailure, "parts-unavailable")
+				break
+			}
+			res.Replacements++
+			res.CostCents += cfg.HardwareCents + cfg.LaborCents
+			res.event(replaceAt, slot, EventReplace, cfg.Policy.String())
+			t = replaceAt
+		}
+	}
+	sort.Slice(res.Diary, func(i, j int) bool {
+		if res.Diary[i].At != res.Diary[j].At {
+			return res.Diary[i].At < res.Diary[j].At
+		}
+		return res.Diary[i].Slot < res.Diary[j].Slot
+	})
+	return res
+}
+
+// nextBatchVisit returns when the rolling project next reaches the slot's
+// zone strictly after t.
+func nextBatchVisit(cfg Config, slot int, t time.Duration) time.Duration {
+	if cfg.BatchZones <= 0 || cfg.BatchCycle <= 0 {
+		panic("fleet: batch policy without zones/cycle")
+	}
+	zone := slot % cfg.BatchZones
+	step := time.Duration(int64(cfg.BatchCycle) / int64(cfg.BatchZones))
+	visit := time.Duration(zone) * step
+	for visit <= t {
+		visit += cfg.BatchCycle
+	}
+	return visit
+}
+
+func (r *Result) event(at time.Duration, slot int, kind EventKind, cause string) {
+	r.Diary = append(r.Diary, Event{At: at, Slot: slot, Kind: kind, Cause: cause})
+}
+
+func (r *Result) addUp(slot int, from, to time.Duration) {
+	if to > from {
+		r.up[slot] = append(r.up[slot], interval{from, to})
+	}
+}
+
+// AliveAt counts slots in service at time t.
+func (r *Result) AliveAt(t time.Duration) int {
+	n := 0
+	for _, ivs := range r.up {
+		for _, iv := range ivs {
+			if iv.from > t {
+				break
+			}
+			if t < iv.to {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Availability returns the average fraction of slot-time in service over
+// the horizon. Accumulation is in float64: the slot-time sum (slots ×
+// decades of nanoseconds) overflows int64.
+func (r *Result) Availability() float64 {
+	total := 0.0
+	for _, ivs := range r.up {
+		for _, iv := range ivs {
+			total += float64(iv.to - iv.from)
+		}
+	}
+	return total / (float64(r.Config.Horizon) * float64(r.Config.Slots))
+}
+
+// SystemUptime returns the fraction of the horizon during which at least
+// threshold (0..1] of slots were in service, sampled at the given number
+// of probe points. This is the aggregate "system is alive" metric.
+func (r *Result) SystemUptime(threshold float64, samples int) float64 {
+	return r.SystemUptimeWindow(threshold, samples, 0, r.Config.Horizon)
+}
+
+// SystemUptimeWindow is SystemUptime restricted to [from, to): useful for
+// judging steady state after a staggered deployment finishes ramping.
+func (r *Result) SystemUptimeWindow(threshold float64, samples int, from, to time.Duration) float64 {
+	if samples <= 0 {
+		panic("fleet: non-positive sample count")
+	}
+	if to <= from {
+		panic("fleet: empty uptime window")
+	}
+	need := int(threshold * float64(r.Config.Slots))
+	if need < 1 {
+		need = 1
+	}
+	span := to - from
+	upSamples := 0
+	for i := 0; i < samples; i++ {
+		t := from + time.Duration(int64(span)/int64(samples)*int64(i))
+		if r.AliveAt(t) >= need {
+			upSamples++
+		}
+	}
+	return float64(upSamples) / float64(samples)
+}

@@ -1,0 +1,366 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"centuryscale/internal/reliability"
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+func fifteenYearDevices() reliability.Distribution {
+	return reliability.WeibullFromMean(3, 15)
+}
+
+func TestPolicyNames(t *testing.T) {
+	for p, want := range map[Policy]string{
+		PolicyNone: "none", PolicyOnFailure: "on-failure",
+		PolicyBatch: "batch", PolicyScheduled: "scheduled",
+	} {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q", int(p), p.String())
+		}
+	}
+	if Policy(9).String() != "policy(9)" {
+		t.Fatal("unknown policy fallback")
+	}
+	if EventKind(9).String() != "event(9)" {
+		t.Fatal("unknown event fallback")
+	}
+}
+
+func TestNoReplacementFleetDies(t *testing.T) {
+	res := Run(Config{
+		Slots:    500,
+		Horizon:  sim.Years(50),
+		Lifetime: fifteenYearDevices(),
+		Policy:   PolicyNone,
+	}, rng.New(1))
+	if res.Replacements != 0 {
+		t.Fatalf("PolicyNone performed %d replacements", res.Replacements)
+	}
+	// 15-year devices: essentially all dead by year 40.
+	if alive := res.AliveAt(sim.Years(40)); alive > 5 {
+		t.Fatalf("%d of 500 alive at year 40 without replacement", alive)
+	}
+	if alive := res.AliveAt(sim.Years(5)); alive < 450 {
+		t.Fatalf("%d of 500 alive at year 5", alive)
+	}
+	// Availability over 50y for mean-15y devices ≈ 15/50.
+	a := res.Availability()
+	if a < 0.25 || a > 0.36 {
+		t.Fatalf("availability = %v, want ~0.30", a)
+	}
+}
+
+func TestOnFailureKeepsFleetAlive(t *testing.T) {
+	res := Run(Config{
+		Slots:         500,
+		Horizon:       sim.Years(50),
+		Lifetime:      fifteenYearDevices(),
+		Policy:        PolicyOnFailure,
+		RepairLag:     30 * sim.Day,
+		HardwareCents: 10000,
+		LaborCents:    2500,
+	}, rng.New(2))
+	if res.Replacements == 0 {
+		t.Fatal("no replacements in 50 years")
+	}
+	a := res.Availability()
+	if a < 0.98 {
+		t.Fatalf("on-failure availability = %v, want >0.98", a)
+	}
+	if res.CostCents != int64(res.Replacements)*12500 {
+		t.Fatalf("cost = %d for %d replacements", res.CostCents, res.Replacements)
+	}
+	// ~50/15 ≈ 3.3 lifetimes per slot: expect ~2-3 replacements/slot.
+	perSlot := float64(res.Replacements) / 500
+	if perSlot < 1.5 || perSlot > 4 {
+		t.Fatalf("replacements per slot = %v", perSlot)
+	}
+}
+
+func TestShipOfTheseusPipelining(t *testing.T) {
+	// E9's core claim: staggered cohorts + replacement keep the *system*
+	// over threshold for the full 50 years even though no device lasts.
+	base := Config{
+		Slots:     600,
+		Horizon:   sim.Years(50),
+		Lifetime:  fifteenYearDevices(),
+		Policy:    PolicyOnFailure,
+		RepairLag: 60 * sim.Day,
+	}
+	staggered := base
+	staggered.StaggerCohorts = 15
+	staggered.StaggerSpan = sim.Years(15)
+
+	single := Run(base, rng.New(3))
+	pipe := Run(staggered, rng.New(3))
+
+	// Once the staggered deployment has fully ramped (year 15 on), the
+	// system holds above threshold for the rest of the half-century.
+	if u := pipe.SystemUptimeWindow(0.8, 400, sim.Years(15), sim.Years(50)); u < 0.95 {
+		t.Fatalf("staggered steady-state uptime = %v", u)
+	}
+	burst := func(r *Result) int {
+		max := 0
+		for y := 0; y < 50; y++ {
+			n := 0
+			for _, e := range r.Diary {
+				if e.Kind == EventReplace && e.At >= sim.Years(float64(y)) && e.At < sim.Years(float64(y+1)) {
+					n++
+				}
+			}
+			if n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	if burst(pipe) >= burst(single) {
+		t.Fatalf("staggering should smooth replacement bursts: %d vs %d", burst(pipe), burst(single))
+	}
+}
+
+func TestBatchPolicyWaitsForProject(t *testing.T) {
+	res := Run(Config{
+		Slots:      100,
+		Horizon:    sim.Years(50),
+		Lifetime:   fifteenYearDevices(),
+		Policy:     PolicyBatch,
+		BatchZones: 10,
+		BatchCycle: sim.Years(10),
+	}, rng.New(4))
+	// Batch replacement leaves slots dark until the project comes by:
+	// availability must sit between no-replacement and on-failure.
+	a := res.Availability()
+	if a < 0.5 || a > 0.95 {
+		t.Fatalf("batch availability = %v", a)
+	}
+	// Every replacement lands on a project visit: (zone*step + k*cycle).
+	step := sim.Years(1)
+	for _, e := range res.Diary {
+		if e.Kind != EventReplace {
+			continue
+		}
+		zone := e.Slot % 10
+		offset := e.At - time.Duration(zone)*step
+		if offset%sim.Years(10) != 0 {
+			t.Fatalf("replacement at %v (slot %d) not on a project visit", e.At, e.Slot)
+		}
+	}
+}
+
+func TestScheduledPolicyReplacesProactively(t *testing.T) {
+	res := Run(Config{
+		Slots:          200,
+		Horizon:        sim.Years(20),
+		Lifetime:       reliability.WeibullFromMean(3, 15),
+		Policy:         PolicyScheduled,
+		ScheduledEvery: sim.Years(5),
+	}, rng.New(5))
+	// 20y / 5y cycle: ~3 refreshes per slot (the final one at t=20 is
+	// outside the horizon), minus early failures waiting for refresh.
+	perSlot := float64(res.Replacements) / 200
+	if perSlot < 2.5 || perSlot > 3.5 {
+		t.Fatalf("scheduled replacements per slot = %v, want ~3", perSlot)
+	}
+	// Proactive refresh beats on-failure availability at 5y cycles for
+	// 15y-mean devices (few failures mid-cycle).
+	if a := res.Availability(); a < 0.95 {
+		t.Fatalf("scheduled availability = %v", a)
+	}
+}
+
+func TestDiaryOrderedAndComplete(t *testing.T) {
+	res := Run(Config{
+		Slots:    50,
+		Horizon:  sim.Years(30),
+		Lifetime: fifteenYearDevices(),
+		Policy:   PolicyOnFailure,
+	}, rng.New(6))
+	deploys, failures, replaces := 0, 0, 0
+	var last time.Duration
+	for _, e := range res.Diary {
+		if e.At < last {
+			t.Fatal("diary out of order")
+		}
+		last = e.At
+		switch e.Kind {
+		case EventDeploy:
+			deploys++
+		case EventFailure:
+			failures++
+		case EventReplace:
+			replaces++
+		}
+	}
+	if deploys != 50 {
+		t.Fatalf("diary deploys = %d", deploys)
+	}
+	if failures != res.Failures || replaces != res.Replacements {
+		t.Fatalf("diary disagrees with counters: %d/%d vs %d/%d",
+			failures, replaces, res.Failures, res.Replacements)
+	}
+}
+
+func TestSystemUptimeThresholds(t *testing.T) {
+	res := Run(Config{
+		Slots:    300,
+		Horizon:  sim.Years(50),
+		Lifetime: fifteenYearDevices(),
+		Policy:   PolicyNone,
+	}, rng.New(7))
+	// Without replacement, high-threshold uptime is short and must be
+	// monotone in threshold.
+	u90 := res.SystemUptime(0.9, 400)
+	u50 := res.SystemUptime(0.5, 400)
+	u10 := res.SystemUptime(0.1, 400)
+	if !(u90 <= u50 && u50 <= u10) {
+		t.Fatalf("uptime not monotone: %v %v %v", u90, u50, u10)
+	}
+	if u90 > 0.4 || u10 < 0.4 {
+		t.Fatalf("uptime shape off: u90=%v u10=%v", u90, u10)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{
+		Slots: 100, Horizon: sim.Years(50),
+		Lifetime: fifteenYearDevices(), Policy: PolicyOnFailure,
+	}
+	a := Run(cfg, rng.New(9))
+	b := Run(cfg, rng.New(9))
+	if a.Failures != b.Failures || a.Replacements != b.Replacements {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestRunPanicsOnBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no-slots":   {Horizon: sim.Years(1), Lifetime: fifteenYearDevices()},
+		"no-horizon": {Slots: 1, Lifetime: fifteenYearDevices()},
+		"no-dist":    {Slots: 1, Horizon: sim.Years(1)},
+		"batch-no-zones": {Slots: 1, Horizon: sim.Years(50),
+			Lifetime: fifteenYearDevices(), Policy: PolicyBatch},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			_ = Run(cfg, rng.New(1))
+		}()
+	}
+}
+
+func BenchmarkFleetFiftyYears(b *testing.B) {
+	cfg := Config{
+		Slots: 1000, Horizon: sim.Years(50),
+		Lifetime: fifteenYearDevices(), Policy: PolicyOnFailure,
+		RepairLag: 30 * sim.Day,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Run(cfg, rng.New(uint64(i)))
+	}
+}
+
+func TestForcedRetirementTruncatesLives(t *testing.T) {
+	// §1's obsolescence taxonomy: a vendor EOL at 5 years makes even
+	// healthy 15-year devices churn every 5 years.
+	res := Run(Config{
+		Slots:                 200,
+		Horizon:               sim.Years(30),
+		Lifetime:              fifteenYearDevices(),
+		Policy:                PolicyOnFailure,
+		ForcedRetirementYears: 5,
+	}, rng.New(11))
+	// ~30/5 = 6 lifetimes per slot (most truncated): ~5-6 replacements.
+	perSlot := float64(res.Replacements) / 200
+	if perSlot < 4.5 || perSlot > 6.5 {
+		t.Fatalf("replacements per slot = %v, want ~5-6", perSlot)
+	}
+	// The diary must attribute the truncations.
+	forced, wear := 0, 0
+	for _, e := range res.Diary {
+		if e.Kind != EventFailure {
+			continue
+		}
+		switch e.Cause {
+		case "forced-retirement":
+			forced++
+		case "wear-out":
+			wear++
+		default:
+			t.Fatalf("unknown cause %q", e.Cause)
+		}
+	}
+	if forced < wear*3 {
+		t.Fatalf("forced=%d wear=%d: 5y EOL on 15y-mean devices should dominate", forced, wear)
+	}
+}
+
+func TestForcedRetirementCostMultiplier(t *testing.T) {
+	base := Config{
+		Slots:         300,
+		Horizon:       sim.Years(50),
+		Lifetime:      fifteenYearDevices(),
+		Policy:        PolicyOnFailure,
+		HardwareCents: 10000,
+		LaborCents:    2500,
+	}
+	natural := Run(base, rng.New(12))
+	eol := base
+	eol.ForcedRetirementYears = 5
+	forced := Run(eol, rng.New(12))
+	// Cutting device life from ~15y to 5y roughly triples the spend —
+	// the cost of obsolescence the paper wants designed away.
+	ratio := float64(forced.CostCents) / float64(natural.CostCents)
+	if ratio < 2.2 || ratio > 4 {
+		t.Fatalf("forced/natural cost ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestPartsAvailabilityCutoff(t *testing.T) {
+	// §1 cites unplanned obsolescence: compatible hardware stops being
+	// purchasable long before the deployment's horizon.
+	base := Config{
+		Slots:    300,
+		Horizon:  sim.Years(50),
+		Lifetime: fifteenYearDevices(),
+		Policy:   PolicyOnFailure,
+	}
+	forever := Run(base, rng.New(13))
+	cut := base
+	cut.PartsAvailableYears = 20
+	limited := Run(cut, rng.New(13))
+
+	if limited.Replacements >= forever.Replacements {
+		t.Fatalf("parts cutoff did not reduce replacements: %d vs %d",
+			limited.Replacements, forever.Replacements)
+	}
+	if limited.Availability() >= forever.Availability() {
+		t.Fatalf("availability: %v vs %v", limited.Availability(), forever.Availability())
+	}
+	// No replacement events after the cutoff; darkness attributed.
+	darkened := 0
+	for _, e := range limited.Diary {
+		if e.Kind == EventReplace && e.At >= sim.Years(20) {
+			t.Fatalf("replacement at %v after parts cutoff", e.At)
+		}
+		if e.Cause == "parts-unavailable" {
+			darkened++
+		}
+	}
+	if darkened == 0 {
+		t.Fatal("no slots recorded going dark for parts")
+	}
+	// With 15-year devices and a 20-year cutoff, the fleet is nearly
+	// extinct by year 45.
+	if alive := limited.AliveAt(sim.Years(45)); alive > 15 {
+		t.Fatalf("%d of 300 alive at 45y despite no parts since year 20", alive)
+	}
+}

@@ -1,0 +1,182 @@
+package gateway
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"centuryscale/internal/lpwan"
+)
+
+// Commissioning and migration (§3.2): "The process should allow newer
+// gateways to establish links with the backhaul using secure mechanisms
+// similar to those used for home router commissioning. Additionally, when
+// replacing existing gateway units, we can have a process in place to
+// utilize the outgoing gateway as a trusted third party for easy migration
+// of existing connected devices."
+//
+// The implementation keeps to the stdlib: enrollment and handoff records
+// are JSON envelopes authenticated with HMAC-SHA256 under a network
+// operator secret. The outgoing gateway acts as the trusted third party by
+// signing its device registry into a HandoffRecord that the incoming
+// gateway verifies and imports, so devices keep flowing without
+// re-provisioning anything on the (untouchable, transmit-only) devices.
+
+// Errors from the commissioning protocol.
+var (
+	ErrBadSignature = errors.New("gateway: record signature invalid")
+	ErrExpired      = errors.New("gateway: record outside validity window")
+	ErrShortSecret  = errors.New("gateway: network secret shorter than 16 bytes")
+)
+
+// EnrollmentRecord is the operator's authorisation for a gateway to join
+// the backhaul.
+type EnrollmentRecord struct {
+	GatewayID string `json:"gateway_id"`
+	// IssuedAtUnix / ExpiresAtUnix bound the record's validity. Virtual
+	// (simulation) or real timestamps both work; the caller supplies
+	// "now" at verification.
+	IssuedAtUnix  int64 `json:"issued_at"`
+	ExpiresAtUnix int64 `json:"expires_at"`
+}
+
+type signedEnvelope struct {
+	Body []byte `json:"body"`
+	Tag  string `json:"tag"`
+}
+
+func sign(secret, body []byte) ([]byte, error) {
+	if len(secret) < 16 {
+		return nil, ErrShortSecret
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(body)
+	env := signedEnvelope{Body: body, Tag: base64.StdEncoding.EncodeToString(mac.Sum(nil))}
+	return json.Marshal(env)
+}
+
+func verify(secret, blob []byte) ([]byte, error) {
+	if len(secret) < 16 {
+		return nil, ErrShortSecret
+	}
+	var env signedEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, fmt.Errorf("gateway: malformed envelope: %w", err)
+	}
+	tag, err := base64.StdEncoding.DecodeString(env.Tag)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: malformed tag: %w", err)
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(env.Body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, ErrBadSignature
+	}
+	return env.Body, nil
+}
+
+// Enroll issues a signed enrollment record for a gateway, valid for ttl
+// from now.
+func Enroll(secret []byte, gatewayID string, now time.Time, ttl time.Duration) ([]byte, error) {
+	rec := EnrollmentRecord{
+		GatewayID:     gatewayID,
+		IssuedAtUnix:  now.Unix(),
+		ExpiresAtUnix: now.Add(ttl).Unix(),
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return sign(secret, body)
+}
+
+// VerifyEnrollment checks an enrollment blob's signature and validity at
+// time now, returning the record.
+func VerifyEnrollment(secret, blob []byte, now time.Time) (EnrollmentRecord, error) {
+	var rec EnrollmentRecord
+	body, err := verify(secret, blob)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, fmt.Errorf("gateway: malformed enrollment: %w", err)
+	}
+	if now.Unix() < rec.IssuedAtUnix || now.Unix() > rec.ExpiresAtUnix {
+		return rec, fmt.Errorf("%w: now=%d window=[%d,%d]", ErrExpired, now.Unix(), rec.IssuedAtUnix, rec.ExpiresAtUnix)
+	}
+	return rec, nil
+}
+
+// HandoffRecord is the outgoing gateway's signed registry export: the
+// trusted-third-party migration payload.
+type HandoffRecord struct {
+	FromGateway  string   `json:"from_gateway"`
+	ToGateway    string   `json:"to_gateway"`
+	Devices      []string `json:"devices"`
+	Blocklist    []string `json:"blocklist"`
+	IssuedAtUnix int64    `json:"issued_at"`
+}
+
+// ExportHandoff builds and signs a handoff of this gateway's device
+// registry and blocklist to a successor gateway.
+func (g *Gateway) ExportHandoff(secret []byte, toGateway string, now time.Time) ([]byte, error) {
+	devs := g.Devices()
+	blocked := g.Blocklist()
+	rec := HandoffRecord{
+		FromGateway:  g.cfg.ID,
+		ToGateway:    toGateway,
+		IssuedAtUnix: now.Unix(),
+	}
+	for _, d := range devs {
+		rec.Devices = append(rec.Devices, d.String())
+	}
+	for _, d := range blocked {
+		rec.Blocklist = append(rec.Blocklist, d.String())
+	}
+	sort.Strings(rec.Devices)
+	sort.Strings(rec.Blocklist)
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return sign(secret, body)
+}
+
+// ImportHandoff verifies a handoff blob addressed to this gateway and
+// imports the registry: known devices are pre-registered and the
+// blocklist is merged.
+func (g *Gateway) ImportHandoff(secret, blob []byte) (HandoffRecord, error) {
+	var rec HandoffRecord
+	body, err := verify(secret, blob)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return rec, fmt.Errorf("gateway: malformed handoff: %w", err)
+	}
+	if rec.ToGateway != g.cfg.ID {
+		return rec, fmt.Errorf("gateway: handoff addressed to %q, this is %q", rec.ToGateway, g.cfg.ID)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, s := range rec.Devices {
+		e, err := lpwan.ParseEUI64(s)
+		if err != nil {
+			return rec, fmt.Errorf("gateway: handoff device %q: %w", s, err)
+		}
+		g.devices[e] = true
+	}
+	for _, s := range rec.Blocklist {
+		e, err := lpwan.ParseEUI64(s)
+		if err != nil {
+			return rec, fmt.Errorf("gateway: handoff blocklist %q: %w", s, err)
+		}
+		g.blocklist[e] = true
+	}
+	return rec, nil
+}

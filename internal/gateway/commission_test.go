@@ -1,0 +1,128 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"centuryscale/internal/lpwan"
+)
+
+var secret = []byte("network-operator-secret-0123456789")
+
+func TestEnrollVerifyRoundTrip(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	blob, err := Enroll(secret, "gw-42", now, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := VerifyEnrollment(secret, blob, now.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.GatewayID != "gw-42" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestEnrollmentExpiry(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	blob, _ := Enroll(secret, "gw", now, time.Hour)
+	if _, err := VerifyEnrollment(secret, blob, now.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired record err = %v", err)
+	}
+	if _, err := VerifyEnrollment(secret, blob, now.Add(-time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("not-yet-valid record err = %v", err)
+	}
+}
+
+func TestEnrollmentWrongSecret(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	blob, _ := Enroll(secret, "gw", now, time.Hour)
+	if _, err := VerifyEnrollment([]byte("other-secret-0123456789abcdef"), blob, now); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong secret err = %v", err)
+	}
+}
+
+func TestEnrollmentTamper(t *testing.T) {
+	now := time.Unix(1_000_000, 0)
+	blob, _ := Enroll(secret, "gw", now, time.Hour)
+	// Flip a byte inside the body portion.
+	tampered := append([]byte(nil), blob...)
+	tampered[len(tampered)/2] ^= 0x01
+	if _, err := VerifyEnrollment(secret, tampered, now); err == nil {
+		t.Fatal("tampered enrollment verified")
+	}
+}
+
+func TestShortSecretRejected(t *testing.T) {
+	if _, err := Enroll([]byte("tiny"), "gw", time.Unix(0, 0), time.Hour); !errors.Is(err, ErrShortSecret) {
+		t.Fatalf("short secret err = %v", err)
+	}
+}
+
+func TestHandoffMigratesRegistry(t *testing.T) {
+	old := New(Config{ID: "gw-old"}, UplinkFunc(func([]byte) error { return nil }))
+	// The old gateway has carried three devices and blocked one.
+	for _, dev := range []uint64{10, 11, 12} {
+		if err := old.HandleFrame(frameFrom(dev, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old.Block(lpwan.EUIFromUint64(666))
+
+	now := time.Unix(2_000_000, 0)
+	blob, err := old.ExportHandoff(secret, "gw-new", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nw := New(Config{ID: "gw-new"}, UplinkFunc(func([]byte) error { return nil }))
+	rec, err := nw.ImportHandoff(secret, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FromGateway != "gw-old" || len(rec.Devices) != 3 || len(rec.Blocklist) != 1 {
+		t.Fatalf("record = %+v", rec)
+	}
+	// The new gateway inherits the registry and the blocklist.
+	if got := len(nw.Devices()); got != 3 {
+		t.Fatalf("imported %d devices", got)
+	}
+	if err := nw.HandleFrame(frameFrom(666, "evil")); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("inherited blocklist not enforced: %v", err)
+	}
+}
+
+func TestHandoffWrongRecipient(t *testing.T) {
+	old := New(Config{ID: "gw-old"}, UplinkFunc(func([]byte) error { return nil }))
+	blob, _ := old.ExportHandoff(secret, "gw-new", time.Unix(0, 0))
+	imposter := New(Config{ID: "gw-imposter"}, UplinkFunc(func([]byte) error { return nil }))
+	if _, err := imposter.ImportHandoff(secret, blob); err == nil {
+		t.Fatal("handoff accepted by wrong recipient")
+	}
+}
+
+func TestHandoffWrongSecret(t *testing.T) {
+	old := New(Config{ID: "gw-old"}, UplinkFunc(func([]byte) error { return nil }))
+	blob, _ := old.ExportHandoff(secret, "gw-new", time.Unix(0, 0))
+	nw := New(Config{ID: "gw-new"}, UplinkFunc(func([]byte) error { return nil }))
+	if _, err := nw.ImportHandoff([]byte("other-secret-0123456789abcdef"), blob); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("wrong-secret handoff err = %v", err)
+	}
+}
+
+func TestHandoffDeterministicOrder(t *testing.T) {
+	// Two exports of the same registry must be byte-identical (sorted
+	// device lists), so operators can diff and audit them.
+	old := New(Config{ID: "gw-old"}, UplinkFunc(func([]byte) error { return nil }))
+	for _, dev := range []uint64{5, 3, 9, 1} {
+		_ = old.HandleFrame(frameFrom(dev, "x"))
+	}
+	now := time.Unix(0, 0)
+	a, _ := old.ExportHandoff(secret, "gw-new", now)
+	b, _ := old.ExportHandoff(secret, "gw-new", now)
+	if string(a) != string(b) {
+		t.Fatal("handoff export not deterministic")
+	}
+}

@@ -1,0 +1,193 @@
+package gateway
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"centuryscale/internal/lpwan"
+)
+
+func frameFrom(dev uint64, payload string) []byte {
+	wire, err := lpwan.Frame{
+		Type:    lpwan.FrameData,
+		Source:  lpwan.EUIFromUint64(dev),
+		Seq:     1,
+		Payload: []byte(payload),
+	}.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return wire
+}
+
+func TestForwardsValidFrame(t *testing.T) {
+	var got [][]byte
+	g := New(Config{ID: "gw1"}, UplinkFunc(func(p []byte) error {
+		got = append(got, p)
+		return nil
+	}))
+	if err := g.HandleFrame(frameFrom(1, "hello")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0]) != "hello" {
+		t.Fatalf("uplink got %q", got)
+	}
+	if s := g.Stats(); s.Forwarded != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDropsMalformed(t *testing.T) {
+	g := New(Config{ID: "gw1"}, UplinkFunc(func([]byte) error {
+		t.Fatal("malformed frame reached uplink")
+		return nil
+	}))
+	if err := g.HandleFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed frame accepted")
+	}
+	corrupt := frameFrom(1, "x")
+	corrupt[len(corrupt)-1] ^= 0xff
+	if err := g.HandleFrame(corrupt); err == nil {
+		t.Fatal("bad CRC accepted")
+	}
+	if s := g.Stats(); s.DropMalformed != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBlocklist(t *testing.T) {
+	forwarded := 0
+	g := New(Config{ID: "gw1"}, UplinkFunc(func([]byte) error {
+		forwarded++
+		return nil
+	}))
+	bad := lpwan.EUIFromUint64(666)
+	g.Block(bad)
+	if err := g.HandleFrame(frameFrom(666, "evil")); !errors.Is(err, ErrBlocked) {
+		t.Fatalf("blocked device err = %v", err)
+	}
+	if err := g.HandleFrame(frameFrom(7, "good")); err != nil {
+		t.Fatal(err)
+	}
+	g.Unblock(bad)
+	if err := g.HandleFrame(frameFrom(666, "redeemed")); err != nil {
+		t.Fatalf("unblocked device rejected: %v", err)
+	}
+	if forwarded != 2 {
+		t.Fatalf("forwarded = %d", forwarded)
+	}
+	if s := g.Stats(); s.DropBlocked != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestVendorLockPolicy(t *testing.T) {
+	// Vendor OUI aa:bb:cc.
+	vendorDev := uint64(0xaabbcc0000000001)
+	otherDev := uint64(0x1122330000000001)
+	g := New(Config{
+		ID:        "locked",
+		Policy:    PolicyVendorLocked,
+		VendorOUI: OUI{0xaa, 0xbb, 0xcc},
+	}, UplinkFunc(func([]byte) error { return nil }))
+
+	if err := g.HandleFrame(frameFrom(vendorDev, "mine")); err != nil {
+		t.Fatalf("own-vendor device rejected: %v", err)
+	}
+	if err := g.HandleFrame(frameFrom(otherDev, "foreign")); !errors.Is(err, ErrPolicyReject) {
+		t.Fatalf("foreign device err = %v", err)
+	}
+	if s := g.Stats(); s.DropPolicy != 1 || s.Forwarded != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestOpenPolicyForwardsAnyVendor(t *testing.T) {
+	g := New(Config{ID: "open", Policy: PolicyOpen}, UplinkFunc(func([]byte) error { return nil }))
+	for _, dev := range []uint64{0xaabbcc0000000001, 0x1122330000000001, 42} {
+		if err := g.HandleFrame(frameFrom(dev, "x")); err != nil {
+			t.Fatalf("open gateway rejected %x: %v", dev, err)
+		}
+	}
+	if s := g.Stats(); s.Forwarded != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestUplinkErrorCounted(t *testing.T) {
+	g := New(Config{ID: "gw"}, UplinkFunc(func([]byte) error {
+		return errors.New("backhaul down")
+	}))
+	if err := g.HandleFrame(frameFrom(1, "x")); err == nil {
+		t.Fatal("uplink error swallowed")
+	}
+	if s := g.Stats(); s.UplinkErrors != 1 || s.Forwarded != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDevicesTracked(t *testing.T) {
+	g := New(Config{ID: "gw"}, UplinkFunc(func([]byte) error { return nil }))
+	for _, dev := range []uint64{1, 2, 2, 3} {
+		_ = g.HandleFrame(frameFrom(dev, "x"))
+	}
+	if got := len(g.Devices()); got != 3 {
+		t.Fatalf("tracked %d devices, want 3", got)
+	}
+}
+
+func TestConcurrentHandling(t *testing.T) {
+	g := New(Config{ID: "gw"}, UplinkFunc(func([]byte) error { return nil }))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = g.HandleFrame(frameFrom(uint64(w*1000+i), "x"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := g.Stats(); s.Forwarded != 800 {
+		t.Fatalf("forwarded = %d, want 800", s.Forwarded)
+	}
+}
+
+func TestNilUplinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil uplink did not panic")
+		}
+	}()
+	New(Config{}, nil)
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyOpen.String() != "open" || PolicyVendorLocked.String() != "vendor-locked" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() != "policy(9)" {
+		t.Fatal("unknown policy fallback")
+	}
+}
+
+func TestOUIOf(t *testing.T) {
+	e := lpwan.EUIFromUint64(0xaabbccddeeff0011)
+	if OUIOf(e) != (OUI{0xaa, 0xbb, 0xcc}) {
+		t.Fatalf("OUI = %v", OUIOf(e))
+	}
+}
+
+func BenchmarkHandleFrame(b *testing.B) {
+	g := New(Config{ID: "gw"}, UplinkFunc(func([]byte) error { return nil }))
+	wire := frameFrom(1, string(bytes.Repeat([]byte("x"), 24)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := g.HandleFrame(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package helium models the third-party, semi-federated LoRa network the
+// paper leans on for its hedged "third-party infrastructure" design point
+// (§4.2-4.4): a population of independently-operated hotspots, a prepaid
+// data-credit wallet with fixed pricing, and the operator-churn dynamics
+// that make an emergent network both attractive and risky.
+//
+// Three measured/stated facts from the paper anchor the model:
+//
+//   - Economics (§4.4): data credits are fixed-price once purchased; one
+//     credit moves one up-to-24-byte packet, and $5 buys 500,000 credits —
+//     so hourly uplink for 50 years (438,000 packets) can be prepaid today.
+//   - Backhaul diversity (§4.3): of ~12,400 hotspots with public IPs,
+//     roughly half sit in just ten ASes while the long tail spans ~200
+//     ASes. We reproduce that with a Zipf(1.0) AS assignment.
+//   - Federation (§4.2): because anyone — including the deployment's own
+//     operator — can run a hotspot, the network is a hedge: if commercial
+//     interest collapses, owned hotspots can supplant it.
+package helium
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+// Pricing constants from §4.4.
+const (
+	// MaxPacketBytes is the largest payload one data credit moves.
+	MaxPacketBytes = 24
+	// CreditsPerPacket is the cost of one uplink.
+	CreditsPerPacket = 1
+	// CreditsPerCent: $5 buys 500,000 DC, so one cent buys 1,000.
+	CreditsPerCent = 1000
+)
+
+// CreditsForUplink returns the data credits consumed by one packet every
+// interval across span, assuming every scheduled uplink happens.
+func CreditsForUplink(interval, span time.Duration) int64 {
+	if interval <= 0 {
+		panic("helium: non-positive interval")
+	}
+	return int64(span/interval) * CreditsPerPacket
+}
+
+// ErrInsufficientCredits is returned by Charge when the wallet is dry.
+var ErrInsufficientCredits = errors.New("helium: insufficient data credits")
+
+// Wallet is a prepaid data-credit balance. The paper's point is that the
+// price of data "once purchased is fixed": a wallet provisioned at
+// deployment pays for decades of uplink with no counterparty able to
+// reprice it.
+type Wallet struct {
+	balance int64
+	spent   int64
+}
+
+// NewWallet returns a wallet holding the given credits.
+func NewWallet(credits int64) *Wallet {
+	if credits < 0 {
+		panic("helium: negative initial balance")
+	}
+	return &Wallet{balance: credits}
+}
+
+// Provision converts a cash amount (cents) into credits at the fixed rate
+// and adds them.
+func (w *Wallet) Provision(cents int64) {
+	if cents < 0 {
+		panic("helium: negative provision")
+	}
+	w.balance += cents * CreditsPerCent
+}
+
+// Charge deducts the credits for n packets, or fails atomically.
+func (w *Wallet) Charge(packets int64) error {
+	cost := packets * CreditsPerPacket
+	if cost > w.balance {
+		return fmt.Errorf("%w: need %d, have %d", ErrInsufficientCredits, cost, w.balance)
+	}
+	w.balance -= cost
+	w.spent += cost
+	return nil
+}
+
+// Balance returns the remaining credits.
+func (w *Wallet) Balance() int64 { return w.balance }
+
+// Spent returns the credits consumed so far.
+func (w *Wallet) Spent() int64 { return w.spent }
+
+// Hotspot is one third-party (or owned) gateway in the network.
+type Hotspot struct {
+	ID      int
+	AS      int // autonomous-system rank of its ISP
+	JoinAt  time.Duration
+	LeaveAt time.Duration // when its operator unplugs it; 0 = never
+	Owned   bool          // operated by the deployment itself (the hedge)
+}
+
+// AliveAt reports whether the hotspot is serving at time t.
+func (h Hotspot) AliveAt(t time.Duration) bool {
+	if t < h.JoinAt {
+		return false
+	}
+	return h.LeaveAt == 0 || t < h.LeaveAt
+}
+
+// NetworkConfig parameterises a synthetic hotspot population.
+type NetworkConfig struct {
+	// InitialHotspots is the population at time zero (the paper measures
+	// 12,400 public-IP hotspots).
+	InitialHotspots int
+	// ASes is the number of distinct provider ASes (~200 measured).
+	ASes int
+	// ZipfAlpha skews hotspots toward the big ISPs; 1.0 reproduces the
+	// measured "top-10 carry ~half" distribution.
+	ZipfAlpha float64
+	// ChurnMeanYears is the mean operator tenure of a third-party
+	// hotspot. Crypto-incentivised operators churn in single-digit years.
+	ChurnMeanYears float64
+	// GrowthStopsAfterYears: new third-party hotspots keep arriving (at
+	// the steady-state replacement rate) until this point; afterwards the
+	// network decays — the "emerging technology fails" scenario. 0 means
+	// arrivals continue for the whole horizon.
+	GrowthStopsAfterYears float64
+	// Horizon bounds arrival generation.
+	Horizon time.Duration
+}
+
+// DefaultNetworkConfig reproduces the paper's measured snapshot with churn
+// plausible for an emergent crypto-incentivised network.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{
+		InitialHotspots: 12400,
+		ASes:            200,
+		ZipfAlpha:       1.0,
+		ChurnMeanYears:  3,
+		Horizon:         sim.Years(50),
+	}
+}
+
+// Network is a synthetic hotspot population over a simulation horizon.
+type Network struct {
+	cfg      NetworkConfig
+	hotspots []Hotspot
+	nextID   int
+
+	// Sorted join/leave timelines for O(log n) alive-count queries;
+	// rebuilt lazily after mutation. Owned hotspots are tracked in a
+	// parallel pair so AliveAt can split the count.
+	timelineDirty bool
+	joins, leaves []time.Duration // third-party
+	ojoins        []time.Duration // owned (never leave)
+}
+
+// NewNetwork synthesises the population: the initial cohort joins at time
+// zero and replacement arrivals follow a Poisson process at the
+// steady-state rate until growth stops.
+func NewNetwork(cfg NetworkConfig, src *rng.Source) *Network {
+	if cfg.InitialHotspots <= 0 || cfg.ASes <= 0 {
+		panic("helium: empty network config")
+	}
+	n := &Network{cfg: cfg}
+	zipf := rng.NewZipf(src.Split("as-assignment"), cfg.ASes, cfg.ZipfAlpha)
+	churn := src.Split("churn")
+
+	lifeOf := func() time.Duration {
+		if cfg.ChurnMeanYears <= 0 {
+			return 0 // never leaves
+		}
+		return sim.Years(churn.Exponential(cfg.ChurnMeanYears))
+	}
+
+	for i := 0; i < cfg.InitialHotspots; i++ {
+		h := Hotspot{ID: n.nextID, AS: zipf.Draw()}
+		if l := lifeOf(); l > 0 {
+			h.LeaveAt = l
+		}
+		n.hotspots = append(n.hotspots, h)
+		n.nextID++
+	}
+
+	// Replacement arrivals: rate = population / mean tenure keeps the
+	// population stationary while arrivals continue.
+	if cfg.ChurnMeanYears > 0 {
+		growthEnd := cfg.Horizon
+		if cfg.GrowthStopsAfterYears > 0 {
+			if g := sim.Years(cfg.GrowthStopsAfterYears); g < growthEnd {
+				growthEnd = g
+			}
+		}
+		arrivals := src.Split("arrivals")
+		meanGap := cfg.ChurnMeanYears / float64(cfg.InitialHotspots)
+		t := time.Duration(0)
+		for {
+			t += sim.Years(arrivals.Exponential(meanGap))
+			if t >= growthEnd {
+				break
+			}
+			h := Hotspot{ID: n.nextID, AS: zipf.Draw(), JoinAt: t}
+			if l := lifeOf(); l > 0 {
+				h.LeaveAt = t + l
+			}
+			n.hotspots = append(n.hotspots, h)
+			n.nextID++
+		}
+	}
+	return n
+}
+
+// AddOwned deploys count operator-owned hotspots at time at; they never
+// churn. This is the paper's hedge: "own and operate gateway devices that
+// we could use to supplant infrastructure if the commercial network were
+// to become unusable."
+func (n *Network) AddOwned(count int, at time.Duration) {
+	for i := 0; i < count; i++ {
+		n.hotspots = append(n.hotspots, Hotspot{ID: n.nextID, AS: -1, JoinAt: at, Owned: true})
+		n.nextID++
+	}
+	n.timelineDirty = true
+}
+
+// Size returns the total number of hotspots ever present.
+func (n *Network) Size() int { return len(n.hotspots) }
+
+// rebuildTimeline sorts join/leave instants so AliveAt is a pair of
+// binary searches: with tens of thousands of hotspots queried once per
+// packet over 50 simulated years, the O(n) scan dominates whole runs.
+func (n *Network) rebuildTimeline() {
+	n.joins = n.joins[:0]
+	n.leaves = n.leaves[:0]
+	n.ojoins = n.ojoins[:0]
+	for _, h := range n.hotspots {
+		if h.Owned {
+			n.ojoins = append(n.ojoins, h.JoinAt)
+			continue
+		}
+		n.joins = append(n.joins, h.JoinAt)
+		if h.LeaveAt > 0 {
+			n.leaves = append(n.leaves, h.LeaveAt)
+		}
+	}
+	sortDurations(n.joins)
+	sortDurations(n.leaves)
+	sortDurations(n.ojoins)
+	n.timelineDirty = false
+}
+
+func sortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}
+
+// countAtOrBefore returns how many sorted instants are <= t.
+func countAtOrBefore(ds []time.Duration, t time.Duration) int {
+	return sort.Search(len(ds), func(i int) bool { return ds[i] > t })
+}
+
+// AliveAt counts hotspots serving at time t.
+func (n *Network) AliveAt(t time.Duration) (total, owned int) {
+	if n.timelineDirty || (n.joins == nil && len(n.hotspots) > 0) {
+		n.rebuildTimeline()
+	}
+	third := countAtOrBefore(n.joins, t) - countAtOrBefore(n.leaves, t)
+	owned = countAtOrBefore(n.ojoins, t)
+	return third + owned, owned
+}
+
+// ASDistribution returns per-AS hotspot counts at time t for third-party
+// hotspots, sorted descending.
+func (n *Network) ASDistribution(t time.Duration) []int {
+	counts := make(map[int]int)
+	for _, h := range n.hotspots {
+		if !h.Owned && h.AliveAt(t) {
+			counts[h.AS]++
+		}
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// TopShare returns the fraction of alive third-party hotspots carried by
+// the k largest ASes at time t.
+func (n *Network) TopShare(k int, t time.Duration) float64 {
+	dist := n.ASDistribution(t)
+	total, top := 0, 0
+	for i, c := range dist {
+		total += c
+		if i < k {
+			top += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// UniqueASes returns how many distinct ASes host alive third-party
+// hotspots at time t.
+func (n *Network) UniqueASes(t time.Duration) int {
+	return len(n.ASDistribution(t))
+}
+
+// CoverageAt reports whether a device sees service at time t: at least
+// minHotspots alive (owned hotspots count), and — if a wallet is given —
+// credits available. It does not charge the wallet.
+func (n *Network) CoverageAt(t time.Duration, minHotspots int, w *Wallet) bool {
+	if w != nil && w.Balance() < CreditsPerPacket {
+		return false
+	}
+	total, _ := n.AliveAt(t)
+	return total >= minHotspots
+}

@@ -1,0 +1,222 @@
+package helium
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"centuryscale/internal/rng"
+	"centuryscale/internal/sim"
+)
+
+func TestPaperWalletMath(t *testing.T) {
+	// §4.4: one 24-byte packet hourly for 50 years costs 438,000 DC
+	// (the paper uses 365-day years), prepaid by a $5 wallet of 500,000.
+	span := 50 * 365 * 24 * time.Hour
+	credits := CreditsForUplink(time.Hour, span)
+	if credits != 438000 {
+		t.Fatalf("50-year hourly uplink = %d DC, paper says 438,000", credits)
+	}
+	w := NewWallet(0)
+	w.Provision(500) // $5.00
+	if w.Balance() != 500000 {
+		t.Fatalf("$5 = %d DC, paper says 500,000", w.Balance())
+	}
+	if err := w.Charge(credits); err != nil {
+		t.Fatalf("prepaid wallet could not cover 50 years: %v", err)
+	}
+	if w.Balance() != 62000 {
+		t.Fatalf("remaining = %d, want 62,000", w.Balance())
+	}
+}
+
+func TestWalletCharge(t *testing.T) {
+	w := NewWallet(10)
+	if err := w.Charge(7); err != nil {
+		t.Fatal(err)
+	}
+	if w.Balance() != 3 || w.Spent() != 7 {
+		t.Fatalf("balance=%d spent=%d", w.Balance(), w.Spent())
+	}
+	if err := w.Charge(4); !errors.Is(err, ErrInsufficientCredits) {
+		t.Fatalf("overdraft err = %v", err)
+	}
+	// Failed charge must not mutate.
+	if w.Balance() != 3 || w.Spent() != 7 {
+		t.Fatal("failed charge mutated wallet")
+	}
+}
+
+func TestWalletPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative-balance":   func() { NewWallet(-1) },
+		"negative-provision": func() { NewWallet(0).Provision(-1) },
+		"zero-interval":      func() { CreditsForUplink(0, time.Hour) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHotspotAliveWindows(t *testing.T) {
+	h := Hotspot{JoinAt: 10 * time.Hour, LeaveAt: 20 * time.Hour}
+	if h.AliveAt(5 * time.Hour) {
+		t.Fatal("alive before join")
+	}
+	if !h.AliveAt(15 * time.Hour) {
+		t.Fatal("dead inside window")
+	}
+	if h.AliveAt(20 * time.Hour) {
+		t.Fatal("alive after leave")
+	}
+	forever := Hotspot{}
+	if !forever.AliveAt(sim.Years(100)) {
+		t.Fatal("never-leaving hotspot died")
+	}
+}
+
+func TestPaperASDistribution(t *testing.T) {
+	// §4.3: ~12,400 hotspots, top-10 ASes ~50%, ~200 unique ASes.
+	n := NewNetwork(DefaultNetworkConfig(), rng.New(42))
+	share := n.TopShare(10, 0)
+	if share < 0.42 || share > 0.58 {
+		t.Fatalf("top-10 AS share = %v, paper measures ~0.50", share)
+	}
+	unique := n.UniqueASes(0)
+	if unique < 170 || unique > 200 {
+		t.Fatalf("unique ASes = %d, paper measures ~200", unique)
+	}
+	total, _ := n.AliveAt(0)
+	if total != 12400 {
+		t.Fatalf("initial population = %d", total)
+	}
+}
+
+func TestChurnStationaryWhileGrowing(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.InitialHotspots = 2000
+	cfg.Horizon = sim.Years(20)
+	n := NewNetwork(cfg, rng.New(7))
+	at0, _ := n.AliveAt(0)
+	at10, _ := n.AliveAt(sim.Years(10))
+	// Replacement arrivals keep the population within ~15% of initial.
+	ratio := float64(at10) / float64(at0)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("population drifted: %d -> %d (ratio %v)", at0, at10, ratio)
+	}
+}
+
+func TestNetworkDecayAfterGrowthStops(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.InitialHotspots = 2000
+	cfg.GrowthStopsAfterYears = 10
+	cfg.Horizon = sim.Years(50)
+	n := NewNetwork(cfg, rng.New(8))
+	at10, _ := n.AliveAt(sim.Years(10))
+	at20, _ := n.AliveAt(sim.Years(20))
+	at40, _ := n.AliveAt(sim.Years(40))
+	if at20 >= at10/2 {
+		// Mean tenure 3y: ten years after arrivals stop, ~3.6% remain.
+		t.Fatalf("network not decaying: %d at 10y, %d at 20y", at10, at20)
+	}
+	if at40 > at10/100 {
+		t.Fatalf("network should be nearly gone at 40y: %d", at40)
+	}
+}
+
+func TestOwnedHotspotsHedge(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.InitialHotspots = 500
+	cfg.GrowthStopsAfterYears = 5
+	cfg.Horizon = sim.Years(50)
+	n := NewNetwork(cfg, rng.New(9))
+	// Third-party network collapses; owned hotspots deployed at year 12
+	// keep coverage alive forever.
+	n.AddOwned(3, sim.Years(12))
+	if n.CoverageAt(sim.Years(40), 1, nil) == false {
+		t.Fatal("owned hotspots did not preserve coverage")
+	}
+	total, owned := n.AliveAt(sim.Years(40))
+	if owned != 3 {
+		t.Fatalf("owned alive = %d, want 3", owned)
+	}
+	if total < 3 {
+		t.Fatalf("total alive = %d", total)
+	}
+	// Owned hotspots are excluded from the third-party AS census.
+	for _, c := range n.ASDistribution(sim.Years(40)) {
+		if c > 2 {
+			t.Fatalf("AS census suspiciously large after collapse: %d", c)
+		}
+	}
+}
+
+func TestCoverageRequiresCredits(t *testing.T) {
+	n := NewNetwork(NetworkConfig{
+		InitialHotspots: 10, ASes: 5, ZipfAlpha: 1, Horizon: sim.Years(1),
+	}, rng.New(10))
+	w := NewWallet(0)
+	if n.CoverageAt(0, 1, w) {
+		t.Fatal("coverage with empty wallet")
+	}
+	w.Provision(1)
+	if !n.CoverageAt(0, 1, w) {
+		t.Fatal("no coverage despite credits and hotspots")
+	}
+}
+
+func TestCoverageMinHotspots(t *testing.T) {
+	n := NewNetwork(NetworkConfig{
+		InitialHotspots: 2, ASes: 2, ZipfAlpha: 1, Horizon: sim.Years(1),
+	}, rng.New(11))
+	if !n.CoverageAt(0, 2, nil) {
+		t.Fatal("2 hotspots should satisfy min 2")
+	}
+	if n.CoverageAt(0, 3, nil) {
+		t.Fatal("2 hotspots cannot satisfy min 3")
+	}
+}
+
+func TestDeterministicNetwork(t *testing.T) {
+	a := NewNetwork(DefaultNetworkConfig(), rng.New(5))
+	b := NewNetwork(DefaultNetworkConfig(), rng.New(5))
+	if a.Size() != b.Size() {
+		t.Fatal("same seed produced different networks")
+	}
+	ta, _ := a.AliveAt(sim.Years(25))
+	tb, _ := b.AliveAt(sim.Years(25))
+	if ta != tb {
+		t.Fatal("alive counts diverge")
+	}
+}
+
+func TestEmptyConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty config did not panic")
+		}
+	}()
+	NewNetwork(NetworkConfig{}, rng.New(1))
+}
+
+func BenchmarkNetworkSynthesis(b *testing.B) {
+	cfg := DefaultNetworkConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewNetwork(cfg, rng.New(uint64(i)))
+	}
+}
+
+func BenchmarkAliveQuery(b *testing.B) {
+	n := NewNetwork(DefaultNetworkConfig(), rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = n.AliveAt(sim.Years(25))
+	}
+}

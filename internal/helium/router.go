@@ -1,0 +1,110 @@
+package helium
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"centuryscale/internal/lorawan"
+)
+
+// Router is the network-side packet handler of the semi-federated
+// network: hotspots are dumb RF forwarders; the router MIC-verifies each
+// LoRaWAN uplink, enforces frame-counter freshness, charges the device
+// owner's prepaid wallet, and releases the decrypted application payload
+// to the owner's endpoint. This is the §4.2-4.4 money-and-trust path: the
+// hotspot is paid per verified packet, and the owner's 24-byte telemetry
+// comes out the other side.
+// Router is safe for concurrent use: many hotspots POST to it at once.
+// (Wallet itself is not synchronised; the router's lock covers it.)
+type Router struct {
+	master []byte
+
+	mu      sync.Mutex
+	tracker *lorawan.FCntTracker
+	wallet  *Wallet
+
+	// Stats, guarded by mu; read them via Stats.
+	delivered   uint64
+	badFrames   uint64
+	replays     uint64
+	unfunded    uint64
+	oversizePay uint64
+}
+
+// RouterStats is a snapshot of the router's counters.
+type RouterStats struct {
+	Delivered   uint64
+	BadFrames   uint64
+	Replays     uint64
+	Unfunded    uint64
+	OversizePay uint64
+}
+
+// Stats returns a consistent snapshot.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RouterStats{
+		Delivered: r.delivered, BadFrames: r.badFrames, Replays: r.replays,
+		Unfunded: r.unfunded, OversizePay: r.oversizePay,
+	}
+}
+
+// NewRouter builds a router for one owner: their ABP master secret and
+// their prepaid wallet.
+func NewRouter(master []byte, wallet *Wallet) (*Router, error) {
+	if len(master) != 16 {
+		return nil, lorawan.ErrBadKey
+	}
+	if wallet == nil {
+		return nil, fmt.Errorf("helium: router needs a wallet")
+	}
+	return &Router{
+		master:  master,
+		tracker: lorawan.NewFCntTracker(1024),
+		wallet:  wallet,
+	}, nil
+}
+
+// ErrOversize is returned for payloads exceeding the one-credit size.
+var ErrOversize = errors.New("helium: payload exceeds 24-byte data-credit unit")
+
+// HandleUplink processes one forwarded LoRaWAN frame, returning the
+// decrypted application payload on success.
+func (r *Router) HandleUplink(wire []byte) ([]byte, error) {
+	keys := func(devAddr uint32) ([]byte, []byte, bool) {
+		nwk, app, err := lorawan.SessionKeys(r.master, devAddr)
+		if err != nil {
+			return nil, nil, false
+		}
+		return nwk, app, true
+	}
+	// Cryptographic verification happens outside the lock; only the
+	// counter/wallet state transitions are serialised.
+	u, err := lorawan.Decode(wire, keys)
+	if err != nil {
+		r.mu.Lock()
+		r.badFrames++
+		r.mu.Unlock()
+		return nil, err
+	}
+	if len(u.Payload) > MaxPacketBytes {
+		r.mu.Lock()
+		r.oversizePay++
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, len(u.Payload))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.tracker.Accept(u.DevAddr, u.FCnt); err != nil {
+		r.replays++
+		return nil, err
+	}
+	if err := r.wallet.Charge(CreditsPerPacket); err != nil {
+		r.unfunded++
+		return nil, err
+	}
+	r.delivered++
+	return u.Payload, nil
+}

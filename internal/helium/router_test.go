@@ -1,0 +1,172 @@
+package helium
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"centuryscale/internal/lorawan"
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/telemetry"
+)
+
+var routerMaster = []byte("0123456789abcdef") // 16 bytes
+
+func encodeUplink(t *testing.T, devAddr uint32, fcnt uint16, payload []byte) []byte {
+	t.Helper()
+	nwk, app, err := lorawan.SessionKeys(routerMaster, devAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := (lorawan.Uplink{DevAddr: devAddr, FCnt: fcnt, FPort: 1, Payload: payload}).Encode(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestRouterDeliversAndCharges(t *testing.T) {
+	w := NewWallet(10)
+	r, err := NewRouter(routerMaster, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("telemetry-24-bytes-here!")
+	got, err := r.HandleUplink(encodeUplink(t, 0x11, 1, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+	if w.Balance() != 9 || r.Stats().Delivered != 1 {
+		t.Fatalf("balance=%d delivered=%d", w.Balance(), r.Stats().Delivered)
+	}
+}
+
+func TestRouterRejectsForgery(t *testing.T) {
+	r, _ := NewRouter(routerMaster, NewWallet(10))
+	wire := encodeUplink(t, 0x11, 1, []byte("x"))
+	wire[len(wire)-1] ^= 0xff
+	if _, err := r.HandleUplink(wire); !errors.Is(err, lorawan.ErrBadMIC) {
+		t.Fatalf("forged frame err = %v", err)
+	}
+	if r.Stats().BadFrames != 1 || r.Stats().Delivered != 0 {
+		t.Fatalf("stats = %+v", r)
+	}
+}
+
+func TestRouterRejectsReplay(t *testing.T) {
+	w := NewWallet(10)
+	r, _ := NewRouter(routerMaster, w)
+	wire := encodeUplink(t, 0x22, 5, []byte("x"))
+	if _, err := r.HandleUplink(wire); err != nil {
+		t.Fatal(err)
+	}
+	// The same frame via a second hotspot: rejected, not double-charged.
+	if _, err := r.HandleUplink(wire); !errors.Is(err, lorawan.ErrFCntReplay) {
+		t.Fatalf("replay err = %v", err)
+	}
+	if w.Balance() != 9 {
+		t.Fatalf("balance = %d, double-charged", w.Balance())
+	}
+}
+
+func TestRouterStopsWhenWalletDry(t *testing.T) {
+	w := NewWallet(1)
+	r, _ := NewRouter(routerMaster, w)
+	if _, err := r.HandleUplink(encodeUplink(t, 0x33, 1, []byte("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.HandleUplink(encodeUplink(t, 0x33, 2, []byte("b"))); !errors.Is(err, ErrInsufficientCredits) {
+		t.Fatalf("dry wallet err = %v", err)
+	}
+	if r.Stats().Unfunded != 1 {
+		t.Fatalf("unfunded = %d", r.Stats().Unfunded)
+	}
+}
+
+func TestRouterOversizeCostsMore(t *testing.T) {
+	r, _ := NewRouter(routerMaster, NewWallet(10))
+	if _, err := r.HandleUplink(encodeUplink(t, 0x44, 1, make([]byte, 25))); !errors.Is(err, ErrOversize) {
+		t.Fatalf("oversize err = %v", err)
+	}
+}
+
+func TestEndToEndTelemetryOverLoRaWAN(t *testing.T) {
+	// The full third-party path: device seals 24-byte telemetry, wraps
+	// it in a LoRaWAN uplink, the router verifies/charges/decrypts, and
+	// the inner telemetry packet still verifies against the fleet key.
+	fleetMaster := []byte("fleet-master-secret")
+	id := lpwan.EUIFromUint64(0xABCD)
+	inner, err := telemetry.Packet{
+		Device: id, Seq: 7, Sensor: telemetry.SensorConcreteEMI, Value: 0.97,
+	}.Seal(telemetry.DeriveKey(fleetMaster, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inner) != MaxPacketBytes {
+		t.Fatalf("telemetry = %d bytes", len(inner))
+	}
+
+	w := NewWallet(5)
+	r, _ := NewRouter(routerMaster, w)
+	payload, err := r.HandleUplink(encodeUplink(t, 0xABCD, 1, inner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := telemetry.Verify(payload, telemetry.DeriveKey(fleetMaster, id))
+	if err != nil {
+		t.Fatalf("inner telemetry failed verification: %v", err)
+	}
+	if p.Seq != 7 || p.Value != 0.97 {
+		t.Fatalf("telemetry = %+v", p)
+	}
+	if w.Balance() != 4 {
+		t.Fatalf("wallet = %d", w.Balance())
+	}
+}
+
+func TestRouterConstruction(t *testing.T) {
+	if _, err := NewRouter([]byte("short"), NewWallet(1)); err == nil {
+		t.Fatal("short master accepted")
+	}
+	if _, err := NewRouter(routerMaster, nil); err == nil {
+		t.Fatal("nil wallet accepted")
+	}
+}
+
+func TestRouterConcurrentHotspots(t *testing.T) {
+	w := NewWallet(10000)
+	r, _ := NewRouter(routerMaster, w)
+	// Pre-encode distinct frames (one device per goroutine so FCnt
+	// tracking stays per-stream).
+	const workers, frames = 8, 50
+	wires := make([][][]byte, workers)
+	for g := 0; g < workers; g++ {
+		for f := 0; f < frames; f++ {
+			wires[g] = append(wires[g], encodeUplink(t, uint32(0x100+g), uint16(f+1), []byte("x")))
+		}
+	}
+	done := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for _, wire := range wires[g] {
+				if _, err := r.HandleUplink(wire); err != nil {
+					t.Errorf("worker %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < workers; g++ {
+		<-done
+	}
+	if got := r.Stats().Delivered; got != workers*frames {
+		t.Fatalf("delivered = %d, want %d", got, workers*frames)
+	}
+	if w.Balance() != 10000-workers*frames {
+		t.Fatalf("balance = %d", w.Balance())
+	}
+}

@@ -1,0 +1,112 @@
+// Package lorawan implements the subset of the LoRaWAN 1.0 MAC that the
+// paper's third-party design point rides (§4.2): unconfirmed data
+// uplinks — the only frame a transmit-only device ever emits — with the
+// real algorithms: AES-CMAC (RFC 4493) message integrity and the
+// LoRaWAN payload encryption construction, both from the standard
+// library's AES core.
+//
+// Why bother, when internal/lpwan already frames packets? Because the
+// Helium-style network is *not* ours: third-party hotspots forward
+// LoRaWAN frames, and the network's router checks the MIC before paying
+// the hotspot. Speaking the genuine frame format is what makes a device
+// forwardable by infrastructure its owner has never met — the paper's
+// entire point about standards-compliant traffic (§3.1).
+package lorawan
+
+import (
+	"crypto/aes"
+	"crypto/subtle"
+	"fmt"
+)
+
+// cmacKey holds the two subkeys of RFC 4493.
+type cmacKey struct {
+	k1, k2 [16]byte
+}
+
+// msb returns the most significant bit of b.
+func msb(b [16]byte) bool { return b[0]&0x80 != 0 }
+
+// shiftLeft shifts a 128-bit value left by one bit.
+func shiftLeft(b [16]byte) [16]byte {
+	var out [16]byte
+	carry := byte(0)
+	for i := 15; i >= 0; i-- {
+		out[i] = b[i]<<1 | carry
+		carry = b[i] >> 7
+	}
+	return out
+}
+
+// deriveSubkeys implements RFC 4493 §2.3.
+func deriveSubkeys(key []byte) (cmacKey, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return cmacKey{}, fmt.Errorf("lorawan: cmac key: %w", err)
+	}
+	var l [16]byte
+	block.Encrypt(l[:], l[:])
+
+	const rb = 0x87
+	k1 := shiftLeft(l)
+	if msb(l) {
+		k1[15] ^= rb
+	}
+	k2 := shiftLeft(k1)
+	if msb(k1) {
+		k2[15] ^= rb
+	}
+	return cmacKey{k1: k1, k2: k2}, nil
+}
+
+// CMAC computes AES-CMAC (RFC 4493) of msg under a 16-byte key.
+func CMAC(key, msg []byte) ([16]byte, error) {
+	var mac [16]byte
+	sub, err := deriveSubkeys(key)
+	if err != nil {
+		return mac, err
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return mac, err
+	}
+
+	n := (len(msg) + 15) / 16
+	complete := n > 0 && len(msg)%16 == 0
+	if n == 0 {
+		n = 1
+	}
+
+	var last [16]byte
+	if complete {
+		copy(last[:], msg[(n-1)*16:])
+		for i := 0; i < 16; i++ {
+			last[i] ^= sub.k1[i]
+		}
+	} else {
+		rem := msg[(n-1)*16:]
+		copy(last[:], rem)
+		last[len(rem)] = 0x80
+		for i := 0; i < 16; i++ {
+			last[i] ^= sub.k2[i]
+		}
+	}
+
+	var x [16]byte
+	for i := 0; i < n-1; i++ {
+		for j := 0; j < 16; j++ {
+			x[j] ^= msg[i*16+j]
+		}
+		block.Encrypt(x[:], x[:])
+	}
+	for j := 0; j < 16; j++ {
+		x[j] ^= last[j]
+	}
+	block.Encrypt(mac[:], x[:])
+	return mac, nil
+}
+
+// cmacEqual compares two 4-byte truncated MICs in constant time.
+func micEqual(a, b [4]byte) bool {
+	return subtle.ConstantTimeCompare(a[:], b[:]) == 1
+}

@@ -1,0 +1,220 @@
+package lorawan
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Uplink is an unconfirmed LoRaWAN 1.0 data uplink, the only frame a
+// transmit-only sensor ever sends.
+type Uplink struct {
+	// DevAddr is the 32-bit device address.
+	DevAddr uint32
+	// FCnt is the uplink frame counter (16-bit on the wire).
+	FCnt uint16
+	// FPort in 1..223 selects the application.
+	FPort uint8
+	// Payload is the application payload (encrypted on the wire).
+	Payload []byte
+}
+
+// MHDR for an unconfirmed data uplink, LoRaWAN 1.0.
+const mhdrUnconfirmedUp = 0x40
+
+// Wire layout sizes.
+const (
+	headerBytes = 1 + 4 + 1 + 2 + 1 // MHDR DevAddr FCtrl FCnt FPort
+	micBytes    = 4
+	// MaxPayload keeps the PHY payload within the SF10/125 kHz
+	// regional dwell limits with margin.
+	MaxPayload = 51
+)
+
+// Errors from Encode/Decode.
+var (
+	ErrBadKey      = errors.New("lorawan: session key must be 16 bytes")
+	ErrBadPort     = errors.New("lorawan: FPort out of 1..223")
+	ErrTooBig      = errors.New("lorawan: payload exceeds regional maximum")
+	ErrTooShort    = errors.New("lorawan: frame too short")
+	ErrBadMHDR     = errors.New("lorawan: not an unconfirmed data uplink")
+	ErrBadMIC      = errors.New("lorawan: MIC check failed")
+	ErrFCntReplay  = errors.New("lorawan: frame counter not advancing")
+	ErrUnknownAddr = errors.New("lorawan: unknown device address")
+)
+
+// b0 builds the LoRaWAN B0 block for MIC computation (uplink).
+func b0(devAddr uint32, fcnt uint32, msgLen int) [16]byte {
+	var b [16]byte
+	b[0] = 0x49
+	// bytes 1..4 zero; b[5] = dir (0 = uplink)
+	binary.LittleEndian.PutUint32(b[6:10], devAddr)
+	binary.LittleEndian.PutUint32(b[10:14], fcnt)
+	b[15] = byte(msgLen)
+	return b
+}
+
+// aBlock builds the LoRaWAN A_i block for payload encryption.
+func aBlock(devAddr uint32, fcnt uint32, i byte) [16]byte {
+	var b [16]byte
+	b[0] = 0x01
+	binary.LittleEndian.PutUint32(b[6:10], devAddr)
+	binary.LittleEndian.PutUint32(b[10:14], fcnt)
+	b[15] = i
+	return b
+}
+
+// cryptPayload applies the LoRaWAN payload cipher (AES-128 counter-mode
+// keystream per §4.3.3 of the spec); it is its own inverse.
+func cryptPayload(appSKey []byte, devAddr uint32, fcnt uint32, payload []byte) ([]byte, error) {
+	block, err := aes.NewCipher(appSKey)
+	if err != nil {
+		return nil, fmt.Errorf("lorawan: appSKey: %w", err)
+	}
+	out := make([]byte, len(payload))
+	var s [16]byte
+	for i := 0; i < len(payload); i += 16 {
+		a := aBlock(devAddr, fcnt, byte(i/16+1))
+		block.Encrypt(s[:], a[:])
+		for j := i; j < i+16 && j < len(payload); j++ {
+			out[j] = payload[j] ^ s[j-i]
+		}
+	}
+	return out, nil
+}
+
+// Encode serialises and protects the uplink: payload encrypted under
+// appSKey, MIC computed under nwkSKey. Both keys are 16 bytes.
+func (u Uplink) Encode(nwkSKey, appSKey []byte) ([]byte, error) {
+	if len(nwkSKey) != 16 || len(appSKey) != 16 {
+		return nil, ErrBadKey
+	}
+	if u.FPort < 1 || u.FPort > 223 {
+		return nil, fmt.Errorf("%w: %d", ErrBadPort, u.FPort)
+	}
+	if len(u.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooBig, len(u.Payload), MaxPayload)
+	}
+	enc, err := cryptPayload(appSKey, u.DevAddr, uint32(u.FCnt), u.Payload)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, 0, headerBytes+len(enc)+micBytes)
+	msg = append(msg, mhdrUnconfirmedUp)
+	msg = binary.LittleEndian.AppendUint32(msg, u.DevAddr)
+	msg = append(msg, 0) // FCtrl: no ADR, no ACK, no FOpts
+	msg = binary.LittleEndian.AppendUint16(msg, u.FCnt)
+	msg = append(msg, u.FPort)
+	msg = append(msg, enc...)
+
+	blk := b0(u.DevAddr, uint32(u.FCnt), len(msg))
+	mac, err := CMAC(nwkSKey, append(blk[:], msg...))
+	if err != nil {
+		return nil, err
+	}
+	return append(msg, mac[:micBytes]...), nil
+}
+
+// Decode parses, MIC-checks, and decrypts a frame using a key lookup by
+// device address (the network router's view: it knows session keys for
+// its devices).
+func Decode(wire []byte, keys func(devAddr uint32) (nwkSKey, appSKey []byte, ok bool)) (Uplink, error) {
+	var u Uplink
+	if len(wire) < headerBytes+micBytes {
+		return u, fmt.Errorf("%w: %d bytes", ErrTooShort, len(wire))
+	}
+	if wire[0] != mhdrUnconfirmedUp {
+		return u, fmt.Errorf("%w: MHDR %02x", ErrBadMHDR, wire[0])
+	}
+	u.DevAddr = binary.LittleEndian.Uint32(wire[1:5])
+	if fctrl := wire[5]; fctrl&0x0f != 0 {
+		// FOpts present: out of scope for transmit-only sensors.
+		return u, fmt.Errorf("%w: FOpts unsupported", ErrBadMHDR)
+	}
+	u.FCnt = binary.LittleEndian.Uint16(wire[6:8])
+	u.FPort = wire[8]
+
+	nwkSKey, appSKey, ok := keys(u.DevAddr)
+	if !ok {
+		return u, fmt.Errorf("%w: %08x", ErrUnknownAddr, u.DevAddr)
+	}
+	if len(nwkSKey) != 16 || len(appSKey) != 16 {
+		return u, ErrBadKey
+	}
+
+	msg := wire[:len(wire)-micBytes]
+	var gotMIC [4]byte
+	copy(gotMIC[:], wire[len(wire)-micBytes:])
+	blk := b0(u.DevAddr, uint32(u.FCnt), len(msg))
+	mac, err := CMAC(nwkSKey, append(blk[:], msg...))
+	if err != nil {
+		return u, err
+	}
+	var want [4]byte
+	copy(want[:], mac[:micBytes])
+	if !micEqual(gotMIC, want) {
+		return u, ErrBadMIC
+	}
+
+	enc := wire[headerBytes : len(wire)-micBytes]
+	u.Payload, err = cryptPayload(appSKey, u.DevAddr, uint32(u.FCnt), enc)
+	if err != nil {
+		return u, err
+	}
+	return u, nil
+}
+
+// SessionKeys derives per-device NwkSKey/AppSKey deterministically from a
+// join-server master secret and the device address: the ABP
+// (activation-by-personalisation) provisioning a transmit-only device
+// ships with. Derivation is CMAC-based so it stays inside this package's
+// primitives.
+func SessionKeys(master []byte, devAddr uint32) (nwkSKey, appSKey []byte, err error) {
+	if len(master) != 16 {
+		return nil, nil, ErrBadKey
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint32(buf[0:4], devAddr)
+	buf[15] = 0x01
+	n, err := CMAC(master, buf[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	buf[15] = 0x02
+	a, err := CMAC(master, buf[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return n[:], a[:], nil
+}
+
+// FCntTracker is the router-side replay guard: 16-bit counters with
+// rollover detection per the LoRaWAN 1.0 relaxed scheme.
+type FCntTracker struct {
+	last map[uint32]uint16
+	seen map[uint32]bool
+	// MaxGap bounds an acceptable forward jump (lost frames).
+	MaxGap uint16
+}
+
+// NewFCntTracker returns a tracker accepting forward jumps up to maxGap.
+func NewFCntTracker(maxGap uint16) *FCntTracker {
+	return &FCntTracker{last: make(map[uint32]uint16), seen: make(map[uint32]bool), MaxGap: maxGap}
+}
+
+// Accept validates and records a frame counter for a device.
+func (t *FCntTracker) Accept(devAddr uint32, fcnt uint16) error {
+	if !t.seen[devAddr] {
+		t.seen[devAddr] = true
+		t.last[devAddr] = fcnt
+		return nil
+	}
+	last := t.last[devAddr]
+	diff := fcnt - last // wraps naturally on uint16
+	if diff == 0 || diff > t.MaxGap {
+		return fmt.Errorf("%w: last %d got %d", ErrFCntReplay, last, fcnt)
+	}
+	t.last[devAddr] = fcnt
+	return nil
+}

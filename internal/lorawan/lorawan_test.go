@@ -1,0 +1,263 @@
+package lorawan
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 4493 test vectors (AES-128 key and messages).
+var rfcKey, _ = hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+
+func fromHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCMACRFC4493Vectors(t *testing.T) {
+	cases := []struct {
+		msg, want string
+	}{
+		{"", "bb1d6929e95937287fa37d129b756746"},
+		{"6bc1bee22e409f96e93d7e117393172a", "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
+			"dfa66747de9ae63030ca32611497c827"},
+		{"6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+			"51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	for i, c := range cases {
+		got, err := CMAC(rfcKey, fromHex(t, c.msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:], fromHex(t, c.want)) {
+			t.Fatalf("vector %d: got %x want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestCMACBadKey(t *testing.T) {
+	if _, err := CMAC([]byte("short"), []byte("x")); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func sessionFixture(t *testing.T) (nwk, app []byte) {
+	t.Helper()
+	master := fromHex(t, "000102030405060708090a0b0c0d0e0f")
+	nwk, app, err := SessionKeys(master, 0x26011234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nwk, app
+}
+
+func TestUplinkRoundTrip(t *testing.T) {
+	nwk, app := sessionFixture(t)
+	u := Uplink{DevAddr: 0x26011234, FCnt: 42, FPort: 10, Payload: []byte("hello lorawan!")}
+	wire, err := u.Encode(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := func(addr uint32) ([]byte, []byte, bool) {
+		if addr == 0x26011234 {
+			return nwk, app, true
+		}
+		return nil, nil, false
+	}
+	got, err := Decode(wire, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DevAddr != u.DevAddr || got.FCnt != u.FCnt || got.FPort != u.FPort {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, u.Payload) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}
+
+func TestPayloadIsEncryptedOnTheWire(t *testing.T) {
+	nwk, app := sessionFixture(t)
+	payload := []byte("plaintext-should-not-appear!")
+	u := Uplink{DevAddr: 1, FCnt: 1, FPort: 1, Payload: payload}
+	wire, err := u.Encode(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wire, payload) {
+		t.Fatal("plaintext payload visible on the wire")
+	}
+}
+
+func TestMICRejectsTamper(t *testing.T) {
+	nwk, app := sessionFixture(t)
+	u := Uplink{DevAddr: 7, FCnt: 9, FPort: 2, Payload: []byte{1, 2, 3, 4}}
+	wire, _ := u.Encode(nwk, app)
+	keys := func(uint32) ([]byte, []byte, bool) { return nwk, app, true }
+	for bit := 0; bit < len(wire)*8; bit += 7 {
+		bad := append([]byte(nil), wire...)
+		bad[bit/8] ^= 1 << (bit % 8)
+		if _, err := Decode(bad, keys); err == nil {
+			t.Fatalf("bit flip %d accepted", bit)
+		}
+	}
+}
+
+func TestMICRejectsWrongKey(t *testing.T) {
+	nwk, app := sessionFixture(t)
+	u := Uplink{DevAddr: 7, FCnt: 9, FPort: 2, Payload: []byte{1}}
+	wire, _ := u.Encode(nwk, app)
+	other := fromHex(t, "ffffffffffffffffffffffffffffffff")
+	if _, err := Decode(wire, func(uint32) ([]byte, []byte, bool) { return other, app, true }); !errors.Is(err, ErrBadMIC) {
+		t.Fatalf("wrong key err = %v", err)
+	}
+}
+
+func TestDecodeUnknownDevice(t *testing.T) {
+	nwk, app := sessionFixture(t)
+	wire, _ := (Uplink{DevAddr: 7, FCnt: 1, FPort: 1}).Encode(nwk, app)
+	if _, err := Decode(wire, func(uint32) ([]byte, []byte, bool) { return nil, nil, false }); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("unknown device err = %v", err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	nwk, app := sessionFixture(t)
+	if _, err := (Uplink{FPort: 0}).Encode(nwk, app); !errors.Is(err, ErrBadPort) {
+		t.Fatalf("port 0 err = %v", err)
+	}
+	if _, err := (Uplink{FPort: 224}).Encode(nwk, app); !errors.Is(err, ErrBadPort) {
+		t.Fatalf("port 224 err = %v", err)
+	}
+	if _, err := (Uplink{FPort: 1, Payload: make([]byte, MaxPayload+1)}).Encode(nwk, app); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("oversize err = %v", err)
+	}
+	if _, err := (Uplink{FPort: 1}).Encode([]byte("short"), app); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("bad key err = %v", err)
+	}
+}
+
+func TestDecodeStructuralErrors(t *testing.T) {
+	keys := func(uint32) ([]byte, []byte, bool) { return nil, nil, false }
+	if _, err := Decode([]byte{1, 2}, keys); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short err = %v", err)
+	}
+	nwk, app := sessionFixture(t)
+	wire, _ := (Uplink{DevAddr: 7, FCnt: 1, FPort: 1}).Encode(nwk, app)
+	bad := append([]byte(nil), wire...)
+	bad[0] = 0x80 // join-accept MHDR
+	if _, err := Decode(bad, keys); !errors.Is(err, ErrBadMHDR) {
+		t.Fatalf("mhdr err = %v", err)
+	}
+}
+
+func TestSessionKeysDistinct(t *testing.T) {
+	master := fromHex(t, "000102030405060708090a0b0c0d0e0f")
+	n1, a1, err := SessionKeys(master, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, a2, _ := SessionKeys(master, 2)
+	if bytes.Equal(n1, n2) || bytes.Equal(a1, a2) {
+		t.Fatal("different devices derived equal keys")
+	}
+	if bytes.Equal(n1, a1) {
+		t.Fatal("network and app keys identical")
+	}
+	if _, _, err := SessionKeys([]byte("short"), 1); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("short master err = %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	nwk, app := sessionFixture(t)
+	keys := func(uint32) ([]byte, []byte, bool) { return nwk, app, true }
+	if err := quick.Check(func(addr uint32, fcnt uint16, port uint8, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		p := port%223 + 1
+		u := Uplink{DevAddr: addr, FCnt: fcnt, FPort: p, Payload: payload}
+		wire, err := u.Encode(nwk, app)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire, keys)
+		return err == nil && got.DevAddr == addr && got.FCnt == fcnt &&
+			got.FPort == p && bytes.Equal(got.Payload, payload)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCntTracker(t *testing.T) {
+	tr := NewFCntTracker(100)
+	if err := tr.Accept(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Accept(1, 11); err != nil {
+		t.Fatal(err)
+	}
+	// Replay.
+	if err := tr.Accept(1, 11); !errors.Is(err, ErrFCntReplay) {
+		t.Fatalf("replay err = %v", err)
+	}
+	// Backwards.
+	if err := tr.Accept(1, 5); !errors.Is(err, ErrFCntReplay) {
+		t.Fatalf("rewind err = %v", err)
+	}
+	// Forward gap within bound.
+	if err := tr.Accept(1, 80); err != nil {
+		t.Fatalf("gap err = %v", err)
+	}
+	// Rollover: 65530 -> 3 is a small forward jump mod 2^16.
+	if err := tr.Accept(2, 65530); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Accept(2, 3); err != nil {
+		t.Fatalf("rollover err = %v", err)
+	}
+	// Other devices are independent.
+	if err := tr.Accept(3, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func Test24ByteTelemetryFits(t *testing.T) {
+	// The paper's 24-byte packet rides a single uplink with room to
+	// spare at SF10.
+	nwk, app := sessionFixture(t)
+	u := Uplink{DevAddr: 1, FCnt: 1, FPort: 1, Payload: make([]byte, 24)}
+	wire, err := u.Encode(nwk, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 24+headerBytes+micBytes {
+		t.Fatalf("wire = %d bytes", len(wire))
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	master := make([]byte, 16)
+	nwk, app, _ := SessionKeys(master, 1)
+	keys := func(uint32) ([]byte, []byte, bool) { return nwk, app, true }
+	u := Uplink{DevAddr: 1, FPort: 1, Payload: make([]byte, 24)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.FCnt = uint16(i)
+		wire, err := u.Encode(nwk, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(wire, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

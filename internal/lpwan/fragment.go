@@ -1,0 +1,116 @@
+package lpwan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Fragmentation: payloads larger than MaxPayload are carried as a sequence
+// of fragment-bearing frames. Each fragment payload is prefixed with a
+// 5-byte fragment header (datagram tag, total length, offset), in the
+// spirit of 6LoWPAN's FRAG1/FRAGN dispatch. The FlagFragment bit marks
+// frames whose payload carries a fragment header.
+
+// FlagFragment marks a frame payload as a fragment.
+const FlagFragment = 1 << 0
+
+const fragHeaderBytes = 5 // tag(1) total(2) offset(2)
+
+// MaxDatagram is the largest reassembled datagram the stack supports.
+const MaxDatagram = 2048
+
+// Fragment splits a datagram into frames from the given source, using tag
+// to associate fragments and seq as the starting sequence number.
+// Datagrams that fit a single frame are returned as one unfragmented
+// frame.
+func Fragment(t FrameType, src EUI64, seq uint16, tag uint8, datagram []byte) ([]Frame, error) {
+	if len(datagram) > MaxDatagram {
+		return nil, fmt.Errorf("%w: datagram of %d bytes exceeds %d", ErrPayloadTooBig, len(datagram), MaxDatagram)
+	}
+	if len(datagram) <= MaxPayload {
+		return []Frame{{Type: t, Source: src, Seq: seq, Payload: datagram}}, nil
+	}
+	chunk := MaxPayload - fragHeaderBytes
+	var frames []Frame
+	for off := 0; off < len(datagram); off += chunk {
+		end := off + chunk
+		if end > len(datagram) {
+			end = len(datagram)
+		}
+		payload := make([]byte, fragHeaderBytes+end-off)
+		payload[0] = tag
+		binary.BigEndian.PutUint16(payload[1:3], uint16(len(datagram)))
+		binary.BigEndian.PutUint16(payload[3:5], uint16(off))
+		copy(payload[fragHeaderBytes:], datagram[off:end])
+		frames = append(frames, Frame{
+			Type:    t,
+			Flags:   FlagFragment,
+			Source:  src,
+			Seq:     seq,
+			Payload: payload,
+		})
+		seq++
+	}
+	return frames, nil
+}
+
+// Reassemble rebuilds a datagram from fragment frames (any order). All
+// frames must share the same source and tag; it returns
+// ErrReassemblyGaps if bytes are missing.
+func Reassemble(frames []Frame) ([]byte, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("%w: no frames", ErrFragmentation)
+	}
+	if len(frames) == 1 && frames[0].Flags&FlagFragment == 0 {
+		return frames[0].Payload, nil
+	}
+	type frag struct {
+		off  int
+		data []byte
+	}
+	var (
+		frags []frag
+		total = -1
+		tag   = -1
+		src   = frames[0].Source
+	)
+	for _, f := range frames {
+		if f.Flags&FlagFragment == 0 {
+			return nil, fmt.Errorf("%w: unfragmented frame mixed into fragment set", ErrFragmentation)
+		}
+		if f.Source != src {
+			return nil, fmt.Errorf("%w: fragments from multiple sources", ErrFragmentation)
+		}
+		if len(f.Payload) < fragHeaderBytes {
+			return nil, fmt.Errorf("%w: fragment payload too short", ErrFragmentation)
+		}
+		ftag := int(f.Payload[0])
+		ftotal := int(binary.BigEndian.Uint16(f.Payload[1:3]))
+		foff := int(binary.BigEndian.Uint16(f.Payload[3:5]))
+		if tag == -1 {
+			tag, total = ftag, ftotal
+		}
+		if ftag != tag || ftotal != total {
+			return nil, fmt.Errorf("%w: tag/length mismatch", ErrFragmentation)
+		}
+		if foff+len(f.Payload)-fragHeaderBytes > total {
+			return nil, fmt.Errorf("%w: fragment overruns datagram", ErrFragmentation)
+		}
+		frags = append(frags, frag{off: foff, data: f.Payload[fragHeaderBytes:]})
+	}
+	sort.Slice(frags, func(i, j int) bool { return frags[i].off < frags[j].off })
+	out := make([]byte, total)
+	covered := 0
+	for _, fr := range frags {
+		if fr.off != covered {
+			return nil, fmt.Errorf("%w: gap at offset %d", ErrReassemblyGaps, covered)
+		}
+		copy(out[fr.off:], fr.data)
+		covered = fr.off + len(fr.data)
+	}
+	if covered != total {
+		return nil, fmt.Errorf("%w: have %d of %d bytes", ErrReassemblyGaps, covered, total)
+	}
+	return out, nil
+}

@@ -1,0 +1,161 @@
+package lpwan
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmallDatagramUnfragmented(t *testing.T) {
+	frames, err := Fragment(FrameData, EUIFromUint64(1), 0, 1, []byte("small"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 || frames[0].Flags&FlagFragment != 0 {
+		t.Fatalf("small datagram fragmented: %d frames flags %x", len(frames), frames[0].Flags)
+	}
+	out, err := Reassemble(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "small" {
+		t.Fatalf("reassembled %q", out)
+	}
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	datagram := make([]byte, 500)
+	for i := range datagram {
+		datagram[i] = byte(i * 7)
+	}
+	frames, err := Fragment(FrameCommission, EUIFromUint64(2), 100, 9, datagram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 2 {
+		t.Fatalf("500B datagram produced %d frames", len(frames))
+	}
+	for i, f := range frames {
+		if f.Flags&FlagFragment == 0 {
+			t.Fatalf("frame %d missing fragment flag", i)
+		}
+		if f.Seq != uint16(100+i) {
+			t.Fatalf("frame %d seq = %d", i, f.Seq)
+		}
+		// Every fragment must fit the MTU after encoding.
+		wire, err := f.Encode()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(wire) > 127 {
+			t.Fatalf("frame %d is %d bytes on the wire", i, len(wire))
+		}
+	}
+	out, err := Reassemble(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, datagram) {
+		t.Fatal("reassembly mismatch")
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	datagram := make([]byte, 400)
+	for i := range datagram {
+		datagram[i] = byte(i)
+	}
+	frames, err := Fragment(FrameData, EUIFromUint64(3), 0, 4, datagram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse the fragment order.
+	rev := make([]Frame, len(frames))
+	for i, f := range frames {
+		rev[len(frames)-1-i] = f
+	}
+	out, err := Reassemble(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, datagram) {
+		t.Fatal("out-of-order reassembly mismatch")
+	}
+}
+
+func TestReassembleMissingFragment(t *testing.T) {
+	datagram := make([]byte, 400)
+	frames, _ := Fragment(FrameData, EUIFromUint64(4), 0, 4, datagram)
+	if _, err := Reassemble(frames[:len(frames)-1]); !errors.Is(err, ErrReassemblyGaps) {
+		t.Fatalf("missing tail fragment err = %v", err)
+	}
+	if _, err := Reassemble(append([]Frame{}, frames[1:]...)); !errors.Is(err, ErrReassemblyGaps) {
+		t.Fatalf("missing head fragment err = %v", err)
+	}
+}
+
+func TestReassembleMixedSources(t *testing.T) {
+	a, _ := Fragment(FrameData, EUIFromUint64(5), 0, 4, make([]byte, 300))
+	b, _ := Fragment(FrameData, EUIFromUint64(6), 0, 4, make([]byte, 300))
+	mixed := append(append([]Frame{}, a...), b...)
+	if _, err := Reassemble(mixed); !errors.Is(err, ErrFragmentation) {
+		t.Fatalf("mixed-source err = %v", err)
+	}
+}
+
+func TestReassembleMixedTags(t *testing.T) {
+	a, _ := Fragment(FrameData, EUIFromUint64(5), 0, 1, make([]byte, 300))
+	b, _ := Fragment(FrameData, EUIFromUint64(5), 0, 2, make([]byte, 300))
+	mixed := append(append([]Frame{}, a...), b...)
+	if _, err := Reassemble(mixed); !errors.Is(err, ErrFragmentation) {
+		t.Fatalf("mixed-tag err = %v", err)
+	}
+}
+
+func TestOversizeDatagramRejected(t *testing.T) {
+	if _, err := Fragment(FrameData, EUIFromUint64(1), 0, 1, make([]byte, MaxDatagram+1)); !errors.Is(err, ErrPayloadTooBig) {
+		t.Fatalf("oversize datagram err = %v", err)
+	}
+}
+
+func TestReassembleEmptyInput(t *testing.T) {
+	if _, err := Reassemble(nil); !errors.Is(err, ErrFragmentation) {
+		t.Fatalf("empty input err = %v", err)
+	}
+}
+
+func TestFragmentRoundTripProperty(t *testing.T) {
+	src := EUIFromUint64(77)
+	if err := quick.Check(func(data []byte, tag uint8) bool {
+		if len(data) > MaxDatagram {
+			data = data[:MaxDatagram]
+		}
+		frames, err := Fragment(FrameData, src, 0, tag, data)
+		if err != nil {
+			return false
+		}
+		out, err := Reassemble(frames)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFragmentReassemble(b *testing.B) {
+	datagram := make([]byte, 1024)
+	src := EUIFromUint64(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frames, err := Fragment(FrameData, src, 0, uint8(i), datagram)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Reassemble(frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

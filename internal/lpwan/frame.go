@@ -1,0 +1,190 @@
+// Package lpwan implements the compact link-layer framing shared by the
+// simulator and the real daemons: EUI-64 addressing, a versioned frame
+// header, CRC-16 integrity, and fragmentation down to the 127-byte
+// 802.15.4 MTU.
+//
+// One of the paper's takeaways (§3.1, citing Hui & Culler) is that even
+// severely resource-constrained devices should speak standards-compliant,
+// IP-compatible framing so that *any* gateway can forward their traffic
+// rather than devices being bound to a specific vendor's gateway. The
+// frame format here is the moral equivalent: self-describing, stateless to
+// parse, with a device-global source address — a gateway needs no
+// pairing or per-device state to route it.
+package lpwan
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// EUI64 is a device-global 64-bit identifier, as burned into 802.15.4 and
+// LoRaWAN radios.
+type EUI64 [8]byte
+
+// EUIFromUint64 builds an EUI64 from an integer (big-endian).
+func EUIFromUint64(v uint64) EUI64 {
+	var e EUI64
+	binary.BigEndian.PutUint64(e[:], v)
+	return e
+}
+
+// Uint64 returns the address as a big-endian integer.
+func (e EUI64) Uint64() uint64 { return binary.BigEndian.Uint64(e[:]) }
+
+// String renders the conventional colon-separated hex form.
+func (e EUI64) String() string {
+	const hexdigits = "0123456789abcdef"
+	buf := make([]byte, 0, 23)
+	for i, b := range e {
+		if i > 0 {
+			buf = append(buf, ':')
+		}
+		buf = append(buf, hexdigits[b>>4], hexdigits[b&0xf])
+	}
+	return string(buf)
+}
+
+// ParseEUI64 parses the colon-separated hex form.
+func ParseEUI64(s string) (EUI64, error) {
+	var e EUI64
+	if len(s) != 23 {
+		return e, fmt.Errorf("lpwan: EUI64 %q: wrong length", s)
+	}
+	for i := 0; i < 8; i++ {
+		b, err := hex.DecodeString(s[i*3 : i*3+2])
+		if err != nil {
+			return e, fmt.Errorf("lpwan: EUI64 %q: %v", s, err)
+		}
+		if i < 7 && s[i*3+2] != ':' {
+			return e, fmt.Errorf("lpwan: EUI64 %q: missing separator", s)
+		}
+		e[i] = b[0]
+	}
+	return e, nil
+}
+
+// FrameType discriminates link-layer frames.
+type FrameType uint8
+
+// Frame types. Data carries telemetry; Heartbeat is an empty liveness
+// frame; Commission and Migrate are used by the gateway commissioning and
+// trusted-third-party handoff protocols (§3.2).
+const (
+	FrameData FrameType = iota
+	FrameHeartbeat
+	FrameCommission
+	FrameMigrate
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameData:
+		return "data"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameCommission:
+		return "commission"
+	case FrameMigrate:
+		return "migrate"
+	default:
+		return fmt.Sprintf("frametype(%d)", uint8(t))
+	}
+}
+
+// Version is the only wire format version this implementation speaks.
+const Version = 1
+
+// Header and trailer sizes of the wire format.
+const (
+	headerBytes  = 13 // ver/type(1) flags(1) src(8) seq(2) len(1)
+	trailerBytes = 2  // CRC-16
+	// Overhead is the non-payload bytes per frame.
+	Overhead = headerBytes + trailerBytes
+	// MaxPayload is the largest payload that fits an 802.15.4 frame.
+	MaxPayload = 127 - Overhead
+)
+
+// Frame is one link-layer frame.
+type Frame struct {
+	Type    FrameType
+	Flags   uint8
+	Source  EUI64
+	Seq     uint16
+	Payload []byte
+}
+
+// Errors returned by Decode.
+var (
+	ErrFrameTooShort  = errors.New("lpwan: frame too short")
+	ErrBadVersion     = errors.New("lpwan: unsupported frame version")
+	ErrBadCRC         = errors.New("lpwan: CRC mismatch")
+	ErrBadLength      = errors.New("lpwan: length field disagrees with frame size")
+	ErrPayloadTooBig  = errors.New("lpwan: payload exceeds MTU")
+	ErrFragmentation  = errors.New("lpwan: bad fragment")
+	ErrReassemblyGaps = errors.New("lpwan: datagram incomplete")
+)
+
+// Encode serialises the frame, appending the CRC-16 trailer.
+func (f Frame) Encode() ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooBig, len(f.Payload), MaxPayload)
+	}
+	buf := make([]byte, headerBytes+len(f.Payload)+trailerBytes)
+	buf[0] = Version<<4 | uint8(f.Type)&0x0f
+	buf[1] = f.Flags
+	copy(buf[2:10], f.Source[:])
+	binary.BigEndian.PutUint16(buf[10:12], f.Seq)
+	buf[12] = uint8(len(f.Payload))
+	copy(buf[headerBytes:], f.Payload)
+	crc := CRC16(buf[:headerBytes+len(f.Payload)])
+	binary.BigEndian.PutUint16(buf[headerBytes+len(f.Payload):], crc)
+	return buf, nil
+}
+
+// Decode parses and validates a frame.
+func Decode(buf []byte) (Frame, error) {
+	var f Frame
+	if len(buf) < Overhead {
+		return f, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, len(buf))
+	}
+	if buf[0]>>4 != Version {
+		return f, fmt.Errorf("%w: %d", ErrBadVersion, buf[0]>>4)
+	}
+	plen := int(buf[12])
+	if len(buf) != Overhead+plen {
+		return f, fmt.Errorf("%w: header says %d, frame holds %d", ErrBadLength, plen, len(buf)-Overhead)
+	}
+	wantCRC := binary.BigEndian.Uint16(buf[len(buf)-2:])
+	if got := CRC16(buf[:len(buf)-2]); got != wantCRC {
+		return f, fmt.Errorf("%w: got %04x want %04x", ErrBadCRC, got, wantCRC)
+	}
+	f.Type = FrameType(buf[0] & 0x0f)
+	f.Flags = buf[1]
+	copy(f.Source[:], buf[2:10])
+	f.Seq = binary.BigEndian.Uint16(buf[10:12])
+	if plen > 0 {
+		f.Payload = make([]byte, plen)
+		copy(f.Payload, buf[headerBytes:headerBytes+plen])
+	}
+	return f, nil
+}
+
+// CRC16 computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF), the CRC
+// used by 802.15.4-style link layers.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

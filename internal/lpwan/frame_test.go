@@ -1,0 +1,203 @@
+package lpwan
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEUI64RoundTrip(t *testing.T) {
+	e := EUIFromUint64(0xdeadbeefcafef00d)
+	if e.Uint64() != 0xdeadbeefcafef00d {
+		t.Fatalf("Uint64 round trip: %x", e.Uint64())
+	}
+	s := e.String()
+	if s != "de:ad:be:ef:ca:fe:f0:0d" {
+		t.Fatalf("String() = %q", s)
+	}
+	parsed, err := ParseEUI64(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != e {
+		t.Fatalf("parse round trip: %v != %v", parsed, e)
+	}
+}
+
+func TestParseEUI64Errors(t *testing.T) {
+	for _, bad := range []string{"", "de:ad", "de:ad:be:ef:ca:fe:f0:0", "zz:ad:be:ef:ca:fe:f0:0d", "de-ad-be-ef-ca-fe-f0-0d"} {
+		if _, err := ParseEUI64(bad); err == nil {
+			t.Fatalf("ParseEUI64(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEUI64StringParseProperty(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool {
+		e := EUIFromUint64(v)
+		p, err := ParseEUI64(e.String())
+		return err == nil && p == e
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if FrameData.String() != "data" || FrameMigrate.String() != "migrate" {
+		t.Fatal("frame type names wrong")
+	}
+	if FrameType(9).String() != "frametype(9)" {
+		t.Fatal("unknown frame type fallback wrong")
+	}
+}
+
+func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	f := Frame{
+		Type:    FrameData,
+		Flags:   0x02,
+		Source:  EUIFromUint64(42),
+		Seq:     1234,
+		Payload: []byte("hello century"),
+	}
+	wire, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.Flags != f.Flags || got.Source != f.Source || got.Seq != f.Seq {
+		t.Fatalf("header mismatch: %+v vs %+v", got, f)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("payload mismatch: %q", got.Payload)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(src uint64, seq uint16, ty uint8, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		f := Frame{
+			Type:    FrameType(ty % 4),
+			Source:  EUIFromUint64(src),
+			Seq:     seq,
+			Payload: payload,
+		}
+		wire, err := f.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return got.Source == f.Source && got.Seq == f.Seq &&
+			got.Type == f.Type && bytes.Equal(got.Payload, f.Payload)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyPayloadFrame(t *testing.T) {
+	f := Frame{Type: FrameHeartbeat, Source: EUIFromUint64(7)}
+	wire, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != Overhead {
+		t.Fatalf("empty frame = %d bytes, want %d", len(wire), Overhead)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 0 {
+		t.Fatal("payload should be empty")
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	f := Frame{Payload: make([]byte, MaxPayload+1)}
+	if _, err := f.Encode(); !errors.Is(err, ErrPayloadTooBig) {
+		t.Fatalf("err = %v, want ErrPayloadTooBig", err)
+	}
+}
+
+func TestMaxFrameFitsMTU(t *testing.T) {
+	f := Frame{Payload: make([]byte, MaxPayload)}
+	wire, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 127 {
+		t.Fatalf("max frame = %d bytes, want exactly the 127-byte MTU", len(wire))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2}); !errors.Is(err, ErrFrameTooShort) {
+		t.Fatalf("short frame err = %v", err)
+	}
+	wire, _ := Frame{Source: EUIFromUint64(1), Payload: []byte("x")}.Encode()
+
+	bad := append([]byte(nil), wire...)
+	bad[0] = 0x20 // version 2
+	if _, err := Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version err = %v", err)
+	}
+
+	bad = append([]byte(nil), wire...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := Decode(bad); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("crc err = %v", err)
+	}
+
+	bad = append([]byte(nil), wire...)
+	bad[12] = 5 // length field lies
+	if _, err := Decode(bad); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("length err = %v", err)
+	}
+}
+
+func TestCorruptionDetectedProperty(t *testing.T) {
+	// Flipping any single bit must be detected (CRC or structural check).
+	f := Frame{Type: FrameData, Source: EUIFromUint64(99), Seq: 7, Payload: []byte("payload!")}
+	wire, _ := f.Encode()
+	for bit := 0; bit < len(wire)*8; bit++ {
+		corrupt := append([]byte(nil), wire...)
+		corrupt[bit/8] ^= 1 << (bit % 8)
+		if got, err := Decode(corrupt); err == nil {
+			// A flip that decodes cleanly must reproduce the original
+			// frame exactly (impossible for a single flip), so fail.
+			t.Fatalf("bit flip %d undetected: %+v", bit, got)
+		}
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("CRC16 = %04x, want 29b1", got)
+	}
+	if got := CRC16(nil); got != 0xFFFF {
+		t.Fatalf("CRC16(empty) = %04x, want ffff (init)", got)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	f := Frame{Type: FrameData, Source: EUIFromUint64(1), Seq: 1, Payload: make([]byte, 24)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire, err := f.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package metering
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"centuryscale/internal/rng"
+)
+
+func TestDailyShapeNormalised(t *testing.T) {
+	sum := 0.0
+	for _, v := range dailyShape {
+		sum += v
+	}
+	if math.Abs(sum/24-1) > 0.02 {
+		t.Fatalf("daily shape mean = %v, want ~1", sum/24)
+	}
+	// Evening peak must exceed the overnight trough substantially.
+	if dailyShape[19] < 2.5*dailyShape[3] {
+		t.Fatal("daily shape lacks an evening peak")
+	}
+}
+
+func TestFleetConstruction(t *testing.T) {
+	f := NewFleet(1000, 0.3, rng.New(1))
+	if len(f.Meters) != 1000 {
+		t.Fatalf("meters = %d", len(f.Meters))
+	}
+	enrolled := 0
+	meanBase := 0.0
+	for _, m := range f.Meters {
+		if m.DRParticipant {
+			enrolled++
+		}
+		if m.BaseKW <= 0 {
+			t.Fatalf("meter %d base load %v", m.ID, m.BaseKW)
+		}
+		meanBase += m.BaseKW
+	}
+	meanBase /= 1000
+	if math.Abs(meanBase-1.2) > 0.15 {
+		t.Fatalf("mean base load = %v, want ~1.2 kW", meanBase)
+	}
+	if enrolled < 250 || enrolled > 350 {
+		t.Fatalf("DR enrollment = %d of 1000 at 30%%", enrolled)
+	}
+}
+
+func TestRunAccountsEnergy(t *testing.T) {
+	f := NewFleet(100, 0, rng.New(2))
+	res := f.Run(7, DefaultTariff(), nil)
+	// ~100 meters * 1.2 kW * 24h * 7d ≈ 20,160 kWh.
+	if res.TotalKWh < 15000 || res.TotalKWh > 26000 {
+		t.Fatalf("total = %v kWh", res.TotalKWh)
+	}
+	// System peak lands in the evening window.
+	if res.PeakKW <= 0 {
+		t.Fatal("no peak recorded")
+	}
+	if res.FlatBillCents <= 0 || res.TOUBillCents <= 0 {
+		t.Fatalf("bills = %v / %v", res.FlatBillCents, res.TOUBillCents)
+	}
+}
+
+func TestTOUBillExceedsFlatForEveningPeakers(t *testing.T) {
+	// Residential shape concentrates load in the evening peak window, so
+	// a TOU tariff calibrated with a cheap off-peak rate should still
+	// bill roughly comparably; the interesting check is both are
+	// computed from identical energy.
+	f := NewFleet(200, 0, rng.New(3))
+	res := f.Run(30, DefaultTariff(), nil)
+	ratio := float64(res.TOUBillCents) / float64(res.FlatBillCents)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("TOU/flat ratio = %v", ratio)
+	}
+}
+
+func TestDemandResponseCutsPeak(t *testing.T) {
+	mk := func(events []DREvent) RunResult {
+		f := NewFleet(500, 0.5, rng.New(4))
+		return f.Run(3, DefaultTariff(), events)
+	}
+	base := mk(nil)
+	// Shed 30% on every day's evening peak.
+	var events []DREvent
+	for d := 0; d < 3; d++ {
+		events = append(events, DREvent{Day: d, StartHour: 17, Hours: 4, ShedFraction: 0.3})
+	}
+	dr := mk(events)
+	if dr.PeakKW >= base.PeakKW {
+		t.Fatalf("DR did not cut the peak: %v vs %v", dr.PeakKW, base.PeakKW)
+	}
+	// 50% participation shedding 30%: expect roughly 15% peak cut.
+	cut := 1 - dr.PeakKW/base.PeakKW
+	if cut < 0.08 || cut > 0.25 {
+		t.Fatalf("peak cut = %v, want ~0.15", cut)
+	}
+	if dr.ShedKWh <= 0 {
+		t.Fatal("no shed energy recorded")
+	}
+}
+
+func TestDRNeedsParticipants(t *testing.T) {
+	f := NewFleet(200, 0, rng.New(5)) // nobody enrolled
+	ev := []DREvent{{Day: 0, StartHour: 17, Hours: 4, ShedFraction: 0.5}}
+	res := f.Run(1, DefaultTariff(), ev)
+	if res.ShedKWh != 0 {
+		t.Fatalf("shed %v kWh with zero enrollment", res.ShedKWh)
+	}
+}
+
+func TestOutageDetectionLatency(t *testing.T) {
+	// Hourly reporting, alarm on 2 consecutive misses, outage at 10:30.
+	res := DetectOutage(OutageParams{
+		ReportEvery:   time.Hour,
+		MissesToAlarm: 2,
+		OutageAt:      10*time.Hour + 30*time.Minute,
+		MetersOut:     120,
+	})
+	// First missed report at 11:00; second miss at 12:00 -> detected.
+	if res.DetectedAt != 12*time.Hour {
+		t.Fatalf("detected at %v", res.DetectedAt)
+	}
+	if res.Latency != 90*time.Minute {
+		t.Fatalf("latency = %v", res.Latency)
+	}
+	if res.MetersSeen != 120 {
+		t.Fatalf("meters = %d", res.MetersSeen)
+	}
+}
+
+func TestOutageLatencyScalesWithCadence(t *testing.T) {
+	// The AMI value proposition: daily manual reads detect outages a day
+	// late; hourly AMI reads detect within hours.
+	daily := DetectOutage(OutageParams{
+		ReportEvery: 24 * time.Hour, MissesToAlarm: 1,
+		OutageAt: 6 * time.Hour, MetersOut: 10,
+	})
+	hourly := DetectOutage(OutageParams{
+		ReportEvery: time.Hour, MissesToAlarm: 1,
+		OutageAt: 6 * time.Hour, MetersOut: 10,
+	})
+	if hourly.Latency >= daily.Latency {
+		t.Fatalf("hourly latency %v not below daily %v", hourly.Latency, daily.Latency)
+	}
+	if daily.Latency > 24*time.Hour || hourly.Latency > time.Hour {
+		t.Fatalf("latencies: daily %v hourly %v", daily.Latency, hourly.Latency)
+	}
+}
+
+func TestDetectOutagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params did not panic")
+		}
+	}()
+	DetectOutage(OutageParams{})
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := NewFleet(100, 0.3, rng.New(9)).Run(5, DefaultTariff(), nil)
+	b := NewFleet(100, 0.3, rng.New(9)).Run(5, DefaultTariff(), nil)
+	if a.TotalKWh != b.TotalKWh || a.PeakKW != b.PeakKW {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestFleetPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty fleet did not panic")
+		}
+	}()
+	NewFleet(0, 0, rng.New(1))
+}
+
+func BenchmarkFleetMonth(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := NewFleet(500, 0.3, rng.New(uint64(i)))
+		_ = f.Run(30, DefaultTariff(), nil)
+	}
+}

@@ -1,0 +1,241 @@
+// Package radio models the low-power wireless physical and MAC layers the
+// paper's devices use: IEEE 802.15.4 (the owned-gateway design point) and
+// LoRa (the third-party / Helium design point), §4.1-4.2.
+//
+// The models are the standard engineering ones: a log-distance path-loss
+// channel with log-normal shadowing, link budgets against per-protocol
+// sensitivity, the Semtech LoRa time-on-air formula, ALOHA collision
+// behaviour for uncoordinated transmit-only devices, and energy-per-packet
+// derived from airtime and transmit power. They are deliberately simple
+// enough to be auditable against datasheets while capturing what the system
+// design depends on: delivery probability, airtime (which drives both
+// energy and regulatory duty-cycle limits), and how the two trade off
+// against range.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"centuryscale/internal/rng"
+)
+
+// DBmToMilliwatts converts dBm to mW.
+func DBmToMilliwatts(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattsToDBm converts mW to dBm.
+func MilliwattsToDBm(mw float64) float64 { return 10 * math.Log10(mw) }
+
+// Channel is a log-distance path-loss model with optional log-normal
+// shadowing: PL(d) = PL(d0) + 10·n·log10(d/d0) + X_sigma.
+type Channel struct {
+	// RefLossDB is the path loss at the reference distance (1 m). 40 dB
+	// is a common 2.4 GHz figure; ~31.5 dB for 915 MHz.
+	RefLossDB float64
+	// Exponent n: 2 in free space, 2.7-3.5 urban street level, 4+ indoors.
+	Exponent float64
+	// ShadowSigmaDB is the standard deviation of log-normal shadowing;
+	// 0 disables it.
+	ShadowSigmaDB float64
+}
+
+// PathLossDB returns the deterministic (median) path loss at distance d
+// meters. Distances below 1 m clamp to the reference loss.
+func (c Channel) PathLossDB(meters float64) float64 {
+	if meters < 1 {
+		meters = 1
+	}
+	return c.RefLossDB + 10*c.Exponent*math.Log10(meters)
+}
+
+// SampleLossDB returns the path loss at d meters with a shadowing draw.
+func (c Channel) SampleLossDB(meters float64, src *rng.Source) float64 {
+	loss := c.PathLossDB(meters)
+	if c.ShadowSigmaDB > 0 {
+		loss += src.Normal(0, c.ShadowSigmaDB)
+	}
+	return loss
+}
+
+// UrbanChannel is a street-level urban deployment channel for sub-GHz
+// LoRa: the propagation environment of pole- and bridge-mounted sensors.
+func UrbanChannel() Channel {
+	return Channel{RefLossDB: 31.5, Exponent: 2.9, ShadowSigmaDB: 6}
+}
+
+// Urban24Channel is the 2.4 GHz counterpart for 802.15.4.
+func Urban24Channel() Channel {
+	return Channel{RefLossDB: 40, Exponent: 2.9, ShadowSigmaDB: 6}
+}
+
+// Link describes one transmitter-receiver pair's RF parameters.
+type Link struct {
+	TxPowerDBm float64
+	TxGainDBi  float64
+	RxGainDBi  float64
+}
+
+// RxPowerDBm returns the received power over the given channel at distance
+// d meters using median path loss.
+func (l Link) RxPowerDBm(c Channel, meters float64) float64 {
+	return l.TxPowerDBm + l.TxGainDBi + l.RxGainDBi - c.PathLossDB(meters)
+}
+
+// MarginDB returns link margin against a receiver sensitivity.
+func (l Link) MarginDB(c Channel, meters, sensitivityDBm float64) float64 {
+	return l.RxPowerDBm(c, meters) - sensitivityDBm
+}
+
+// MaxRangeMeters returns the distance at which median margin reaches zero.
+func (l Link) MaxRangeMeters(c Channel, sensitivityDBm float64) float64 {
+	budget := l.TxPowerDBm + l.TxGainDBi + l.RxGainDBi - sensitivityDBm
+	// budget = RefLoss + 10 n log10(d)  =>  d = 10^((budget-RefLoss)/(10n))
+	return math.Pow(10, (budget-c.RefLossDB)/(10*c.Exponent))
+}
+
+// LinkSuccessProb converts a median link margin plus shadowing sigma into a
+// packet-delivery probability: the probability that the shadowing draw does
+// not erase the margin (Gaussian tail).
+func LinkSuccessProb(marginDB, shadowSigmaDB float64) float64 {
+	if shadowSigmaDB <= 0 {
+		if marginDB >= 0 {
+			return 1
+		}
+		return 0
+	}
+	// P(X < margin) for X ~ N(0, sigma).
+	return 0.5 * (1 + math.Erf(marginDB/(shadowSigmaDB*math.Sqrt2)))
+}
+
+// IEEE802154 models the 2.4 GHz O-QPSK PHY: 250 kb/s, 127-byte maximum
+// frame, 6-byte synchronisation header.
+type IEEE802154 struct{}
+
+// MaxFrameBytes is the 802.15.4 PHY-layer MTU.
+const MaxFrameBytes = 127
+
+// Airtime returns the on-air duration of a frame with the given MAC-layer
+// length (payload + MAC header/footer), excluding nothing: SHR+PHR are
+// added here. It returns an error if the frame exceeds the PHY MTU.
+func (IEEE802154) Airtime(frameBytes int) (time.Duration, error) {
+	if frameBytes < 0 || frameBytes > MaxFrameBytes {
+		return 0, fmt.Errorf("radio: 802.15.4 frame of %d bytes exceeds %d-byte MTU", frameBytes, MaxFrameBytes)
+	}
+	bits := (6 + frameBytes) * 8
+	return time.Duration(float64(bits) / 250e3 * float64(time.Second)), nil
+}
+
+// Sensitivity returns the typical receiver sensitivity in dBm.
+func (IEEE802154) Sensitivity() float64 { return -95 }
+
+// LoRaConfig selects a LoRa modulation configuration.
+type LoRaConfig struct {
+	SF            int     // spreading factor, 7..12
+	BandwidthHz   float64 // typically 125000
+	CodingRate    int     // 1..4 meaning 4/5..4/8
+	PreambleSyms  int     // typically 8
+	ExplicitHdr   bool    // LoRaWAN uses explicit header
+	LowDataRateOn bool    // required for SF11/12 at 125 kHz
+}
+
+// DefaultLoRa returns the standard LoRaWAN configuration for a spreading
+// factor: 125 kHz, CR 4/5, 8-symbol preamble, explicit header, LDRO as
+// mandated. It panics for SF outside 7..12.
+func DefaultLoRa(sf int) LoRaConfig {
+	if sf < 7 || sf > 12 {
+		panic(fmt.Sprintf("radio: invalid LoRa SF%d", sf))
+	}
+	return LoRaConfig{
+		SF:            sf,
+		BandwidthHz:   125e3,
+		CodingRate:    1,
+		PreambleSyms:  8,
+		ExplicitHdr:   true,
+		LowDataRateOn: sf >= 11,
+	}
+}
+
+// Airtime returns the LoRa time-on-air for a payload of n bytes, per the
+// Semtech SX127x datasheet formula.
+func (c LoRaConfig) Airtime(payloadBytes int) time.Duration {
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	tSym := math.Pow(2, float64(c.SF)) / c.BandwidthHz
+	de := 0.0
+	if c.LowDataRateOn {
+		de = 1
+	}
+	ih := 1.0
+	if c.ExplicitHdr {
+		ih = 0
+	}
+	num := 8*float64(payloadBytes) - 4*float64(c.SF) + 28 + 16 - 20*ih
+	den := 4 * (float64(c.SF) - 2*de)
+	nPayload := 8 + math.Max(math.Ceil(num/den)*float64(c.CodingRate+4), 0)
+	tPreamble := (float64(c.PreambleSyms) + 4.25) * tSym
+	tPayload := nPayload * tSym
+	return time.Duration((tPreamble + tPayload) * float64(time.Second))
+}
+
+// Sensitivity returns the typical SX127x sensitivity in dBm at 125 kHz for
+// the configuration's spreading factor.
+func (c LoRaConfig) Sensitivity() float64 {
+	// Datasheet-typical values, SF7..SF12 at BW 125 kHz.
+	table := map[int]float64{7: -123, 8: -126, 9: -129, 10: -132, 11: -134.5, 12: -137}
+	if s, ok := table[c.SF]; ok {
+		return s
+	}
+	return -120
+}
+
+// TxEnergy estimates the energy to transmit for the given airtime at the
+// given RF output power, assuming a 3.3 V supply and a radio whose drain
+// is a fixed overhead plus the PA draw at ~20% efficiency — a reasonable
+// envelope for SX127x / CC2538-class parts.
+func TxEnergy(airtime time.Duration, txPowerDBm float64) (microJoules float64) {
+	paWatts := DBmToMilliwatts(txPowerDBm) / 1000 / 0.20
+	overheadWatts := 0.015 // synthesizer, baseband
+	return (paWatts + overheadWatts) * airtime.Seconds() * 1e6
+}
+
+// AlohaSuccess returns the per-packet success probability of pure
+// (unslotted) ALOHA given the offered channel load G in Erlangs
+// (aggregate airtime per unit time): P = exp(-2G). Transmit-only devices
+// cannot listen before talk, so pure ALOHA is the right model (§4.1).
+func AlohaSuccess(offeredLoad float64) float64 {
+	if offeredLoad <= 0 {
+		return 1
+	}
+	return math.Exp(-2 * offeredLoad)
+}
+
+// OfferedLoad computes channel load for n devices each transmitting a
+// frame of the given airtime once per interval.
+func OfferedLoad(n int, airtime, interval time.Duration) float64 {
+	if interval <= 0 {
+		panic("radio: non-positive interval")
+	}
+	return float64(n) * airtime.Seconds() / interval.Seconds()
+}
+
+// DutyCycleLimit reports whether a device transmitting airtime per interval
+// respects a regulatory duty-cycle cap (e.g. 0.01 for the 1% EU868 limit).
+func DutyCycleLimit(airtime, interval time.Duration, cap float64) bool {
+	return airtime.Seconds()/interval.Seconds() <= cap
+}
+
+// PDR combines link-level success and collision survival into an
+// end-to-end packet delivery ratio for a transmit-only device: the paper's
+// devices get no ACKs and no retries, so per-packet PDR is the product.
+func PDR(linkSuccess, alohaSuccess float64) float64 {
+	p := linkSuccess * alohaSuccess
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

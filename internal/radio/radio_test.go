@@ -1,0 +1,289 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"centuryscale/internal/rng"
+)
+
+func TestDBmConversionRoundTrip(t *testing.T) {
+	for _, dbm := range []float64{-137, -95, -30, 0, 14, 20, 30} {
+		mw := DBmToMilliwatts(dbm)
+		back := MilliwattsToDBm(mw)
+		if math.Abs(back-dbm) > 1e-9 {
+			t.Fatalf("round trip %v -> %v -> %v", dbm, mw, back)
+		}
+	}
+	if got := DBmToMilliwatts(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("0 dBm = %v mW, want 1", got)
+	}
+	if got := DBmToMilliwatts(20); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("20 dBm = %v mW, want 100", got)
+	}
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	c := UrbanChannel()
+	if err := quick.Check(func(a, b uint16) bool {
+		d1, d2 := float64(a)+1, float64(b)+1
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return c.PathLossDB(d1) <= c.PathLossDB(d2)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathLossReference(t *testing.T) {
+	c := Channel{RefLossDB: 40, Exponent: 2}
+	if got := c.PathLossDB(1); got != 40 {
+		t.Fatalf("PL(1m) = %v, want ref 40", got)
+	}
+	// Free space exponent 2: +20 dB per decade.
+	if got := c.PathLossDB(10) - c.PathLossDB(1); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("decade loss = %v, want 20", got)
+	}
+	// Sub-meter clamps to reference.
+	if got := c.PathLossDB(0.1); got != 40 {
+		t.Fatalf("PL(0.1m) = %v, want clamp to 40", got)
+	}
+}
+
+func TestShadowingStatistics(t *testing.T) {
+	c := Channel{RefLossDB: 40, Exponent: 2.9, ShadowSigmaDB: 6}
+	src := rng.New(1)
+	median := c.PathLossDB(100)
+	sum, sumsq := 0.0, 0.0
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := c.SampleLossDB(100, src) - median
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	sigma := math.Sqrt(sumsq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Fatalf("shadowing mean = %v, want ~0", mean)
+	}
+	if math.Abs(sigma-6) > 0.15 {
+		t.Fatalf("shadowing sigma = %v, want ~6", sigma)
+	}
+}
+
+func TestLinkBudget(t *testing.T) {
+	l := Link{TxPowerDBm: 14}
+	c := Channel{RefLossDB: 31.5, Exponent: 2.9}
+	rx := l.RxPowerDBm(c, 1000)
+	want := 14 - (31.5 + 10*2.9*3) // 1000 m = 3 decades
+	if math.Abs(rx-want) > 1e-9 {
+		t.Fatalf("rx power = %v, want %v", rx, want)
+	}
+	margin := l.MarginDB(c, 1000, -137)
+	if math.Abs(margin-(want+137)) > 1e-9 {
+		t.Fatalf("margin = %v", margin)
+	}
+}
+
+func TestMaxRangeConsistent(t *testing.T) {
+	l := Link{TxPowerDBm: 14}
+	c := Channel{RefLossDB: 31.5, Exponent: 2.9}
+	r := l.MaxRangeMeters(c, -137)
+	// Margin at the computed max range must be ~0.
+	if m := l.MarginDB(c, r, -137); math.Abs(m) > 1e-6 {
+		t.Fatalf("margin at max range = %v, want 0", m)
+	}
+	// LoRa SF12 at street level should reach kilometres; 802.15.4 at
+	// 2.4 GHz with -95 dBm only hundreds of metres.
+	lora := l.MaxRangeMeters(UrbanChannel(), DefaultLoRa(12).Sensitivity())
+	wpan := Link{TxPowerDBm: 0}.MaxRangeMeters(Urban24Channel(), IEEE802154{}.Sensitivity())
+	if lora < 2000 {
+		t.Fatalf("LoRa SF12 range = %v m, want km-scale", lora)
+	}
+	if wpan > 1000 || wpan < 30 {
+		t.Fatalf("802.15.4 range = %v m, want hundreds of metres", wpan)
+	}
+	if lora < 5*wpan {
+		t.Fatalf("LoRa range %v should dwarf 802.15.4 range %v", lora, wpan)
+	}
+}
+
+func TestLinkSuccessProb(t *testing.T) {
+	// Zero margin with shadowing: 50/50.
+	if p := LinkSuccessProb(0, 6); math.Abs(p-0.5) > 1e-9 {
+		t.Fatalf("P(margin 0) = %v, want 0.5", p)
+	}
+	// Large positive margin: ~1; large negative: ~0.
+	if p := LinkSuccessProb(30, 6); p < 0.999 {
+		t.Fatalf("P(margin 30) = %v", p)
+	}
+	if p := LinkSuccessProb(-30, 6); p > 0.001 {
+		t.Fatalf("P(margin -30) = %v", p)
+	}
+	// No shadowing: step function.
+	if LinkSuccessProb(1, 0) != 1 || LinkSuccessProb(-1, 0) != 0 {
+		t.Fatal("no-shadowing step function broken")
+	}
+	// Monotone in margin.
+	if LinkSuccessProb(5, 6) <= LinkSuccessProb(2, 6) {
+		t.Fatal("success not monotone in margin")
+	}
+}
+
+func Test802154Airtime(t *testing.T) {
+	// 127-byte frame: (6+127)*8 bits at 250 kb/s = 4.256 ms.
+	a, err := IEEE802154{}.Airtime(127)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Seconds()-0.004256) > 1e-9 {
+		t.Fatalf("airtime = %v, want 4.256ms", a)
+	}
+	if _, err := (IEEE802154{}).Airtime(128); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	if _, err := (IEEE802154{}).Airtime(-1); err == nil {
+		t.Fatal("negative frame accepted")
+	}
+}
+
+func TestLoRaAirtimeKnownValues(t *testing.T) {
+	// Hand-computed from the Semtech SX127x datasheet formula: BW 125 kHz,
+	// CR 4/5, 8-symbol preamble, explicit header, CRC on, LDRO at SF11+.
+	// SF7: 48 payload symbols -> (12.25+48)*1.024 ms = 61.70 ms.
+	// SF10: 33 symbols -> (12.25+33)*8.192 ms = 370.69 ms.
+	// SF12 (DE=1): 33 symbols -> (12.25+33)*32.768 ms = 1482.75 ms.
+	cases := []struct {
+		sf      int
+		payload int
+		wantMs  float64
+	}{
+		{7, 24, 61.70},
+		{10, 24, 370.69},
+		{12, 24, 1482.75},
+	}
+	for _, tc := range cases {
+		got := DefaultLoRa(tc.sf).Airtime(tc.payload).Seconds() * 1000
+		if math.Abs(got-tc.wantMs)/tc.wantMs > 0.02 {
+			t.Fatalf("SF%d/%dB airtime = %.2f ms, want ~%.2f", tc.sf, tc.payload, got, tc.wantMs)
+		}
+	}
+}
+
+func TestLoRaAirtimeMonotoneInSF(t *testing.T) {
+	prev := time.Duration(0)
+	for sf := 7; sf <= 12; sf++ {
+		a := DefaultLoRa(sf).Airtime(24)
+		if a <= prev {
+			t.Fatalf("airtime not increasing at SF%d: %v <= %v", sf, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestLoRaSensitivityMonotone(t *testing.T) {
+	prev := 0.0
+	for sf := 7; sf <= 12; sf++ {
+		s := DefaultLoRa(sf).Sensitivity()
+		if sf > 7 && s >= prev {
+			t.Fatalf("sensitivity must improve (more negative) with SF: SF%d %v >= %v", sf, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestDefaultLoRaInvalidSFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DefaultLoRa(6) did not panic")
+		}
+	}()
+	DefaultLoRa(6)
+}
+
+func TestLoRaLDRO(t *testing.T) {
+	if DefaultLoRa(10).LowDataRateOn {
+		t.Fatal("LDRO should be off at SF10/125k")
+	}
+	if !DefaultLoRa(11).LowDataRateOn || !DefaultLoRa(12).LowDataRateOn {
+		t.Fatal("LDRO must be on at SF11/12 with 125 kHz")
+	}
+}
+
+func TestTxEnergyScalesWithAirtimeAndPower(t *testing.T) {
+	e1 := TxEnergy(50*time.Millisecond, 14)
+	e2 := TxEnergy(100*time.Millisecond, 14)
+	if math.Abs(e2-2*e1) > 1e-6 {
+		t.Fatalf("energy not linear in airtime: %v vs %v", e1, e2)
+	}
+	if TxEnergy(50*time.Millisecond, 20) <= e1 {
+		t.Fatal("higher TX power must cost more energy")
+	}
+	// Sanity: SF7 24-byte LoRa packet at 14 dBm is single-digit mJ.
+	e := TxEnergy(DefaultLoRa(7).Airtime(24), 14)
+	if e < 1000 || e > 20000 {
+		t.Fatalf("SF7 packet energy = %v µJ, want ~1-20 mJ", e)
+	}
+}
+
+func TestAlohaSuccess(t *testing.T) {
+	if AlohaSuccess(0) != 1 {
+		t.Fatal("empty channel must always succeed")
+	}
+	// Peak pure-ALOHA throughput at G=0.5: S = 0.5*e^-1 ~ 18.4%.
+	if p := AlohaSuccess(0.5); math.Abs(p-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("P(G=0.5) = %v, want e^-1", p)
+	}
+	if AlohaSuccess(0.1) <= AlohaSuccess(0.5) {
+		t.Fatal("success must fall with load")
+	}
+}
+
+func TestOfferedLoad(t *testing.T) {
+	// 1000 devices, 50 ms airtime, hourly: G = 1000*0.05/3600.
+	g := OfferedLoad(1000, 50*time.Millisecond, time.Hour)
+	if math.Abs(g-1000*0.05/3600) > 1e-12 {
+		t.Fatalf("offered load = %v", g)
+	}
+}
+
+func TestDutyCycleLimit(t *testing.T) {
+	// SF12 24-byte packet ~1.16 s hourly: 0.032% — well under 1%.
+	a := DefaultLoRa(12).Airtime(24)
+	if !DutyCycleLimit(a, time.Hour, 0.01) {
+		t.Fatal("hourly SF12 uplink should satisfy the 1% duty cycle")
+	}
+	// The same packet every 10 seconds violates it.
+	if DutyCycleLimit(a, 10*time.Second, 0.01) {
+		t.Fatal("10s SF12 cadence must violate the 1% duty cycle")
+	}
+}
+
+func TestPDRClamps(t *testing.T) {
+	if PDR(0.9, 0.9) != 0.81 {
+		t.Fatalf("PDR = %v", PDR(0.9, 0.9))
+	}
+	if PDR(2, 2) != 1 || PDR(-1, 0.5) != 0 {
+		t.Fatal("PDR must clamp to [0,1]")
+	}
+}
+
+func BenchmarkLoRaAirtime(b *testing.B) {
+	cfg := DefaultLoRa(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = cfg.Airtime(24)
+	}
+}
+
+func BenchmarkSampleLoss(b *testing.B) {
+	c := UrbanChannel()
+	src := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.SampleLossDB(500, src)
+	}
+}

@@ -1,0 +1,130 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"centuryscale/internal/rng"
+)
+
+func TestComponentNames(t *testing.T) {
+	for c := Battery; c <= EnergyHarvester; c++ {
+		if c.String() == "" || c.String()[0] == 'c' && c != CeramicCap && c != Connector {
+			// Every class must have a registered name, not the fallback.
+			if _, ok := componentNames[c]; !ok {
+				t.Fatalf("component %d has no name", int(c))
+			}
+		}
+	}
+	if got := ComponentClass(999).String(); got != "component(999)" {
+		t.Fatalf("unknown class String() = %q", got)
+	}
+}
+
+func TestComponentLifetimesAreSane(t *testing.T) {
+	// Battery mean life must land in the paper's 10-15 year band.
+	bm := Battery.Lifetime().Mean()
+	if bm < 10 || bm > 15 {
+		t.Fatalf("battery mean life %v years, want within 10-15", bm)
+	}
+	// Structural components must far outlive the battery.
+	for _, c := range []ComponentClass{PCBSubstrate, MCU, CeramicCap, RadioIC} {
+		if m := c.Lifetime().Mean(); m < 2*bm {
+			t.Fatalf("%v mean life %v should be >> battery %v", c, m, bm)
+		}
+	}
+}
+
+func TestBatteryBOMMeanLife(t *testing.T) {
+	// The battery-device series system should fail with mean life in or
+	// below the conventional-wisdom band (series systems die earlier than
+	// their weakest component's mean).
+	m := MTTF(BatteryDeviceBOM().System(), 2000)
+	if m < 5 || m > 15 {
+		t.Fatalf("battery device MTTF = %v years, want 5-15", m)
+	}
+}
+
+func TestHarvestingOutlivesBattery(t *testing.T) {
+	batt := MTTF(BatteryDeviceBOM().System(), 2000)
+	harv := MTTF(HarvestingDeviceBOM().System(), 2000)
+	if harv <= batt*1.5 {
+		t.Fatalf("harvesting MTTF %v should exceed battery MTTF %v by >1.5x", harv, batt)
+	}
+}
+
+func TestHarvestingSurvivalAtFifty(t *testing.T) {
+	// The paper's 50-year experiment premise: a meaningful fraction of
+	// harvesting devices reach multi-decade life while battery devices
+	// are essentially extinct by year 30.
+	batt := BatteryDeviceBOM().System()
+	harv := HarvestingDeviceBOM().System()
+	if s := batt.Survival(30); s > 0.02 {
+		t.Fatalf("battery S(30) = %v, want near zero", s)
+	}
+	if s := harv.Survival(30); s < 0.2 {
+		t.Fatalf("harvesting S(30) = %v, want a substantial fraction alive", s)
+	}
+	if harv.Survival(50) <= batt.Survival(50) {
+		t.Fatal("harvesting devices must dominate battery devices at 50 years")
+	}
+}
+
+func TestSampleLifetimeCauses(t *testing.T) {
+	src := rng.New(5)
+	bom := BatteryDeviceBOM()
+	causes := map[string]int{}
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		y, cause := bom.SampleLifetime(src)
+		if y <= 0 || math.IsInf(y, 1) {
+			t.Fatalf("bad lifetime %v", y)
+		}
+		causes[cause]++
+		sum += y
+	}
+	// The battery must be the dominant cause of death.
+	if causes["battery"] < n/3 {
+		t.Fatalf("battery caused only %d/%d failures: %v", causes["battery"], n, causes)
+	}
+	mean := sum / float64(n)
+	analytic := MTTF(bom.System(), 2000)
+	if math.Abs(mean-analytic)/analytic > 0.05 {
+		t.Fatalf("sampled mean %v vs analytic MTTF %v", mean, analytic)
+	}
+}
+
+func TestHarvestingBOMHasNoBattery(t *testing.T) {
+	for _, c := range HarvestingDeviceBOM().Components {
+		if c == Battery || c == ElectrolyticCap {
+			t.Fatalf("harvesting BOM must not include %v", c)
+		}
+	}
+}
+
+func TestGatewayBOM(t *testing.T) {
+	m := MTTF(GatewayBOM().System(), 2000)
+	// Gateways are serviceable infrastructure: shorter-lived than
+	// harvesting devices (powered, exposed) but years-scale.
+	if m < 3 || m > 40 {
+		t.Fatalf("gateway MTTF = %v years", m)
+	}
+}
+
+func TestSampleLifetimeDeterministic(t *testing.T) {
+	a, _ := BatteryDeviceBOM().SampleLifetime(rng.New(7))
+	b, _ := BatteryDeviceBOM().SampleLifetime(rng.New(7))
+	if a != b {
+		t.Fatalf("same seed gave different lifetimes: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkSampleLifetime(b *testing.B) {
+	src := rng.New(1)
+	bom := HarvestingDeviceBOM()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = bom.SampleLifetime(src)
+	}
+}

@@ -1,0 +1,275 @@
+// Package reliability provides lifetime distributions, system reliability
+// composition, and survival estimation for century-scale device fleets.
+//
+// The paper's argument (§1, §4) leans on two reliability facts: (1)
+// conventional wisdom holds components such as batteries and electrolytic
+// capacitors to a 10-15 year mean device life, and (2) energy-harvesting
+// designs remove exactly those limiting components, so the remaining
+// population (PCB, solder, silicon) may carry a device to the century
+// scale. This package encodes both: parametric lifetime distributions
+// (Weibull, exponential, bathtub), a component catalog with the
+// paper-consistent parameters, series-system composition for a device's
+// bill of materials, and a Kaplan-Meier estimator for measuring survival
+// curves out of simulation output.
+//
+// All times in this package are expressed in (fractional, Julian) years;
+// the simulator converts at its boundary via sim.Years.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"centuryscale/internal/rng"
+)
+
+// Distribution is a lifetime distribution over non-negative times in
+// years.
+type Distribution interface {
+	// Survival returns S(t) = P(lifetime > t). S(0) == 1, non-increasing.
+	Survival(t float64) float64
+	// Hazard returns the instantaneous failure rate h(t) = f(t)/S(t),
+	// in failures per year.
+	Hazard(t float64) float64
+	// Sample draws a lifetime in years.
+	Sample(src *rng.Source) float64
+	// Mean returns the expected lifetime in years.
+	Mean() float64
+}
+
+// Weibull is a Weibull lifetime distribution. Shape < 1 models infant
+// mortality (decreasing hazard), shape == 1 random failures (constant
+// hazard), and shape > 1 wear-out (increasing hazard) — the regime that
+// governs batteries and electrolytic capacitors.
+type Weibull struct {
+	Shape float64 // k > 0, dimensionless
+	Scale float64 // lambda > 0, years; the 63.2th percentile life
+}
+
+// NewWeibull returns a Weibull distribution, panicking on non-positive
+// parameters (a configuration error, not a runtime condition).
+func NewWeibull(shape, scale float64) Weibull {
+	if shape <= 0 || scale <= 0 {
+		panic(fmt.Sprintf("reliability: invalid Weibull(%v, %v)", shape, scale))
+	}
+	return Weibull{Shape: shape, Scale: scale}
+}
+
+// WeibullFromMean constructs a Weibull with the given shape whose mean
+// equals mean years; used to encode claims stated as mean lifetimes (e.g.
+// "10-15 years").
+func WeibullFromMean(shape, mean float64) Weibull {
+	if shape <= 0 || mean <= 0 {
+		panic(fmt.Sprintf("reliability: invalid WeibullFromMean(%v, %v)", shape, mean))
+	}
+	return Weibull{Shape: shape, Scale: mean / math.Gamma(1+1/shape)}
+}
+
+// Survival implements Distribution.
+func (w Weibull) Survival(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Exp(-math.Pow(t/w.Scale, w.Shape))
+}
+
+// Hazard implements Distribution.
+func (w Weibull) Hazard(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t == 0 {
+		t = 1e-12 // avoid 0^negative for shape < 1
+	}
+	return w.Shape / w.Scale * math.Pow(t/w.Scale, w.Shape-1)
+}
+
+// Sample implements Distribution.
+func (w Weibull) Sample(src *rng.Source) float64 {
+	return src.Weibull(w.Shape, w.Scale)
+}
+
+// Mean implements Distribution.
+func (w Weibull) Mean() float64 {
+	return w.Scale * math.Gamma(1+1/w.Shape)
+}
+
+// Exponential is a constant-hazard lifetime distribution, appropriate for
+// random external failures (lightning, vandalism, vehicle strikes on
+// street furniture).
+type Exponential struct {
+	MeanLife float64 // years
+}
+
+// Survival implements Distribution.
+func (e Exponential) Survival(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	return math.Exp(-t / e.MeanLife)
+}
+
+// Hazard implements Distribution.
+func (e Exponential) Hazard(float64) float64 { return 1 / e.MeanLife }
+
+// Sample implements Distribution.
+func (e Exponential) Sample(src *rng.Source) float64 {
+	return src.Exponential(e.MeanLife)
+}
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return e.MeanLife }
+
+// CompetingRisks models a unit subject to several independent failure
+// modes; the unit fails when the first mode fires. Survival is the product
+// of mode survivals, hazard the sum of mode hazards. A classic bathtub is
+// the competing combination of an infant-mortality Weibull (shape < 1), a
+// constant-hazard Exponential, and a wear-out Weibull (shape > 1).
+type CompetingRisks struct {
+	Modes []Distribution
+}
+
+// Survival implements Distribution.
+func (c CompetingRisks) Survival(t float64) float64 {
+	s := 1.0
+	for _, m := range c.Modes {
+		s *= m.Survival(t)
+	}
+	return s
+}
+
+// Hazard implements Distribution.
+func (c CompetingRisks) Hazard(t float64) float64 {
+	h := 0.0
+	for _, m := range c.Modes {
+		h += m.Hazard(t)
+	}
+	return h
+}
+
+// Sample implements Distribution: the minimum of the modes' draws.
+func (c CompetingRisks) Sample(src *rng.Source) float64 {
+	min := math.Inf(1)
+	for _, m := range c.Modes {
+		if v := m.Sample(src); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Mean implements Distribution by numerically integrating the survival
+// function (MTTF = integral of S(t) dt).
+func (c CompetingRisks) Mean() float64 {
+	return MTTF(c, 1000)
+}
+
+// Bathtub builds the canonical three-phase hazard curve: infant mortality
+// with the given early shape/scale, a constant random-failure floor, and
+// wear-out.
+func Bathtub(infantScale, randomMean float64, wearOut Weibull) CompetingRisks {
+	return CompetingRisks{Modes: []Distribution{
+		NewWeibull(0.5, infantScale),
+		Exponential{MeanLife: randomMean},
+		wearOut,
+	}}
+}
+
+// MTTF numerically integrates the survival function out to the point where
+// it becomes negligible, using the trapezoid rule over steps intervals per
+// probe horizon. It doubles the horizon until the tail contributes less
+// than 0.1%.
+func MTTF(d Distribution, steps int) float64 {
+	horizon := 50.0
+	for d.Survival(horizon) > 1e-4 && horizon < 1e6 {
+		horizon *= 2
+	}
+	h := horizon / float64(steps)
+	sum := 0.0
+	prev := d.Survival(0)
+	for i := 1; i <= steps; i++ {
+		cur := d.Survival(float64(i) * h)
+		sum += (prev + cur) / 2 * h
+		prev = cur
+	}
+	return sum
+}
+
+// Quantile inverts the survival function numerically: the time t at which
+// S(t) == 1-p (the p-th failure quantile). p must be in (0, 1).
+func Quantile(d Distribution, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("reliability: Quantile p=%v out of (0,1)", p))
+	}
+	target := 1 - p
+	lo, hi := 0.0, 1.0
+	for d.Survival(hi) > target {
+		hi *= 2
+		if hi > 1e9 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if d.Survival(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Observation is one unit's outcome in a survival study: the time it was
+// observed for, and whether the observation ended in failure (true) or
+// censoring (false — e.g. the study ended with the unit still alive).
+type Observation struct {
+	Time   float64
+	Failed bool
+}
+
+// KaplanMeier computes the product-limit survival estimate from possibly
+// right-censored observations. It returns parallel slices: event times (in
+// increasing order, failures only) and the estimated S(t) immediately after
+// each event time.
+func KaplanMeier(obs []Observation) (times, survival []float64) {
+	sorted := make([]Observation, len(obs))
+	copy(sorted, obs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	atRisk := len(sorted)
+	s := 1.0
+	i := 0
+	for i < len(sorted) {
+		t := sorted[i].Time
+		deaths, leaving := 0, 0
+		for i < len(sorted) && sorted[i].Time == t {
+			if sorted[i].Failed {
+				deaths++
+			}
+			leaving++
+			i++
+		}
+		if deaths > 0 {
+			s *= 1 - float64(deaths)/float64(atRisk)
+			times = append(times, t)
+			survival = append(survival, s)
+		}
+		atRisk -= leaving
+	}
+	return times, survival
+}
+
+// SurvivalAt evaluates a Kaplan-Meier step function (as returned by
+// KaplanMeier) at time t.
+func SurvivalAt(times, survival []float64, t float64) float64 {
+	s := 1.0
+	for i, et := range times {
+		if et > t {
+			break
+		}
+		s = survival[i]
+	}
+	return s
+}

@@ -1,0 +1,310 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"centuryscale/internal/rng"
+)
+
+func TestWeibullSurvivalBasics(t *testing.T) {
+	w := NewWeibull(2, 10)
+	if s := w.Survival(0); s != 1 {
+		t.Fatalf("S(0) = %v, want 1", s)
+	}
+	if s := w.Survival(-5); s != 1 {
+		t.Fatalf("S(-5) = %v, want 1", s)
+	}
+	// At t == scale, survival is exp(-1) regardless of shape.
+	if s := w.Survival(10); math.Abs(s-math.Exp(-1)) > 1e-12 {
+		t.Fatalf("S(scale) = %v, want e^-1", s)
+	}
+}
+
+func TestWeibullSurvivalMonotone(t *testing.T) {
+	w := NewWeibull(3, 12)
+	if err := quick.Check(func(a, b uint16) bool {
+		t1, t2 := float64(a)/100, float64(b)/100
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return w.Survival(t1) >= w.Survival(t2)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeibullHazardRegimes(t *testing.T) {
+	wearOut := NewWeibull(3, 10)
+	if wearOut.Hazard(1) >= wearOut.Hazard(9) {
+		t.Fatal("wear-out hazard must increase with age")
+	}
+	infant := NewWeibull(0.5, 10)
+	if infant.Hazard(0.1) <= infant.Hazard(9) {
+		t.Fatal("infant-mortality hazard must decrease with age")
+	}
+	random := Exponential{MeanLife: 10}
+	if random.Hazard(1) != random.Hazard(99) {
+		t.Fatal("exponential hazard must be constant")
+	}
+}
+
+func TestWeibullFromMean(t *testing.T) {
+	for _, mean := range []float64{5, 12, 15, 50} {
+		w := WeibullFromMean(3, mean)
+		if got := w.Mean(); math.Abs(got-mean)/mean > 1e-9 {
+			t.Fatalf("WeibullFromMean(3, %v).Mean() = %v", mean, got)
+		}
+	}
+}
+
+func TestWeibullInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWeibull(0, 1) did not panic")
+		}
+	}()
+	NewWeibull(0, 1)
+}
+
+func TestExponentialMemoryless(t *testing.T) {
+	e := Exponential{MeanLife: 10}
+	// S(a+b) == S(a)*S(b)
+	if got, want := e.Survival(7), e.Survival(3)*e.Survival(4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("memorylessness violated: %v != %v", got, want)
+	}
+}
+
+func TestCompetingRisksSurvivalProduct(t *testing.T) {
+	a := NewWeibull(2, 10)
+	b := Exponential{MeanLife: 30}
+	c := CompetingRisks{Modes: []Distribution{a, b}}
+	for _, tt := range []float64{0, 1, 5, 20, 60} {
+		want := a.Survival(tt) * b.Survival(tt)
+		if got := c.Survival(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("S(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestCompetingRisksHazardSum(t *testing.T) {
+	a := NewWeibull(2, 10)
+	b := Exponential{MeanLife: 30}
+	c := CompetingRisks{Modes: []Distribution{a, b}}
+	if got, want := c.Hazard(5), a.Hazard(5)+b.Hazard(5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("hazard = %v, want %v", got, want)
+	}
+}
+
+func TestCompetingRisksSampleIsMin(t *testing.T) {
+	// Sampled competing-risk lifetimes should match the analytic mean.
+	src := rng.New(1)
+	c := CompetingRisks{Modes: []Distribution{
+		Exponential{MeanLife: 10}, Exponential{MeanLife: 10},
+	}}
+	// Min of two exp(10) is exp(5).
+	sum := 0.0
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += c.Sample(src)
+	}
+	if got := sum / float64(n); math.Abs(got-5)/5 > 0.03 {
+		t.Fatalf("competing exp mean = %v, want ~5", got)
+	}
+}
+
+func TestBathtubShape(t *testing.T) {
+	b := Bathtub(2.0, 100, NewWeibull(4, 20))
+	early := b.Hazard(0.05)
+	mid := b.Hazard(5)
+	late := b.Hazard(25)
+	if early <= mid {
+		t.Fatalf("bathtub early hazard %v should exceed mid-life %v", early, mid)
+	}
+	if late <= mid {
+		t.Fatalf("bathtub late hazard %v should exceed mid-life %v", late, mid)
+	}
+}
+
+func TestMTTFMatchesAnalytic(t *testing.T) {
+	// Exponential MTTF is the mean.
+	if got := MTTF(Exponential{MeanLife: 12}, 4000); math.Abs(got-12)/12 > 0.01 {
+		t.Fatalf("exp MTTF = %v, want 12", got)
+	}
+	// Weibull MTTF is scale*Gamma(1+1/k).
+	w := NewWeibull(3, 15)
+	if got := MTTF(w, 4000); math.Abs(got-w.Mean())/w.Mean() > 0.01 {
+		t.Fatalf("weibull MTTF = %v, want %v", got, w.Mean())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	w := NewWeibull(2, 10)
+	// Median: S(t) = 0.5 => t = scale * (ln 2)^(1/k)
+	want := 10 * math.Pow(math.Ln2, 0.5)
+	if got := Quantile(w, 0.5); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("median = %v, want %v", got, want)
+	}
+	// Quantile must be monotone in p.
+	if Quantile(w, 0.1) >= Quantile(w, 0.9) {
+		t.Fatal("quantile not monotone")
+	}
+}
+
+func TestQuantileInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(d, 0) did not panic")
+		}
+	}()
+	Quantile(Exponential{MeanLife: 1}, 0)
+}
+
+func TestKaplanMeierNoCensoring(t *testing.T) {
+	// With no censoring, KM is the empirical survival function.
+	obs := []Observation{
+		{1, true}, {2, true}, {3, true}, {4, true},
+	}
+	times, surv := KaplanMeier(obs)
+	if len(times) != 4 {
+		t.Fatalf("got %d event times, want 4", len(times))
+	}
+	want := []float64{0.75, 0.5, 0.25, 0}
+	for i := range surv {
+		if math.Abs(surv[i]-want[i]) > 1e-12 {
+			t.Fatalf("S after event %d = %v, want %v", i, surv[i], want[i])
+		}
+	}
+}
+
+func TestKaplanMeierCensoring(t *testing.T) {
+	// A censored unit leaves the risk set without a survival drop.
+	obs := []Observation{
+		{1, true},  // 1 of 4 fails: S = 3/4
+		{2, false}, // censored: risk set 2
+		{3, true},  // 1 of 2 fails: S = 3/4 * 1/2 = 3/8
+		{4, false},
+	}
+	times, surv := KaplanMeier(obs)
+	if len(times) != 2 {
+		t.Fatalf("got %d event times, want 2", len(times))
+	}
+	if math.Abs(surv[0]-0.75) > 1e-12 || math.Abs(surv[1]-0.375) > 1e-12 {
+		t.Fatalf("KM survival = %v, want [0.75 0.375]", surv)
+	}
+}
+
+func TestKaplanMeierTies(t *testing.T) {
+	obs := []Observation{{5, true}, {5, true}, {5, false}, {10, true}}
+	times, surv := KaplanMeier(obs)
+	if len(times) != 2 {
+		t.Fatalf("event times = %v", times)
+	}
+	// At t=5: 2 deaths among 4 at risk => S = 0.5. At t=10: 1 of 1 => 0.
+	if math.Abs(surv[0]-0.5) > 1e-12 || surv[1] != 0 {
+		t.Fatalf("KM with ties = %v", surv)
+	}
+}
+
+func TestSurvivalAt(t *testing.T) {
+	times := []float64{1, 3}
+	surv := []float64{0.8, 0.4}
+	if s := SurvivalAt(times, surv, 0.5); s != 1 {
+		t.Fatalf("S(0.5) = %v, want 1", s)
+	}
+	if s := SurvivalAt(times, surv, 2); s != 0.8 {
+		t.Fatalf("S(2) = %v, want 0.8", s)
+	}
+	if s := SurvivalAt(times, surv, 10); s != 0.4 {
+		t.Fatalf("S(10) = %v, want 0.4", s)
+	}
+}
+
+func TestKaplanMeierRecoversWeibull(t *testing.T) {
+	// Sampling a Weibull and estimating with KM should recover the
+	// parametric survival curve.
+	src := rng.New(99)
+	w := NewWeibull(3, 12)
+	obs := make([]Observation, 5000)
+	for i := range obs {
+		obs[i] = Observation{Time: w.Sample(src), Failed: true}
+	}
+	times, surv := KaplanMeier(obs)
+	for _, probe := range []float64{5, 10, 15} {
+		got := SurvivalAt(times, surv, probe)
+		want := w.Survival(probe)
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("KM S(%v) = %v, parametric %v", probe, got, want)
+		}
+	}
+}
+
+func TestArrheniusFactor(t *testing.T) {
+	// At the reference temperature the factor is exactly 1.
+	if f := ArrheniusFactor(25, 0.7); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("reference factor = %v", f)
+	}
+	// The classic rule of thumb: ~2x life consumption per +10°C at
+	// typical activation energies.
+	f35 := ArrheniusFactor(35, 0.7)
+	if f35 < 1.8 || f35 > 2.8 {
+		t.Fatalf("+10C factor = %v, want ~2", f35)
+	}
+	// Colder than reference slows aging.
+	if f := ArrheniusFactor(5, 0.7); f >= 1 {
+		t.Fatalf("cold factor = %v, want <1", f)
+	}
+	// Monotone in temperature.
+	if ArrheniusFactor(60, 0.7) <= ArrheniusFactor(40, 0.7) {
+		t.Fatal("factor not monotone in temperature")
+	}
+}
+
+func TestArrheniusPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-ev":  func() { ArrheniusFactor(25, 0) },
+		"below-0K": func() { ArrheniusFactor(-300, 0.7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDeratedContractsLifetimes(t *testing.T) {
+	base := NewWeibull(3, 12)
+	hot := DeratedFor(base, 55, 0.7) // asphalt-potted: much hotter
+	if hot.Factor <= 1 {
+		t.Fatalf("hot-site factor = %v", hot.Factor)
+	}
+	if hot.Mean() >= base.Mean() {
+		t.Fatalf("hot mean %v not below base %v", hot.Mean(), base.Mean())
+	}
+	// Survival contracts consistently: S_hot(t) == S_base(factor*t).
+	for _, tt := range []float64{1, 5, 10, 20} {
+		if got, want := hot.Survival(tt), base.Survival(hot.Factor*tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("S(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	// Sampled mean matches the analytic contraction.
+	src := rng.New(3)
+	sum := 0.0
+	n := 50000
+	for i := 0; i < n; i++ {
+		sum += hot.Sample(src)
+	}
+	got := sum / float64(n)
+	if math.Abs(got-hot.Mean())/hot.Mean() > 0.03 {
+		t.Fatalf("sampled mean %v vs analytic %v", got, hot.Mean())
+	}
+	// Hazard scaling identity.
+	if got, want := hot.Hazard(5), hot.Factor*base.Hazard(hot.Factor*5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("hazard = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,64 @@
+package reliability
+
+import (
+	"fmt"
+	"math"
+
+	"centuryscale/internal/rng"
+)
+
+// Thermal acceleration: component lifetimes in the catalog assume a
+// temperate reference climate. Electronics age faster when hot — the
+// Arrhenius relationship is the standard engineering model — and a
+// sensor potted into south-facing asphalt lives in a very different
+// thermal world than one inside a shaded bridge box. Century-scale
+// planning has to site-derate its lifetime math.
+
+// boltzmannEV is Boltzmann's constant in eV/K.
+const boltzmannEV = 8.617e-5
+
+// referenceCelsius is the catalog's assumed operating temperature.
+const referenceCelsius = 25.0
+
+// ArrheniusFactor returns the life-consumption acceleration at the given
+// operating temperature relative to the 25 °C catalog reference, for an
+// activation energy in eV (0.7 eV is a common electronics figure).
+// Values above 1 mean faster aging (shorter life).
+func ArrheniusFactor(operatingCelsius, activationEV float64) float64 {
+	if activationEV <= 0 {
+		panic(fmt.Sprintf("reliability: non-positive activation energy %v", activationEV))
+	}
+	tRef := referenceCelsius + 273.15
+	tOp := operatingCelsius + 273.15
+	if tOp <= 0 {
+		panic(fmt.Sprintf("reliability: operating temperature %v°C below absolute zero", operatingCelsius))
+	}
+	return math.Exp(activationEV / boltzmannEV * (1/tRef - 1/tOp))
+}
+
+// Derated wraps a lifetime distribution with a thermal acceleration
+// factor: time runs faster for the component by that factor, so the
+// distribution contracts. Factor 1 is the identity; 2 halves all
+// lifetimes.
+type Derated struct {
+	Base   Distribution
+	Factor float64
+}
+
+// DeratedFor builds the wrapper from a site temperature and activation
+// energy.
+func DeratedFor(base Distribution, operatingCelsius, activationEV float64) Derated {
+	return Derated{Base: base, Factor: ArrheniusFactor(operatingCelsius, activationEV)}
+}
+
+// Survival implements Distribution: S'(t) = S(factor·t).
+func (d Derated) Survival(t float64) float64 { return d.Base.Survival(d.Factor * t) }
+
+// Hazard implements Distribution: h'(t) = factor·h(factor·t).
+func (d Derated) Hazard(t float64) float64 { return d.Factor * d.Base.Hazard(d.Factor*t) }
+
+// Sample implements Distribution: draws shrink by the factor.
+func (d Derated) Sample(src *rng.Source) float64 { return d.Base.Sample(src) / d.Factor }
+
+// Mean implements Distribution.
+func (d Derated) Mean() float64 { return d.Base.Mean() / d.Factor }

@@ -1,0 +1,237 @@
+// Package rng provides a deterministic, seedable pseudo-random number
+// generator and the statistical distributions the simulator needs.
+//
+// The simulator must be reproducible bit-for-bit across runs and across
+// machines: every experiment in EXPERIMENTS.md is identified by a seed, and
+// re-running with that seed must regenerate the identical event sequence.
+// To guarantee that independently of Go release changes to math/rand, this
+// package implements its own generator: a splitmix64 seeder feeding a
+// xoshiro256** core, with explicit stream splitting so that independent
+// subsystems (radio noise, component lifetimes, hotspot churn, ...) draw
+// from decorrelated streams derived from one experiment seed.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** pseudo-random source.
+//
+// The zero value is not usable; construct with New or Split.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the state and returns the next splitmix64 output.
+// It is used only to expand seeds into full generator state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds produce
+// decorrelated streams; the same seed always produces the same stream.
+func New(seed uint64) *Source {
+	sm := seed
+	return &Source{
+		s0: splitmix64(&sm),
+		s1: splitmix64(&sm),
+		s2: splitmix64(&sm),
+		s3: splitmix64(&sm),
+	}
+}
+
+// Split derives an independent child source from the parent without
+// perturbing the parent's primary stream more than one draw. The label
+// ensures that two children split at the same point with different labels
+// are decorrelated.
+func (s *Source) Split(label string) *Source {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return New(s.Uint64() ^ h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	return int64(s.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Exponential returns a draw from an exponential distribution with the
+// given mean (mean = 1/rate). It panics if mean <= 0.
+func (s *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exponential with non-positive mean")
+	}
+	// Inverse CDF. 1-Float64() is in (0,1], avoiding log(0).
+	return -mean * math.Log(1-s.Float64())
+}
+
+// Weibull returns a draw from a Weibull distribution with the given shape k
+// and scale lambda. Shape < 1 models infant mortality, shape == 1 is
+// exponential (random failures), shape > 1 models wear-out.
+func (s *Source) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull with non-positive parameter")
+	}
+	return scale * math.Pow(-math.Log(1-s.Float64()), 1/shape)
+}
+
+// Normal returns a draw from a normal distribution N(mu, sigma^2) using the
+// Marsaglia polar method.
+func (s *Source) Normal(mu, sigma float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return mu + sigma*u*math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// LogNormal returns a draw whose logarithm is N(mu, sigma^2).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Poisson returns a draw from a Poisson distribution with the given mean.
+// For large means it uses a normal approximation, which is accurate to
+// within the simulator's needs (counts of packets, failures per interval).
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		n := int(math.Round(s.Normal(mean, math.Sqrt(mean))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	// Knuth's algorithm.
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf draws ranks in [0, n) following a Zipf distribution with exponent
+// alpha > 0: rank r is drawn with probability proportional to 1/(r+1)^alpha.
+// It is used to assign hotspots to autonomous systems (§4.3 of the paper
+// measures a heavily skewed AS distribution).
+type Zipf struct {
+	src   *Source
+	n     int
+	alpha float64
+	cdf   []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent alpha.
+// It panics if n <= 0 or alpha <= 0.
+func NewZipf(src *Source, n int, alpha float64) *Zipf {
+	if n <= 0 || alpha <= 0 {
+		panic("rng: NewZipf with non-positive parameter")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), alpha)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	return &Zipf{src: src, n: n, alpha: alpha, cdf: cdf}
+}
+
+// Draw returns a rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.src.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Shuffle permutes the n elements using the Fisher-Yates algorithm,
+// calling swap for each exchange.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

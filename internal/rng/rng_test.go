@@ -1,0 +1,296 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 1000", same)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("radio")
+	b := parent.Split("failures")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams share %d of 1000 draws", same)
+	}
+}
+
+func TestSplitSameLabelSamePoint(t *testing.T) {
+	a := New(7).Split("x")
+	b := New(7).Split("x")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed + same label must reproduce the same child stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) returned %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(6)
+	const mean = 13.0
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := s.Exponential(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	got := sum / float64(n)
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	// Weibull with shape 1 has mean == scale.
+	s := New(8)
+	const scale = 10.0
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += s.Weibull(1, scale)
+	}
+	got := sum / float64(n)
+	if math.Abs(got-scale)/scale > 0.02 {
+		t.Fatalf("Weibull(1, %v) mean = %v, want ~%v", scale, got, scale)
+	}
+}
+
+func TestWeibullWearOutMean(t *testing.T) {
+	// Mean of Weibull(k, lambda) is lambda * Gamma(1 + 1/k).
+	s := New(9)
+	const shape, scale = 3.0, 15.0
+	want := scale * math.Gamma(1+1/shape)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += s.Weibull(shape, scale)
+	}
+	got := sum / float64(n)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("Weibull(%v,%v) mean = %v, want ~%v", shape, scale, got, want)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(10)
+	const mu, sigma = 5.0, 2.0
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(mu, sigma)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean-mu) > 0.03 {
+		t.Fatalf("normal mean = %v, want ~%v", mean, mu)
+	}
+	if math.Abs(math.Sqrt(variance)-sigma) > 0.03 {
+		t.Fatalf("normal sigma = %v, want ~%v", math.Sqrt(variance), sigma)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, mean := range []float64{0.5, 4, 40, 800} {
+		s := New(11)
+		n := 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Fatalf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With alpha around 1, the head ranks should dominate: the paper
+	// observes the top 10 of ~200 ASes carrying ~50% of hotspots.
+	s := New(12)
+	z := NewZipf(s, 200, 1.0)
+	counts := make([]int, 200)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	top10 := 0
+	for r := 0; r < 10; r++ {
+		top10 += counts[r]
+	}
+	share := float64(top10) / float64(n)
+	if share < 0.4 || share > 0.65 {
+		t.Fatalf("top-10 Zipf share = %v, want ~0.5", share)
+	}
+	if counts[0] <= counts[100] {
+		t.Fatal("Zipf rank 0 should be far more likely than rank 100")
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	s := New(13)
+	z := NewZipf(s, 7, 1.5)
+	for i := 0; i < 10000; i++ {
+		r := z.Draw()
+		if r < 0 || r >= 7 {
+			t.Fatalf("Zipf draw out of range: %d", r)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(14)
+	if err := quick.Check(func(raw uint8) bool {
+		n := int(raw%50) + 1
+		p := s.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(15)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(16)
+	hits := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(n)
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", rate)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(-3, 9)
+		if v < -3 || v >= 9 {
+			t.Fatalf("Uniform(-3,9) = %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkWeibull(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Weibull(2.5, 15)
+	}
+}

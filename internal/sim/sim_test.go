@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestYearsRoundTrip(t *testing.T) {
+	for _, y := range []float64{0, 1, 25, 50, 100, 290} {
+		d := Years(y)
+		got := ToYears(d)
+		if diff := got - y; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("Years/ToYears(%v) = %v", y, got)
+		}
+	}
+}
+
+func TestFiftyYearsFitsInDuration(t *testing.T) {
+	d := Years(100)
+	if d <= 0 {
+		t.Fatalf("100 years overflowed to %v", d)
+	}
+	if ToYears(d) < 99.9 {
+		t.Fatalf("100 years = %v years after round trip", ToYears(d))
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(3*time.Second, func() { order = append(order, 3) })
+	e.After(1*time.Second, func() { order = append(order, 1) })
+	e.After(2*time.Second, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+}
+
+func TestTieBreakByScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.After(time.Second, func() { order = append(order, "a") })
+	e.After(time.Second, func() { order = append(order, "b") })
+	e.After(time.Second, func() { order = append(order, "c") })
+	e.RunAll()
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("tie order = %q, want abc", got)
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine()
+	var at []time.Duration
+	e.After(5*time.Minute, func() { at = append(at, e.Now()) })
+	e.After(time.Hour, func() { at = append(at, e.Now()) })
+	end := e.Run(2 * time.Hour)
+	if at[0] != 5*time.Minute || at[1] != time.Hour {
+		t.Fatalf("callback times %v", at)
+	}
+	if end != 2*time.Hour {
+		t.Fatalf("final time %v, want horizon 2h", end)
+	}
+}
+
+func TestHorizonCutsOff(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(10*time.Hour, func() { ran = true })
+	e.Run(time.Hour)
+	if ran {
+		t.Fatal("event past horizon ran")
+	}
+	if e.Now() != time.Hour {
+		t.Fatalf("clock = %v, want horizon", e.Now())
+	}
+}
+
+func TestEventAtHorizonRuns(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(time.Hour, func() { ran = true })
+	e.Run(time.Hour)
+	if !ran {
+		t.Fatal("event exactly at horizon should run")
+	}
+}
+
+func TestScheduleInPastFails(t *testing.T) {
+	e := NewEngine()
+	e.After(time.Hour, func() {
+		if _, err := e.At(time.Minute, func() {}); err == nil {
+			t.Error("scheduling in the past succeeded")
+		}
+	})
+	e.RunAll()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.After(time.Second, func() { ran = true })
+	ev.Cancel()
+	e.RunAll()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("executed = %d, want 0", e.Executed())
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	later := e.After(2*time.Second, func() { ran = true })
+	e.After(time.Second, func() { later.Cancel() })
+	e.RunAll()
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.After(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var fires []time.Duration
+	e.Every(time.Hour, func() { fires = append(fires, e.Now()) })
+	e.Run(5 * time.Hour)
+	if len(fires) != 5 {
+		t.Fatalf("ticker fired %d times in 5h, want 5", len(fires))
+	}
+	for i, f := range fires {
+		want := time.Duration(i+1) * time.Hour
+		if f != want {
+			t.Fatalf("fire %d at %v, want %v", i, f, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Hour, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run(10 * time.Hour)
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after Stop, want 2", count)
+	}
+}
+
+func TestEveryPanicsOnZeroInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewEngine().Every(0, func() {})
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event that schedules another event at the same timestamp: the
+	// child must run in the same pass, after the parent.
+	e := NewEngine()
+	var order []string
+	e.After(time.Second, func() {
+		order = append(order, "parent")
+		e.After(0, func() { order = append(order, "child") })
+	})
+	e.RunAll()
+	if len(order) != 2 || order[0] != "parent" || order[1] != "child" {
+		t.Fatalf("nested order = %v", order)
+	}
+}
+
+func TestNegativeAfterClamps(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(-time.Hour, func() { ran = true })
+	e.RunAll()
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved to %v", e.Now())
+	}
+}
+
+func TestLongHorizonRun(t *testing.T) {
+	// 50 simulated years of weekly events: 2608 firings, fast.
+	e := NewEngine()
+	count := 0
+	e.Every(Week, func() { count++ })
+	e.Run(Years(50))
+	want := int(Years(50) / Week)
+	if count != want {
+		t.Fatalf("weekly ticker fired %d times in 50y, want %d", count, want)
+	}
+}
+
+func TestOrderingProperty(t *testing.T) {
+	// Property: any batch of random delays executes in sorted order.
+	if err := quick.Check(func(raw []uint32) bool {
+		e := NewEngine()
+		var ran []time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Millisecond
+			e.After(d, func() { ran = append(ran, e.Now()) })
+		}
+		e.RunAll()
+		for i := 1; i < len(ran); i++ {
+			if ran[i] < ran[i-1] {
+				return false
+			}
+		}
+		return len(ran) == len(raw)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.After(time.Duration(i)*time.Second, func() {})
+	}
+	e.RunAll()
+	if e.Executed() != 7 {
+		t.Fatalf("Executed = %d, want 7", e.Executed())
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.After(time.Duration(j)*time.Second, func() {})
+		}
+		e.RunAll()
+	}
+}
+
+func BenchmarkWeeklyTickerFiftyYears(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		count := 0
+		e.Every(Week, func() { count++ })
+		e.Run(Years(50))
+	}
+}

@@ -1,0 +1,256 @@
+// Package stats provides the summary statistics the experiment harness
+// and long-horizon analyses share: running moments, percentiles,
+// histograms, and time-series downsampling for 50-year traces.
+//
+// The simulator produces millions of samples per run (packet outcomes,
+// fill levels, lifetimes); experiments need compact, deterministic
+// summaries of them. Everything here is plain computation over float64
+// slices — no randomness, no time.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual five-number-plus-moments description.
+type Summary struct {
+	Count         int
+	Mean, Std     float64
+	Min, Max      float64
+	P25, P50, P75 float64
+	P95, P99      float64
+}
+
+// Summarize computes a Summary. It copies and sorts internally; the input
+// is not modified. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var s Summary
+	s.Count = len(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / float64(s.Count)
+	varsum := 0.0
+	for _, v := range sorted {
+		varsum += (v - s.Mean) * (v - s.Mean)
+	}
+	if s.Count > 1 {
+		s.Std = math.Sqrt(varsum / float64(s.Count-1))
+	}
+	s.P25 = Percentile(sorted, 25)
+	s.P50 = Percentile(sorted, 50)
+	s.P75 = Percentile(sorted, 75)
+	s.P95 = Percentile(sorted, 95)
+	s.P99 = Percentile(sorted, 99)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of an already-sorted
+// slice, with linear interpolation between ranks. It panics on an empty
+// slice or p outside [0, 100].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of [0,100]", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count samples outside [Lo, Hi).
+	Under, Over int
+}
+
+// NewHistogram builds an empty histogram with the given bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: bad histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if idx == len(h.Counts) { // float edge
+			idx--
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns all recorded samples including out-of-range ones.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Render draws an ASCII bar chart, one row per bin, scaled to width.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 1
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var sb strings.Builder
+	binW := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bars := c * width / max
+		fmt.Fprintf(&sb, "%10.2f-%-10.2f |%-*s %d\n",
+			h.Lo+float64(i)*binW, h.Lo+float64(i+1)*binW,
+			width, strings.Repeat("#", bars), c)
+	}
+	return sb.String()
+}
+
+// Series is a (time, value) sequence; times are in arbitrary consistent
+// units (the simulator uses years).
+type Series struct {
+	T, V []float64
+}
+
+// Append adds a point; times must be non-decreasing.
+func (s *Series) Append(t, v float64) {
+	if n := len(s.T); n > 0 && t < s.T[n-1] {
+		panic("stats: series time going backwards")
+	}
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.T) }
+
+// Downsample reduces the series to at most n points by averaging values
+// within equal-width time buckets (bucket time = midpoint). Useful for
+// turning a 50-year hourly trace into a plottable curve.
+func (s *Series) Downsample(n int) Series {
+	if n <= 0 {
+		panic("stats: non-positive downsample size")
+	}
+	if s.Len() <= n {
+		return Series{T: append([]float64(nil), s.T...), V: append([]float64(nil), s.V...)}
+	}
+	t0, t1 := s.T[0], s.T[len(s.T)-1]
+	width := (t1 - t0) / float64(n)
+	if width == 0 {
+		return Series{T: []float64{t0}, V: []float64{Mean(s.V)}}
+	}
+	var out Series
+	bucket := 0
+	sum, count := 0.0, 0
+	flush := func() {
+		if count > 0 {
+			mid := t0 + (float64(bucket)+0.5)*width
+			out.T = append(out.T, mid)
+			out.V = append(out.V, sum/float64(count))
+		}
+		sum, count = 0, 0
+	}
+	for i := range s.T {
+		b := int((s.T[i] - t0) / width)
+		if b >= n {
+			b = n - 1
+		}
+		if b != bucket {
+			flush()
+			bucket = b
+		}
+		sum += s.V[i]
+		count++
+	}
+	flush()
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// RMSE returns the root-mean-square error between two equal-length
+// slices. It panics on length mismatch.
+func RMSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a)))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// slices, or 0 when either is constant. It panics on length mismatch.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(a) < 2 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("median = %v", s.P50)
+	}
+	// Sample std of 1..5 = sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if p := Percentile(sorted, 0); p != 10 {
+		t.Fatalf("P0 = %v", p)
+	}
+	if p := Percentile(sorted, 100); p != 40 {
+		t.Fatalf("P100 = %v", p)
+	}
+	// P50 of 4 points: rank 1.5 -> 25.
+	if p := Percentile(sorted, 50); p != 25 {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := Percentile([]float64{7}, 99); p != 7 {
+		t.Fatalf("single-point percentile = %v", p)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { Percentile(nil, 50) },
+		"negative": func() { Percentile([]float64{1}, -1) },
+		"over-100": func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		p1, p2 := float64(a%101), float64(b%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(sorted, p1) <= Percentile(sorted, p2)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 11} {
+		h.Add(v)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	// Bins: [0,2): {0, 1.9} = 2; [2,4): {2} = 1; [4,6): {5} = 1; [8,10): {9.99} = 1.
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bin %d = %d, want %d (all %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(1.5)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad bounds did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestSeriesAppendOrdered(t *testing.T) {
+	var s Series
+	s.Append(1, 10)
+	s.Append(2, 20)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	s.Append(0.5, 5)
+}
+
+func TestDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 1000; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	d := s.Downsample(10)
+	if d.Len() != 10 {
+		t.Fatalf("downsampled to %d points", d.Len())
+	}
+	// Bucket means of a linear ramp are increasing and centered.
+	for i := 1; i < d.Len(); i++ {
+		if d.V[i] <= d.V[i-1] {
+			t.Fatal("downsampled ramp not increasing")
+		}
+	}
+	// First bucket of 0..99 has mean 49.5.
+	if math.Abs(d.V[0]-49.5) > 1 {
+		t.Fatalf("first bucket mean = %v", d.V[0])
+	}
+}
+
+func TestDownsampleSmallInput(t *testing.T) {
+	var s Series
+	s.Append(1, 2)
+	d := s.Downsample(10)
+	if d.Len() != 1 || d.V[0] != 2 {
+		t.Fatalf("downsample of 1 point = %+v", d)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Fatalf("RMSE of equal = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := Pearson(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self correlation = %v", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := Pearson(a, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("anti correlation = %v", got)
+	}
+	if got := Pearson(a, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant correlation = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = float64(i * 7 % 1000)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Summarize(xs)
+	}
+}

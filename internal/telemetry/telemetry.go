@@ -1,0 +1,230 @@
+// Package telemetry defines the sensor data unit of the system: a signed,
+// exactly-24-byte packet, sized to the paper's Helium economics (§4.4: "one
+// (up to 24-byte) packet every one hour ... 438,000 data credits" over 50
+// years).
+//
+// The devices are transmit-only (§4.1): they can never receive key
+// updates, so their security envelope is fixed at manufacture. The paper
+// frames this as "minimal security risk, but limited longitudinal trust."
+// We encode that trade-off directly: each packet carries a truncated
+// HMAC-SHA256 tag under a per-device key provisioned at manufacture, plus
+// a monotone sequence number the endpoint uses for replay rejection. A
+// 24-bit tag is no defence against a determined on-path forger — the point
+// is integrity against corruption and casual spoofing, with the endpoint
+// free to quarantine devices whose keys must be presumed stale.
+package telemetry
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"centuryscale/internal/lpwan"
+)
+
+// SensorType identifies what quantity a reading reports.
+type SensorType uint8
+
+// Sensor types for the infrastructure-monitoring workloads the paper
+// motivates: concrete health (§1), traffic, environment (§2).
+const (
+	SensorConcreteEMI SensorType = iota // electromechanical impedance, concrete health
+	SensorStrain
+	SensorVibration
+	SensorTemperature
+	SensorHumidity
+	SensorAirQuality
+	SensorTraffic
+	SensorBinFill // waste-bin fill level (Seoul case study, §2)
+)
+
+var sensorNames = map[SensorType]string{
+	SensorConcreteEMI: "concrete-emi",
+	SensorStrain:      "strain",
+	SensorVibration:   "vibration",
+	SensorTemperature: "temperature",
+	SensorHumidity:    "humidity",
+	SensorAirQuality:  "air-quality",
+	SensorTraffic:     "traffic",
+	SensorBinFill:     "bin-fill",
+}
+
+// String implements fmt.Stringer.
+func (s SensorType) String() string {
+	if n, ok := sensorNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("sensor(%d)", uint8(s))
+}
+
+// PacketSize is the exact wire size of a telemetry packet: the paper's
+// 24-byte Helium data-credit unit.
+const PacketSize = 24
+
+// tagBytes is the truncated HMAC length.
+const tagBytes = 3
+
+// Packet is one sensor reading.
+//
+// Wire layout (big-endian):
+//
+//	0:8   device EUI-64
+//	8:12  sequence number
+//	12    sensor type
+//	13:17 value (IEEE-754 float32)
+//	17:21 device uptime at sampling, seconds
+//	21:24 truncated HMAC-SHA256 over bytes 0:21
+type Packet struct {
+	Device        lpwan.EUI64
+	Seq           uint32
+	Sensor        SensorType
+	Value         float32
+	UptimeSeconds uint32
+}
+
+// Errors returned by Verify and Decode.
+var (
+	ErrBadSize  = errors.New("telemetry: wrong packet size")
+	ErrBadTag   = errors.New("telemetry: authentication tag mismatch")
+	ErrReplay   = errors.New("telemetry: stale or replayed sequence number")
+	ErrValueNaN = errors.New("telemetry: NaN value rejected")
+	ErrShortKey = errors.New("telemetry: key shorter than 16 bytes")
+	ErrWrongDev = errors.New("telemetry: packet from unexpected device")
+)
+
+// Key is a per-device signing key provisioned at manufacture.
+type Key []byte
+
+// DeriveKey deterministically derives a device key from a fleet master
+// secret and the device address — how a manufacturer provisions keys
+// without a per-device database.
+func DeriveKey(master []byte, dev lpwan.EUI64) Key {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte("centuryscale-device-key"))
+	mac.Write(dev[:])
+	return Key(mac.Sum(nil))
+}
+
+// Seal encodes and signs the packet. The key must be at least 16 bytes.
+func (p Packet) Seal(key Key) ([]byte, error) {
+	if len(key) < 16 {
+		return nil, ErrShortKey
+	}
+	if math.IsNaN(float64(p.Value)) {
+		return nil, ErrValueNaN
+	}
+	buf := make([]byte, PacketSize)
+	copy(buf[0:8], p.Device[:])
+	binary.BigEndian.PutUint32(buf[8:12], p.Seq)
+	buf[12] = uint8(p.Sensor)
+	binary.BigEndian.PutUint32(buf[13:17], math.Float32bits(p.Value))
+	binary.BigEndian.PutUint32(buf[17:21], p.UptimeSeconds)
+	mac := hmac.New(sha256.New, key)
+	mac.Write(buf[:21])
+	copy(buf[21:24], mac.Sum(nil)[:tagBytes])
+	return buf, nil
+}
+
+// Parse decodes a packet without verifying its tag; use Verify for
+// authenticated decoding. It validates only structure.
+func Parse(wire []byte) (Packet, error) {
+	var p Packet
+	if len(wire) != PacketSize {
+		return p, fmt.Errorf("%w: %d bytes", ErrBadSize, len(wire))
+	}
+	copy(p.Device[:], wire[0:8])
+	p.Seq = binary.BigEndian.Uint32(wire[8:12])
+	p.Sensor = SensorType(wire[12])
+	p.Value = math.Float32frombits(binary.BigEndian.Uint32(wire[13:17]))
+	p.UptimeSeconds = binary.BigEndian.Uint32(wire[17:21])
+	return p, nil
+}
+
+// Verify parses the packet and checks its tag against the key.
+func Verify(wire []byte, key Key) (Packet, error) {
+	p, err := Parse(wire)
+	if err != nil {
+		return p, err
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(wire[:21])
+	if !hmac.Equal(wire[21:24], mac.Sum(nil)[:tagBytes]) {
+		return p, ErrBadTag
+	}
+	return p, nil
+}
+
+// ReplayGuard tracks the highest sequence number accepted per device and
+// rejects anything at or below it. Transmit-only devices count strictly
+// upward from deployment, so a simple high-water mark suffices; a bounded
+// reordering window admits gateway races.
+type ReplayGuard struct {
+	// Window allows a packet whose seq is up to Window below an already
+	// accepted successor to still land (out-of-order delivery via two
+	// gateways). 0 means strict monotone.
+	Window uint32
+
+	highWater map[lpwan.EUI64]uint32
+	seen      map[lpwan.EUI64]map[uint32]bool
+}
+
+// NewReplayGuard returns a guard admitting the given reordering window.
+func NewReplayGuard(window uint32) *ReplayGuard {
+	return &ReplayGuard{
+		Window:    window,
+		highWater: make(map[lpwan.EUI64]uint32),
+		seen:      make(map[lpwan.EUI64]map[uint32]bool),
+	}
+}
+
+// Admit records and admits the packet if its sequence number is fresh,
+// returning ErrReplay otherwise.
+func (g *ReplayGuard) Admit(p Packet) error {
+	hw, known := g.highWater[p.Device]
+	if !known {
+		g.highWater[p.Device] = p.Seq
+		g.markSeen(p.Device, p.Seq)
+		return nil
+	}
+	switch {
+	case p.Seq > hw:
+		g.highWater[p.Device] = p.Seq
+		g.markSeen(p.Device, p.Seq)
+		g.pruneSeen(p.Device, p.Seq)
+		return nil
+	case p.Seq+g.Window >= hw+1: // within window below high water
+		if g.seen[p.Device][p.Seq] {
+			return fmt.Errorf("%w: seq %d already seen", ErrReplay, p.Seq)
+		}
+		g.markSeen(p.Device, p.Seq)
+		return nil
+	default:
+		return fmt.Errorf("%w: seq %d <= high water %d", ErrReplay, p.Seq, hw)
+	}
+}
+
+func (g *ReplayGuard) markSeen(dev lpwan.EUI64, seq uint32) {
+	m := g.seen[dev]
+	if m == nil {
+		m = make(map[uint32]bool)
+		g.seen[dev] = m
+	}
+	m[seq] = true
+}
+
+// pruneSeen drops seen entries that fell out of the window to bound
+// memory over a 50-year run.
+func (g *ReplayGuard) pruneSeen(dev lpwan.EUI64, hw uint32) {
+	m := g.seen[dev]
+	for s := range m {
+		if s+g.Window < hw {
+			delete(m, s)
+		}
+	}
+}
+
+// Devices reports how many distinct devices the guard has seen.
+func (g *ReplayGuard) Devices() int { return len(g.highWater) }

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"centuryscale/internal/lpwan"
+)
+
+var testKey = Key(bytes.Repeat([]byte{0xAB}, 32))
+
+func TestPacketIsExactly24Bytes(t *testing.T) {
+	p := Packet{Device: lpwan.EUIFromUint64(1), Seq: 1, Sensor: SensorStrain, Value: 3.14, UptimeSeconds: 100}
+	wire, err := p.Seal(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 24 {
+		t.Fatalf("packet = %d bytes, the paper's data-credit unit is 24", len(wire))
+	}
+}
+
+func TestSealVerifyRoundTrip(t *testing.T) {
+	p := Packet{
+		Device:        lpwan.EUIFromUint64(0xfeed),
+		Seq:           987654,
+		Sensor:        SensorConcreteEMI,
+		Value:         -42.5,
+		UptimeSeconds: 1577836800, // ~50 years of seconds fits uint32
+	}
+	wire, err := p.Seal(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Verify(wire, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, p)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	p := Packet{Device: lpwan.EUIFromUint64(1), Seq: 1}
+	wire, _ := p.Seal(testKey)
+	other := Key(bytes.Repeat([]byte{0xCD}, 32))
+	if _, err := Verify(wire, other); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("wrong key err = %v", err)
+	}
+}
+
+func TestVerifyRejectsTamper(t *testing.T) {
+	p := Packet{Device: lpwan.EUIFromUint64(1), Seq: 1, Value: 20}
+	wire, _ := p.Seal(testKey)
+	for _, idx := range []int{0, 8, 12, 13, 17, 21} {
+		bad := append([]byte(nil), wire...)
+		bad[idx] ^= 0x01
+		if _, err := Verify(bad, testKey); err == nil {
+			t.Fatalf("tamper at byte %d undetected", idx)
+		}
+	}
+}
+
+func TestBadSizes(t *testing.T) {
+	if _, err := Parse(make([]byte, 23)); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("short err = %v", err)
+	}
+	if _, err := Verify(make([]byte, 25), testKey); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("long err = %v", err)
+	}
+}
+
+func TestSealShortKey(t *testing.T) {
+	if _, err := (Packet{}).Seal(Key("short")); !errors.Is(err, ErrShortKey) {
+		t.Fatalf("short key err = %v", err)
+	}
+}
+
+func TestSealRejectsNaN(t *testing.T) {
+	p := Packet{Value: float32(math.NaN())}
+	if _, err := p.Seal(testKey); !errors.Is(err, ErrValueNaN) {
+		t.Fatalf("NaN err = %v", err)
+	}
+}
+
+func TestDeriveKeyStableAndDistinct(t *testing.T) {
+	master := []byte("fleet-master-secret")
+	a1 := DeriveKey(master, lpwan.EUIFromUint64(1))
+	a2 := DeriveKey(master, lpwan.EUIFromUint64(1))
+	b := DeriveKey(master, lpwan.EUIFromUint64(2))
+	if !bytes.Equal(a1, a2) {
+		t.Fatal("key derivation not deterministic")
+	}
+	if bytes.Equal(a1, b) {
+		t.Fatal("different devices derived the same key")
+	}
+	if len(a1) != 32 {
+		t.Fatalf("derived key length = %d", len(a1))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(dev uint64, seq uint32, sensor uint8, value float32, up uint32) bool {
+		if math.IsNaN(float64(value)) {
+			return true // NaN rejected by design, covered elsewhere
+		}
+		p := Packet{
+			Device:        lpwan.EUIFromUint64(dev),
+			Seq:           seq,
+			Sensor:        SensorType(sensor % 8),
+			Value:         value,
+			UptimeSeconds: up,
+		}
+		wire, err := p.Seal(testKey)
+		if err != nil {
+			return false
+		}
+		got, err := Verify(wire, testKey)
+		return err == nil && got == p
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSensorTypeNames(t *testing.T) {
+	if SensorBinFill.String() != "bin-fill" || SensorConcreteEMI.String() != "concrete-emi" {
+		t.Fatal("sensor names wrong")
+	}
+	if SensorType(200).String() != "sensor(200)" {
+		t.Fatal("unknown sensor fallback wrong")
+	}
+}
+
+func mkPacket(dev uint64, seq uint32) Packet {
+	return Packet{Device: lpwan.EUIFromUint64(dev), Seq: seq}
+}
+
+func TestReplayGuardMonotone(t *testing.T) {
+	g := NewReplayGuard(0)
+	if err := g.Admit(mkPacket(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Admit(mkPacket(1, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Admit(mkPacket(1, 6)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("duplicate seq admitted: %v", err)
+	}
+	if err := g.Admit(mkPacket(1, 4)); !errors.Is(err, ErrReplay) {
+		t.Fatalf("stale seq admitted: %v", err)
+	}
+}
+
+func TestReplayGuardPerDevice(t *testing.T) {
+	g := NewReplayGuard(0)
+	if err := g.Admit(mkPacket(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// A different device with a lower seq is fine.
+	if err := g.Admit(mkPacket(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Devices() != 2 {
+		t.Fatalf("devices = %d", g.Devices())
+	}
+}
+
+func TestReplayGuardWindow(t *testing.T) {
+	g := NewReplayGuard(4)
+	if err := g.Admit(mkPacket(1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order arrival within the window: admitted once.
+	if err := g.Admit(mkPacket(1, 8)); err != nil {
+		t.Fatalf("in-window seq rejected: %v", err)
+	}
+	if err := g.Admit(mkPacket(1, 8)); !errors.Is(err, ErrReplay) {
+		t.Fatal("in-window duplicate admitted")
+	}
+	// Far below the window: rejected.
+	if err := g.Admit(mkPacket(1, 2)); !errors.Is(err, ErrReplay) {
+		t.Fatal("below-window seq admitted")
+	}
+}
+
+func TestReplayGuardPrunes(t *testing.T) {
+	g := NewReplayGuard(8)
+	for seq := uint32(1); seq <= 10000; seq++ {
+		if err := g.Admit(mkPacket(1, seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(g.seen[lpwan.EUIFromUint64(1)]); n > 16 {
+		t.Fatalf("seen set grew to %d entries; replay guard must stay bounded over 50-year runs", n)
+	}
+}
+
+func BenchmarkSealVerify(b *testing.B) {
+	p := Packet{Device: lpwan.EUIFromUint64(1), Seq: 1, Value: 1.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seq = uint32(i)
+		wire, err := p.Seal(testKey)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Verify(wire, testKey); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

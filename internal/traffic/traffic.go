@@ -1,0 +1,193 @@
+// Package traffic models city traffic flows and the coverage question
+// the paper raises in §2: "Instrumenting one intersection will not give
+// city planners an accurate picture of the overall city traffic."
+//
+// The city is a grid of intersections joined by road segments. Demand is
+// origin-destination flows between zone pairs, routed along shortest
+// (Manhattan) paths, producing per-intersection throughput with the
+// heavy-tailed structure real cities show (a few arterials carry much of
+// the load). A deployment instruments a subset of intersections; a
+// planner estimates citywide vehicle-throughput by scaling the
+// instrumented sample. The package quantifies estimation error versus
+// instrumented fraction — and versus *which* intersections are picked,
+// since sampling only arterials biases high.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"centuryscale/internal/rng"
+	"centuryscale/internal/stats"
+)
+
+// Network is a grid of intersections with accumulated daily flows.
+type Network struct {
+	// N is the grid side: N×N intersections.
+	N int
+	// Flow[i] is vehicles/day through intersection i (row-major).
+	Flow []float64
+}
+
+// idx maps grid coordinates to the flow slice.
+func (n *Network) idx(x, y int) int { return y*n.N + x }
+
+// Synthesize builds a network by routing OD trips. Trip endpoints are
+// drawn with a center-weighted distribution (downtown attracts), and
+// each trip adds one vehicle to every intersection along an L-shaped
+// Manhattan route (x first, then y). The result is heavy-tailed: central
+// arterials carry far more than edge streets.
+func Synthesize(gridSide, trips int, src *rng.Source) *Network {
+	if gridSide < 2 || trips <= 0 {
+		panic("traffic: bad network config")
+	}
+	n := &Network{N: gridSide, Flow: make([]float64, gridSide*gridSide)}
+	draw := func() int {
+		// Triangular toward the center.
+		a, b := src.Intn(gridSide), src.Intn(gridSide)
+		return (a + b) / 2
+	}
+	for t := 0; t < trips; t++ {
+		ox, oy := draw(), draw()
+		dx, dy := draw(), draw()
+		// Route: along x at oy, then along y at dx.
+		step := 1
+		if dx < ox {
+			step = -1
+		}
+		for x := ox; ; x += step {
+			n.Flow[n.idx(x, oy)]++
+			if x == dx {
+				break
+			}
+		}
+		step = 1
+		if dy < oy {
+			step = -1
+		}
+		for y := oy; y != dy; y += step {
+			n.Flow[n.idx(dx, y+step)]++
+		}
+	}
+	return n
+}
+
+// Total returns citywide vehicle-intersection crossings per day.
+func (n *Network) Total() float64 {
+	sum := 0.0
+	for _, f := range n.Flow {
+		sum += f
+	}
+	return sum
+}
+
+// GiniIndex measures flow concentration across intersections (0 =
+// uniform, →1 = all flow through one point). Real arterial structure
+// shows up as a substantial Gini.
+func (n *Network) GiniIndex() float64 {
+	sorted := append([]float64(nil), n.Flow...)
+	sort.Float64s(sorted)
+	total := 0.0
+	for _, v := range sorted {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	// Gini = (2*sum(i*x_i)/(n*sum x) - (n+1)/n) for 1-indexed sorted x.
+	acc := 0.0
+	for i, v := range sorted {
+		acc += float64(i+1) * v
+	}
+	nn := float64(len(sorted))
+	return 2*acc/(nn*total) - (nn+1)/nn
+}
+
+// SamplingStrategy selects which intersections get sensors.
+type SamplingStrategy int
+
+// Strategies.
+const (
+	// SampleRandom instruments a uniform random subset — the unbiased
+	// design.
+	SampleRandom SamplingStrategy = iota
+	// SampleBusiest instruments the top-flow intersections — what a
+	// deployment chasing "important" intersections does.
+	SampleBusiest
+)
+
+// String implements fmt.Stringer.
+func (s SamplingStrategy) String() string {
+	switch s {
+	case SampleRandom:
+		return "random"
+	case SampleBusiest:
+		return "busiest"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// EstimateTotal instruments k intersections per the strategy, observes
+// their true flows, and estimates the citywide total by mean-scaling.
+// It returns the estimate and its relative error (signed).
+func (n *Network) EstimateTotal(k int, strategy SamplingStrategy, src *rng.Source) (estimate, relErr float64) {
+	if k <= 0 || k > len(n.Flow) {
+		panic(fmt.Sprintf("traffic: sample size %d of %d", k, len(n.Flow)))
+	}
+	var sample []float64
+	switch strategy {
+	case SampleRandom:
+		perm := src.Perm(len(n.Flow))
+		for _, i := range perm[:k] {
+			sample = append(sample, n.Flow[i])
+		}
+	case SampleBusiest:
+		sorted := append([]float64(nil), n.Flow...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		sample = sorted[:k]
+	default:
+		panic(fmt.Sprintf("traffic: unknown strategy %d", int(strategy)))
+	}
+	estimate = stats.Mean(sample) * float64(len(n.Flow))
+	truth := n.Total()
+	relErr = (estimate - truth) / truth
+	return estimate, relErr
+}
+
+// CoverageResult is one row of a coverage study.
+type CoverageResult struct {
+	Instrumented int
+	Fraction     float64
+	Strategy     SamplingStrategy
+	// AbsRelErr is |relative error| of the citywide estimate, averaged
+	// over trials.
+	AbsRelErr float64
+}
+
+// CoverageStudy sweeps instrumented counts for both strategies, averaging
+// the absolute relative error over trials random draws (busiest is
+// deterministic but is still reported per row for comparison).
+func (n *Network) CoverageStudy(counts []int, trials int, src *rng.Source) []CoverageResult {
+	if trials <= 0 {
+		panic("traffic: non-positive trials")
+	}
+	var out []CoverageResult
+	for _, k := range counts {
+		for _, strat := range []SamplingStrategy{SampleRandom, SampleBusiest} {
+			sumErr := 0.0
+			for tr := 0; tr < trials; tr++ {
+				_, rel := n.EstimateTotal(k, strat, src.Split(fmt.Sprintf("t%d", tr)))
+				sumErr += math.Abs(rel)
+			}
+			out = append(out, CoverageResult{
+				Instrumented: k,
+				Fraction:     float64(k) / float64(len(n.Flow)),
+				Strategy:     strat,
+				AbsRelErr:    sumErr / float64(trials),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"centuryscale/internal/rng"
+)
+
+func testNet() *Network {
+	return Synthesize(20, 50000, rng.New(1))
+}
+
+func TestSynthesizeConservation(t *testing.T) {
+	n := testNet()
+	if len(n.Flow) != 400 {
+		t.Fatalf("flow cells = %d", len(n.Flow))
+	}
+	// Every trip crosses at least one intersection.
+	if n.Total() < 50000 {
+		t.Fatalf("total = %v, want >= trips", n.Total())
+	}
+	// No negative flows.
+	for i, f := range n.Flow {
+		if f < 0 {
+			t.Fatalf("flow[%d] = %v", i, f)
+		}
+	}
+}
+
+func TestArterialStructure(t *testing.T) {
+	n := testNet()
+	// Center-weighted OD demand concentrates flow: a real Gini, and the
+	// busiest intersection carries far more than the median.
+	g := n.GiniIndex()
+	if g < 0.2 || g > 0.9 {
+		t.Fatalf("Gini = %v, want heavy-tailed structure", g)
+	}
+	max, median := 0.0, make([]float64, len(n.Flow))
+	copy(median, n.Flow)
+	for _, f := range n.Flow {
+		if f > max {
+			max = f
+		}
+	}
+	mid := median[len(median)/2]
+	if max < 3*mid {
+		t.Fatalf("max %v vs median %v: no arterials", max, mid)
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	uniform := &Network{N: 2, Flow: []float64{5, 5, 5, 5}}
+	if g := uniform.GiniIndex(); math.Abs(g) > 1e-9 {
+		t.Fatalf("uniform Gini = %v", g)
+	}
+	concentrated := &Network{N: 2, Flow: []float64{0, 0, 0, 100}}
+	if g := concentrated.GiniIndex(); g < 0.7 {
+		t.Fatalf("concentrated Gini = %v", g)
+	}
+	empty := &Network{N: 2, Flow: []float64{0, 0, 0, 0}}
+	if g := empty.GiniIndex(); g != 0 {
+		t.Fatalf("empty Gini = %v", g)
+	}
+}
+
+func TestFullInstrumentationIsExact(t *testing.T) {
+	n := testNet()
+	est, rel := n.EstimateTotal(len(n.Flow), SampleRandom, rng.New(2))
+	if math.Abs(rel) > 1e-12 {
+		t.Fatalf("full coverage error = %v (est %v vs %v)", rel, est, n.Total())
+	}
+}
+
+func TestBusiestSamplingBiasesHigh(t *testing.T) {
+	n := testNet()
+	_, rel := n.EstimateTotal(10, SampleBusiest, rng.New(3))
+	if rel <= 0.5 {
+		t.Fatalf("busiest-10 bias = %v, expected strongly positive", rel)
+	}
+}
+
+func TestRandomSamplingConverges(t *testing.T) {
+	// The §2 point: error falls as coverage grows.
+	n := testNet()
+	res := n.CoverageStudy([]int{4, 40, 400}, 30, rng.New(4))
+	byCount := map[int]float64{}
+	for _, r := range res {
+		if r.Strategy == SampleRandom {
+			byCount[r.Instrumented] = r.AbsRelErr
+		}
+	}
+	if !(byCount[400] < byCount[40] && byCount[40] < byCount[4]) {
+		t.Fatalf("random-sampling error not decreasing: %v", byCount)
+	}
+	if byCount[400] > 1e-9 {
+		t.Fatalf("full-coverage error = %v", byCount[400])
+	}
+	// One intersection in 100 (k=4) is badly wrong on average: the
+	// paper's "one intersection" claim.
+	if byCount[4] < 0.1 {
+		t.Fatalf("sparse error = %v, expected substantial", byCount[4])
+	}
+}
+
+func TestBusiestNeverBeatsItsBias(t *testing.T) {
+	n := testNet()
+	res := n.CoverageStudy([]int{10}, 10, rng.New(5))
+	var random, busiest float64
+	for _, r := range res {
+		if r.Strategy == SampleRandom {
+			random = r.AbsRelErr
+		} else {
+			busiest = r.AbsRelErr
+		}
+	}
+	// Instrumenting only arterials is systematically worse for citywide
+	// estimation than an unbiased sample of the same size.
+	if busiest <= random {
+		t.Fatalf("busiest %v should err more than random %v", busiest, random)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if SampleRandom.String() != "random" || SampleBusiest.String() != "busiest" {
+		t.Fatal("strategy names wrong")
+	}
+	if SamplingStrategy(9).String() != "strategy(9)" {
+		t.Fatal("unknown strategy fallback")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	n := testNet()
+	for name, fn := range map[string]func(){
+		"bad-grid":     func() { Synthesize(1, 10, rng.New(1)) },
+		"zero-sample":  func() { n.EstimateTotal(0, SampleRandom, rng.New(1)) },
+		"over-sample":  func() { n.EstimateTotal(len(n.Flow)+1, SampleRandom, rng.New(1)) },
+		"zero-trials":  func() { n.CoverageStudy([]int{1}, 0, rng.New(1)) },
+		"bad-strategy": func() { n.EstimateTotal(1, SamplingStrategy(9), rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Synthesize(10, 1000, rng.New(7))
+	b := Synthesize(10, 1000, rng.New(7))
+	for i := range a.Flow {
+		if a.Flow[i] != b.Flow[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Synthesize(20, 50000, rng.New(uint64(i)))
+	}
+}
