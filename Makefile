@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled test run: the resilience/chaos datapath is concurrent by
+# design and must stay race-clean.
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the race-enabled
+# test suite.
+check: vet race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -11,6 +11,12 @@
 // set, state is restored at boot and saved atomically on the given
 // interval and on clean shutdown — a 50-year service must assume its
 // host will be replaced many times.
+//
+// The endpoint degrades gracefully instead of failing opaquely: more
+// than -max-inflight concurrent ingests, or a failing snapshot disk,
+// turn into 503 + Retry-After so resilient gateways buffer and retry
+// rather than lose data. The -chaos-* flags wrap the whole server in a
+// seeded fault schedule for overload drills.
 package main
 
 import (
@@ -23,16 +29,21 @@ import (
 	"syscall"
 	"time"
 
+	"centuryscale/internal/chaos"
 	"centuryscale/internal/cloud"
+	"centuryscale/internal/daemon"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":8080", "HTTP listen address")
-		master    = flag.String("master", "", "fleet master secret (required)")
-		snapshot  = flag.String("snapshot", "", "snapshot file for durable state (optional)")
-		saveEvery = flag.Duration("save-every", 10*time.Minute, "snapshot interval when -snapshot is set")
+		listen     = flag.String("listen", ":8080", "HTTP listen address")
+		master     = flag.String("master", "", "fleet master secret (required)")
+		snapshot   = flag.String("snapshot", "", "snapshot file for durable state (optional)")
+		saveEvery  = flag.Duration("save-every", 10*time.Minute, "snapshot interval when -snapshot is set")
+		maxInFl    = flag.Int("max-inflight", 256, "max concurrent ingests before shedding 503 (0 = unlimited)")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
 	)
+	cf := daemon.RegisterChaosFlags()
 	flag.Parse()
 	if *master == "" {
 		log.Fatal("endpointd: -master is required")
@@ -46,7 +57,16 @@ func main() {
 		log.Printf("endpointd: restored %d readings from %s", store.Count(), *snapshot)
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: cloud.NewServer(store, time.Now())}
+	server := cloud.NewServer(store, time.Now())
+	server.SetIngestLimit(*maxInFl)
+	server.SetRetryAfter(*retryAfter)
+	var handler http.Handler = server
+	if cf.Enabled() {
+		log.Printf("endpointd: chaos injection enabled (seed %d)", cf.Seed)
+		handler = chaos.Handler(handler, cf.Config())
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -60,7 +80,13 @@ func main() {
 					return
 				case <-tick.C:
 					if err := store.SaveFile(*snapshot); err != nil {
-						log.Printf("endpointd: snapshot: %v", err)
+						// Can't persist what we accept: shed until the
+						// disk recovers so gateways buffer instead.
+						log.Printf("endpointd: snapshot: %v (degrading ingest)", err)
+						server.SetDegraded(true)
+					} else if server.Degraded() {
+						log.Printf("endpointd: snapshot recovered; accepting ingest again")
+						server.SetDegraded(false)
 					}
 				}
 			}
@@ -74,7 +100,7 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("endpointd: listening on %s", *listen)
+	log.Printf("endpointd: listening on %s (max-inflight %d)", *listen, *maxInFl)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("endpointd: %v", err)
 	}
@@ -84,4 +110,5 @@ func main() {
 		}
 		log.Printf("endpointd: saved %d readings to %s", store.Count(), *snapshot)
 	}
+	log.Printf("endpointd: shed %d ingests while degraded/overloaded", server.Shed())
 }

@@ -7,6 +7,13 @@
 //
 // An optional -block flag seeds the blocklist with comma-separated
 // EUI-64 addresses of known-bad devices.
+//
+// The backhaul is resilient: transient endpoint failures are retried
+// with jittered backoff, a circuit breaker stops hammering a dead
+// endpoint, and a bounded store-and-forward queue (-queue) buffers
+// readings across outages, draining in order on recovery. SIGINT/SIGTERM
+// flush the buffer before exit. The -chaos-* flags inject a seeded fault
+// schedule into the uplink for outage drills.
 package main
 
 import (
@@ -17,10 +24,12 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"centuryscale/internal/daemon"
 	"centuryscale/internal/gateway"
 	"centuryscale/internal/lpwan"
+	"centuryscale/internal/resilience"
 )
 
 func main() {
@@ -29,10 +38,19 @@ func main() {
 		endpoint = flag.String("endpoint", "http://127.0.0.1:8080", "endpoint base URL")
 		id       = flag.String("id", "gatewayd", "gateway identity")
 		block    = flag.String("block", "", "comma-separated EUI-64 blocklist")
+		flushFor = flag.Duration("flush-timeout", 10*time.Second, "how long shutdown waits to drain the buffer")
 	)
+	rf := daemon.RegisterResilienceFlags()
+	cf := daemon.RegisterChaosFlags()
 	flag.Parse()
 
-	gw := gateway.New(gateway.Config{ID: *id}, &daemon.HTTPUplink{URL: *endpoint})
+	inner := &daemon.HTTPUplink{URL: *endpoint, Client: cf.HTTPClient(10 * time.Second)}
+	if cf.Enabled() {
+		log.Printf("gatewayd: chaos injection enabled (seed %d)", cf.Seed)
+	}
+	up := resilience.NewUplink(inner, rf.Config())
+
+	gw := gateway.New(gateway.Config{ID: *id}, up)
 	if *block != "" {
 		for _, s := range strings.Split(*block, ",") {
 			e, err := lpwan.ParseEUI64(strings.TrimSpace(s))
@@ -50,11 +68,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("gatewayd %s: forwarding %s -> %s", *id, conn.LocalAddr(), *endpoint)
+	log.Printf("gatewayd %s: forwarding %s -> %s (queue %d)", *id, conn.LocalAddr(), *endpoint, rf.Queue)
 	if err := daemon.ServeUDP(ctx, conn, gw); err != nil {
 		log.Fatalf("gatewayd: %v", err)
 	}
+
+	// Clean shutdown: drain what the outage buffered before exiting.
+	flushCtx, cancel := context.WithTimeout(context.Background(), *flushFor)
+	defer cancel()
+	if err := up.Close(flushCtx); err != nil {
+		log.Printf("gatewayd: shutdown flush: %v", err)
+	}
 	s := gw.Stats()
-	log.Printf("gatewayd: done. forwarded=%d malformed=%d blocked=%d uplink-errors=%d",
-		s.Forwarded, s.DropMalformed, s.DropBlocked, s.UplinkErrors)
+	u := up.Stats()
+	log.Printf("gatewayd: done. forwarded=%d malformed=%d blocked=%d uplink-errors=%d", s.Forwarded, s.DropMalformed, s.DropBlocked, s.UplinkErrors)
+	log.Printf("gatewayd: uplink sent=%d drained=%d retries=%d buffered=%d dropped-oldest=%d breaker-trips=%d", u.Sent, u.Drained, u.Retries, u.Buffered, u.Queue.DroppedOldest, u.Breaker.Trips)
 }

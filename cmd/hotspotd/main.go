@@ -5,6 +5,12 @@
 // hedge) run one.
 //
 //	hotspotd -listen :7100 -router http://127.0.0.1:9000
+//
+// Dumb does not mean lossy: the router uplink retries transient
+// failures, trips a circuit breaker when the router is down, and buffers
+// frames in a bounded store-and-forward queue (-queue), draining in
+// order on recovery. SIGINT/SIGTERM flush the buffer before exit. The
+// -chaos-* flags inject a seeded fault schedule for outage drills.
 package main
 
 import (
@@ -14,16 +20,27 @@ import (
 	"net"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"centuryscale/internal/daemon"
+	"centuryscale/internal/resilience"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7100", "UDP listen address for LoRaWAN frames")
-		router = flag.String("router", "http://127.0.0.1:9000", "network router base URL")
+		listen   = flag.String("listen", ":7100", "UDP listen address for LoRaWAN frames")
+		router   = flag.String("router", "http://127.0.0.1:9000", "network router base URL")
+		flushFor = flag.Duration("flush-timeout", 10*time.Second, "how long shutdown waits to drain the buffer")
 	)
+	rf := daemon.RegisterResilienceFlags()
+	cf := daemon.RegisterChaosFlags()
 	flag.Parse()
+
+	inner := &daemon.RouterUplink{URL: *router, Client: cf.HTTPClient(10 * time.Second)}
+	if cf.Enabled() {
+		log.Printf("hotspotd: chaos injection enabled (seed %d)", cf.Seed)
+	}
+	up := resilience.NewUplink(inner, rf.Config())
 
 	conn, err := net.ListenPacket("udp", *listen)
 	if err != nil {
@@ -32,8 +49,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("hotspotd: forwarding %s -> %s", conn.LocalAddr(), *router)
-	if err := daemon.ServeHotspot(ctx, conn, *router, nil); err != nil {
+	log.Printf("hotspotd: forwarding %s -> %s (queue %d)", conn.LocalAddr(), *router, rf.Queue)
+	if err := daemon.ServeHotspotUplink(ctx, conn, up); err != nil {
 		log.Fatalf("hotspotd: %v", err)
 	}
+
+	flushCtx, cancel := context.WithTimeout(context.Background(), *flushFor)
+	defer cancel()
+	if err := up.Close(flushCtx); err != nil {
+		log.Printf("hotspotd: shutdown flush: %v", err)
+	}
+	u := up.Stats()
+	log.Printf("hotspotd: done. sent=%d drained=%d retries=%d buffered=%d dropped-oldest=%d rejected=%d breaker-trips=%d", u.Sent, u.Drained, u.Retries, u.Buffered, u.Queue.DroppedOldest, u.RejectedPermanent, u.Breaker.Trips)
 }

@@ -11,15 +11,27 @@
 // from it and each frame's DevAddr. The credit balance is the paper's
 // §4.4 prepayment: when it runs dry the router answers 402 and the
 // hotspots stop getting paid.
+//
+// Delivery to the owner's endpoint rides the same resilient uplink as
+// the gateways: retries, circuit breaking, and a bounded
+// store-and-forward queue (-queue) that SIGINT/SIGTERM flush before
+// exit. The -chaos-* flags inject a seeded fault schedule into endpoint
+// delivery for outage drills.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"centuryscale/internal/daemon"
 	"centuryscale/internal/helium"
+	"centuryscale/internal/resilience"
 )
 
 func main() {
@@ -28,7 +40,10 @@ func main() {
 		master   = flag.String("abp-master", "", "16-byte ABP master secret (required)")
 		endpoint = flag.String("endpoint", "http://127.0.0.1:8080", "owner endpoint base URL")
 		credits  = flag.Int64("credits", 500000, "initial data-credit balance (the $5 wallet)")
+		flushFor = flag.Duration("flush-timeout", 10*time.Second, "how long shutdown waits to drain the buffer")
 	)
+	rf := daemon.RegisterResilienceFlags()
+	cf := daemon.RegisterChaosFlags()
 	flag.Parse()
 	if len(*master) != 16 {
 		log.Fatalf("routerd: -abp-master must be exactly 16 bytes, got %d", len(*master))
@@ -39,11 +54,37 @@ func main() {
 	if err != nil {
 		log.Fatalf("routerd: %v", err)
 	}
-	uplink := &daemon.HTTPUplink{URL: *endpoint}
-	handler := daemon.RouterHandler(router, uplink.Send)
+	inner := &daemon.HTTPUplink{URL: *endpoint, Client: cf.HTTPClient(10 * time.Second)}
+	if cf.Enabled() {
+		log.Printf("routerd: chaos injection enabled (seed %d)", cf.Seed)
+	}
+	up := resilience.NewUplink(inner, rf.Config())
+	handler := daemon.RouterHandler(router, up.Send)
 
-	log.Printf("routerd: listening on %s, forwarding to %s, %d credits", *listen, *endpoint, wallet.Balance())
-	if err := http.ListenAndServe(*listen, handler); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: *listen, Handler: handler}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("routerd: listening on %s, forwarding to %s, %d credits (queue %d)", *listen, *endpoint, wallet.Balance(), rf.Queue)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("routerd: %v", err)
 	}
+
+	// In-flight uplinks are done (Shutdown waited); drain the buffer.
+	flushCtx, cancel := context.WithTimeout(context.Background(), *flushFor)
+	defer cancel()
+	if err := up.Close(flushCtx); err != nil {
+		log.Printf("routerd: shutdown flush: %v", err)
+	}
+	rs := router.Stats()
+	u := up.Stats()
+	log.Printf("routerd: done. delivered=%d bad-frames=%d replays=%d unfunded=%d credits-left=%d", rs.Delivered, rs.BadFrames, rs.Replays, rs.Unfunded, wallet.Balance())
+	log.Printf("routerd: uplink sent=%d drained=%d retries=%d buffered=%d dropped-oldest=%d breaker-trips=%d", u.Sent, u.Drained, u.Retries, u.Buffered, u.Queue.DroppedOldest, u.Breaker.Trips)
 }

@@ -6,6 +6,10 @@
 //
 // The device key is derived exactly as endpointd derives it, so readings
 // verify end to end.
+//
+// The -chaos-* flags drop transmitted datagrams on a seeded schedule —
+// the device-side fault a transmit-only sensor can never observe — so a
+// deployment can rehearse RF loss end to end.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"centuryscale/internal/chaos"
 	"centuryscale/internal/daemon"
 	"centuryscale/internal/lpwan"
 	"centuryscale/internal/telemetry"
@@ -31,6 +36,7 @@ func main() {
 		count     = flag.Int("count", 0, "number of reports to send (0 = until interrupted)")
 		abpMaster = flag.String("abp-master", "", "16-byte ABP master: send LoRaWAN uplinks (third-party path) instead of lpwan frames")
 	)
+	cf := daemon.RegisterChaosFlags()
 	flag.Parse()
 	if *master == "" {
 		log.Fatal("sensornode: -master is required")
@@ -59,6 +65,10 @@ func main() {
 		log.Fatalf("sensornode: %v", err)
 	}
 	defer conn.Close()
+	if cf.Enabled() {
+		log.Printf("sensornode: chaos injection enabled (seed %d): transmissions may be dropped in the air", cf.Seed)
+		conn = chaos.WrapPacketConn(conn, cf.Config())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,301 @@
+// Package chaos is the deterministic fault-injection harness for the
+// real datapath: the adversary that internal/resilience is built to
+// beat. It wraps the seams the daemons already use — an http.RoundTripper
+// for any HTTP hop, a net.PacketConn for the radio/UDP hop, and an
+// http.Handler middleware for the serving side — and injects outages,
+// dropped datagrams, slow responses, and error bursts.
+//
+// Every decision is drawn from an internal/rng stream in arrival order,
+// so a seed fully determines the fault schedule: the same seed replays
+// the same faults bit-for-bit (see Plan), which is what lets integration
+// tests assert "zero telemetry loss across this exact outage" instead of
+// "usually survives some flakiness". This is the real-network counterpart
+// of the simulator's seeded failure models.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"centuryscale/internal/rng"
+)
+
+// Fault is one injected decision.
+type Fault uint8
+
+// Fault kinds, in evaluation order.
+const (
+	// FaultNone passes the request through untouched.
+	FaultNone Fault = iota
+	// FaultOutage fails the request as if the peer were unreachable
+	// (scheduled window, not probabilistic).
+	FaultOutage
+	// FaultDrop fails a single request as if the connection died.
+	FaultDrop
+	// FaultErr answers HTTP 503 without reaching the peer.
+	FaultErr
+	// FaultSlow delays the request before passing it through.
+	FaultSlow
+)
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultOutage:
+		return "outage"
+	case FaultDrop:
+		return "drop"
+	case FaultErr:
+		return "err"
+	case FaultSlow:
+		return "slow"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(f))
+	}
+}
+
+// Config describes a fault schedule. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic draw. The same Config (seed
+	// included) always yields the same schedule.
+	Seed uint64
+
+	// OutageAfter/OutageLen schedule one hard outage window in request
+	// order: requests [OutageAfter, OutageAfter+OutageLen) fail as
+	// unreachable. OutageLen == 0 disables the window.
+	OutageAfter int
+	OutageLen   int
+
+	// DropProb is the per-request probability of a connection-level
+	// failure outside the outage window.
+	DropProb float64
+	// ErrProb is the per-request probability of starting a 503 burst.
+	ErrProb float64
+	// ErrBurst is the length of each 503 burst; 0 means 1.
+	ErrBurst int
+	// SlowProb is the per-request probability of a delayed response.
+	SlowProb float64
+	// SlowDelay is the injected latency for FaultSlow; 0 means 50ms.
+	SlowDelay time.Duration
+}
+
+func (c Config) slowDelay() time.Duration {
+	if c.SlowDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return c.SlowDelay
+}
+
+func (c Config) errBurst() int {
+	if c.ErrBurst <= 0 {
+		return 1
+	}
+	return c.ErrBurst
+}
+
+// schedule is the shared deterministic decision core: faults are a pure
+// function of (Config, request index).
+type schedule struct {
+	cfg   Config
+	src   *rng.Source
+	n     int // requests decided so far
+	burst int // remaining 503s in the current burst
+}
+
+func newSchedule(cfg Config) *schedule {
+	return &schedule{cfg: cfg, src: rng.New(cfg.Seed)}
+}
+
+// next decides the fault for the next request in order. Draw order is
+// fixed (drop, err, slow — one draw each, always consumed) so that the
+// stream position depends only on the request index, never on which
+// faults happened to fire.
+func (s *schedule) next() Fault {
+	i := s.n
+	s.n++
+	drop := s.src.Bernoulli(s.cfg.DropProb)
+	errStart := s.src.Bernoulli(s.cfg.ErrProb)
+	slow := s.src.Bernoulli(s.cfg.SlowProb)
+
+	if s.cfg.OutageLen > 0 && i >= s.cfg.OutageAfter && i < s.cfg.OutageAfter+s.cfg.OutageLen {
+		return FaultOutage
+	}
+	if s.burst > 0 {
+		s.burst--
+		return FaultErr
+	}
+	if drop {
+		return FaultDrop
+	}
+	if errStart {
+		s.burst = s.cfg.errBurst() - 1
+		return FaultErr
+	}
+	if slow {
+		return FaultSlow
+	}
+	return FaultNone
+}
+
+// Plan returns the fault decision for each of the first n requests under
+// cfg. It is a pure function: Plan(cfg, n) is always identical for the
+// same inputs, and an Injector that has served k requests has a History
+// equal to Plan(cfg, k) — the bit-for-bit reproducibility contract.
+func Plan(cfg Config, n int) []Fault {
+	s := newSchedule(cfg)
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = s.next()
+	}
+	return out
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Requests uint64
+	Outages  uint64
+	Drops    uint64
+	Errs     uint64
+	Slows    uint64
+}
+
+// Injector tracks a live fault schedule over a request stream. It is the
+// engine inside RoundTripper, PacketConn, and Handler; safe for
+// concurrent use (concurrent requests are serialised into one decision
+// order).
+type Injector struct {
+	mu      sync.Mutex
+	sched   *schedule
+	history []Fault
+	stats   Stats
+}
+
+// NewInjector returns an injector for cfg.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{sched: newSchedule(cfg)}
+}
+
+// Next draws the next fault in request order and records it.
+func (in *Injector) Next() Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	f := in.sched.next()
+	in.history = append(in.history, f)
+	in.stats.Requests++
+	switch f {
+	case FaultOutage:
+		in.stats.Outages++
+	case FaultDrop:
+		in.stats.Drops++
+	case FaultErr:
+		in.stats.Errs++
+	case FaultSlow:
+		in.stats.Slows++
+	}
+	return f
+}
+
+// History returns the faults injected so far, in request order. It
+// always equals Plan(cfg, len(History())).
+func (in *Injector) History() []Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.history...)
+}
+
+// Stats returns a snapshot of the counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Config returns the injector's schedule configuration.
+func (in *Injector) Config() Config {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.sched.cfg
+}
+
+// injectedError distinguishes chaos failures from real network errors in
+// test logs.
+type injectedError struct{ f Fault }
+
+func (e *injectedError) Error() string { return "chaos: injected " + e.f.String() }
+
+// IsInjected reports whether err was produced by this package.
+func IsInjected(err error) bool {
+	_, ok := err.(*injectedError)
+	return ok
+}
+
+// RoundTripper injects faults into an HTTP client path. Wrap any
+// daemon's transport with it to rehearse endpoint or router outages.
+type RoundTripper struct {
+	next     http.RoundTripper
+	injector *Injector
+	sleep    func(time.Duration)
+}
+
+// NewRoundTripper wraps next (nil means http.DefaultTransport) with the
+// fault schedule cfg.
+func NewRoundTripper(next http.RoundTripper, cfg Config) *RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &RoundTripper{next: next, injector: NewInjector(cfg), sleep: time.Sleep}
+}
+
+// Injector exposes the underlying schedule for assertions.
+func (rt *RoundTripper) Injector() *Injector { return rt.injector }
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch f := rt.injector.Next(); f {
+	case FaultOutage, FaultDrop:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &injectedError{f: f}
+	case FaultErr:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable (chaos)",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Retry-After": []string{"1"}},
+			Body:    io.NopCloser(strings.NewReader("chaos: injected 503\n")),
+			Request: req,
+		}, nil
+	case FaultSlow:
+		rt.sleep(rt.injector.Config().slowDelay())
+	}
+	return rt.next.RoundTrip(req)
+}
+
+// Handler injects faults on the serving side: outage/drop/err all become
+// 503 + Retry-After before h runs (a server cannot "drop" an accepted
+// TCP request, so unreachable kinds degrade to refusal), and slow
+// responses delay h. This is the operator's endpoint-overload drill.
+func Handler(h http.Handler, cfg Config) http.Handler {
+	in := NewInjector(cfg)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch in.Next() {
+		case FaultOutage, FaultDrop, FaultErr:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "chaos: injected unavailability", http.StatusServiceUnavailable)
+			return
+		case FaultSlow:
+			time.Sleep(cfg.slowDelay())
+		}
+		h.ServeHTTP(w, r)
+	})
+}

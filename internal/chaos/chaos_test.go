@@ -1,0 +1,248 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, DropProb: 0.2, ErrProb: 0.1, ErrBurst: 3, SlowProb: 0.15, OutageAfter: 50, OutageLen: 20}
+	a := Plan(cfg, 500)
+	b := Plan(cfg, 500)
+	if !slices.Equal(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	// A prefix plan matches the long plan: decisions depend only on index.
+	if !slices.Equal(a[:100], Plan(cfg, 100)) {
+		t.Fatal("plan prefix diverges")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 43
+	if slices.Equal(a, Plan(cfg2, 500)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// The outage window is hard-scheduled regardless of draws.
+	for i := 50; i < 70; i++ {
+		if a[i] != FaultOutage {
+			t.Fatalf("request %d = %v inside outage window", i, a[i])
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if a[i] == FaultOutage {
+			t.Fatalf("request %d = outage before window", i)
+		}
+	}
+}
+
+func TestPlanZeroConfigInjectsNothing(t *testing.T) {
+	for i, f := range Plan(Config{Seed: 9}, 200) {
+		if f != FaultNone {
+			t.Fatalf("request %d = %v with zero config", i, f)
+		}
+	}
+}
+
+func TestErrBurstRuns(t *testing.T) {
+	cfg := Config{Seed: 7, ErrProb: 0.05, ErrBurst: 4}
+	plan := Plan(cfg, 2000)
+	// Every error run must be a multiple-of-burst length (runs can chain
+	// if a new burst starts as one ends, so check: no isolated short run).
+	run := 0
+	sawErr := false
+	for _, f := range plan {
+		if f == FaultErr {
+			run++
+			sawErr = true
+			continue
+		}
+		if run > 0 && run < 4 {
+			t.Fatalf("error burst of length %d, want >= 4", run)
+		}
+		run = 0
+	}
+	if !sawErr {
+		t.Fatal("no error bursts drawn; raise ErrProb or n")
+	}
+}
+
+func TestInjectorHistoryMatchesPlan(t *testing.T) {
+	cfg := Config{Seed: 11, DropProb: 0.3, SlowProb: 0.1, OutageAfter: 5, OutageLen: 5}
+	in := NewInjector(cfg)
+	for i := 0; i < 137; i++ {
+		in.Next()
+	}
+	if !slices.Equal(in.History(), Plan(cfg, 137)) {
+		t.Fatal("injector history diverges from pure plan")
+	}
+	st := in.Stats()
+	if st.Requests != 137 || st.Outages != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRoundTripperInjectsAgainstRealServer(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+
+	cfg := Config{Seed: 3, OutageAfter: 2, OutageLen: 3}
+	rt := NewRoundTripper(nil, cfg)
+	client := &http.Client{Transport: rt, Timeout: 2 * time.Second}
+
+	var got []Fault
+	for i := 0; i < 8; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			got = append(got, FaultOutage)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		got = append(got, FaultNone)
+	}
+	want := []Fault{FaultNone, FaultNone, FaultOutage, FaultOutage, FaultOutage, FaultNone, FaultNone, FaultNone}
+	if !slices.Equal(got, want) {
+		t.Fatalf("observed = %v, want %v", got, want)
+	}
+	if served.Load() != 5 {
+		t.Fatalf("server saw %d requests, want 5", served.Load())
+	}
+	if !slices.Equal(rt.Injector().History(), Plan(cfg, 8)) {
+		t.Fatal("round tripper history diverges from plan")
+	}
+}
+
+func TestRoundTripper503CarriesRetryAfter(t *testing.T) {
+	cfg := Config{Seed: 1, ErrProb: 1} // every request: 503
+	rt := NewRoundTripper(nil, cfg)
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get("http://127.0.0.1:1/never-reached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestRoundTripperSlow(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+	var slept atomic.Int64
+	rt := NewRoundTripper(nil, Config{Seed: 5, SlowProb: 1, SlowDelay: 5 * time.Millisecond})
+	rt.sleep = func(d time.Duration) { slept.Add(int64(d)) }
+	client := &http.Client{Transport: rt}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if slept.Load() != int64(5*time.Millisecond) {
+		t.Fatalf("slept %v", time.Duration(slept.Load()))
+	}
+}
+
+func TestHandlerMiddleware(t *testing.T) {
+	var served atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+	})
+	cfg := Config{Seed: 2, OutageAfter: 0, OutageLen: 2}
+	srv := httptest.NewServer(Handler(inner, cfg))
+	defer srv.Close()
+
+	codes := []int{}
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	want := []int{503, 503, 202, 202}
+	if !slices.Equal(codes, want) {
+		t.Fatalf("codes = %v, want %v", codes, want)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("inner handler ran %d times", served.Load())
+	}
+}
+
+func TestPacketConnDropsWrites(t *testing.T) {
+	rx, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 4, OutageAfter: 1, OutageLen: 2}
+	wrapped := WrapPacketConn(tx, cfg)
+	defer wrapped.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, err := wrapped.WriteTo([]byte{byte(i)}, rx.LocalAddr()); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// Datagrams 1 and 2 were dropped in the air; 0 and 3 arrive.
+	rx.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	var got []byte
+	for len(got) < 2 {
+		n, _, err := rx.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("received %v then: %v", got, err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if got[0] != 0 || got[1] != 3 {
+		t.Fatalf("received %v, want [0 3]", got)
+	}
+	if st := wrapped.Injector().Stats(); st.Outages != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectorConcurrent(t *testing.T) {
+	// Concurrent draws must serialise cleanly (run under -race) and
+	// consume exactly one schedule slot each.
+	in := NewInjector(Config{Seed: 8, DropProb: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := in.Stats(); st.Requests != 800 {
+		t.Fatalf("requests = %d", st.Requests)
+	}
+	if len(in.History()) != 800 {
+		t.Fatalf("history = %d", len(in.History()))
+	}
+}

@@ -1,0 +1,33 @@
+package chaos
+
+import "net"
+
+// PacketConn injects datagram loss on the radio/UDP hop: writes decided
+// against the fault schedule vanish "in the air" — the write reports
+// success, nothing reaches the wire — exactly how a transmit-only
+// device experiences a collision or a dead gateway. Outage windows and
+// drops both lose the datagram; HTTP-only kinds (err, slow) pass
+// through, keeping the decision stream position identical to an HTTP
+// injector with the same Config.
+type PacketConn struct {
+	net.PacketConn
+	injector *Injector
+}
+
+// WrapPacketConn wraps conn with the fault schedule cfg.
+func WrapPacketConn(conn net.PacketConn, cfg Config) *PacketConn {
+	return &PacketConn{PacketConn: conn, injector: NewInjector(cfg)}
+}
+
+// Injector exposes the underlying schedule for assertions.
+func (c *PacketConn) Injector() *Injector { return c.injector }
+
+// WriteTo implements net.PacketConn.
+func (c *PacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	switch c.injector.Next() {
+	case FaultOutage, FaultDrop:
+		// Lost in the air: the sender cannot tell.
+		return len(p), nil
+	}
+	return c.PacketConn.WriteTo(p, addr)
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"centuryscale/internal/lpwan"
@@ -23,15 +24,30 @@ import (
 //
 // Arrival times are wall-clock durations since the server's start, so the
 // same Store code serves both simulations and the long-running daemon.
+//
+// The ingest route degrades gracefully instead of failing opaquely: when
+// more than the configured number of ingests are in flight (overload) or
+// the server has been marked degraded (persist failure), it answers
+// 503 + Retry-After. Gateways running a resilience.Uplink treat that as
+// "buffer and come back", which is exactly what a century-scale endpoint
+// wants its edge to do while it recovers.
 type Server struct {
 	store *Store
 	start time.Time
 	mux   *http.ServeMux
+
+	// maxInFlight caps concurrent ingests; 0 means unlimited.
+	maxInFlight int64
+	inFlight    atomic.Int64
+	degraded    atomic.Bool
+	shed        atomic.Uint64
+	// retryAfterSec is the hint sent with every 503. Default 1.
+	retryAfterSec int64
 }
 
 // NewServer wraps a store; the weekly-uptime clock starts now.
 func NewServer(store *Store, now time.Time) *Server {
-	s := &Server{store: store, start: now, mux: http.NewServeMux()}
+	s := &Server{store: store, start: now, mux: http.NewServeMux(), retryAfterSec: 1}
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /status", s.handleStatus)
 	s.mux.HandleFunc("GET /devices", s.handleDevices)
@@ -41,6 +57,36 @@ func NewServer(store *Store, now time.Time) *Server {
 	return s
 }
 
+// SetIngestLimit caps concurrent ingest requests; n <= 0 removes the
+// cap. Requests beyond the cap are shed with 503 + Retry-After.
+func (s *Server) SetIngestLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt64(&s.maxInFlight, int64(n))
+}
+
+// SetRetryAfter sets the Retry-After hint (rounded up to whole seconds,
+// minimum 1) attached to shed responses.
+func (s *Server) SetRetryAfter(d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	atomic.StoreInt64(&s.retryAfterSec, secs)
+}
+
+// SetDegraded marks (or clears) persist-failure degradation: while set,
+// every ingest is shed with 503 so upstream buffers instead of handing
+// data to a store that cannot durably keep it.
+func (s *Server) SetDegraded(v bool) { s.degraded.Store(v) }
+
+// Degraded reports whether the server is shedding due to persist failure.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// Shed returns how many ingest requests have been answered 503.
+func (s *Server) Shed() uint64 { return s.shed.Load() }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -48,7 +94,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) now() time.Duration { return time.Since(s.start) }
 
+// shedLoad answers 503 + Retry-After: the graceful "come back soon".
+func (s *Server) shedLoad(w http.ResponseWriter, reason string) {
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.FormatInt(atomic.LoadInt64(&s.retryAfterSec), 10))
+	http.Error(w, "cloud: "+reason, http.StatusServiceUnavailable)
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.degraded.Load() {
+		s.shedLoad(w, "endpoint degraded (persist failure); buffer and retry")
+		return
+	}
+	if limit := atomic.LoadInt64(&s.maxInFlight); limit > 0 {
+		if s.inFlight.Add(1) > limit {
+			s.inFlight.Add(-1)
+			s.shedLoad(w, "endpoint overloaded; buffer and retry")
+			return
+		}
+		defer s.inFlight.Add(-1)
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1024))
 	if err != nil {
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
@@ -68,6 +133,8 @@ type statusPayload struct {
 	Devices       int         `json:"devices"`
 	WeeklyUptime  float64     `json:"weekly_uptime"`
 	Stats         IngestStats `json:"stats"`
+	Shed          uint64      `json:"shed"`
+	Degraded      bool        `json:"degraded"`
 }
 
 func (s *Server) status() statusPayload {
@@ -76,6 +143,8 @@ func (s *Server) status() statusPayload {
 		Devices:       len(s.store.Devices()),
 		WeeklyUptime:  s.store.WeeklyUptime(s.now()),
 		Stats:         s.store.Stats(),
+		Shed:          s.shed.Load(),
+		Degraded:      s.degraded.Load(),
 	}
 }
 

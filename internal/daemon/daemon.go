@@ -19,29 +19,48 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"centuryscale/internal/gateway"
 	"centuryscale/internal/lorawan"
 	"centuryscale/internal/lpwan"
+	"centuryscale/internal/resilience"
 	"centuryscale/internal/telemetry"
 )
 
 // HTTPUplink forwards gateway payloads to the endpoint's /ingest route.
+// Errors are classified for retry loops: network failures and 5xx are
+// transient (503/429 carry the endpoint's Retry-After hint), other 4xx
+// are resilience.Permanent — the endpoint understood and refused, so
+// retrying or buffering cannot help.
 type HTTPUplink struct {
 	// URL is the endpoint base, e.g. "http://127.0.0.1:8080".
 	URL string
-	// Client defaults to a 10-second-timeout client.
+	// Client defaults to a shared 10-second-timeout client. Set it
+	// before the first Send or not at all.
 	Client *http.Client
+
+	fallbackOnce sync.Once
+	fallback     *http.Client
 }
 
-// Send implements gateway.Uplink.
-func (u *HTTPUplink) Send(payload []byte) error {
-	client := u.Client
-	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+func (u *HTTPUplink) client() *http.Client {
+	if u.Client != nil {
+		return u.Client
 	}
-	resp, err := client.Post(u.URL+"/ingest", "application/octet-stream", bytes.NewReader(payload))
+	// Construct the fallback exactly once so its transport's connection
+	// pool is reused across sends instead of leaking one pool per call.
+	u.fallbackOnce.Do(func() {
+		u.fallback = &http.Client{Timeout: 10 * time.Second}
+	})
+	return u.fallback
+}
+
+// Send implements gateway.Uplink (and resilience.Sender).
+func (u *HTTPUplink) Send(payload []byte) error {
+	resp, err := u.client().Post(u.URL+"/ingest", "application/octet-stream", bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("daemon: uplink post: %w", err)
 	}
@@ -49,10 +68,33 @@ func (u *HTTPUplink) Send(payload []byte) error {
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
 	// 422 means the endpoint saw the packet but rejected it (duplicate
 	// via another gateway, bad signature): the gateway's job is done.
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusUnprocessableEntity {
-		return fmt.Errorf("daemon: uplink status %d", resp.StatusCode)
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusUnprocessableEntity {
+		return nil
 	}
-	return nil
+	return classifyStatus("daemon: uplink", resp)
+}
+
+// classifyStatus turns a non-success HTTP response into a transient or
+// permanent error for the resilience layer.
+func classifyStatus(prefix string, resp *http.Response) error {
+	err := fmt.Errorf("%s status %d", prefix, resp.StatusCode)
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests:
+		return &resilience.RetryAfterError{After: parseRetryAfter(resp), Err: err}
+	case resp.StatusCode >= 500:
+		return err // transient
+	default:
+		return resilience.Permanent(err)
+	}
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header, or zero.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // ServeUDP reads link-layer frames from the socket and hands them to the

@@ -8,8 +8,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
+	"time"
 
 	"centuryscale/internal/helium"
+	"centuryscale/internal/resilience"
 )
 
 // Hotspot plumbing: the third-party path's real datapath. A hotspot is
@@ -54,13 +57,51 @@ func RouterHandler(r *helium.Router, deliver func(payload []byte) error) http.Ha
 	return mux
 }
 
-// ServeHotspot forwards raw LoRaWAN frames from a UDP socket to the
-// router URL until the context is cancelled: the entire hotspot,
-// faithfully small.
-func ServeHotspot(ctx context.Context, conn net.PacketConn, routerURL string, client *http.Client) error {
-	if client == nil {
-		client = http.DefaultClient
+// RouterUplink POSTs raw LoRaWAN frames to a network router's /uplink
+// route. Like HTTPUplink it classifies failures for the resilience
+// layer: network errors and 5xx are transient, while 422 (unverifiable)
+// and 402 (wallet dry) are resilience.Permanent — the router saw the
+// frame and refused it, so a retry earns the hotspot nothing.
+type RouterUplink struct {
+	// URL is the router base, e.g. "http://127.0.0.1:9000".
+	URL string
+	// Client defaults to a shared 10-second-timeout client.
+	Client *http.Client
+
+	fallbackOnce sync.Once
+	fallback     *http.Client
+}
+
+func (r *RouterUplink) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
 	}
+	r.fallbackOnce.Do(func() {
+		r.fallback = &http.Client{Timeout: 10 * time.Second}
+	})
+	return r.fallback
+}
+
+// Send implements gateway.Uplink (and resilience.Sender).
+func (r *RouterUplink) Send(frame []byte) error {
+	resp, err := r.client().Post(r.URL+"/uplink", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return fmt.Errorf("daemon: hotspot post: %w", err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+	if resp.StatusCode == http.StatusAccepted {
+		return nil
+	}
+	return classifyStatus("daemon: hotspot", resp)
+}
+
+// ServeHotspotUplink forwards raw LoRaWAN frames from a UDP socket into
+// up until the context is cancelled. Send errors are the uplink's
+// problem (a resilience.Uplink buffers them; a bare RouterUplink drops
+// them): the devices retry by cadence, not by ACK, and the hotspot
+// itself stays faithfully dumb.
+func ServeHotspotUplink(ctx context.Context, conn net.PacketConn, up resilience.Sender) error {
 	done := make(chan struct{})
 	defer close(done)
 	go func() {
@@ -81,13 +122,14 @@ func ServeHotspot(ctx context.Context, conn net.PacketConn, routerURL string, cl
 		}
 		frame := make([]byte, n)
 		copy(frame, buf[:n])
-		resp, err := client.Post(routerURL+"/uplink", "application/octet-stream", bytes.NewReader(frame))
-		if err != nil {
-			// Backhaul hiccup: drop and carry on; the devices retry by
-			// cadence, not by ACK.
-			continue
-		}
-		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
-		resp.Body.Close()
+		_ = up.Send(frame)
 	}
+}
+
+// ServeHotspot forwards raw LoRaWAN frames from a UDP socket to the
+// router URL until the context is cancelled: the entire hotspot,
+// faithfully small. Failed POSTs are dropped; wrap a RouterUplink in a
+// resilience.Uplink and use ServeHotspotUplink for the buffered variant.
+func ServeHotspot(ctx context.Context, conn net.PacketConn, routerURL string, client *http.Client) error {
+	return ServeHotspotUplink(ctx, conn, &RouterUplink{URL: routerURL, Client: client})
 }

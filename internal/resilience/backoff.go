@@ -1,0 +1,67 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"centuryscale/internal/rng"
+)
+
+// Backoff computes retry delays: exponential growth capped at Max, with
+// full jitter (delay drawn uniformly from [0, cap]) so a fleet of
+// gateways recovering from the same endpoint outage does not reconverge
+// in lockstep. Jitter comes from a deterministic rng stream, so a seeded
+// datapath run replays the same delays.
+//
+// Safe for concurrent use.
+type Backoff struct {
+	base time.Duration
+	max  time.Duration
+
+	mu  sync.Mutex
+	src *rng.Source
+}
+
+// NewBackoff returns a backoff starting at base, capped at max, with
+// jitter drawn from the stream seeded by seed. Non-positive base or max
+// fall back to 100ms and 30s respectively.
+func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, src: rng.New(seed)}
+}
+
+// Delay returns the sleep before retry number attempt (0-based: the
+// delay after the first failure is Delay(0)).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	ceil := b.ceiling(attempt)
+	b.mu.Lock()
+	d := time.Duration(b.src.Int63n(int64(ceil) + 1))
+	b.mu.Unlock()
+	return d
+}
+
+// ceiling is the un-jittered exponential cap for attempt.
+func (b *Backoff) ceiling(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	ceil := b.base
+	for i := 0; i < attempt; i++ {
+		ceil *= 2
+		if ceil >= b.max || ceil < 0 { // overflow guard
+			return b.max
+		}
+	}
+	if ceil > b.max {
+		return b.max
+	}
+	return ceil
+}

@@ -1,0 +1,163 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states.
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer is presumed down; calls are rejected without
+	// touching the network until OpenFor elapses.
+	BreakerOpen
+	// BreakerHalfOpen: probe traffic is allowed; a failure re-opens, a
+	// run of successes closes.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "breaker(?)"
+	}
+}
+
+// BreakerConfig tunes a Breaker. Zero fields take the defaults noted.
+type BreakerConfig struct {
+	// FailureThreshold is the run of consecutive failures that trips the
+	// breaker open. Default 5.
+	FailureThreshold int
+	// OpenFor is how long the breaker stays open before letting probe
+	// traffic through. Default 5s.
+	OpenFor time.Duration
+	// HalfOpenSuccesses is the run of consecutive probe successes that
+	// closes the breaker again. Default 1.
+	HalfOpenSuccesses int
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+// BreakerStats counts breaker activity.
+type BreakerStats struct {
+	Trips    uint64 // closed/half-open -> open transitions
+	Rejected uint64 // calls refused while open
+}
+
+// Breaker is a three-state circuit breaker. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive, in closed state
+	successes int // consecutive, in half-open state
+	openedAt  time.Time
+	stats     BreakerStats
+}
+
+// NewBreaker returns a closed breaker with cfg's thresholds.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 5 * time.Second
+	}
+	if cfg.HalfOpenSuccesses <= 0 {
+		cfg.HalfOpenSuccesses = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed now, transitioning
+// open -> half-open once OpenFor has elapsed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return true
+	default: // open
+		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+			b.state = BreakerHalfOpen
+			b.successes = 0
+			return true
+		}
+		b.stats.Rejected++
+		return false
+	}
+}
+
+// Success records a completed call.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenSuccesses {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	}
+}
+
+// Failure records a failed call, tripping the breaker when the closed
+// threshold is reached or immediately when a half-open probe fails.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	}
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.successes = 0
+	b.stats.Trips++
+}
+
+// State returns the current position (resolving an elapsed open window
+// the same way Allow would, but without consuming a probe slot).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

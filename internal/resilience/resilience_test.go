@@ -1,0 +1,409 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPermanentMarking(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	base := errors.New("rejected")
+	p := Permanent(base)
+	if !IsPermanent(p) {
+		t.Fatal("Permanent not detected")
+	}
+	if !errors.Is(p, base) {
+		t.Fatal("Permanent does not unwrap to cause")
+	}
+	wrapped := fmt.Errorf("hop: %w", p)
+	if !IsPermanent(wrapped) {
+		t.Fatal("Permanent lost through wrapping")
+	}
+	if IsPermanent(base) {
+		t.Fatal("plain error reported permanent")
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	e := &RetryAfterError{After: 3 * time.Second, Err: errors.New("overloaded")}
+	if got := retryHint(fmt.Errorf("send: %w", e)); got != 3*time.Second {
+		t.Fatalf("retryHint = %v", got)
+	}
+	if got := retryHint(errors.New("plain")); got != 0 {
+		t.Fatalf("retryHint(plain) = %v", got)
+	}
+	if !errors.As(error(e), new(*RetryAfterError)) {
+		t.Fatal("RetryAfterError not As-able")
+	}
+}
+
+func TestBackoffBoundsAndDeterminism(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 7)
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := b.ceiling(attempt)
+		want := 100 * time.Millisecond << uint(attempt)
+		if want > time.Second || want < 0 {
+			want = time.Second
+		}
+		if ceil != want {
+			t.Fatalf("ceiling(%d) = %v, want %v", attempt, ceil, want)
+		}
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt)
+			if d < 0 || d > ceil {
+				t.Fatalf("Delay(%d) = %v outside [0,%v]", attempt, d, ceil)
+			}
+		}
+	}
+	// Same seed replays the same jitter sequence.
+	x, y := NewBackoff(time.Millisecond, time.Second, 42), NewBackoff(time.Millisecond, time.Second, 42)
+	for i := 0; i < 100; i++ {
+		if x.Delay(i%8) != y.Delay(i%8) {
+			t.Fatalf("seeded backoff diverged at draw %d", i)
+		}
+	}
+}
+
+func TestBackoffOverflowGuard(t *testing.T) {
+	b := NewBackoff(time.Hour, 100*365*24*time.Hour, 1)
+	if got := b.ceiling(200); got != b.max {
+		t.Fatalf("overflowed ceiling = %v", got)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenFor: time.Minute, HalfOpenSuccesses: 2, Now: clock})
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker not closed")
+	}
+	// Two failures, then a success: the consecutive count resets.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped before threshold of consecutive failures")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call")
+	}
+	// Window elapses: probes allowed.
+	now = now.Add(time.Minute)
+	if !b.Allow() || b.State() != BreakerHalfOpen {
+		t.Fatalf("no half-open transition: %v", b.State())
+	}
+	// A probe failure re-opens immediately.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("probe failure did not re-open")
+	}
+	now = now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe window refused")
+	}
+	b.Success()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("closed before enough probe successes")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("did not close after probe successes")
+	}
+	st := b.Stats()
+	if st.Trips != 2 || st.Rejected == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueFIFOAndDropOldest(t *testing.T) {
+	q := NewQueue(3)
+	for i := 0; i < 3; i++ {
+		if q.Push([]byte{byte(i)}) {
+			t.Fatalf("push %d evicted", i)
+		}
+	}
+	if !q.Push([]byte{3}) {
+		t.Fatal("overflow push did not evict")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	// Oldest (0) evicted: order is 1,2,3.
+	for want := byte(1); want <= 3; want++ {
+		p, ok := q.Pop()
+		if !ok || p[0] != want {
+			t.Fatalf("pop = %v %v, want [%d]", p, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+	st := q.Stats()
+	if st.Enqueued != 4 || st.Dequeued != 3 || st.DroppedOldest != 1 || st.HighWater != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q := NewQueue(4)
+	seq := byte(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push([]byte{seq})
+			seq++
+		}
+		for i := 0; i < 3; i++ {
+			p, ok := q.Pop()
+			if !ok {
+				t.Fatal("pop failed")
+			}
+			if want := seq - 3 + byte(i); p[0] != want {
+				t.Fatalf("round %d: pop = %d, want %d", round, p[0], want)
+			}
+		}
+	}
+}
+
+// flakySender fails transiently for the first failN calls, then succeeds,
+// recording the order payloads arrive in.
+type flakySender struct {
+	mu    sync.Mutex
+	failN int
+	calls int
+	got   [][]byte
+}
+
+func (f *flakySender) Send(p []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls <= f.failN {
+		return errors.New("transient")
+	}
+	f.got = append(f.got, append([]byte(nil), p...))
+	return nil
+}
+
+func (f *flakySender) received() [][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([][]byte(nil), f.got...)
+}
+
+func instantSleep(context.Context, time.Duration) {}
+
+func testConfig() Config {
+	return Config{
+		MaxAttempts:      2,
+		BackoffBase:      time.Microsecond,
+		BackoffMax:       10 * time.Microsecond,
+		BreakerThreshold: 3,
+		BreakerOpenFor:   time.Millisecond,
+		QueueDepth:       64,
+		DrainInterval:    time.Millisecond,
+		Seed:             1,
+		Sleep:            instantSleep,
+	}
+}
+
+func TestUplinkHappyPath(t *testing.T) {
+	inner := &flakySender{}
+	u := NewUplink(inner, testConfig())
+	defer u.Close(context.Background())
+	for i := 0; i < 5; i++ {
+		if err := u.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := u.Stats()
+	if st.Sent != 5 || st.Buffered != 0 || st.Retries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUplinkRetriesTransient(t *testing.T) {
+	inner := &flakySender{failN: 1} // first call fails, retry succeeds
+	u := NewUplink(inner, testConfig())
+	defer u.Close(context.Background())
+	if err := u.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	st := u.Stats()
+	if st.Sent != 1 || st.Retries != 1 || st.Buffered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUplinkPermanentSurfaces(t *testing.T) {
+	reject := Permanent(errors.New("unknown device"))
+	u := NewUplink(SenderFunc(func([]byte) error { return reject }), testConfig())
+	defer u.Close(context.Background())
+	err := u.Send([]byte{1})
+	if err == nil || !IsPermanent(err) {
+		t.Fatalf("err = %v", err)
+	}
+	st := u.Stats()
+	if st.Buffered != 0 || st.RejectedPermanent != 1 || st.Retries != 0 {
+		t.Fatalf("permanent error buffered or retried: %+v", st)
+	}
+}
+
+func TestUplinkBuffersOutageAndDrainsInOrder(t *testing.T) {
+	var down sync.Mutex
+	isDown := true
+	var got [][]byte
+	inner := SenderFunc(func(p []byte) error {
+		down.Lock()
+		defer down.Unlock()
+		if isDown {
+			return errors.New("connection refused")
+		}
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	cfg := testConfig()
+	// Threshold 2 = the first Send's two failed attempts trip the breaker
+	// deterministically, before the recovery below.
+	cfg.BreakerThreshold = 2
+	u := NewUplink(inner, cfg)
+	defer u.Close(context.Background())
+
+	for i := 0; i < 20; i++ {
+		if err := u.Send([]byte{byte(i)}); err != nil {
+			t.Fatalf("send %d during outage: %v", i, err)
+		}
+	}
+	if st := u.Stats(); st.Queue.Enqueued == 0 {
+		t.Fatalf("nothing buffered during outage: %+v", st)
+	}
+
+	down.Lock()
+	isDown = false
+	down.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := u.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v (stats %+v)", err, u.Stats())
+	}
+	down.Lock()
+	defer down.Unlock()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d of 20", len(got))
+	}
+	for i, p := range got {
+		if p[0] != byte(i) {
+			t.Fatalf("out of order at %d: got %d", i, p[0])
+		}
+	}
+	st := u.Stats()
+	if st.Breaker.Trips == 0 {
+		t.Fatalf("breaker never tripped during outage: %+v", st)
+	}
+	if st.QueueLen != 0 {
+		t.Fatalf("queue not empty after flush: %+v", st)
+	}
+}
+
+func TestUplinkOrderPreservedWhenQueueNonEmpty(t *testing.T) {
+	// While anything is buffered, new sends must queue behind it even if
+	// the peer is healthy again — no overtaking.
+	inner := &flakySender{}
+	cfg := testConfig()
+	cfg.DrainInterval = time.Hour // drain only when kicked by Send/Flush
+	u := NewUplink(inner, cfg)
+	defer u.Close(context.Background())
+
+	u.queue.Push([]byte{0}) // pre-buffered payload, drain not yet kicked
+	if err := u.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := u.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := inner.received()
+	if len(got) != 2 || got[0][0] != 0 || got[1][0] != 1 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestUplinkCloseReportsStranded(t *testing.T) {
+	u := NewUplink(SenderFunc(func([]byte) error { return errors.New("down forever") }), testConfig())
+	for i := 0; i < 4; i++ {
+		_ = u.Send([]byte{byte(i)})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := u.Close(ctx); err == nil {
+		t.Fatal("close with stranded payloads reported success")
+	}
+}
+
+func TestUplinkConcurrentSends(t *testing.T) {
+	// Hammer the uplink from many goroutines across an outage window;
+	// run under -race to check the locking. Every payload must come out
+	// exactly once.
+	var down sync.Mutex
+	isDown := true
+	seen := make(map[byte]int)
+	inner := SenderFunc(func(p []byte) error {
+		down.Lock()
+		defer down.Unlock()
+		if isDown {
+			return errors.New("outage")
+		}
+		seen[p[0]]++
+		return nil
+	})
+	cfg := testConfig()
+	cfg.QueueDepth = 256
+	u := NewUplink(inner, cfg)
+	defer u.Close(context.Background())
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				_ = u.Send([]byte{byte(g*16 + i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	down.Lock()
+	isDown = false
+	down.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := u.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	down.Lock()
+	defer down.Unlock()
+	if len(seen) != 128 {
+		t.Fatalf("delivered %d distinct of 128", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("payload %d delivered %d times", k, n)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes an Uplink. Zero fields take the defaults noted.
+type Config struct {
+	// MaxAttempts bounds the synchronous tries per Send before the
+	// payload is handed to the store-and-forward queue. Default 3.
+	MaxAttempts int
+	// BackoffBase / BackoffMax shape the retry delays (full jitter).
+	// Defaults 100ms / 30s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold / BreakerOpenFor / BreakerProbes tune the circuit
+	// breaker; see BreakerConfig. Defaults 5 / 5s / 1.
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	BreakerProbes    int
+	// QueueDepth bounds the store-and-forward buffer. Default 1024.
+	QueueDepth int
+	// DrainInterval is how often the drain loop re-checks the queue when
+	// nothing has kicked it. Default 250ms.
+	DrainInterval time.Duration
+	// Seed feeds the jitter stream; the same seed replays the same
+	// delays. Default 1.
+	Seed uint64
+	// Now is the breaker clock; nil means time.Now.
+	Now func() time.Time
+	// Sleep is the retry sleeper; nil means a context-aware timer sleep.
+	// Tests inject an instant fake.
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.DrainInterval <= 0 {
+		c.DrainInterval = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) {
+			if d <= 0 {
+				return
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+			case <-t.C:
+			}
+		}
+	}
+	return c
+}
+
+// UplinkStats counts an Uplink's disposition of payloads.
+type UplinkStats struct {
+	// Sent counts payloads delivered on the synchronous fast path.
+	Sent uint64
+	// Drained counts payloads delivered from the buffer after an outage.
+	Drained uint64
+	// Retries counts extra synchronous attempts beyond the first.
+	Retries uint64
+	// Buffered counts payloads that entered the store-and-forward queue.
+	Buffered uint64
+	// RejectedPermanent counts payloads the peer permanently refused
+	// (from either path); they are not buffered or retried.
+	RejectedPermanent uint64
+	Queue             QueueStats
+	Breaker           BreakerStats
+	QueueLen          int
+	State             BreakerState
+}
+
+// Uplink wraps an inner Sender with retry, circuit breaking, and
+// store-and-forward buffering. It satisfies gateway.Uplink, so it drops
+// into any hop of the real datapath.
+//
+// Send semantics: on the happy path the payload goes straight through
+// (with a few jittered retries on transient failure). When the peer is
+// down — breaker open, or retries exhausted — the payload is buffered
+// and Send returns nil: the packet made it off the air and is now this
+// hop's responsibility. A background drain loop replays the buffer in
+// arrival order once the peer recovers. Once anything is buffered, new
+// payloads queue behind it, preserving order. Only Permanent errors
+// (peer understood and refused) surface to the caller.
+//
+// Close flushes what it can and stops the drain loop; use Flush for a
+// mid-run barrier. Safe for concurrent use.
+type Uplink struct {
+	inner   Sender
+	cfg     Config
+	backoff *Backoff
+	breaker *Breaker
+	queue   *Queue
+
+	kick chan struct{}
+	stop context.CancelFunc
+	done chan struct{}
+
+	sent    atomic.Uint64
+	drained atomic.Uint64
+	retries atomic.Uint64
+	rejects atomic.Uint64
+
+	// sendMu serialises fast-path sends with the drain loop so buffered
+	// payloads cannot be overtaken by fresh ones.
+	sendMu sync.Mutex
+}
+
+// NewUplink wraps inner and starts the drain loop. Callers must Close it.
+func NewUplink(inner Sender, cfg Config) *Uplink {
+	if inner == nil {
+		panic("resilience: nil inner sender")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	u := &Uplink{
+		inner:   inner,
+		cfg:     cfg,
+		backoff: NewBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed),
+		breaker: NewBreaker(BreakerConfig{
+			FailureThreshold:  cfg.BreakerThreshold,
+			OpenFor:           cfg.BreakerOpenFor,
+			HalfOpenSuccesses: cfg.BreakerProbes,
+			Now:               cfg.Now,
+		}),
+		queue: NewQueue(cfg.QueueDepth),
+		kick:  make(chan struct{}, 1),
+		stop:  cancel,
+		done:  make(chan struct{}),
+	}
+	go u.drainLoop(ctx)
+	return u
+}
+
+// Send implements Sender (and gateway.Uplink).
+func (u *Uplink) Send(payload []byte) error {
+	u.sendMu.Lock()
+	// Anything already buffered must go first: queue behind it.
+	if u.queue.Len() > 0 || !u.breaker.Allow() {
+		u.buffer(payload)
+		u.sendMu.Unlock()
+		return nil
+	}
+	err := u.trySend(context.Background(), payload, u.cfg.MaxAttempts)
+	switch {
+	case err == nil:
+		u.sent.Add(1)
+	case IsPermanent(err):
+		u.rejects.Add(1)
+		u.sendMu.Unlock()
+		return err
+	default:
+		u.buffer(payload)
+	}
+	u.sendMu.Unlock()
+	return nil
+}
+
+// buffer enqueues payload and wakes the drain loop.
+func (u *Uplink) buffer(payload []byte) {
+	u.queue.Push(payload)
+	select {
+	case u.kick <- struct{}{}:
+	default:
+	}
+}
+
+// trySend makes up to attempts tries against the inner sender, sleeping
+// a jittered backoff (or the peer's Retry-After hint, if longer) between
+// them, and keeps the breaker informed.
+func (u *Uplink) trySend(ctx context.Context, payload []byte, attempts int) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			u.retries.Add(1)
+			d := u.backoff.Delay(i - 1)
+			if hint := retryHint(err); hint > d {
+				d = hint
+			}
+			u.cfg.Sleep(ctx, d)
+			if ctx.Err() != nil {
+				return err
+			}
+			if !u.breaker.Allow() {
+				return err
+			}
+		}
+		err = u.inner.Send(payload)
+		if err == nil {
+			u.breaker.Success()
+			return nil
+		}
+		if IsPermanent(err) {
+			// The peer made a decision; that is not an outage.
+			u.breaker.Success()
+			return err
+		}
+		u.breaker.Failure()
+	}
+	return err
+}
+
+// drainLoop replays the buffer in order whenever the peer allows.
+func (u *Uplink) drainLoop(ctx context.Context) {
+	defer close(u.done)
+	tick := time.NewTicker(u.cfg.DrainInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-u.kick:
+		case <-tick.C:
+		}
+		u.drainOnce(ctx)
+	}
+}
+
+// drainOnce sends buffered payloads head-first until the queue empties,
+// the breaker rejects, or a transient failure says the peer is still
+// down. Payloads are only popped after a definitive outcome, so a crash
+// mid-send never loses the head silently.
+func (u *Uplink) drainOnce(ctx context.Context) {
+	for ctx.Err() == nil {
+		u.sendMu.Lock()
+		p, ok := u.queue.Peek()
+		if !ok {
+			u.sendMu.Unlock()
+			return
+		}
+		if !u.breaker.Allow() {
+			u.sendMu.Unlock()
+			return
+		}
+		err := u.trySend(ctx, p, 1)
+		switch {
+		case err == nil:
+			u.queue.Pop()
+			u.drained.Add(1)
+			u.sendMu.Unlock()
+		case IsPermanent(err):
+			u.queue.Pop()
+			u.rejects.Add(1)
+			u.sendMu.Unlock()
+		default:
+			u.sendMu.Unlock()
+			// Peer still down: wait out a backoff (honouring its own
+			// hint) before the next probe rather than spinning.
+			d := u.backoff.Delay(0)
+			if hint := retryHint(err); hint > d {
+				d = hint
+			}
+			u.cfg.Sleep(ctx, d)
+		}
+	}
+}
+
+// Flush blocks until the buffer is empty or ctx expires, returning an
+// error describing what is still stranded in the latter case.
+func (u *Uplink) Flush(ctx context.Context) error {
+	for {
+		if u.queue.Len() == 0 {
+			return nil
+		}
+		select {
+		case u.kick <- struct{}{}:
+		default:
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("resilience: flush: %d payloads still buffered: %w", u.queue.Len(), ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Close flushes until ctx expires, then stops the drain loop. The flush
+// error (if any) is returned after shutdown completes.
+func (u *Uplink) Close(ctx context.Context) error {
+	err := u.Flush(ctx)
+	u.stop()
+	<-u.done
+	return err
+}
+
+// QueueLen returns the number of buffered payloads.
+func (u *Uplink) QueueLen() int { return u.queue.Len() }
+
+// Stats returns a snapshot of the uplink's counters.
+func (u *Uplink) Stats() UplinkStats {
+	return UplinkStats{
+		Sent:              u.sent.Load(),
+		Drained:           u.drained.Load(),
+		Retries:           u.retries.Load(),
+		Buffered:          u.queue.Stats().Enqueued,
+		RejectedPermanent: u.rejects.Load(),
+		Queue:             u.queue.Stats(),
+		Breaker:           u.breaker.Stats(),
+		QueueLen:          u.queue.Len(),
+		State:             u.breaker.State(),
+	}
+}
