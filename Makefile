@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-tsdb
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,10 @@ check: vet race
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-tsdb runs the storage-engine and uplink benchmarks — the two
+# datapath hot spots. Compare against the committed BENCH_tsdb.json
+# baseline; regenerate that file when accepting a new baseline.
+bench-tsdb:
+	$(GO) test -run '^$$' -bench 'BenchmarkTSDB' -benchmem ./internal/tsdb/
+	$(GO) test -run '^$$' -bench 'BenchmarkUplink' -benchmem ./internal/daemon/

@@ -4,19 +4,29 @@
 // status page on GET /.
 //
 //	endpointd -listen :8080 -master fleet-master-secret \
+//	          -data-dir /var/lib/century/tsdb -shards 16 -wal-fsync always \
 //	          -snapshot /var/lib/century/store.json -save-every 10m
 //
 // Device keys are derived from the fleet master secret and each device's
-// EUI-64, so the endpoint needs no per-device database. With -snapshot
-// set, state is restored at boot and saved atomically on the given
-// interval and on clean shutdown — a 50-year service must assume its
-// host will be replaced many times.
+// EUI-64, so the endpoint needs no per-device database.
+//
+// Storage plays two complementary roles. With -data-dir set, every
+// accepted reading is appended to a sharded write-ahead log before it is
+// acknowledged (fsync per -wal-fsync), so a crash or kill loses zero
+// acknowledged readings. With -snapshot set, the versioned-JSON snapshot
+// remains the portable checkpoint — the artifact a 2060 operator can
+// read with whatever tools exist then — written atomically every
+// -save-every and on clean shutdown; each successful snapshot truncates
+// the WAL segments it covers. Boot restores the snapshot, then replays
+// the WAL over it. Run with both for a bounded WAL and a readable
+// archive; -data-dir alone is fully durable but replays the whole WAL at
+// boot; -snapshot alone restores the old snapshot-interval loss window.
 //
 // The endpoint degrades gracefully instead of failing opaquely: more
-// than -max-inflight concurrent ingests, or a failing snapshot disk,
-// turn into 503 + Retry-After so resilient gateways buffer and retry
-// rather than lose data. The -chaos-* flags wrap the whole server in a
-// seeded fault schedule for overload drills.
+// than -max-inflight concurrent ingests, a failing snapshot disk, or a
+// failing WAL disk turn into 503 + Retry-After so resilient gateways
+// buffer and retry rather than lose data. The -chaos-* flags wrap the
+// whole server in a seeded fault schedule for overload drills.
 package main
 
 import (
@@ -32,14 +42,22 @@ import (
 	"centuryscale/internal/chaos"
 	"centuryscale/internal/cloud"
 	"centuryscale/internal/daemon"
+	"centuryscale/internal/tsdb"
 )
 
 func main() {
 	var (
 		listen     = flag.String("listen", ":8080", "HTTP listen address")
 		master     = flag.String("master", "", "fleet master secret (required)")
-		snapshot   = flag.String("snapshot", "", "snapshot file for durable state (optional)")
-		saveEvery  = flag.Duration("save-every", 10*time.Minute, "snapshot interval when -snapshot is set")
+		snapshot   = flag.String("snapshot", "", "snapshot file: portable JSON checkpoint (optional)")
+		saveEvery  = flag.Duration("save-every", 10*time.Minute, "checkpoint interval when -snapshot is set")
+		dataDir    = flag.String("data-dir", "", "storage directory for the sharded WAL (optional; enables crash-safe ingest)")
+		shards     = flag.Int("shards", 16, "storage shard count (ingest concurrency)")
+		walFsync   = flag.String("wal-fsync", "always", "WAL fsync policy: always | interval | never")
+		walSyncEv  = flag.Duration("wal-sync-every", time.Second, "fsync cadence under -wal-fsync interval")
+		compactEv  = flag.Duration("compact-every", 0, "background retention compaction interval (0 = off)")
+		retainFull = flag.Duration("retain-full", cloud.DefaultRetention().FullResolutionWindow, "retention: full-resolution window")
+		retainPer  = flag.Duration("retain-bucket", cloud.DefaultRetention().KeepOnePer, "retention: one reading kept per bucket beyond the window")
 		maxInFl    = flag.Int("max-inflight", 256, "max concurrent ingests before shedding 503 (0 = unlimited)")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
 	)
@@ -49,12 +67,44 @@ func main() {
 		log.Fatal("endpointd: -master is required")
 	}
 
-	store := cloud.NewStore(cloud.StaticKeys([]byte(*master)))
+	keys := cloud.StaticKeys([]byte(*master))
+	var store *cloud.Store
+	if *dataDir != "" {
+		policy, err := tsdb.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("endpointd: %v", err)
+		}
+		db, err := tsdb.Open(tsdb.Options{
+			Dir:       *dataDir,
+			Shards:    *shards,
+			Sync:      policy,
+			SyncEvery: *walSyncEv,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("endpointd: opening %s: %v", *dataDir, err)
+		}
+		store = cloud.NewStoreWithDB(keys, db)
+	} else {
+		store = cloud.NewStore(keys)
+	}
+
+	// Boot: snapshot first (the checkpoint), then the WAL on top (the
+	// readings accepted since that checkpoint).
 	if *snapshot != "" {
 		if err := store.LoadFile(*snapshot); err != nil {
 			log.Fatalf("endpointd: restoring %s: %v", *snapshot, err)
 		}
 		log.Printf("endpointd: restored %d readings from %s", store.Count(), *snapshot)
+	}
+	if *dataDir != "" {
+		begin := time.Now()
+		rs, err := store.ReplayWAL()
+		if err != nil {
+			log.Fatalf("endpointd: WAL replay: %v", err)
+		}
+		log.Printf("endpointd: WAL replay: %d records, %d applied, %d corrupt frames tolerated in %v (shards %d, fsync %s)",
+			rs.Records, rs.Kept, rs.Corruptions, time.Since(begin).Round(time.Millisecond), *shards, *walFsync)
 	}
 
 	server := cloud.NewServer(store, time.Now())
@@ -79,14 +129,34 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					if err := store.SaveFile(*snapshot); err != nil {
+					// Checkpoint = snapshot + WAL truncation behind it.
+					if err := store.Checkpoint(*snapshot); err != nil {
 						// Can't persist what we accept: shed until the
 						// disk recovers so gateways buffer instead.
-						log.Printf("endpointd: snapshot: %v (degrading ingest)", err)
+						log.Printf("endpointd: checkpoint: %v (degrading ingest)", err)
 						server.SetDegraded(true)
 					} else if server.Degraded() {
-						log.Printf("endpointd: snapshot recovered; accepting ingest again")
+						log.Printf("endpointd: checkpoint recovered; accepting ingest again")
 						server.SetDegraded(false)
+					}
+				}
+			}
+		}()
+	}
+
+	if *compactEv > 0 {
+		start := time.Now()
+		go func() {
+			tick := time.NewTicker(*compactEv)
+			defer tick.Stop()
+			policy := cloud.RetentionPolicy{FullResolutionWindow: *retainFull, KeepOnePer: *retainPer}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if dropped := store.Compact(time.Since(start), policy); dropped > 0 {
+						log.Printf("endpointd: retention compaction dropped %d readings", dropped)
 					}
 				}
 			}
@@ -105,10 +175,13 @@ func main() {
 		log.Fatalf("endpointd: %v", err)
 	}
 	if *snapshot != "" {
-		if err := store.SaveFile(*snapshot); err != nil {
-			log.Fatalf("endpointd: final snapshot: %v", err)
+		if err := store.Checkpoint(*snapshot); err != nil {
+			log.Fatalf("endpointd: final checkpoint: %v", err)
 		}
 		log.Printf("endpointd: saved %d readings to %s", store.Count(), *snapshot)
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("endpointd: storage close: %v", err)
 	}
 	log.Printf("endpointd: shed %d ingests while degraded/overloaded", server.Shed())
 }

@@ -10,6 +10,13 @@
 // DNS domain lease, renewable at most every 10 years, whose lapse takes
 // the public page (and thus the metric) down no matter how healthy the
 // sensors are.
+//
+// Storage is delegated to internal/tsdb: hash-sharded per-device series
+// with an optional write-ahead log, so ingest scales with cores and an
+// acknowledged reading survives a crash. This package keeps the policy —
+// authentication, replay rejection, quarantine, lapse windows, the
+// weekly-uptime ledger — and the versioned-JSON snapshot that stays the
+// portable, readable-in-2060 export format.
 package cloud
 
 import (
@@ -22,6 +29,7 @@ import (
 	"centuryscale/internal/lpwan"
 	"centuryscale/internal/sim"
 	"centuryscale/internal/telemetry"
+	"centuryscale/internal/tsdb"
 )
 
 // KeyResolver maps a device address to its verification key. Returning
@@ -45,25 +53,43 @@ type Reading struct {
 
 // IngestStats counts the endpoint's traffic disposition.
 type IngestStats struct {
-	Accepted     uint64
-	Duplicates   uint64 // same packet via a second gateway, or replay
-	BadSignature uint64
-	Malformed    uint64
-	UnknownDev   uint64
-	LeaseLapsed  uint64 // arrived while the public endpoint was dark
-	Quarantined  uint64 // from devices whose trust has been revoked
+	Accepted        uint64
+	Duplicates      uint64 // same packet via a second gateway, or replay
+	BadSignature    uint64
+	Malformed       uint64
+	UnknownDev      uint64
+	LeaseLapsed     uint64 // arrived while the public endpoint was dark
+	Quarantined     uint64 // from devices whose trust has been revoked
+	PersistFailures uint64 // WAL append failed; packet refused, not acked
+}
+
+// ErrPersist wraps a storage-engine append failure: the reading was NOT
+// stored and must not be acknowledged. The HTTP layer maps it to
+// 503 + Retry-After so resilient gateways buffer and retry.
+var ErrPersist = errors.New("cloud: persist failed")
+
+// guardShard is one partition of replay protection. It is sharded with
+// the same hash as the storage engine so two packets from the same
+// device always serialize on the same lock, and packets from different
+// devices almost never do.
+type guardShard struct {
+	mu    sync.Mutex
+	guard *telemetry.ReplayGuard
 }
 
 // Store is the endpoint state: authenticated time-series per device plus
-// the weekly-uptime ledger. Safe for concurrent use.
+// the weekly-uptime ledger. Safe for concurrent use. The hot ingest path
+// takes only its device's guard-shard lock and the matching storage
+// shard lock; the aux mutex guards the small policy state (stats, weeks,
+// lapses, quarantine) for nanoseconds at a time.
 type Store struct {
-	keys  KeyResolver
-	guard *telemetry.ReplayGuard
+	keys   KeyResolver
+	db     *tsdb.DB
+	guards []*guardShard
 
-	mu       sync.Mutex
-	stats    IngestStats
-	readings map[lpwan.EUI64][]Reading
-	weeks    map[int64]bool // week index -> data arrived
+	mu    sync.Mutex // aux state only; never held across db calls
+	stats IngestStats
+	weeks map[int64]bool // week index -> data arrived
 
 	// lapses are [from,to) windows when the endpoint was unreachable
 	// (e.g. a lapsed domain lease).
@@ -76,19 +102,62 @@ type Store struct {
 
 type window struct{ from, to time.Duration }
 
-// NewStore returns an endpoint store using the resolver and a replay
-// window tolerant of dual-gateway delivery races.
+// replayWindow tolerates dual-gateway delivery races.
+const replayWindow = 16
+
+// NewStore returns an in-memory endpoint store (no WAL): the right shape
+// for simulations, tests, and deployments that accept snapshot-interval
+// durability. For crash-safe storage, open a tsdb.DB with a directory
+// and use NewStoreWithDB.
 func NewStore(keys KeyResolver) *Store {
+	db, err := tsdb.Open(tsdb.Options{})
+	if err != nil {
+		// Memory-only Open touches no I/O; failure is a programming error.
+		panic("cloud: " + err.Error())
+	}
+	return NewStoreWithDB(keys, db)
+}
+
+// NewStoreWithDB returns a store backed by an existing storage engine.
+// Boot order for a durable endpoint: Open the DB, build the store, load
+// the last snapshot (LoadFile), then ReplayWAL to roll forward.
+func NewStoreWithDB(keys KeyResolver, db *tsdb.DB) *Store {
 	if keys == nil {
 		panic("cloud: nil key resolver")
 	}
-	return &Store{
-		keys:     keys,
-		guard:    telemetry.NewReplayGuard(16),
-		readings: make(map[lpwan.EUI64][]Reading),
-		weeks:    make(map[int64]bool),
+	if db == nil {
+		panic("cloud: nil tsdb")
 	}
+	s := &Store{
+		keys:  keys,
+		db:    db,
+		weeks: make(map[int64]bool),
+	}
+	s.guards = freshGuards(db.Shards())
+	return s
 }
+
+func freshGuards(n int) []*guardShard {
+	gs := make([]*guardShard, n)
+	for i := range gs {
+		gs[i] = &guardShard{guard: telemetry.NewReplayGuard(replayWindow)}
+	}
+	return gs
+}
+
+func (s *Store) guardFor(dev lpwan.EUI64) *guardShard {
+	return s.guards[tsdb.ShardIndex(dev, len(s.guards))]
+}
+
+// DB exposes the underlying storage engine (for checkpointing, stats,
+// and shutdown).
+func (s *Store) DB() *tsdb.DB { return s.db }
+
+// Close seals the storage engine's WALs.
+func (s *Store) Close() error { return s.db.Close() }
+
+// StorageStats returns the storage engine's summary.
+func (s *Store) StorageStats() tsdb.Stats { return s.db.Stats() }
 
 // AddLapse records a public-unreachability window (lease lapse, hosting
 // failure). Packets arriving during a lapse are dropped: nobody was
@@ -117,47 +186,116 @@ var (
 	ErrLeaseLapsed   = errors.New("cloud: endpoint unreachable (lease lapsed)")
 )
 
-// Ingest verifies and stores one raw packet arriving at time at.
+// Ingest verifies and stores one raw packet arriving at time at. On
+// success the reading is as durable as the storage engine's fsync policy
+// guarantees before Ingest returns — the acknowledgement contract.
 func (s *Store) Ingest(at time.Duration, wire []byte) error {
 	p, err := telemetry.Parse(wire)
 	if err != nil {
-		s.mu.Lock()
-		s.stats.Malformed++
-		s.mu.Unlock()
+		s.bump(&s.stats.Malformed)
 		return err
 	}
 	key, ok := s.keys(p.Device)
 	if !ok {
-		s.mu.Lock()
-		s.stats.UnknownDev++
-		s.mu.Unlock()
+		s.bump(&s.stats.UnknownDev)
 		return fmt.Errorf("%w: %v", ErrUnknownDevice, p.Device)
 	}
 	if _, err := telemetry.Verify(wire, key); err != nil {
-		s.mu.Lock()
-		s.stats.BadSignature++
-		s.mu.Unlock()
+		s.bump(&s.stats.BadSignature)
 		return err
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.inLapseLocked(at) {
 		s.stats.LeaseLapsed++
+		s.mu.Unlock()
 		return ErrLeaseLapsed
 	}
 	if s.quarantinedLocked(p.Device, at) {
 		s.stats.Quarantined++
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %v", ErrQuarantined, p.Device)
 	}
-	if err := s.guard.Admit(p); err != nil {
-		s.stats.Duplicates++
+	s.mu.Unlock()
+
+	// Freshness check and storage append commit together under the
+	// device's guard-shard lock: Fresh first (no mutation), then the
+	// fallible WAL append, then Admit — so a failed append leaves the
+	// guard clean and the packet retryable.
+	gs := s.guardFor(p.Device)
+	gs.mu.Lock()
+	if err := gs.guard.Fresh(p); err != nil {
+		gs.mu.Unlock()
+		s.bump(&s.stats.Duplicates)
 		return err
 	}
+	if err := s.db.Append(pointOf(at, p)); err != nil {
+		gs.mu.Unlock()
+		s.bump(&s.stats.PersistFailures)
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	_ = gs.guard.Admit(p) // cannot fail: Fresh held under the same lock
+	gs.mu.Unlock()
+
+	s.mu.Lock()
 	s.stats.Accepted++
-	s.readings[p.Device] = append(s.readings[p.Device], Reading{At: at, Packet: p})
 	s.weeks[int64(at/sim.Week)] = true
+	s.mu.Unlock()
 	return nil
+}
+
+func (s *Store) bump(counter *uint64) {
+	s.mu.Lock()
+	*counter++
+	s.mu.Unlock()
+}
+
+// ReplayWAL rolls the storage engine's write-ahead log forward over
+// whatever state is already loaded (usually the last snapshot). Records
+// the replay guard has already seen — the overlap a crash between
+// checkpoint write and WAL truncation leaves behind — are skipped, so
+// replay is idempotent. Returns the engine's replay summary.
+func (s *Store) ReplayWAL() (tsdb.ReplayStats, error) {
+	return s.db.Replay(func(pt tsdb.Point) bool {
+		p := packetOf(pt)
+		gs := s.guardFor(p.Device)
+		gs.mu.Lock()
+		err := gs.guard.Admit(p)
+		gs.mu.Unlock()
+		if err != nil {
+			return false
+		}
+		s.mu.Lock()
+		s.stats.Accepted++
+		s.weeks[int64(pt.At/sim.Week)] = true
+		s.mu.Unlock()
+		return true
+	})
+}
+
+func pointOf(at time.Duration, p telemetry.Packet) tsdb.Point {
+	return tsdb.Point{
+		Device: p.Device,
+		At:     at,
+		Seq:    p.Seq,
+		Sensor: uint8(p.Sensor),
+		Value:  p.Value,
+		Uptime: p.UptimeSeconds,
+	}
+}
+
+func packetOf(pt tsdb.Point) telemetry.Packet {
+	return telemetry.Packet{
+		Device:        pt.Device,
+		Seq:           pt.Seq,
+		Sensor:        telemetry.SensorType(pt.Sensor),
+		Value:         pt.Value,
+		UptimeSeconds: pt.Uptime,
+	}
+}
+
+func readingOf(pt tsdb.Point) Reading {
+	return Reading{At: pt.At, Packet: packetOf(pt)}
 }
 
 // Stats returns a snapshot of the counters.
@@ -169,21 +307,29 @@ func (s *Store) Stats() IngestStats {
 
 // Devices returns the addresses with stored data, sorted.
 func (s *Store) Devices() []lpwan.EUI64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]lpwan.EUI64, 0, len(s.readings))
-	for d := range s.readings {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Uint64() < out[j].Uint64() })
-	return out
+	return s.db.Devices()
 }
 
 // History returns a copy of one device's readings in arrival order.
 func (s *Store) History(dev lpwan.EUI64) []Reading {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]Reading(nil), s.readings[dev]...)
+	pts := s.db.History(dev)
+	out := make([]Reading, len(pts))
+	for i, pt := range pts {
+		out[i] = readingOf(pt)
+	}
+	return out
+}
+
+// HistoryRange returns one device's readings with arrival time in
+// [from, to), in arrival order — the storage engine's range query, used
+// by the status page's windowed views.
+func (s *Store) HistoryRange(dev lpwan.EUI64, from, to time.Duration) []Reading {
+	it := s.db.Range(dev, from, to)
+	out := make([]Reading, 0, it.Remaining())
+	for it.Next() {
+		out = append(out, readingOf(it.Point()))
+	}
+	return out
 }
 
 // Count returns the total accepted readings.
@@ -216,14 +362,8 @@ func (s *Store) WeeklyUptime(horizon time.Duration) float64 {
 // the last packet to the horizon. It answers "how close did the
 // experiment come to missing its weekly deadline".
 func (s *Store) LongestGap(horizon time.Duration) time.Duration {
-	s.mu.Lock()
 	var times []time.Duration
-	for _, rs := range s.readings {
-		for _, r := range rs {
-			times = append(times, r.At)
-		}
-	}
-	s.mu.Unlock()
+	s.db.ForEach(func(p tsdb.Point) { times = append(times, p.At) })
 	if len(times) == 0 {
 		return horizon
 	}

@@ -3,14 +3,17 @@ package cloud
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"centuryscale/internal/lpwan"
+	"centuryscale/internal/tsdb"
 )
 
 // Server exposes a Store over HTTP: the real, publicly-reachable face of
@@ -120,6 +123,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.store.Ingest(s.now(), body); err != nil {
+		// A WAL append failure means the reading is not durable: shed
+		// 503 so the gateway buffers and retries, exactly like a
+		// snapshot-disk failure.
+		if errors.Is(err, ErrPersist) {
+			s.shedLoad(w, "endpoint storage failing; buffer and retry")
+			return
+		}
 		// Duplicates are normal (dual-gateway delivery); report them
 		// as accepted-but-known so gateways don't retry.
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
@@ -135,6 +145,7 @@ type statusPayload struct {
 	Stats         IngestStats `json:"stats"`
 	Shed          uint64      `json:"shed"`
 	Degraded      bool        `json:"degraded"`
+	Storage       tsdb.Stats  `json:"storage"`
 }
 
 func (s *Server) status() statusPayload {
@@ -145,6 +156,7 @@ func (s *Server) status() statusPayload {
 		Stats:         s.store.Stats(),
 		Shed:          s.shed.Load(),
 		Degraded:      s.degraded.Load(),
+		Storage:       s.store.StorageStats(),
 	}
 }
 
@@ -184,7 +196,12 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	rs := s.store.History(dev)
+	from, to, err := parseRange(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rs := s.store.HistoryRange(dev, from, to)
 	out := make([]readingPayload, len(rs))
 	for i, rd := range rs {
 		out[i] = readingPayload{
@@ -207,10 +224,15 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	from, to, err := parseRange(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	w.Header().Set("Content-Type", "text/csv")
 	cw := csv.NewWriter(w)
 	_ = cw.Write([]string{"at_seconds", "seq", "sensor", "value", "device_uptime_seconds"})
-	for _, rd := range s.store.History(dev) {
+	for _, rd := range s.store.HistoryRange(dev, from, to) {
 		_ = cw.Write([]string{
 			strconv.FormatFloat(rd.At.Seconds(), 'f', 3, 64),
 			strconv.FormatUint(uint64(rd.Packet.Seq), 10),
@@ -227,6 +249,28 @@ func parseDevice(s string) (lpwan.EUI64, error) {
 		return lpwan.EUI64{}, fmt.Errorf("cloud: missing device parameter")
 	}
 	return lpwan.ParseEUI64(s)
+}
+
+// parseRange reads the optional from/to query parameters (arrival time
+// in seconds, half-open [from, to)) for the history and export routes.
+// Absent parameters mean an unbounded side.
+func parseRange(r *http.Request) (from, to time.Duration, err error) {
+	from, to = math.MinInt64, math.MaxInt64
+	if v := r.URL.Query().Get("from"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("cloud: bad from parameter: %v", err)
+		}
+		from = time.Duration(secs * float64(time.Second))
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("cloud: bad to parameter: %v", err)
+		}
+		to = time.Duration(secs * float64(time.Second))
+	}
+	return from, to, nil
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {

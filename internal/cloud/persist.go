@@ -5,10 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"centuryscale/internal/lpwan"
-	"centuryscale/internal/telemetry"
+	"centuryscale/internal/tsdb"
 )
 
 // Persistence: a data endpoint that must outlive hardware, hosting
@@ -18,6 +19,12 @@ import (
 // plain, portable artifact. The snapshot format is versioned JSON —
 // deliberately boring, so that whoever inherits the experiment in 2060
 // can read it with whatever tools exist then.
+//
+// The snapshot and the storage engine's WAL split the durability work:
+// the snapshot is the portable checkpoint (and the only artifact a
+// future operator needs), the WAL is the crash-safety path covering the
+// readings accepted since the last checkpoint. Checkpoint writes the
+// snapshot and then truncates the WAL segments it covers.
 
 // snapshotVersion identifies the on-disk format.
 const snapshotVersion = 1
@@ -38,34 +45,44 @@ type snapshotFile struct {
 	Lapses   [][2]int64                   `json:"lapses"`
 }
 
-// WriteSnapshot serialises the store's full state.
+// WriteSnapshot serialises the store's full state. Ingest is never
+// blocked for the duration: the small policy state is copied under the
+// aux lock, each storage shard is copied under its own lock one at a
+// time, and the (dominant) JSON encoding runs with no lock held at all.
+// The output is byte-deterministic for a given state: map keys are
+// sorted by the encoder, and the week ledger is sorted here.
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	s.mu.Lock()
 	snap := snapshotFile{
-		Version:  snapshotVersion,
-		Stats:    s.stats,
-		Readings: make(map[string][]snapshotReading, len(s.readings)),
+		Version: snapshotVersion,
+		Stats:   s.stats,
+		Weeks:   make([]int64, 0, len(s.weeks)),
 	}
-	for dev, rs := range s.readings {
-		out := make([]snapshotReading, len(rs))
-		for i, r := range rs {
-			out[i] = snapshotReading{
-				AtNanos: int64(r.At),
-				Seq:     r.Packet.Seq,
-				Sensor:  uint8(r.Packet.Sensor),
-				Value:   r.Packet.Value,
-				Uptime:  r.Packet.UptimeSeconds,
-			}
-		}
-		snap.Readings[dev.String()] = out
-	}
-	for w := range s.weeks {
-		snap.Weeks = append(snap.Weeks, w)
+	for wk := range s.weeks {
+		snap.Weeks = append(snap.Weeks, wk)
 	}
 	for _, l := range s.lapses {
 		snap.Lapses = append(snap.Lapses, [2]int64{int64(l.from), int64(l.to)})
 	}
 	s.mu.Unlock()
+	sort.Slice(snap.Weeks, func(i, j int) bool { return snap.Weeks[i] < snap.Weeks[j] })
+
+	snap.Readings = make(map[string][]snapshotReading)
+	for i := 0; i < s.db.Shards(); i++ {
+		for dev, pts := range s.db.SnapshotShard(i) {
+			out := make([]snapshotReading, len(pts))
+			for j, pt := range pts {
+				out[j] = snapshotReading{
+					AtNanos: int64(pt.At),
+					Seq:     pt.Seq,
+					Sensor:  pt.Sensor,
+					Value:   pt.Value,
+					Uptime:  pt.Uptime,
+				}
+			}
+			snap.Readings[dev.String()] = out
+		}
+	}
 
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(snap); err != nil {
@@ -86,28 +103,28 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		return fmt.Errorf("cloud: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
 	}
 
-	readings := make(map[lpwan.EUI64][]Reading, len(snap.Readings))
-	guard := telemetry.NewReplayGuard(16)
+	type devSeries struct {
+		dev lpwan.EUI64
+		pts []tsdb.Point
+	}
+	series := make([]devSeries, 0, len(snap.Readings))
 	for devStr, rs := range snap.Readings {
 		dev, err := lpwan.ParseEUI64(devStr)
 		if err != nil {
 			return fmt.Errorf("cloud: snapshot device %q: %w", devStr, err)
 		}
-		out := make([]Reading, len(rs))
+		pts := make([]tsdb.Point, len(rs))
 		for i, sr := range rs {
-			p := telemetry.Packet{
-				Device:        dev,
-				Seq:           sr.Seq,
-				Sensor:        telemetry.SensorType(sr.Sensor),
-				Value:         sr.Value,
-				UptimeSeconds: sr.Uptime,
+			pts[i] = tsdb.Point{
+				Device: dev,
+				At:     time.Duration(sr.AtNanos),
+				Seq:    sr.Seq,
+				Sensor: sr.Sensor,
+				Value:  sr.Value,
+				Uptime: sr.Uptime,
 			}
-			out[i] = Reading{At: time.Duration(sr.AtNanos), Packet: p}
-			// Rebuild the guard's high-water marks; duplicates within
-			// the snapshot itself were already filtered at ingest.
-			_ = guard.Admit(p)
 		}
-		readings[dev] = out
+		series = append(series, devSeries{dev, pts})
 	}
 
 	weeks := make(map[int64]bool, len(snap.Weeks))
@@ -119,13 +136,30 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		lapses = append(lapses, window{from: time.Duration(l[0]), to: time.Duration(l[1])})
 	}
 
+	// Swap everything in: fresh guards rebuilt from the restored
+	// readings (duplicates within the snapshot were already filtered at
+	// ingest), fresh engine memtables loaded without WAL writes — the
+	// snapshot itself is the durable copy of these readings.
+	guards := freshGuards(s.db.Shards())
+	s.db.Reset()
+	for _, ds := range series {
+		g := guards[tsdb.ShardIndex(ds.dev, len(guards))]
+		for _, pt := range ds.pts {
+			s.db.Load(pt)
+			_ = g.guard.Admit(packetOf(pt))
+		}
+	}
+
 	s.mu.Lock()
 	s.stats = snap.Stats
-	s.readings = readings
 	s.weeks = weeks
 	s.lapses = lapses
-	s.guard = guard
 	s.mu.Unlock()
+	for i, g := range guards {
+		s.guards[i].mu.Lock()
+		s.guards[i].guard = g.guard
+		s.guards[i].mu.Unlock()
+	}
 	return nil
 }
 
@@ -153,6 +187,14 @@ func (s *Store) SaveFile(path string) error {
 		return fmt.Errorf("cloud: snapshot rename: %w", err)
 	}
 	return nil
+}
+
+// Checkpoint writes the snapshot and truncates the WAL behind it: the
+// snapshot becomes the new recovery baseline, and only the segments
+// sealed before it began are deleted. With a memory-only engine this is
+// exactly SaveFile.
+func (s *Store) Checkpoint(path string) error {
+	return s.db.Checkpoint(func() error { return s.SaveFile(path) })
 }
 
 // LoadFile restores the store from a snapshot file. A missing file is

@@ -1,0 +1,127 @@
+package cloud
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/telemetry"
+	"centuryscale/internal/tsdb"
+)
+
+// TestWALReplayReconstructsSnapshotBytes is the storage engine's
+// round-trip property: for any accepted ingest sequence, a fresh store
+// rebuilt purely from the WAL serialises to a snapshot byte-identical
+// to the live store's. If this holds, the WAL carries everything the
+// portable archive format considers state — nothing acknowledged can be
+// lost between checkpoints, and nothing spurious can be invented.
+func TestWALReplayReconstructsSnapshotBytes(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 0xC0FFEE} {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+
+		db, err := tsdb.Open(tsdb.Options{Dir: dir, Shards: 4, Sync: tsdb.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := NewStoreWithDB(StaticKeys(master), db)
+
+		// A random accepted sequence: per-device strictly increasing
+		// seqs (so every ingest is admitted), random interleaving,
+		// random values and times.
+		devs := 1 + rng.Intn(8)
+		nextSeq := make([]uint32, devs)
+		at := time.Duration(0)
+		n := 50 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			d := rng.Intn(devs)
+			nextSeq[d]++
+			at += time.Duration(rng.Intn(3600)) * time.Second
+			p := telemetry.Packet{
+				Device:        lpwan.EUIFromUint64(uint64(d + 1)),
+				Seq:           nextSeq[d],
+				Sensor:        telemetry.SensorType(rng.Intn(8)),
+				Value:         rng.Float32() * 100,
+				UptimeSeconds: uint32(rng.Intn(1 << 20)),
+			}
+			wire, err := p.Seal(telemetry.DeriveKey(master, p.Device))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := live.Ingest(at, wire); err != nil {
+				t.Fatalf("seed %d ingest %d: %v", seed, i, err)
+			}
+		}
+
+		var liveSnap bytes.Buffer
+		if err := live.WriteSnapshot(&liveSnap); err != nil {
+			t.Fatal(err)
+		}
+		if err := live.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Rebuild from the WAL alone: no snapshot loaded first.
+		redb, err := tsdb.Open(tsdb.Options{Dir: dir, Shards: 4, Sync: tsdb.SyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt := NewStoreWithDB(StaticKeys(master), redb)
+		rs, err := rebuilt.ReplayWAL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Kept != uint64(n) || rs.Corruptions != 0 {
+			t.Fatalf("seed %d: replay stats %+v, want %d kept", seed, rs, n)
+		}
+		var rebuiltSnap bytes.Buffer
+		if err := rebuilt.WriteSnapshot(&rebuiltSnap); err != nil {
+			t.Fatal(err)
+		}
+		rebuilt.Close()
+
+		if !bytes.Equal(liveSnap.Bytes(), rebuiltSnap.Bytes()) {
+			t.Fatalf("seed %d: WAL replay did not reconstruct the snapshot\nlive:    %s\nrebuilt: %s",
+				seed, truncated(liveSnap.String()), truncated(rebuiltSnap.String()))
+		}
+
+		// And the rebuilt store keeps working: the guard still rejects a
+		// replayed duplicate of the last packet of device 1.
+		dup := telemetry.Packet{Device: lpwan.EUIFromUint64(1), Seq: nextSeq[0], Sensor: 0, Value: 1}
+		wire, err := dup.Seal(telemetry.DeriveKey(master, dup.Device))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nextSeq[0] > 0 {
+			if err := rebuilt.Ingest(at+time.Hour, wire); err == nil {
+				t.Fatalf("seed %d: rebuilt store accepted a replayed duplicate", seed)
+			}
+		}
+	}
+}
+
+// TestSnapshotDeterministic: the same state serialises to the same
+// bytes, run to run — the property the byte-identity test above leans
+// on, and the property an auditor diffing two archive copies needs.
+func TestSnapshotDeterministic(t *testing.T) {
+	s := populatedStore(t)
+	var a, b bytes.Buffer
+	if err := s.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two snapshots of the same state differ")
+	}
+}
+
+func truncated(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return s
+}

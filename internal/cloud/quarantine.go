@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"centuryscale/internal/lpwan"
@@ -55,14 +56,12 @@ func (s *Store) quarantinedLocked(dev lpwan.EUI64, t time.Duration) bool {
 // quarantine cut-off (all of them if never quarantined).
 func (s *Store) TrustedHistory(dev lpwan.EUI64) []Reading {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cutoff, quarantined := s.quarantined[dev]
-	out := make([]Reading, 0, len(s.readings[dev]))
-	for _, r := range s.readings[dev] {
-		if quarantined && r.At >= cutoff {
-			continue
-		}
-		out = append(out, r)
+	s.mu.Unlock()
+	if !quarantined {
+		return s.History(dev)
 	}
-	return out
+	// The quarantine cut-off is exactly a storage range query: keep
+	// everything that arrived before cutoff.
+	return s.HistoryRange(dev, math.MinInt64, cutoff)
 }

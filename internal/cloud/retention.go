@@ -2,6 +2,8 @@ package cloud
 
 import (
 	"time"
+
+	"centuryscale/internal/tsdb"
 )
 
 // Retention (§4.4: "potential data retention and resiliency"): a 50-year
@@ -30,39 +32,16 @@ func DefaultRetention() RetentionPolicy {
 }
 
 // Compact applies the policy as of virtual time now, returning how many
-// readings were dropped.
+// readings were dropped. The work is delegated to the storage engine,
+// which compacts shard by shard — one partition pauses for its own pass
+// while the rest keep ingesting, so retention never stalls the endpoint
+// globally.
 func (s *Store) Compact(now time.Duration, p RetentionPolicy) (dropped int) {
 	if p.KeepOnePer <= 0 {
 		panic("cloud: retention bucket must be positive")
 	}
-	cutoff := now - p.FullResolutionWindow
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for dev, rs := range s.readings {
-		kept := rs[:0]
-		lastBucket := int64(-1)
-		for _, r := range rs {
-			if r.At >= cutoff {
-				kept = append(kept, r)
-				continue
-			}
-			bucket := int64(r.At / p.KeepOnePer)
-			if bucket != lastBucket {
-				kept = append(kept, r)
-				lastBucket = bucket
-			} else {
-				dropped++
-			}
-		}
-		// Re-slice into a fresh array when we dropped a lot, so the old
-		// backing array can be collected on a decades-long run.
-		if len(kept) < len(rs)/2 {
-			fresh := make([]Reading, len(kept))
-			copy(fresh, kept)
-			s.readings[dev] = fresh
-		} else {
-			s.readings[dev] = kept
-		}
-	}
-	return dropped
+	return s.db.Compact(now, tsdb.Retention{
+		FullResolutionWindow: p.FullResolutionWindow,
+		KeepOnePer:           p.KeepOnePer,
+	})
 }

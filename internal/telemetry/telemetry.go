@@ -180,30 +180,43 @@ func NewReplayGuard(window uint32) *ReplayGuard {
 	}
 }
 
-// Admit records and admits the packet if its sequence number is fresh,
-// returning ErrReplay otherwise.
-func (g *ReplayGuard) Admit(p Packet) error {
+// Fresh reports whether Admit would accept the packet, without mutating
+// the guard. Callers that must do fallible work between the freshness
+// check and the commitment (e.g. a WAL append) use Fresh first and Admit
+// only once the work succeeded, holding their own lock across both.
+func (g *ReplayGuard) Fresh(p Packet) error {
 	hw, known := g.highWater[p.Device]
 	if !known {
-		g.highWater[p.Device] = p.Seq
-		g.markSeen(p.Device, p.Seq)
 		return nil
 	}
 	switch {
 	case p.Seq > hw:
-		g.highWater[p.Device] = p.Seq
-		g.markSeen(p.Device, p.Seq)
-		g.pruneSeen(p.Device, p.Seq)
 		return nil
 	case p.Seq+g.Window >= hw+1: // within window below high water
 		if g.seen[p.Device][p.Seq] {
 			return fmt.Errorf("%w: seq %d already seen", ErrReplay, p.Seq)
 		}
-		g.markSeen(p.Device, p.Seq)
 		return nil
 	default:
 		return fmt.Errorf("%w: seq %d <= high water %d", ErrReplay, p.Seq, hw)
 	}
+}
+
+// Admit records and admits the packet if its sequence number is fresh,
+// returning ErrReplay otherwise.
+func (g *ReplayGuard) Admit(p Packet) error {
+	if err := g.Fresh(p); err != nil {
+		return err
+	}
+	hw, known := g.highWater[p.Device]
+	g.markSeen(p.Device, p.Seq)
+	if !known || p.Seq > hw {
+		g.highWater[p.Device] = p.Seq
+		if known {
+			g.pruneSeen(p.Device, p.Seq)
+		}
+	}
+	return nil
 }
 
 func (g *ReplayGuard) markSeen(dev lpwan.EUI64, seq uint32) {

@@ -1,0 +1,36 @@
+package tsdb
+
+// Iterator walks a range-query result in arrival order:
+//
+//	it := db.Range(dev, from, to)
+//	for it.Next() {
+//		p := it.Point()
+//		...
+//	}
+//
+// It iterates a private copy taken under the shard lock at creation, so
+// it never blocks ingest and never observes concurrent mutation.
+type Iterator struct {
+	pts []Point
+	i   int
+}
+
+// Next advances the iterator, reporting whether a point is available.
+func (it *Iterator) Next() bool {
+	if it.i+1 >= len(it.pts) {
+		return false
+	}
+	it.i++
+	return true
+}
+
+// Point returns the current point. Only valid after a true Next.
+func (it *Iterator) Point() Point { return it.pts[it.i] }
+
+// Remaining reports how many points are left, including the current one.
+func (it *Iterator) Remaining() int {
+	if it.i < 0 {
+		return len(it.pts)
+	}
+	return len(it.pts) - it.i
+}

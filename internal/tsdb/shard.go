@@ -1,0 +1,134 @@
+package tsdb
+
+import (
+	"sync"
+	"time"
+
+	"centuryscale/internal/lpwan"
+)
+
+// shard is one partition: an in-memory per-device series map plus (when
+// durable) its own WAL. Each shard has its own mutex, so ingest for
+// devices hashing to different shards never contends.
+type shard struct {
+	mu     sync.Mutex
+	points map[lpwan.EUI64][]Point
+	wal    *wal // nil in memory-only mode
+}
+
+func newShard(w *wal) *shard {
+	return &shard{points: make(map[lpwan.EUI64][]Point), wal: w}
+}
+
+// append stores p, writing it to the WAL first when durable is true.
+// The WAL write happening before the in-memory insert (and before any
+// acknowledgement the caller sends) is the crash-safety contract: a
+// reading is never acknowledged until it would survive a restart.
+func (sh *shard) append(p Point, durable bool) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if durable && sh.wal != nil {
+		if err := sh.wal.append(p); err != nil {
+			return err
+		}
+	}
+	sh.points[p.Device] = append(sh.points[p.Device], p)
+	return nil
+}
+
+// load inserts without touching the WAL: snapshot restore and WAL
+// replay, whose records are already durable elsewhere.
+func (sh *shard) load(p Point) {
+	sh.mu.Lock()
+	sh.points[p.Device] = append(sh.points[p.Device], p)
+	sh.mu.Unlock()
+}
+
+// reset drops the in-memory state (the WAL is untouched).
+func (sh *shard) reset() {
+	sh.mu.Lock()
+	sh.points = make(map[lpwan.EUI64][]Point)
+	sh.mu.Unlock()
+}
+
+// history returns a copy of one device's points in arrival order.
+func (sh *shard) history(dev lpwan.EUI64) []Point {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append([]Point(nil), sh.points[dev]...)
+}
+
+// rangeCopy returns a copy of the device's points with At in [from, to).
+// Points are kept in arrival order, which is not guaranteed to be sorted
+// by At across restarts, so this is a filter, not a binary search.
+func (sh *shard) rangeCopy(dev lpwan.EUI64, from, to time.Duration) []Point {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var out []Point
+	for _, p := range sh.points[dev] {
+		if p.At >= from && p.At < to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// devices returns the shard's device set (unsorted).
+func (sh *shard) devices() []lpwan.EUI64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]lpwan.EUI64, 0, len(sh.points))
+	for d := range sh.points {
+		out = append(out, d)
+	}
+	return out
+}
+
+// snapshot copies the shard's whole series map. Called per shard by the
+// snapshot writer so that encoding (the expensive part) happens with no
+// lock held and ingest stalls only for this one shard's memcpy.
+func (sh *shard) snapshot() map[lpwan.EUI64][]Point {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make(map[lpwan.EUI64][]Point, len(sh.points))
+	for d, ps := range sh.points {
+		out[d] = append([]Point(nil), ps...)
+	}
+	return out
+}
+
+// compact applies the retention policy to this shard only, so fleet-wide
+// compaction never stalls ingest globally — each shard pauses for its
+// own pass while the other shards keep accepting.
+func (sh *shard) compact(now time.Duration, r Retention) (dropped int) {
+	cutoff := now - r.FullResolutionWindow
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for dev, ps := range sh.points {
+		kept := ps[:0]
+		lastBucket := int64(-1)
+		for _, p := range ps {
+			if p.At >= cutoff {
+				kept = append(kept, p)
+				continue
+			}
+			bucket := int64(p.At / r.KeepOnePer)
+			if bucket != lastBucket {
+				kept = append(kept, p)
+				lastBucket = bucket
+			} else {
+				dropped++
+			}
+		}
+		// Re-slice into a fresh array when a lot dropped, so the old
+		// backing array can be collected on a decades-long run.
+		if len(kept) < len(ps)/2 {
+			fresh := make([]Point, len(kept))
+			copy(fresh, kept)
+			sh.points[dev] = fresh
+		} else {
+			sh.points[dev] = kept
+		}
+	}
+	return dropped
+}

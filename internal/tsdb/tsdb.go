@@ -1,0 +1,441 @@
+package tsdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"centuryscale/internal/lpwan"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultShards       = 8
+	DefaultSegmentBytes = 4 << 20
+	DefaultSyncEvery    = time.Second
+)
+
+// Options configures a DB.
+type Options struct {
+	// Dir is the storage directory; each shard keeps its WAL under
+	// Dir/shard-NNN. Empty means memory-only: the same sharded engine
+	// with no durability, for simulations and tests.
+	Dir string
+	// Shards is the partition count (default DefaultShards). More
+	// shards means more ingest concurrency and more (smaller) WAL
+	// segment files. Changing the count on an existing Dir is safe:
+	// sharding is an in-memory routing decision, and boot replays
+	// whatever shard directories exist on disk.
+	Shards int
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncEvery is the background fsync cadence under SyncInterval.
+	SyncEvery time.Duration
+	// SegmentBytes rotates WAL segments past this size.
+	SegmentBytes int64
+	// Logf, when set, receives recovery and compaction diagnostics
+	// (corrupt WAL records found, segments truncated).
+	Logf func(string, ...any)
+}
+
+// Retention is the tsdb-level mirror of the endpoint's retention policy:
+// full resolution inside the window, first-reading-per-bucket beyond it.
+type Retention struct {
+	FullResolutionWindow time.Duration
+	KeepOnePer           time.Duration
+}
+
+// Stats describes the engine's current shape.
+type Stats struct {
+	Shards      int    `json:"shards"`
+	Devices     int    `json:"devices"`
+	Points      int    `json:"points"`
+	Appended    uint64 `json:"appended"`
+	Replayed    uint64 `json:"replayed"`
+	Corruptions uint64 `json:"corruptions"`
+	WALSegments int    `json:"wal_segments"`
+	WALBytes    int64  `json:"wal_bytes"`
+}
+
+// ReplayStats summarises one boot-time WAL replay.
+type ReplayStats struct {
+	Records     uint64 // records decoded from the WAL
+	Kept        uint64 // records the caller's filter admitted
+	Corruptions uint64 // torn/corrupt frames tolerated
+}
+
+// DB is the storage engine. All methods are safe for concurrent use.
+type DB struct {
+	opts   Options
+	shards []*shard
+
+	// orphanDirs are on-disk shard directories with index >= Shards,
+	// left behind by a shard-count decrease. Their segments are replayed
+	// (records re-route to the new shard map in memory) and the
+	// directories are retired at the next checkpoint.
+	orphanDirs []string
+
+	appended    atomic.Uint64
+	replayed    atomic.Uint64
+	corruptions atomic.Uint64
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open creates the engine. With a Dir it opens (creating as needed) one
+// WAL per shard; boot-time state reconstruction is a separate, explicit
+// Replay call so the caller can layer it over a loaded checkpoint.
+func Open(opts Options) (*DB, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	db := &DB{opts: opts, shards: make([]*shard, opts.Shards)}
+	for i := range db.shards {
+		var w *wal
+		if opts.Dir != "" {
+			var err error
+			w, err = openWAL(filepath.Join(opts.Dir, fmt.Sprintf("shard-%03d", i)), opts.SegmentBytes, opts.Sync)
+			if err != nil {
+				return nil, err
+			}
+		}
+		db.shards[i] = newShard(w)
+	}
+	if opts.Dir != "" {
+		entries, err := os.ReadDir(opts.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: dir: %w", err)
+		}
+		for _, e := range entries {
+			var n int
+			if _, err := fmt.Sscanf(e.Name(), "shard-%03d", &n); err == nil && n >= opts.Shards {
+				db.orphanDirs = append(db.orphanDirs, filepath.Join(opts.Dir, e.Name()))
+			}
+		}
+		sort.Strings(db.orphanDirs)
+	}
+	if opts.Dir != "" && opts.Sync == SyncInterval {
+		db.stopSync = make(chan struct{})
+		db.syncDone = make(chan struct{})
+		go db.syncLoop()
+	}
+	return db, nil
+}
+
+func (db *DB) syncLoop() {
+	defer close(db.syncDone)
+	tick := time.NewTicker(db.opts.SyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-db.stopSync:
+			return
+		case <-tick.C:
+			for _, sh := range db.shards {
+				sh.mu.Lock()
+				if sh.wal != nil {
+					if err := sh.wal.sync(); err != nil && db.opts.Logf != nil {
+						db.opts.Logf("tsdb: interval fsync: %v", err)
+					}
+				}
+				sh.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Shards returns the partition count.
+func (db *DB) Shards() int { return len(db.shards) }
+
+// Durable reports whether the engine has a WAL.
+func (db *DB) Durable() bool { return db.opts.Dir != "" }
+
+// ShardIndex maps a device to its partition: a splitmix64 finalizer over
+// the EUI-64, so the sequential device numbering a manufacturer burns in
+// still spreads evenly. Exported so callers sharding their own
+// per-device state (the endpoint's replay guards) stay aligned.
+func ShardIndex(dev lpwan.EUI64, shards int) int {
+	x := dev.Uint64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+func (db *DB) shardFor(dev lpwan.EUI64) *shard {
+	return db.shards[ShardIndex(dev, len(db.shards))]
+}
+
+// Append durably stores one point: WAL (fsynced per policy) first, then
+// the in-memory series. An error means the point is NOT stored and the
+// caller must not acknowledge it.
+func (db *DB) Append(p Point) error {
+	if err := db.shardFor(p.Device).append(p, true); err != nil {
+		return err
+	}
+	db.appended.Add(1)
+	return nil
+}
+
+// Load inserts a point without writing the WAL: for restoring state that
+// is already durable elsewhere (a checkpoint file).
+func (db *DB) Load(p Point) {
+	db.shardFor(p.Device).load(p)
+}
+
+// Reset drops all in-memory state, leaving the WAL untouched.
+func (db *DB) Reset() {
+	for _, sh := range db.shards {
+		sh.reset()
+	}
+}
+
+// Replay streams every WAL record (in per-shard append order) through
+// keep; admitted points are inserted into the in-memory series. The
+// filter is where the caller deduplicates records that overlap the
+// checkpoint it already loaded — a crash between checkpoint write and
+// segment truncation leaves such an overlap by design. Corrupt frames
+// end the damaged segment's replay at the last intact record, counted
+// and (via Options.Logf) logged, never fatal.
+func (db *DB) Replay(keep func(Point) bool) (ReplayStats, error) {
+	var st ReplayStats
+	for _, sh := range db.shards {
+		if sh.wal == nil {
+			continue
+		}
+		// Replay reads only pre-open segments, which are immutable, so
+		// decoding needs no lock; only the memtable inserts do. Collect
+		// first, then filter, so keep (which takes the caller's own
+		// locks) never runs under a shard lock.
+		var pts []Point
+		records, corruptions, err := sh.wal.replay(db.opts.Logf, func(p Point) { pts = append(pts, p) })
+		st.Records += records
+		st.Corruptions += corruptions
+		if err != nil {
+			return st, err
+		}
+		for _, p := range pts {
+			if keep == nil || keep(p) {
+				sh.load(p)
+				st.Kept++
+			}
+		}
+	}
+	// Orphaned shard directories (shard count decreased since the WAL
+	// was written): replay their records too, routing each point to its
+	// new home shard.
+	for _, dir := range db.orphanDirs {
+		segs, err := listSegments(dir)
+		if err != nil {
+			return st, err
+		}
+		var pts []Point
+		records, corruptions, err := replaySegments(dir, segs, false, db.opts.Logf, func(p Point) { pts = append(pts, p) })
+		st.Records += records
+		st.Corruptions += corruptions
+		if err != nil {
+			return st, err
+		}
+		for _, p := range pts {
+			if keep == nil || keep(p) {
+				db.shardFor(p.Device).load(p)
+				st.Kept++
+			}
+		}
+	}
+	db.replayed.Add(st.Records)
+	db.corruptions.Add(st.Corruptions)
+	return st, nil
+}
+
+// Checkpoint makes save's output the new recovery baseline and truncates
+// the WAL behind it. Sequence per shard: rotate to a fresh segment (so
+// every record before this moment is in a sealed segment), then run
+// save — which must persist at least the engine's current state — and
+// only after save succeeds, delete the sealed segments. Records appended
+// while save runs land in the new segments and stay replayable; records
+// appended between rotation and the state copy appear in both snapshot
+// and WAL, which the caller's Replay filter deduplicates after a crash
+// in that window.
+func (db *DB) Checkpoint(save func() error) error {
+	if !db.Durable() {
+		return save()
+	}
+	marks := make([]uint64, len(db.shards))
+	for i, sh := range db.shards {
+		sh.mu.Lock()
+		err := sh.wal.rotate()
+		marks[i] = sh.wal.idx
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if err := save(); err != nil {
+		return err
+	}
+	for i, sh := range db.shards {
+		sh.mu.Lock()
+		err := sh.wal.removeBelow(marks[i])
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	// Orphan directories are fully covered by the snapshot now.
+	for _, dir := range db.orphanDirs {
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
+	}
+	db.orphanDirs = nil
+	return nil
+}
+
+// Sync forces WAL appends to stable storage regardless of policy — the
+// explicit flush for shutdown paths and tests.
+func (db *DB) Sync() error {
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		var err error
+		if sh.wal != nil {
+			sh.wal.dirty = true
+			err = sh.wal.sync()
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Devices returns every device with stored points, sorted by address.
+func (db *DB) Devices() []lpwan.EUI64 {
+	var out []lpwan.EUI64
+	for _, sh := range db.shards {
+		out = append(out, sh.devices()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Uint64() < out[j].Uint64() })
+	return out
+}
+
+// History returns a copy of one device's points in arrival order.
+func (db *DB) History(dev lpwan.EUI64) []Point {
+	return db.shardFor(dev).history(dev)
+}
+
+// Range returns an iterator over one device's points with At in
+// [from, to), in arrival order. The iterator holds a private copy, so it
+// stays valid (and the shard stays unlocked) while the caller streams
+// it out to a slow HTTP client.
+func (db *DB) Range(dev lpwan.EUI64, from, to time.Duration) *Iterator {
+	return &Iterator{pts: db.shardFor(dev).rangeCopy(dev, from, to), i: -1}
+}
+
+// ForEach calls fn for every stored point, shard by shard (each shard's
+// lock is held only for its own copy). Order within a device follows
+// arrival; order across devices is unspecified.
+func (db *DB) ForEach(fn func(Point)) {
+	for _, sh := range db.shards {
+		for _, pts := range sh.snapshot() {
+			for _, p := range pts {
+				fn(p)
+			}
+		}
+	}
+}
+
+// SnapshotShard copies shard i's series map. Snapshot writers iterate
+// shards with this so no two shards are locked at once and encoding
+// happens lock-free.
+func (db *DB) SnapshotShard(i int) map[lpwan.EUI64][]Point {
+	return db.shards[i].snapshot()
+}
+
+// Compact applies the retention policy shard by shard, returning dropped
+// points. Only one shard is paused at a time: the "background compaction
+// without a global stall" half of the retention contract.
+func (db *DB) Compact(now time.Duration, r Retention) (dropped int) {
+	if r.KeepOnePer <= 0 {
+		panic("tsdb: retention bucket must be positive")
+	}
+	for _, sh := range db.shards {
+		dropped += sh.compact(now, r)
+	}
+	return dropped
+}
+
+// Stats returns a point-in-time summary, including on-disk WAL footprint.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		Shards:      len(db.shards),
+		Appended:    db.appended.Load(),
+		Replayed:    db.replayed.Load(),
+		Corruptions: db.corruptions.Load(),
+	}
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		st.Devices += len(sh.points)
+		for _, pts := range sh.points {
+			st.Points += len(pts)
+		}
+		sh.mu.Unlock()
+	}
+	if db.opts.Dir != "" {
+		for i := range db.shards {
+			dir := filepath.Join(db.opts.Dir, fmt.Sprintf("shard-%03d", i))
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				continue
+			}
+			for _, e := range entries {
+				if _, ok := parseSegName(e.Name()); !ok {
+					continue
+				}
+				st.WALSegments++
+				if info, err := e.Info(); err == nil {
+					st.WALBytes += info.Size()
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Close stops background work and seals the WALs. The DB must not be
+// used afterwards.
+func (db *DB) Close() error {
+	db.closeOnce.Do(func() {
+		if db.stopSync != nil {
+			close(db.stopSync)
+			<-db.syncDone
+		}
+		for _, sh := range db.shards {
+			sh.mu.Lock()
+			if sh.wal != nil {
+				if err := sh.wal.close(); err != nil && db.closeErr == nil {
+					db.closeErr = err
+				}
+			}
+			sh.mu.Unlock()
+		}
+	})
+	return db.closeErr
+}

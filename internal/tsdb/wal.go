@@ -1,0 +1,281 @@
+package tsdb
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SyncPolicy controls when WAL appends are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged reading is
+	// on stable storage before the acknowledgement. The durable default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval leaves fsync to a background ticker (Options.SyncEvery):
+	// a crash can lose at most one interval of acknowledged appends.
+	SyncInterval
+	// SyncNever issues no fsyncs at all; durability is whatever the OS
+	// page cache provides. For benchmarks and throwaway simulations.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -wal-fsync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("tsdb: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("syncpolicy(%d)", int(p))
+}
+
+const segPrefix = "wal-"
+const segSuffix = ".log"
+
+func segName(idx uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	idx, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+	return idx, err == nil
+}
+
+// wal is one shard's append-only log: numbered segment files, appends go
+// to the highest-numbered (active) segment, rotation starts a new one.
+// All methods are called under the owning shard's mutex.
+type wal struct {
+	dir          string
+	segmentBytes int64
+	policy       SyncPolicy
+
+	f       *os.File
+	idx     uint64 // active segment index
+	size    int64
+	dirty   bool // unsynced bytes outstanding (SyncInterval)
+	scratch []byte
+
+	// existing lists the segment indices found at open time, i.e. the
+	// replay set. The active segment is always newer than all of them.
+	existing []uint64
+}
+
+// openWAL opens (creating if needed) a shard WAL directory and starts a
+// fresh active segment above every existing one. Appends never reuse an
+// old segment, so replay and recovery never race a writer.
+func openWAL(dir string, segmentBytes int64, policy SyncPolicy) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tsdb: wal dir: %w", err)
+	}
+	existing, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	w := &wal{dir: dir, segmentBytes: segmentBytes, policy: policy, existing: existing}
+	w.idx = 1
+	if n := len(existing); n > 0 {
+		w.idx = existing[n-1] + 1
+	}
+	if err := w.openActive(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *wal) openActive() error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.idx)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("tsdb: wal segment: %w", err)
+	}
+	w.f = f
+	w.size = 0
+	return nil
+}
+
+// append frames p into the active segment, fsyncing per policy and
+// rotating when the segment is full.
+func (w *wal) append(p Point) error {
+	w.scratch = appendPointFrame(w.scratch[:0], p)
+	n, err := w.f.Write(w.scratch)
+	w.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("tsdb: wal append: %w", err)
+	}
+	switch w.policy {
+	case SyncAlways:
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("tsdb: wal fsync: %w", err)
+		}
+	case SyncInterval:
+		w.dirty = true
+	}
+	if w.size >= w.segmentBytes {
+		return w.rotate()
+	}
+	return nil
+}
+
+// sync flushes outstanding appends (the SyncInterval ticker's target).
+func (w *wal) sync() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("tsdb: wal fsync: %w", err)
+	}
+	w.dirty = false
+	return nil
+}
+
+// rotate seals the active segment and starts the next one, returning
+// nothing; callers needing a checkpoint watermark read w.idx after.
+func (w *wal) rotate() error {
+	if w.policy != SyncNever {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("tsdb: wal fsync: %w", err)
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("tsdb: wal close: %w", err)
+	}
+	w.dirty = false
+	w.idx++
+	return w.openActive()
+}
+
+// removeBelow deletes every segment older than idx: the checkpoint
+// truncation step, run only after the snapshot covering them is durable.
+func (w *wal) removeBelow(idx uint64) error {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("tsdb: wal dir: %w", err)
+	}
+	var firstErr error
+	for _, e := range entries {
+		if seg, ok := parseSegName(e.Name()); ok && seg < idx {
+			if err := os.Remove(filepath.Join(w.dir, e.Name())); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+func (w *wal) close() error {
+	if w.policy != SyncNever {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("tsdb: wal fsync: %w", err)
+		}
+	}
+	return w.f.Close()
+}
+
+// replay streams every point recorded in the pre-open segments, in
+// append order. Corruption — a torn final record from a crash, a flipped
+// bit failing CRC, an insane length prefix — ends that segment's replay
+// at the last intact record and is counted, never fatal: a 50-year
+// endpoint treats a damaged log as partial data, not as a reason to
+// refuse to boot. A damaged final segment is additionally truncated back
+// to its last intact record so the damage is not re-counted forever.
+func (w *wal) replay(logf func(string, ...any), emit func(Point)) (records, corruptions uint64, err error) {
+	return replaySegments(w.dir, w.existing, true, logf, emit)
+}
+
+// replaySegments is the shared replay loop: it also serves orphaned
+// shard directories (left behind by a shard-count decrease), which have
+// no live wal to hang it off.
+func replaySegments(dir string, segs []uint64, truncateTail bool, logf func(string, ...any), emit func(Point)) (records, corruptions uint64, err error) {
+	for i, idx := range segs {
+		path := filepath.Join(dir, segName(idx))
+		segRecords, good, corrupt, err := replaySegment(path, emit)
+		records += segRecords
+		if err != nil {
+			return records, corruptions, err
+		}
+		if corrupt != nil {
+			corruptions++
+			if logf != nil {
+				logf("tsdb: %s: %v after %d records (%d bytes intact); recovering", path, corrupt, segRecords, good)
+			}
+			if truncateTail && i == len(segs)-1 {
+				// Torn tail of the crash-time segment: trim it so the
+				// next boot replays clean. Best-effort.
+				if terr := os.Truncate(path, good); terr != nil && logf != nil {
+					logf("tsdb: %s: truncate: %v", path, terr)
+				}
+			}
+		}
+	}
+	return records, corruptions, nil
+}
+
+// listSegments returns the sorted segment indices in dir.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: wal dir: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if idx, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// replaySegment reads one segment, emitting decoded points, and reports
+// how many bytes of intact records prefix the file. A decode failure is
+// returned as corrupt (recoverable); only I/O setup errors are fatal.
+func replaySegment(path string, emit func(Point)) (records uint64, goodBytes int64, corrupt, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("tsdb: wal segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		payload, err := readFrame(r)
+		if errors.Is(err, io.EOF) {
+			return records, goodBytes, nil, nil
+		}
+		if err != nil {
+			return records, goodBytes, err, nil
+		}
+		p, err := decodePoint(payload)
+		if err != nil {
+			return records, goodBytes, err, nil
+		}
+		emit(p)
+		records++
+		goodBytes += frameHeader + int64(len(payload))
+	}
+}
