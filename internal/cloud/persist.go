@@ -80,7 +80,13 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 					Uptime:  pt.Uptime,
 				}
 			}
-			snap.Readings[dev.String()] = out
+			// Merge, don't assign: a device's series normally lives in
+			// exactly one shard, but if points ever straddle two (a bug,
+			// or a replay from a stale shard layout) the checkpoint must
+			// still capture all of them — WAL truncation after the
+			// checkpoint makes any omission permanent.
+			k := dev.String()
+			snap.Readings[k] = append(snap.Readings[k], out...)
 		}
 	}
 

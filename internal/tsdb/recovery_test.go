@@ -175,6 +175,87 @@ func TestRecoveryGarbageLengthPrefix(t *testing.T) {
 	}
 }
 
+// TestTornWriteTruncatedOnAppendError: a failed append leaves a torn
+// frame mid-segment; the repair must truncate it away so every record
+// acknowledged AFTER the transient error still replays (replay stops a
+// segment at its first corrupt frame).
+func TestTornWriteTruncatedOnAppendError(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, Options{Dir: dir, Shards: 1, Sync: SyncNever})
+	for seq := uint32(1); seq <= 5; seq++ {
+		if err := db.Append(pt(1, seq, time.Duration(seq)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the partial frame a failed write leaves behind, then run
+	// the repair the append error path invokes.
+	w := db.shards[0].wal
+	good := w.size
+	n, err := w.f.Write([]byte{0x01, 0x02, 0x03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.size += int64(n)
+	w.dropTorn(good)
+	for seq := uint32(6); seq <= 10; seq++ {
+		if err := db.Append(pt(1, seq, time.Duration(seq)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	st, re := replayCount(t, dir)
+	if st.Records != 10 || st.Corruptions != 0 {
+		t.Fatalf("replay stats = %+v, want 10 records, 0 corruptions", st)
+	}
+	hist := re.History(lpwan.EUIFromUint64(1))
+	if len(hist) != 10 || hist[9].Seq != 10 {
+		t.Fatalf("post-error appends lost: %d records", len(hist))
+	}
+}
+
+// TestTornWriteSealedWhenTruncateFails: when even the repairing truncate
+// fails (dead file handle), the damaged segment must be sealed and a
+// fresh one started, so the tear costs only the unacknowledged frame —
+// acknowledged records on both sides of it replay.
+func TestTornWriteSealedWhenTruncateFails(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, Options{Dir: dir, Shards: 1, Sync: SyncNever})
+	for seq := uint32(1); seq <= 5; seq++ {
+		if err := db.Append(pt(1, seq, time.Duration(seq)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A torn frame on disk, then a dead handle: the next append's write
+	// fails, and so does the truncate repair, forcing seal-and-rotate.
+	w := db.shards[0].wal
+	if _, err := w.f.Write([]byte{0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	w.size += 2
+	w.f.Close()
+	if err := db.Append(pt(1, 6, 6*time.Minute)); err == nil {
+		t.Fatal("append on a dead WAL handle must fail")
+	}
+	// Recovery rotated to a fresh segment: appends are accepted again
+	// and land past the sealed tear.
+	for seq := uint32(7); seq <= 9; seq++ {
+		if err := db.Append(pt(1, seq, time.Duration(seq)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	st, re := replayCount(t, dir)
+	if st.Records != 8 || st.Corruptions != 1 {
+		t.Fatalf("replay stats = %+v, want 8 records, 1 corruption", st)
+	}
+	hist := re.History(lpwan.EUIFromUint64(1))
+	if len(hist) != 8 || hist[4].Seq != 5 || hist[5].Seq != 7 {
+		t.Fatalf("unexpected survivors: %+v", hist)
+	}
+}
+
 // TestRecoveryCorruptionInEarlierSegment: damage in a sealed, non-final
 // segment loses only that segment's tail; later segments still replay.
 func TestRecoveryCorruptionInEarlierSegment(t *testing.T) {

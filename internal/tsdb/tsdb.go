@@ -222,7 +222,10 @@ func (db *DB) Replay(keep func(Point) bool) (ReplayStats, error) {
 		// Replay reads only pre-open segments, which are immutable, so
 		// decoding needs no lock; only the memtable inserts do. Collect
 		// first, then filter, so keep (which takes the caller's own
-		// locks) never runs under a shard lock.
+		// locks) never runs under a shard lock. Each admitted point is
+		// routed through the CURRENT shard map, not the directory it was
+		// read from: after a shard-count change the on-disk layout is
+		// stale, and History/Range look the device up via ShardIndex.
 		var pts []Point
 		records, corruptions, err := sh.wal.replay(db.opts.Logf, func(p Point) { pts = append(pts, p) })
 		st.Records += records
@@ -232,7 +235,7 @@ func (db *DB) Replay(keep func(Point) bool) (ReplayStats, error) {
 		}
 		for _, p := range pts {
 			if keep == nil || keep(p) {
-				sh.load(p)
+				db.shardFor(p.Device).load(p)
 				st.Kept++
 			}
 		}

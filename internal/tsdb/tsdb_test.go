@@ -347,6 +347,27 @@ func TestShardCountChangeAcrossReopen(t *testing.T) {
 	if got := len(re.Devices()); got != 20 {
 		t.Fatalf("devices = %d", got)
 	}
+	// Kept and Devices are insensitive to which shard a point landed in;
+	// History routes through the current shard map and is not — every
+	// replayed point must be findable where ShardIndex says it lives.
+	for dev := uint64(1); dev <= 20; dev++ {
+		if h := re.History(lpwan.EUIFromUint64(dev)); len(h) != 1 || h[0].Seq != 1 {
+			t.Fatalf("device %d history = %+v after 8->3 re-shard", dev, h)
+		}
+	}
+	re.Close()
+	// And back up, 3 -> 8: an increase leaves no orphan directories, so
+	// it depends entirely on replay re-hashing records out of the
+	// surviving shard directories into their new homes.
+	up := mustOpen(t, Options{Dir: dir, Shards: 8, Sync: SyncNever})
+	if _, err := up.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	for dev := uint64(1); dev <= 20; dev++ {
+		if h := up.History(lpwan.EUIFromUint64(dev)); len(h) != 1 || h[0].Seq != 1 {
+			t.Fatalf("device %d history = %+v after 3->8 re-shard", dev, h)
+		}
+	}
 }
 
 func TestParseSyncPolicy(t *testing.T) {

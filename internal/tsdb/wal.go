@@ -123,9 +123,11 @@ func (w *wal) openActive() error {
 // rotating when the segment is full.
 func (w *wal) append(p Point) error {
 	w.scratch = appendPointFrame(w.scratch[:0], p)
+	good := w.size
 	n, err := w.f.Write(w.scratch)
 	w.size += int64(n)
 	if err != nil {
+		w.dropTorn(good)
 		return fmt.Errorf("tsdb: wal append: %w", err)
 	}
 	switch w.policy {
@@ -140,6 +142,28 @@ func (w *wal) append(p Point) error {
 		return w.rotate()
 	}
 	return nil
+}
+
+// dropTorn repairs the active segment after a failed append. The torn
+// frame must not stay mid-segment in front of later acknowledged
+// records: replay stops a segment at its first corrupt frame, so
+// leaving the tear would silently drop everything appended after one
+// transient write error. Preferred repair is truncating back to the
+// last good offset; if even that fails the damaged segment is sealed
+// and a fresh one started, so the tear only ends a sealed segment's
+// replay — which loses nothing acknowledged, since the failed frame
+// itself was never acknowledged.
+func (w *wal) dropTorn(good int64) {
+	if err := w.f.Truncate(good); err == nil {
+		w.size = good
+		return
+	}
+	w.f.Close() // best effort: the handle is already suspect
+	w.dirty = false
+	w.idx++
+	// If openActive fails, w.f keeps the closed handle: the next append
+	// fails cleanly and retries this recovery path.
+	_ = w.openActive()
 }
 
 // sync flushes outstanding appends (the SyncInterval ticker's target).
