@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-tsdb
+.PHONY: build test vet lint race check bench bench-tsdb
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs centurylint, the repo's own go/analysis-style suite
+# (internal/lint): simdeterminism, lockedio, syncerr, seedflow — the
+# determinism and durability invariants the century-scale argument rests
+# on. See DESIGN.md §32 for the invariants and the //lint: waivers.
+lint:
+	$(GO) run ./cmd/centurylint ./...
+
 # Race-enabled test run: the resilience/chaos datapath is concurrent by
 # design and must stay race-clean.
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: static analysis plus the race-enabled
-# test suite.
-check: vet race
+# check is the pre-merge gate: static analysis (vet + the invariant
+# suite) plus the race-enabled test suite.
+check: vet lint race
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -1,3 +1,10 @@
 module centuryscale
 
 go 1.22
+
+// Deliberately dependency-free. centurylint (internal/lint) would
+// normally pin golang.org/x/tools for go/analysis + analysistest, but
+// this repository must build with no module proxy reachable, so it
+// ships a stdlib-only work-alike (see DESIGN.md §32). If a proxy ever
+// becomes available, pin x/tools here and swap the internal/lint/analysis
+// imports for golang.org/x/tools/go/analysis — the API matches.

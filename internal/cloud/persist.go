@@ -179,11 +179,11 @@ func (s *Store) SaveFile(path string) error {
 	}
 	defer os.Remove(tmp.Name())
 	if err := s.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // cleanup on an already-failed save; the temp file is discarded
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // cleanup on an already-failed save; the temp file is discarded
 		return fmt.Errorf("cloud: snapshot sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -213,6 +213,7 @@ func (s *Store) LoadFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("cloud: snapshot open: %w", err)
 	}
+	//lint:syncerr read-only snapshot handle; the decode already succeeded or failed on its own
 	defer f.Close()
 	return s.ReadSnapshot(f)
 }

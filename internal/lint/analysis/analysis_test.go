@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestMatchesDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"//lint:wallclock", true},
+		{"//lint:wallclock boot stamp", true},
+		{"//lint:wallclock\tboot stamp", true},
+		{"//lint:wallclocks", false}, // different word, no waiver
+		{"// lint:wallclock", false}, // directives are machine-shaped: no space
+		{"//lint:lockedio", false},   // different analyzer's directive
+		{"// plain comment", false},
+	}
+	for _, c := range cases {
+		if got := matchesDirective(c.text, "//lint:wallclock"); got != c.want {
+			t.Errorf("matchesDirective(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+const suppressSrc = `package p
+
+import "time"
+
+func f() {
+	a := time.Now()
+	//lint:wallclock reason one
+	b := time.Now()
+	c := time.Now() //lint:wallclock reason two
+	d := time.Now()
+	_, _, _, _ = a, b, c, d
+}
+`
+
+// TestSuppressed pins the two accepted directive placements: trailing the
+// offending line, or alone on the line directly above it.
+func TestSuppressed(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "simdeterminism", Directive: "wallclock"},
+		Fset:     fset,
+		Files:    []*ast.File{file},
+	}
+	wantByLine := map[int]bool{ // line → suppressed?
+		6:  false, // a: no directive
+		8:  true,  // b: directive on the line above
+		9:  true,  // c: trailing directive
+		10: false, // d: the directive two lines up must not bleed down
+	}
+	tokFile := fset.File(file.Pos())
+	for line, want := range wantByLine {
+		pos := tokFile.LineStart(line)
+		if got := pass.Suppressed(pos); got != want {
+			t.Errorf("line %d: Suppressed = %v, want %v", line, got, want)
+		}
+	}
+}

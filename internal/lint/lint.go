@@ -1,0 +1,31 @@
+// Package lint assembles the centurylint analyzer suite: the four
+// invariant checkers that turn this repository's hard-won determinism and
+// durability discipline from code-review folklore into a pre-merge gate.
+//
+//   - simdeterminism: no wall clock or math/rand in virtual-time packages
+//   - lockedio: no blocking I/O while a mutex is held
+//   - syncerr: no discarded Close/Sync/Flush/Truncate errors on
+//     durability paths
+//   - seedflow: no nondeterministic seeds into internal/rng
+//
+// Run the suite with `make lint` or `go run ./cmd/centurylint ./...`.
+// See DESIGN.md §32 for the invariants and the //lint: waiver directives.
+package lint
+
+import (
+	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/lockedio"
+	"centuryscale/internal/lint/seedflow"
+	"centuryscale/internal/lint/simdeterminism"
+	"centuryscale/internal/lint/syncerr"
+)
+
+// Suite returns the analyzers in deterministic order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		simdeterminism.Analyzer,
+		lockedio.Analyzer,
+		syncerr.Analyzer,
+		seedflow.Analyzer,
+	}
+}

@@ -1,0 +1,218 @@
+// Package loader turns Go packages into the parsed, fully type-checked
+// form centurylint's analyzers consume — using only the standard library
+// and the go tool itself.
+//
+// The conventional driver for go/analysis checkers is
+// golang.org/x/tools/go/packages, which this offline repository cannot
+// vendor. The mechanism that library uses is available without it, though:
+// `go list -export -deps -json` makes the go command compile the
+// dependency graph and report, for every package, the path of its export
+// data in the build cache. Target packages are then re-parsed from source
+// (with comments, so //lint: directives survive) and type-checked with
+// go/types, resolving every import through the stdlib gc importer pointed
+// at those export files. That is exactly the x/tools loading strategy,
+// reimplemented in ~200 lines.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked target package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A ListedPackage is the subset of `go list -json` output the loader
+// consumes.
+type ListedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// GoList runs `go list -json=<fields> args...` in dir and decodes the
+// package stream.
+func GoList(dir string, args ...string) ([]*ListedPackage, error) {
+	cmdArgs := append([]string{
+		"list", "-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly",
+	}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list: %s", msg)
+	}
+	var pkgs []*ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportMap extracts importPath → export-data-file from a GoList result.
+func ExportMap(pkgs []*ListedPackage) map[string]string {
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports
+}
+
+// NewImporter returns a types.Importer that resolves import paths present
+// in exports through gc export data, and everything else through local
+// (which may be nil). The fallback exists for analysistest fixtures whose
+// helper packages live under testdata/src and are type-checked from
+// source.
+func NewImporter(fset *token.FileSet, exports map[string]string, local func(path string) (*types.Package, error)) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return &comboImporter{gc: gc, exports: exports, local: local}
+}
+
+type comboImporter struct {
+	gc      types.Importer
+	exports map[string]string
+	local   func(path string) (*types.Package, error)
+}
+
+func (c *comboImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := c.exports[path]; ok {
+		return c.gc.Import(path)
+	}
+	if c.local != nil {
+		return c.local(path)
+	}
+	return nil, fmt.Errorf("loader: unresolved import %q", path)
+}
+
+// NewInfo allocates a types.Info with every map analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// ParseDir parses the named Go files (absolute, or relative to dir) with
+// comments preserved.
+func ParseDir(fset *token.FileSet, dir string, files []string) ([]*ast.File, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return parsed, nil
+}
+
+// Check type-checks one package from its parsed files.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := NewInfo()
+	pkg, err := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, nil, fmt.Errorf("loader: type errors in %s: %v", path, errors.Join(typeErrs...))
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("loader: %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// Load builds and type-checks the packages matching patterns, rooted at
+// dir. The returned slice holds only the matched packages (dependencies
+// are consumed as export data, never re-parsed), in `go list` order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"-export", "-deps"}, patterns...)
+	listed, err := GoList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := ExportMap(listed)
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports, nil)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files, err := ParseDir(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %s: %w", lp.ImportPath, err)
+		}
+		tpkg, info, err := Check(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path:  lp.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}

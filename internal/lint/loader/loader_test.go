@@ -1,0 +1,70 @@
+package loader_test
+
+import (
+	"go/types"
+	"testing"
+
+	"centuryscale/internal/lint/loader"
+)
+
+// TestLoadTypeChecksAgainstRealDependencies loads a real module package
+// through the full pipeline — go list -export, source parse, go/types
+// check against gc export data — and verifies the result carries usable
+// type information, imports resolved through export data included.
+func TestLoadTypeChecksAgainstRealDependencies(t *testing.T) {
+	pkgs, err := loader.Load(".", "centuryscale/internal/tsdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "centuryscale/internal/tsdb" {
+		t.Fatalf("loaded %q", pkg.Path)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no parsed files")
+	}
+	// Comments must survive parsing: //lint: directive suppression
+	// depends on them.
+	comments := 0
+	for _, f := range pkg.Files {
+		comments += len(f.Comments)
+	}
+	if comments == 0 {
+		t.Fatal("parsed files carry no comments; directives would be invisible")
+	}
+
+	// The DB type and a method resolved through an export-data import
+	// (lpwan.EUI64 appears in its signatures) must be present and typed.
+	obj := pkg.Types.Scope().Lookup("DB")
+	if obj == nil {
+		t.Fatal("tsdb.DB not found in package scope")
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("tsdb.DB is %T, want *types.Named", obj.Type())
+	}
+	found := false
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Append" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("tsdb.DB has no Append method after type-checking")
+	}
+	if len(pkg.Info.Uses) == 0 || len(pkg.Info.Selections) == 0 {
+		t.Fatal("types.Info not populated")
+	}
+}
+
+// TestLoadRejectsBrokenPatterns: loading failures must surface as
+// errors, not as silently-empty analysis runs (a lint gate that loads
+// nothing passes everything).
+func TestLoadRejectsBrokenPatterns(t *testing.T) {
+	if _, err := loader.Load(".", "centuryscale/internal/does-not-exist"); err == nil {
+		t.Fatal("Load of a nonexistent package succeeded")
+	}
+}

@@ -1,0 +1,12 @@
+package lockedio_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/analysistest"
+	"centuryscale/internal/lint/lockedio"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", lockedio.Analyzer, "locked")
+}

@@ -1,0 +1,106 @@
+// Package seedflow implements the centurylint analyzer that guards how
+// centuryscale/internal/rng sources are constructed.
+//
+// The whole reproduction identifies an experiment by its seed: EQUAL
+// SEEDS MUST REPRODUCE RESULTS EXACTLY (cmd/centurysim -seed). That
+// property dies at construction time if a seed is derived from the wall
+// clock, the process environment, or another nondeterministic generator —
+// the classic `rng.New(uint64(time.Now().UnixNano()))` — because the
+// "seed" recorded in logs no longer regenerates the run. seedflow flags
+// rng constructor calls whose seed argument syntactically contains such a
+// source. Seeds must flow from configuration: a flag, an experiment
+// table, or a parent Source's Split.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/typeutil"
+)
+
+// RNGPackages matches the deterministic generator package.
+var RNGPackages = []string{"centuryscale/internal/rng", "internal/rng"}
+
+// constructors are the rng functions whose first argument is a seed.
+var constructors = map[string]bool{"New": true}
+
+// nondetFuncs maps package path → function names that read inherently
+// nondeterministic state. An empty name set means every function in the
+// package.
+var nondetFuncs = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os": {
+		"Getpid": true, "Getppid": true, "Getuid": true, "Geteuid": true,
+		"Getgid": true, "Getegid": true,
+	},
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+	"crypto/rand":  nil,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "seedflow",
+	Directive: "seedflow",
+	Doc: "forbid constructing centuryscale/internal/rng sources from wall-clock, " +
+		"process-state, or ambient-random seeds; seeds must come from experiment " +
+		"configuration so a logged seed replays the run",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := typeutil.Callee(pass.TypesInfo, call)
+			if fn == nil || !constructors[fn.Name()] ||
+				!typeutil.HasPathSuffix(typeutil.PkgPath(fn), RNGPackages) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if src := nondetSource(pass, arg); src != "" {
+					pass.Reportf(call.Pos(),
+						"rng.%s seeded from %s: a nondeterministic seed makes the run unreproducible — derive seeds from experiment configuration (flag, table, or Source.Split)",
+						fn.Name(), src)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nondetSource returns a description of the first nondeterministic call
+// found inside expr, or "".
+func nondetSource(pass *analysis.Pass, expr ast.Expr) string {
+	found := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		path := typeutil.PkgPath(obj)
+		names, ok := nondetFuncs[path]
+		if !ok {
+			return true
+		}
+		if names == nil || names[obj.Name()] {
+			found = path + "." + obj.Name()
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/analysistest"
+	"centuryscale/internal/lint/seedflow"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", seedflow.Analyzer, "seeds")
+}

@@ -1,0 +1,114 @@
+// Package simdeterminism implements the centurylint analyzer that keeps
+// wall-clock time and ambient randomness out of the simulator's
+// virtual-time packages.
+//
+// The determinism contract (internal/sim package doc; EXPERIMENTS.md) is
+// that a seed identifies a run bit-for-bit. One stray time.Now or global
+// math/rand draw breaks that silently: results still look plausible, they
+// just stop being reproducible — the exact engineering-discipline drift
+// the century-scale argument cannot afford. The daemon/network layer
+// legitimately lives on the wall clock; inside it, annotate the use with
+// `//lint:wallclock <reason>` (or keep the package out of
+// VirtualTimePackages).
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/typeutil"
+)
+
+// VirtualTimePackages lists the packages that run on the simulator's
+// virtual clock, as exact import paths or "/"-suffixes. centuryscale is
+// the root simulation library; internal/rng is included so the
+// deterministic generator itself can never be seeded or perturbed by the
+// wall clock.
+var VirtualTimePackages = []string{
+	"centuryscale",
+	"internal/sim",
+	"internal/reliability",
+	"internal/device",
+	"internal/energy",
+	"internal/fleet",
+	"internal/experiments",
+	"internal/econ",
+	"internal/traffic",
+	"internal/concrete",
+	"internal/city",
+	"internal/airfield",
+	"internal/metering",
+	"internal/stats",
+	"internal/rng",
+}
+
+// wallClockFuncs are the time package functions that read or schedule off
+// the process clock. time.Duration arithmetic and constants stay legal:
+// virtual time is itself a time.Duration.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "simdeterminism",
+	Directive: "wallclock",
+	Doc: "forbid wall-clock reads (time.Now, time.Since, timers) and math/rand " +
+		"in virtual-time packages; simulated processes must take time from the " +
+		"sim clock and randomness from centuryscale/internal/rng",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !typeutil.HasPathSuffix(pass.Pkg.Path(), VirtualTimePackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := importPath(imp)
+			if randPackages[path] {
+				pass.Reportf(imp.Pos(),
+					"virtual-time package %s imports %s: ambient randomness breaks seed-identified replay; draw from centuryscale/internal/rng instead",
+					pass.Pkg.Path(), path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if typeutil.PkgPath(fn) == "time" && wallClockFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock inside virtual-time package %s: simulated processes must take time from the sim clock (internal/sim); annotate //lint:wallclock <reason> if wall-clock is genuinely intended",
+					fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func importPath(spec *ast.ImportSpec) string {
+	s := spec.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,13 @@
+// Fixture: the daemon/network layer genuinely lives on the wall clock,
+// and its package path is not in VirtualTimePackages — nothing here may
+// be reported.
+package daemon
+
+import "time"
+
+func uptime(started time.Time) time.Duration {
+	time.Sleep(time.Millisecond)
+	return time.Since(started)
+}
+
+func stamp() time.Time { return time.Now() }

@@ -1,0 +1,12 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/analysistest"
+	"centuryscale/internal/lint/syncerr"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", syncerr.Analyzer, "closer")
+}

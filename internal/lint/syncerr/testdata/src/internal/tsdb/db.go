@@ -1,0 +1,10 @@
+// Fixture helper: a stand-in for a durability-path type. Its import path
+// suffix (internal/tsdb) puts every Close/Sync/Flush/Truncate on it under
+// syncerr's watch.
+package tsdb
+
+type DB struct{}
+
+func (*DB) Close() error { return nil }
+
+func (*DB) Sync() error { return nil }

@@ -1,0 +1,86 @@
+// Package typeutil holds the small type-resolution helpers shared by the
+// centurylint analyzers: resolving call targets through go/types and
+// matching objects against package paths and receiver types.
+package typeutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the function object a call expression invokes, or nil
+// for indirect calls (function values, conversions, builtins).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgPath returns the import path of the package declaring obj, or "" for
+// builtins and objects in the universe scope.
+func PkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// HasPathSuffix reports whether path is exactly one of the entries or
+// ends in "/"+entry — the convention centurylint uses so analyzers match
+// both the real module paths ("centuryscale/internal/sim") and the short
+// fixture paths analysistest assigns ("internal/sim").
+func HasPathSuffix(path string, entries []string) bool {
+	for _, e := range entries {
+		if path == e || strings.HasSuffix(path, "/"+e) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReceiverNamed returns the named type of a method's receiver, looking
+// through a pointer, or nil if fn is not a method (or the receiver is
+// unnamed).
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsMethodOf reports whether fn is a method on the named type
+// pkgPath.typeName (receiver pointer-ness ignored).
+func IsMethodOf(fn *types.Func, pkgPath, typeName string) bool {
+	named := ReceiverNamed(fn)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && PkgPath(obj) == pkgPath
+}
+
+// ReturnsError reports whether fn's final result is the built-in error
+// type.
+func ReturnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

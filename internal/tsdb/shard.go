@@ -28,6 +28,7 @@ func (sh *shard) append(p Point, durable bool) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if durable && sh.wal != nil {
+		//lint:lockedio WAL-before-ack contract: log order and memtable order must agree, and the fsync must complete before the caller can acknowledge — this I/O is the critical section
 		if err := sh.wal.append(p); err != nil {
 			return err
 		}

@@ -148,6 +148,7 @@ func (db *DB) syncLoop() {
 			for _, sh := range db.shards {
 				sh.mu.Lock()
 				if sh.wal != nil {
+					//lint:lockedio the interval fsync must serialize with appends (dirty flag + active handle); one shard pauses, the others keep ingesting
 					if err := sh.wal.sync(); err != nil && db.opts.Logf != nil {
 						db.opts.Logf("tsdb: interval fsync: %v", err)
 					}
@@ -283,6 +284,7 @@ func (db *DB) Checkpoint(save func() error) error {
 	marks := make([]uint64, len(db.shards))
 	for i, sh := range db.shards {
 		sh.mu.Lock()
+		//lint:lockedio rotation must be atomic with the append stream: every record before the watermark must land in a sealed segment
 		err := sh.wal.rotate()
 		marks[i] = sh.wal.idx
 		sh.mu.Unlock()
@@ -293,11 +295,13 @@ func (db *DB) Checkpoint(save func() error) error {
 	if err := save(); err != nil {
 		return err
 	}
+	// Segment deletion runs outside the shard locks (a centurylint
+	// lockedio finding): removeBelow only touches sealed, immutable
+	// segment files — concurrent appends go to the newer active segment —
+	// so holding the lock across the unlink syscalls would stall ingest
+	// for no consistency gain.
 	for i, sh := range db.shards {
-		sh.mu.Lock()
-		err := sh.wal.removeBelow(marks[i])
-		sh.mu.Unlock()
-		if err != nil {
+		if err := sh.wal.removeBelow(marks[i]); err != nil {
 			return err
 		}
 	}
@@ -319,6 +323,7 @@ func (db *DB) Sync() error {
 		var err error
 		if sh.wal != nil {
 			sh.wal.dirty = true
+			//lint:lockedio explicit flush for shutdown paths: must serialize with appends so nothing acknowledged stays page-cache-only
 			err = sh.wal.sync()
 		}
 		sh.mu.Unlock()
@@ -433,6 +438,7 @@ func (db *DB) Close() error {
 		for _, sh := range db.shards {
 			sh.mu.Lock()
 			if sh.wal != nil {
+				//lint:lockedio shutdown seal: the final fsync+close must exclude late appends; contention is over by now
 				if err := sh.wal.close(); err != nil && db.closeErr == nil {
 					db.closeErr = err
 				}

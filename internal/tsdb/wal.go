@@ -158,7 +158,7 @@ func (w *wal) dropTorn(good int64) {
 		w.size = good
 		return
 	}
-	w.f.Close() // best effort: the handle is already suspect
+	_ = w.f.Close() // best effort: the handle is already suspect
 	w.dirty = false
 	w.idx++
 	// If openActive fails, w.f keeps the closed handle: the next append
@@ -284,6 +284,7 @@ func replaySegment(path string, emit func(Point)) (records uint64, goodBytes int
 	if err != nil {
 		return 0, 0, nil, fmt.Errorf("tsdb: wal segment: %w", err)
 	}
+	//lint:syncerr read-only replay handle; a close error cannot un-write the records just decoded
 	defer f.Close()
 	r := bufio.NewReader(f)
 	for {
