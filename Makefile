@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race check bench bench-tsdb
+.PHONY: build test vet lint lint-gate lint-baseline race check bench bench-tsdb
 
 build:
 	$(GO) build ./...
@@ -8,24 +8,50 @@ build:
 test:
 	$(GO) test ./...
 
+# Note: ./... wildcards never descend into testdata/ directories (go
+# tool convention), so the lint fixture trees under
+# internal/lint/*/testdata — which contain deliberate invariant
+# violations — are excluded from build, vet, test, and lint alike. The
+# lint loader additionally refuses testdata packages defensively.
 vet:
 	$(GO) vet ./...
 
 # lint runs centurylint, the repo's own go/analysis-style suite
-# (internal/lint): simdeterminism, lockedio, syncerr, seedflow — the
-# determinism and durability invariants the century-scale argument rests
-# on. See DESIGN.md §32 for the invariants and the //lint: waivers.
+# (internal/lint): simdeterminism, lockedio, syncerr, seedflow, and the
+# v2 dataflow analyzers centurytime, goroleak, ctxflow, waiveraudit —
+# the determinism, durability, horizon, and lifetime invariants the
+# century-scale argument rests on. See DESIGN.md §32–33 for the
+# invariants and the //lint: waivers.
 lint:
 	$(GO) run ./cmd/centurylint ./...
+
+# lint-gate is the merge gate: findings are diffed against the
+# committed baseline, so only NEW violations fail the build. Matching
+# ignores line numbers — unrelated edits cannot shift the gate.
+lint-gate:
+	$(GO) run ./cmd/centurylint -baseline lint-baseline.json ./...
+
+# lint-baseline refreshes the committed baseline. Run this only when a
+# reviewer has accepted the findings it records (ideally it stays
+# empty); commit the result.
+lint-baseline:
+	$(GO) run ./cmd/centurylint -write-baseline lint-baseline.json ./...
 
 # Race-enabled test run: the resilience/chaos datapath is concurrent by
 # design and must stay race-clean.
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: static analysis (vet + the invariant
-# suite) plus the race-enabled test suite.
-check: vet lint race
+# check is the pre-merge gate, run strictly in order so the first
+# failure names itself: static analysis (vet, then the invariant suite
+# against the baseline) before the race-enabled test suite. A lint
+# failure stops everything — fix the finding, waive it with a reasoned
+# //lint: directive, or (with review) refresh the baseline.
+check:
+	@$(MAKE) --no-print-directory vet || { echo "check: FAILED at go vet (fix before running tests)"; exit 1; }
+	@$(MAKE) --no-print-directory lint-gate || { echo "check: FAILED at centurylint gate — fix the finding, add a reasoned //lint: waiver, or refresh via 'make lint-baseline' (reviewed)"; exit 1; }
+	@$(MAKE) --no-print-directory race || { echo "check: FAILED in race-enabled tests"; exit 1; }
+	@echo "check: OK (vet, lint-gate, race)"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -1,40 +1,76 @@
 // Command centurylint runs the repository's invariant analyzers — the
 // multichecker for the suite in internal/lint. It exists because the
 // properties the century-scale argument rests on (virtual time, seeded
-// randomness, WAL durability, stall-free critical sections) are exactly
-// the ones that erode silently under refactoring; this gate makes the
-// erosion loud at merge time instead of visible in a replay gap years in.
+// randomness, WAL durability, stall-free critical sections, goroutine
+// lifetimes, the int64-nanosecond horizon) are exactly the ones that
+// erode silently under refactoring; this gate makes the erosion loud at
+// merge time instead of visible in a replay gap years in.
 //
 // Usage:
 //
-//	centurylint [-only name,name] [-list] [packages]
+//	centurylint [-only name,name] [-list] [-json] \
+//	            [-baseline file] [-write-baseline file] [packages]
 //
-// With no package patterns, ./... is checked. Exit status is 1 when any
-// diagnostic is reported, 2 on a loading or usage error. Diagnostics
-// print as file:line:col: message (analyzer), the conventional vet
-// format, so editors and CI annotate them natively.
+// With no package patterns, ./... is checked. The driver first
+// summarizes every loaded package into one cross-package call-summary
+// index (the dataflow pre-pass), then runs the analyzers in suite order
+// per package — waiveraudit last, consuming the suppression log the
+// others populate. Under -only the waiver staleness check is disabled:
+// a directive for an analyzer that did not run cannot be judged stale.
+//
+// Output is file:line:col: message (analyzer) — the conventional vet
+// format — or, with -json, a stable sorted JSON document. -baseline
+// compares the findings against a committed baseline file and fails
+// only on findings not in it (matched by file, analyzer, and message,
+// ignoring line numbers, so unrelated edits don't shift the gate);
+// -write-baseline records the current findings as the new baseline.
+// Exit status is 1 when any (non-baselined) diagnostic is reported, 2
+// on a loading or usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"centuryscale/internal/lint"
 	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/dataflow"
 	"centuryscale/internal/lint/loader"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// A Finding is one diagnostic in the -json / baseline format.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// A Report is the document -json emits and baseline files hold.
+type Report struct {
+	Version  int       `json:"version"`
+	Findings []Finding `json:"findings"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("centurylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a stable JSON document")
+	baseline := fs.String("baseline", "", "fail only on findings not present in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -42,11 +78,23 @@ func run(args []string) int {
 	analyzers := lint.Suite()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
-	if *only != "" {
+
+	// Directive words come from the full suite even under -only, so
+	// waiveraudit never misreads a deselected analyzer's waiver as an
+	// unknown directive.
+	directives := make(map[string]string)
+	for _, a := range analyzers {
+		if a.Directive != "" {
+			directives[a.Directive] = a.Name
+		}
+	}
+
+	onlyMode := *only != ""
+	if onlyMode {
 		keep := make(map[string]bool)
 		for _, name := range strings.Split(*only, ",") {
 			keep[strings.TrimSpace(name)] = true
@@ -64,7 +112,7 @@ func run(args []string) int {
 				unknown = append(unknown, name)
 			}
 			sort.Strings(unknown)
-			fmt.Fprintf(os.Stderr, "centurylint: unknown analyzer(s): %s\n", strings.Join(unknown, ", "))
+			fmt.Fprintf(stderr, "centurylint: unknown analyzer(s): %s\n", strings.Join(unknown, ", "))
 			return 2
 		}
 		analyzers = selected
@@ -76,33 +124,196 @@ func run(args []string) int {
 	}
 	pkgs, err := loader.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "centurylint: %v\n", err)
+		fmt.Fprintf(stderr, "centurylint: %v\n", err)
 		return 2
 	}
 
-	found := 0
+	// Dataflow pre-pass: one summary index over every loaded package,
+	// resolved to a transitive fixpoint, so cross-package analyzers see
+	// the whole call graph regardless of package load order.
+	index := dataflow.NewIndex()
+	for _, pkg := range pkgs {
+		index.Add(dataflow.Summarize(pkg.Info, pkg.Files))
+	}
+	index.Resolve()
+
+	// Staleness accounting is only sound when the full suite runs over
+	// the full tree: under -only a waiver for a deselected analyzer
+	// would absorb nothing, and on a package subset a waiver whose
+	// finding depends on cross-package summaries (a lock-held call into
+	// an unloaded package's WAL) would absorb nothing either. Both would
+	// be misreported as stale.
+	var log *analysis.SuppressionLog
+	fullTree := len(fs.Args()) == 0 || (len(fs.Args()) == 1 && fs.Args()[0] == "./...")
+	if !onlyMode && fullTree {
+		log = analysis.NewSuppressionLog()
+	}
+
+	cwd, _ := os.Getwd()
+	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
+				Analyzer:     a,
+				Fset:         pkg.Fset,
+				Files:        pkg.Files,
+				Pkg:          pkg.Types,
+				TypesInfo:    pkg.Info,
+				Summaries:    index,
+				Suppressions: log,
+				Directives:   directives,
 				Report: func(d analysis.Diagnostic) {
-					found++
-					fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, a.Name)
+					p := pkg.Fset.Position(d.Pos)
+					findings = append(findings, Finding{
+						File:     relPath(cwd, p.Filename),
+						Line:     p.Line,
+						Col:      p.Column,
+						Analyzer: a.Name,
+						Message:  d.Message,
+					})
 				},
 			}
 			if err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "centurylint: %s on %s: %v\n", a.Name, pkg.Path, err)
+				fmt.Fprintf(stderr, "centurylint: %s on %s: %v\n", a.Name, pkg.Path, err)
 				return 2
 			}
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "centurylint: %d finding(s)\n", found)
+	sortFindings(findings)
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "centurylint: %v\n", err)
+			return 2
+		}
+		werr := writeReport(f, findings)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "centurylint: write baseline: %v\n", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "centurylint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+
+	if *baseline != "" {
+		known, stale, err := diffBaseline(*baseline, findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "centurylint: %v\n", err)
+			return 2
+		}
+		findings = known
+		if stale > 0 {
+			fmt.Fprintf(stderr, "centurylint: %d baseline entr(y|ies) no longer fire; refresh with make lint-baseline\n", stale)
+		}
+	}
+
+	if *jsonOut {
+		if err := writeReport(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "centurylint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "centurylint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// relPath makes filename stable across checkouts: repo-relative with
+// forward slashes when under cwd, unchanged otherwise.
+func relPath(cwd, filename string) string {
+	if cwd == "" {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(cwd, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// sortFindings orders findings fully deterministically, so text, JSON,
+// and baseline output are byte-stable across runs and machines.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// writeReport encodes findings as the versioned JSON document. The
+// input must already be sorted; encoding adds nothing nondeterministic,
+// which the byte-stability test pins.
+func writeReport(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{} // encode as [], never null
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report{Version: 1, Findings: findings})
+}
+
+// baselineKey matches findings to baseline entries on everything except
+// position: line and column shift with every unrelated edit, but a
+// waived-in-baseline finding is the same finding wherever it moves
+// within its file.
+func baselineKey(f Finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// diffBaseline splits findings into those NOT covered by the baseline
+// (returned for reporting) and counts baseline entries that no longer
+// fire. Matching is a multiset: two identical findings need two
+// baseline entries.
+func diffBaseline(path string, findings []Finding) ([]Finding, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, 0, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Version != 1 {
+		return nil, 0, fmt.Errorf("baseline %s: unsupported version %d", path, base.Version)
+	}
+	budget := make(map[string]int)
+	for _, f := range base.Findings {
+		budget[baselineKey(f)]++
+	}
+	var novel []Finding
+	for _, f := range findings {
+		k := baselineKey(f)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		novel = append(novel, f)
+	}
+	stale := 0
+	for _, n := range budget {
+		stale += n
+	}
+	return novel, stale, nil
 }

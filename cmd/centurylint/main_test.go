@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers pins the suite size and order-stability of -list:
+// eight analyzers, waiveraudit last.
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("-list printed %d analyzers, want 8:\n%s", len(lines), out.String())
+	}
+	wantOrder := []string{
+		"simdeterminism", "lockedio", "syncerr", "seedflow",
+		"centurytime", "goroleak", "ctxflow", "waiveraudit",
+	}
+	for i, name := range wantOrder {
+		if !strings.HasPrefix(lines[i], name) {
+			t.Errorf("line %d = %q, want analyzer %s", i, lines[i], name)
+		}
+	}
+}
+
+// TestReportGolden pins the -json / baseline byte format: sorted
+// findings, two-space indent, version header, [] (not null) when empty.
+func TestReportGolden(t *testing.T) {
+	scrambled := []Finding{
+		{File: "b.go", Line: 9, Col: 2, Analyzer: "goroleak", Message: "m2"},
+		{File: "a.go", Line: 20, Col: 1, Analyzer: "lockedio", Message: "m1"},
+		{File: "a.go", Line: 3, Col: 7, Analyzer: "ctxflow", Message: "m0"},
+		{File: "a.go", Line: 3, Col: 7, Analyzer: "centurytime", Message: "m3"},
+	}
+	sortFindings(scrambled)
+	var buf bytes.Buffer
+	if err := writeReport(&buf, scrambled); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "version": 1,
+  "findings": [
+    {
+      "file": "a.go",
+      "line": 3,
+      "col": 7,
+      "analyzer": "centurytime",
+      "message": "m3"
+    },
+    {
+      "file": "a.go",
+      "line": 3,
+      "col": 7,
+      "analyzer": "ctxflow",
+      "message": "m0"
+    },
+    {
+      "file": "a.go",
+      "line": 20,
+      "col": 1,
+      "analyzer": "lockedio",
+      "message": "m1"
+    },
+    {
+      "file": "b.go",
+      "line": 9,
+      "col": 2,
+      "analyzer": "goroleak",
+      "message": "m2"
+    }
+  ]
+}
+`
+	if buf.String() != want {
+		t.Errorf("report bytes changed:\n got: %q\nwant: %q", buf.String(), want)
+	}
+
+	buf.Reset()
+	if err := writeReport(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	const wantEmpty = "{\n  \"version\": 1,\n  \"findings\": []\n}\n"
+	if buf.String() != wantEmpty {
+		t.Errorf("empty report = %q, want %q", buf.String(), wantEmpty)
+	}
+}
+
+// TestJSONByteStableAcrossRuns drives the whole pipeline — go list,
+// type-check, summary pre-pass, all eight analyzers — twice over real
+// packages and requires byte-identical -json output.
+func TestJSONByteStableAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go tool")
+	}
+	runOnce := func() (string, int) {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-json", "../../internal/sim/...", "../../internal/cloud/..."}, &out, &errOut)
+		if code == 2 {
+			t.Fatalf("driver error: %s", errOut.String())
+		}
+		return out.String(), code
+	}
+	first, code1 := runOnce()
+	second, code2 := runOnce()
+	if first != second || code1 != code2 {
+		t.Errorf("output not byte-stable across runs:\n run1 (exit %d):\n%s\n run2 (exit %d):\n%s",
+			code1, first, code2, second)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(first), &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v", err)
+	}
+	if rep.Version != 1 {
+		t.Errorf("report version = %d, want 1", rep.Version)
+	}
+}
+
+// TestBaselineDiff exercises the multiset matching: line numbers are
+// ignored, duplicate findings need duplicate entries, and entries that
+// no longer fire are counted stale.
+func TestBaselineDiff(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	base := Report{Version: 1, Findings: []Finding{
+		{File: "a.go", Line: 10, Col: 1, Analyzer: "lockedio", Message: "m"},
+		{File: "a.go", Line: 40, Col: 1, Analyzer: "lockedio", Message: "m"},
+		{File: "gone.go", Line: 1, Col: 1, Analyzer: "syncerr", Message: "fixed"},
+	}}
+	data, _ := json.Marshal(base)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	current := []Finding{
+		// Same two findings, both moved by unrelated edits.
+		{File: "a.go", Line: 12, Col: 1, Analyzer: "lockedio", Message: "m"},
+		{File: "a.go", Line: 44, Col: 1, Analyzer: "lockedio", Message: "m"},
+		// A third copy exceeds the baseline's multiset budget.
+		{File: "a.go", Line: 90, Col: 1, Analyzer: "lockedio", Message: "m"},
+		// A genuinely new finding.
+		{File: "b.go", Line: 5, Col: 1, Analyzer: "ctxflow", Message: "new"},
+	}
+	novel, stale, err := diffBaseline(path, current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(novel) != 2 {
+		t.Fatalf("novel = %+v, want 2 entries", novel)
+	}
+	if novel[0].Line != 90 || novel[1].File != "b.go" {
+		t.Errorf("unexpected novel findings: %+v", novel)
+	}
+	if stale != 1 {
+		t.Errorf("stale = %d, want 1 (gone.go entry)", stale)
+	}
+}

@@ -229,7 +229,7 @@ func (s *Store) Ingest(at time.Duration, wire []byte) error {
 		s.bump(&s.stats.Duplicates)
 		return err
 	}
-	if err := s.db.Append(pointOf(at, p)); err != nil {
+	if err := s.db.Append(pointOf(at, p)); err != nil { //lint:lockedio Fresh/Append/Admit must commit atomically under the per-device guard shard, or a crash between them acks an unpersisted packet; the lock is sharded per device, never global
 		gs.mu.Unlock()
 		s.bump(&s.stats.PersistFailures)
 		return fmt.Errorf("%w: %v", ErrPersist, err)

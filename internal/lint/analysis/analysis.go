@@ -16,6 +16,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"centuryscale/internal/lint/dataflow"
 )
 
 // An Analyzer describes one invariant checker.
@@ -48,9 +50,55 @@ type Pass struct {
 	// Report receives each diagnostic that survives directive suppression.
 	Report func(Diagnostic)
 
+	// Summaries carries the cross-package call summaries the driver
+	// computes in its pre-pass over every loaded package. Analyzers
+	// that follow calls across package boundaries (lockedio, goroleak,
+	// ctxflow) consult it; nil means "no interprocedural context" and
+	// those analyzers fall back to package-local summaries.
+	Summaries *dataflow.Index
+
+	// Suppressions, when non-nil, records every //lint: directive line
+	// that actually suppressed a diagnostic during this package's run.
+	// The driver shares one log across the whole suite so waiveraudit
+	// (which runs last) can flag stale waivers. Nil disables staleness
+	// accounting — e.g. under -only, when the suppressed analyzer may
+	// simply not have run.
+	Suppressions *SuppressionLog
+
+	// Directives maps every suppression word the assembled suite
+	// recognises to its analyzer name (waiveraudit's ground truth for
+	// "unknown directive"). Nil outside suite runs.
+	Directives map[string]string
+
 	// directiveLines caches, per file, the lines carrying this
 	// analyzer's suppression directive.
 	directiveLines map[*ast.File]directives
+}
+
+// A SuppressionLog records which //lint: directive lines earned their
+// keep by suppressing at least one diagnostic.
+type SuppressionLog struct {
+	used map[suppKey]bool
+}
+
+type suppKey struct {
+	file string
+	line int
+}
+
+// NewSuppressionLog returns an empty log.
+func NewSuppressionLog() *SuppressionLog {
+	return &SuppressionLog{used: make(map[suppKey]bool)}
+}
+
+// Use marks the directive on file:line as having suppressed a finding.
+func (l *SuppressionLog) Use(file string, line int) {
+	l.used[suppKey{file, line}] = true
+}
+
+// Used reports whether the directive on file:line suppressed anything.
+func (l *SuppressionLog) Used(file string, line int) bool {
+	return l.used[suppKey{file, line}]
 }
 
 // A Diagnostic is one finding, positioned at Pos.
@@ -60,9 +108,14 @@ type Diagnostic struct {
 }
 
 // Reportf reports a formatted diagnostic at pos unless a suppression
-// directive covers that line.
+// directive covers that line. A suppressed diagnostic is recorded in
+// the shared SuppressionLog (when present), which is how waiveraudit
+// distinguishes a load-bearing waiver from a stale one.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.Suppressed(pos) {
+	if file, line, ok := p.suppressionSite(pos); ok {
+		if p.Suppressions != nil {
+			p.Suppressions.Use(file, line)
+		}
 		return
 	}
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
@@ -77,16 +130,29 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // so intentionally-locked WAL I/O can state its contract at the call
 // site.
 func (p *Pass) Suppressed(pos token.Pos) bool {
+	_, _, ok := p.suppressionSite(pos)
+	return ok
+}
+
+// suppressionSite resolves the directive line (filename, line number)
+// that waives a diagnostic at pos, if any.
+func (p *Pass) suppressionSite(pos token.Pos) (string, int, bool) {
 	if p.Analyzer == nil || p.Analyzer.Directive == "" || !pos.IsValid() {
-		return false
+		return "", 0, false
 	}
 	file := p.fileFor(pos)
 	if file == nil {
-		return false
+		return "", 0, false
 	}
 	d := p.directivesIn(file)
-	line := p.Fset.Position(pos).Line
-	return d.any[line] || d.standalone[line-1]
+	position := p.Fset.Position(pos)
+	if d.any[position.Line] {
+		return position.Filename, position.Line, true
+	}
+	if d.standalone[position.Line-1] {
+		return position.Filename, position.Line - 1, true
+	}
+	return "", 0, false
 }
 
 func (p *Pass) fileFor(pos token.Pos) *ast.File {

@@ -31,12 +31,26 @@ import (
 	"testing"
 
 	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/dataflow"
 	"centuryscale/internal/lint/loader"
 )
 
 // Run loads each fixture package (an import path under testdata/src),
 // applies the analyzer, and reports mismatches through t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	RunSuite(t, testdata, []*analysis.Analyzer{a}, pkgPaths...)
+}
+
+// RunSuite runs several analyzers over the fixtures exactly as the
+// centurylint driver would: every fixture package (including the local
+// packages they import) is summarized into one dataflow.Index first, so
+// cross-package analyzers see transitive effects; the analyzers then
+// run in order per package sharing one suppression log, so waiveraudit
+// — placed last, as in lint.Suite — can audit the other analyzers'
+// waivers. Diagnostics from all analyzers are matched against the
+// fixtures' // want comments together.
+func RunSuite(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	l := &fixtureLoader{
 		src:    filepath.Join(testdata, "src"),
@@ -47,11 +61,28 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		t.Fatal(err)
 	}
 	for _, path := range pkgPaths {
-		pkg, err := l.load(path)
-		if err != nil {
+		if _, err := l.load(path); err != nil {
 			t.Fatalf("fixture %s: %v", path, err)
 		}
-		checkPackage(t, a, l.fset, pkg)
+	}
+
+	// Summary pre-pass over everything loaded, local imports included.
+	index := dataflow.NewIndex()
+	for _, pkg := range l.loaded {
+		index.Add(dataflow.Summarize(pkg.info, pkg.files))
+	}
+	index.Resolve()
+
+	directives := make(map[string]string)
+	for _, a := range analyzers {
+		if a.Directive != "" {
+			directives[a.Directive] = a.Name
+		}
+	}
+
+	for _, path := range pkgPaths {
+		pkg := l.loaded[path]
+		checkPackage(t, analyzers, l.fset, pkg, index, directives)
 	}
 }
 
@@ -182,19 +213,25 @@ func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
 	return p, nil
 }
 
-func checkPackage(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, pkg *fixturePkg) {
+func checkPackage(t *testing.T, analyzers []*analysis.Analyzer, fset *token.FileSet, pkg *fixturePkg, index *dataflow.Index, directives map[string]string) {
 	t.Helper()
 	var got []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     pkg.files,
-		Pkg:       pkg.types,
-		TypesInfo: pkg.info,
-		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("%s: analyzer failed on %s: %v", a.Name, pkg.path, err)
+	log := analysis.NewSuppressionLog()
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:     a,
+			Fset:         fset,
+			Files:        pkg.files,
+			Pkg:          pkg.types,
+			TypesInfo:    pkg.info,
+			Summaries:    index,
+			Suppressions: log,
+			Directives:   directives,
+			Report:       func(d analysis.Diagnostic) { got = append(got, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer failed on %s: %v", a.Name, pkg.path, err)
+		}
 	}
 
 	type key struct {
@@ -242,18 +279,17 @@ func checkPackage(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, pkg *
 	}
 }
 
-// parseWant extracts the regexps from a `// want "re" "re"` comment. The
-// second result is false when the comment is not a want comment at all.
+// parseWant extracts the regexps from a `// want "re" "re"` comment.
+// The marker may be embedded later in the comment text — a //lint:
+// directive line carries its expectation inside the same comment, since
+// a line comment runs to end of line. The second result is false when
+// the comment holds no want marker at all.
 func parseWant(text string) ([]*regexp.Regexp, bool, error) {
-	body, ok := strings.CutPrefix(text, "//")
-	if !ok {
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
 		return nil, false, nil
 	}
-	body = strings.TrimSpace(body)
-	rest, ok := strings.CutPrefix(body, "want ")
-	if !ok {
-		return nil, false, nil
-	}
+	rest := text[idx+len("// want "):]
 	var out []*regexp.Regexp
 	rest = strings.TrimSpace(rest)
 	for rest != "" {

@@ -1,0 +1,332 @@
+// Package centurytime implements the centurylint analyzer that catches
+// time.Duration arithmetic that overflows int64 nanoseconds on
+// century-scale horizons.
+//
+// A time.Duration is an int64 count of nanoseconds, which tops out at
+// about 292.47 Julian years. That is comfortably past the paper's
+// 100-year mark — until arithmetic multiplies a horizon by a year-scale
+// unit: `years * 365 * 24 * time.Hour` silently wraps at years >= 293,
+// and the simulator then schedules events in the negative past or
+// truncates a retention window to garbage. The failure is the worst
+// kind for a century system: every test with a 10-year horizon passes,
+// and the wrap surfaces decades into a real deployment (or a long
+// ablation run) as quietly corrupted timelines.
+//
+// The analyzer evaluates every Duration-typed +, -, * expression with
+// the dataflow engine's reaching definitions:
+//
+//   - If every operand is bounded (constants, or locals whose every
+//     reaching definition is a constant), the product/sum is computed
+//     exactly; a bound beyond 2^63-1 ns is reported, a provably-safe
+//     bound is not. This is what makes the 292↔293-year boundary sharp
+//     instead of heuristic.
+//   - If an unbounded operand is multiplied by a constant factor of
+//     roughly a quarter-year or more (the chain's constants are folded
+//     first, so `x * 365 * 24 * time.Hour` counts as year-scale), the
+//     expression is reported: any plausible century-scale count
+//     overflows within a millennium. Small units (seconds, hours, days)
+//     with unknown counts are left alone — they need implausible
+//     counts to wrap.
+//   - Multiplying two non-constant Durations (neither written as the
+//     `time.Duration(n) * unit` count idiom) is reported outright:
+//     nanoseconds-squared has no meaning and wraps almost immediately.
+//
+// Fixes: hold long horizons in the coarse sim.Tick clock (whole
+// seconds: ±292 billion years), build them with the saturating sim.Mul,
+// or restructure so the multiplication happens in float64 years as
+// sim.Years does. Intentional sites annotate
+// `//lint:centurytime <reason>`.
+package centurytime
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "centurytime",
+	Directive: "centurytime",
+	Doc: "flag time.Duration arithmetic that can exceed int64 nanoseconds (~292 " +
+		"years) on century-scale horizons: year-scale constant factors times " +
+		"unbounded counts, provably-overflowing bounded products, and " +
+		"duration-times-duration multiplication",
+	Run: run,
+}
+
+// maxDuration is 2^63-1 — the int64-nanosecond ceiling, ~292.47 Julian
+// years.
+var maxDuration = constant.MakeInt64(1<<63 - 1)
+
+// maxPlausibleCount is the largest count of units an unbounded operand
+// is assumed to plausibly carry at century scale. A constant factor C
+// triggers the unknown-count report only when MaxInt64/C < this — i.e.
+// C is roughly a quarter Julian year or larger. 1000 year-units spans
+// a millennium; 1000 day-units is under three years and cannot wrap.
+const maxPlausibleCount = 1000
+
+type funcScope struct {
+	body     *ast.BlockStmt
+	reaching *dataflow.Reaching // built lazily on the first candidate
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		// Collect every function body — declarations and literals —
+		// since each needs its own CFG and reaching solution.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		for _, body := range bodies {
+			checkBody(pass, body)
+		}
+	}
+	return nil
+}
+
+// checkBody scans one function body (skipping nested literals, which
+// get their own scope) for outermost Duration arithmetic.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	scope := &funcScope{body: body}
+	// Outermost-first: once an expression is handled, its sub-
+	// expressions are not reported separately.
+	handled := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || handled[bin] {
+			return !handled[bin]
+		}
+		switch bin.Op {
+		case token.MUL, token.ADD, token.SUB:
+		default:
+			return true
+		}
+		if !isDuration(pass.TypesInfo.TypeOf(bin)) {
+			return true
+		}
+		if cv := pass.TypesInfo.Types[bin]; cv.Value != nil {
+			// Fully constant: the compiler already rejects typed
+			// constant overflow.
+			return true
+		}
+		markArithChildren(bin, handled)
+		checkExpr(pass, scope, bin)
+		return true
+	})
+}
+
+// markArithChildren marks nested +,-,* sub-expressions of e as covered
+// by the outermost report.
+func markArithChildren(e ast.Expr, handled map[ast.Expr]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b != e {
+			switch b.Op {
+			case token.MUL, token.ADD, token.SUB:
+				handled[b] = true
+			}
+		}
+		return true
+	})
+}
+
+func checkExpr(pass *analysis.Pass, scope *funcScope, bin *ast.BinaryExpr) {
+	// Exact path first: a fully bounded expression either provably
+	// overflows or is provably safe.
+	if bound, ok := boundOf(pass, scope, bin); ok {
+		if constant.Compare(bound, token.GTR, maxDuration) {
+			years := yearsOf(bound)
+			pass.Reportf(bin.Pos(),
+				"duration arithmetic reaches %s (~%.0f years), past the int64-nanosecond ceiling of ~292 years; hold long horizons in sim.Tick or build them with the saturating sim.Mul (internal/sim), or annotate //lint:centurytime <reason>",
+				bound.ExactString(), years)
+		}
+		return
+	}
+
+	if bin.Op != token.MUL {
+		// Unbounded sums stay quiet: addition needs ~2^62 before it
+		// wraps and flagging every `a + b` would bury the signal.
+		return
+	}
+
+	leaves := flattenMul(bin)
+	constFactor := constant.MakeInt64(1)
+	var unknown []ast.Expr
+	for _, leaf := range leaves {
+		if b, ok := boundOf(pass, scope, leaf); ok {
+			constFactor = constant.BinaryOp(constFactor, token.MUL, b)
+			continue
+		}
+		unknown = append(unknown, leaf)
+	}
+
+	switch {
+	case len(unknown) >= 2:
+		// ns × ns: meaningless and wraps almost immediately — unless
+		// written as the count idiom, where the conversion marks which
+		// side is a count (count × runtime-configured unit: unbounded
+		// but idiomatic, handled by review not lint).
+		counts := 0
+		for _, u := range unknown {
+			if isCountConversion(pass, u) {
+				counts++
+			}
+		}
+		if counts < len(unknown)-1 {
+			pass.Reportf(bin.Pos(),
+				"multiplying two non-constant time.Durations (nanoseconds × nanoseconds) wraps int64 almost immediately; make one factor a unitless count — time.Duration(n) * unit — or use sim.Mul (internal/sim), or annotate //lint:centurytime <reason>")
+		}
+	case len(unknown) == 1:
+		if constant.Sign(constFactor) == 0 {
+			return
+		}
+		limit := constant.BinaryOp(maxDuration, token.QUO, absVal(constFactor))
+		if constant.Compare(limit, token.LSS, constant.MakeInt64(maxPlausibleCount)) {
+			pass.Reportf(bin.Pos(),
+				"unbounded count times a year-scale unit (%s ns per unit) overflows int64 nanoseconds at only %s units — a ~100-year horizon is int64-safe but 293 years is not; bound the count, use the coarse sim.Tick clock or saturating sim.Mul (internal/sim), or annotate //lint:centurytime <reason>",
+				absVal(constFactor).ExactString(), limit.ExactString())
+		}
+	}
+}
+
+// flattenMul returns the leaves of a multiplication chain, looking
+// through parentheses.
+func flattenMul(e ast.Expr) []ast.Expr {
+	e = ast.Unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.MUL {
+		return append(flattenMul(b.X), flattenMul(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// boundOf computes an upper bound on |e| as an exact constant, using
+// reaching definitions to bound locals whose every definition is a
+// constant. ok=false means unbounded at this layer.
+func boundOf(pass *analysis.Pass, scope *funcScope, e ast.Expr) (constant.Value, bool) {
+	e = ast.Unparen(e)
+	if tv := pass.TypesInfo.Types[e]; tv.Value != nil && tv.Value.Kind() == constant.Int {
+		return absVal(tv.Value), true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return boundOfIdent(pass, scope, e)
+	case *ast.CallExpr:
+		// A conversion (time.Duration(x), int64(x)) preserves the bound.
+		if len(e.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+				return boundOf(pass, scope, e.Args[0])
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return boundOf(pass, scope, e.X)
+		}
+	case *ast.BinaryExpr:
+		x, okX := boundOf(pass, scope, e.X)
+		switch e.Op {
+		case token.MUL:
+			y, okY := boundOf(pass, scope, e.Y)
+			if okX && okY {
+				return constant.BinaryOp(x, token.MUL, y), true
+			}
+		case token.ADD, token.SUB:
+			y, okY := boundOf(pass, scope, e.Y)
+			if okX && okY {
+				// |a±b| <= |a|+|b|
+				return constant.BinaryOp(x, token.ADD, y), true
+			}
+		case token.QUO, token.REM:
+			// |a/b| <= |a| and |a%b| <= |a| for any nonzero integer b.
+			if okX {
+				return x, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// boundOfIdent bounds a local variable through its reaching
+// definitions: every definition must carry a constant expression.
+func boundOfIdent(pass *analysis.Pass, scope *funcScope, id *ast.Ident) (constant.Value, bool) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	if c, ok := obj.(*types.Const); ok {
+		if v := c.Val(); v != nil && v.Kind() == constant.Int {
+			return absVal(v), true
+		}
+		return nil, false
+	}
+	if scope.reaching == nil {
+		cfg := dataflow.NewCFG(scope.body)
+		scope.reaching = dataflow.ReachingDefs(cfg, scope.body, pass.TypesInfo)
+	}
+	defs, ok := scope.reaching.At(id)
+	if !ok {
+		return nil, false
+	}
+	var bound constant.Value
+	for _, d := range defs {
+		if d.Rhs == nil {
+			return nil, false
+		}
+		tv := pass.TypesInfo.Types[d.Rhs]
+		if tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return nil, false
+		}
+		v := absVal(tv.Value)
+		if bound == nil || constant.Compare(v, token.GTR, bound) {
+			bound = v
+		}
+	}
+	return bound, bound != nil
+}
+
+// isCountConversion reports whether e is the `time.Duration(intExpr)`
+// idiom: an explicit conversion marking a unitless count.
+func isCountConversion(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+func absVal(v constant.Value) constant.Value {
+	if constant.Sign(v) < 0 {
+		return constant.UnaryOp(token.SUB, v, 0)
+	}
+	return v
+}
+
+func yearsOf(v constant.Value) float64 {
+	f, _ := constant.Float64Val(v)
+	return f / (365.25 * 24 * 3600 * 1e9)
+}
+
+// isDuration reports whether t is time.Duration.
+func isDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}

@@ -1,0 +1,12 @@
+package centurytime_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/analysistest"
+	"centuryscale/internal/lint/centurytime"
+)
+
+func TestCenturytime(t *testing.T) {
+	analysistest.Run(t, "testdata", centurytime.Analyzer, "centurytime")
+}

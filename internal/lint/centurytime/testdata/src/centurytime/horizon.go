@@ -1,0 +1,82 @@
+// Fixture for the centurytime analyzer. The load-bearing cases are the
+// 292/293-year boundary pair: reaching definitions must prove one side
+// safe and the other overflowing from the same variable.
+package centurytime
+
+import "time"
+
+const Year = 365 * 24 * time.Hour
+
+// boundary exercises the exact bound computation through reaching
+// definitions: the same variable is provably safe at one use and
+// provably overflowing at the next.
+func boundary() {
+	n := 292
+	_ = time.Duration(n) * Year // 292 years = 9.2085e18 ns <= 2^63-1: provably safe
+	n = 293
+	_ = time.Duration(n) * Year // want "past the int64-nanosecond ceiling"
+}
+
+// branchJoin merges two reaching definitions; the worst one overflows.
+func branchJoin(long bool) time.Duration {
+	n := 100
+	if long {
+		n = 293
+	}
+	return time.Duration(n) * Year // want "past the int64-nanosecond ceiling"
+}
+
+// branchJoinSafe merges two reaching definitions, both provably safe.
+func branchJoinSafe(long bool) time.Duration {
+	n := 100
+	if long {
+		n = 292
+	}
+	return time.Duration(n) * Year
+}
+
+// unknownYears multiplies an unbounded count by a year-scale unit: any
+// plausible century-scale value overflows.
+func unknownYears(years int) time.Duration {
+	return time.Duration(years) * Year // want "unbounded count times a year-scale unit"
+}
+
+// chain folds the constant leaves of the whole multiplication chain
+// before judging the unit scale.
+func chain(years int) time.Duration {
+	return time.Duration(years) * 365 * 24 * time.Hour // want "unbounded count times a year-scale unit"
+}
+
+// opaqueDef: a definition from a function call is unbounded.
+func opaqueDef() time.Duration {
+	n := configuredYears()
+	return time.Duration(n) * Year // want "unbounded count times a year-scale unit"
+}
+
+func configuredYears() int { return 10 }
+
+// smallUnits stays quiet: an unknown count of seconds or days needs an
+// implausible value (>100k days) to wrap.
+func smallUnits(n int) time.Duration {
+	a := time.Duration(n) * time.Second
+	b := time.Duration(n) * 24 * time.Hour
+	return a + b
+}
+
+// product multiplies two opaque durations: nanoseconds squared.
+func product(a, b time.Duration) time.Duration {
+	return a * b // want "multiplying two non-constant time.Durations"
+}
+
+// countIdiom is the accepted shape: the conversion marks n as a
+// unitless count against a runtime-configured unit.
+func countIdiom(n int, unit time.Duration) time.Duration {
+	return time.Duration(n) * unit
+}
+
+// boundedSum: addition of bounded values past the ceiling is caught by
+// the exact path even though unbounded sums stay quiet.
+func boundedSum() time.Duration {
+	d := 200 * Year
+	return d + 100*Year // want "past the int64-nanosecond ceiling"
+}

@@ -1,0 +1,117 @@
+// Package ctxflow implements the centurylint analyzer that keeps the
+// cancellation chain intact from `cmd/*d` mains down into blocking
+// loops.
+//
+// The repository's shutdown story is one unbroken chain: main owns the
+// root context, every daemon loop selects on ctx.Done(), and soft
+// restarts (config swap, failover drills, firmware migration — routine
+// events at century scale) tear the whole tree down by cancelling one
+// context. Two coding patterns silently cut that chain:
+//
+//   - Resurrection: a function that already receives a ctx calls
+//     context.Background() (or TODO) and hands the fresh root to its
+//     callees. Everything downstream is now un-cancellable; shutdown
+//     "works" in tests that kill the process and deadlocks in the field
+//     where it must drain gracefully.
+//   - Orphaned entry: package main calls a module-local function that
+//     loops forever but has no context parameter and observes no stop
+//     signal. The loop is unreachable by cancellation from the moment
+//     the program starts.
+//
+// Blocking/stop facts come from the dataflow call summaries and are
+// transitive; dynamic dispatch stays quiet. Function literals are
+// skipped in the resurrection check — a literal may deliberately start
+// a detached lifecycle (and goroleak audits its lifetime separately).
+// Intentional breaks annotate `//lint:ctxflow <reason>`.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/dataflow"
+	"centuryscale/internal/lint/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "ctxflow",
+	Directive: "ctxflow",
+	Doc: "flag breaks in the cancellation chain: context.Background()/TODO() " +
+		"resurrected inside a function that already has a ctx parameter, and " +
+		"package-main calls into forever-looping module functions that take no " +
+		"context and observe no stop signal",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	index := pass.Summaries
+	if index == nil {
+		index = dataflow.NewIndex()
+		index.Add(dataflow.Summarize(pass.TypesInfo, pass.Files))
+		index.Resolve()
+	}
+	isMain := pass.Pkg != nil && pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := declHasCtx(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := typeutil.Callee(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				if hasCtx && typeutil.PkgPath(callee) == "context" &&
+					(callee.Name() == "Background" || callee.Name() == "TODO") {
+					pass.Reportf(call.Pos(),
+						"context.%s() inside a function that already has a ctx parameter resurrects an un-cancellable root and cuts everything downstream out of the shutdown chain; derive from the incoming ctx instead, or annotate //lint:ctxflow <reason>",
+						callee.Name())
+				}
+				if isMain {
+					if sum := index.Lookup(dataflow.Name(callee)); sum != nil &&
+						index.BlockingOf(sum) && !index.StopsOf(sum) {
+						pass.Reportf(call.Pos(),
+							"%s loops forever but takes no context and observes no stop signal: cancellation from main can never reach it; thread the root ctx through this call chain or annotate //lint:ctxflow <reason>",
+							callee.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// declHasCtx reports whether fd's signature includes a context.Context
+// parameter.
+func declHasCtx(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		named, ok := sig.Params().At(i).Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && typeutil.PkgPath(obj) == "context" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Local fixture import: the analyzed main package calls into these
+// loops across a package boundary, so the orphaned-entry rule must see
+// their summaries through the shared index.
+package loop
+
+import "context"
+
+func work() {}
+
+// Run loops forever with no way to hear about shutdown.
+func Run() {
+	for {
+		work()
+	}
+}
+
+// RunCtx observes the context: cancellable from main.
+func RunCtx(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// Finite terminates on its own.
+func Finite() {
+	for i := 0; i < 8; i++ {
+		work()
+	}
+}

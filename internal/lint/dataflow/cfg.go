@@ -1,0 +1,412 @@
+// Package dataflow is the SSA-lite engine under centurylint's
+// flow-sensitive analyzers: a per-function control-flow graph over
+// go/ast, reaching-definitions on that graph, and interprocedural call
+// summaries that let analyzers see across package boundaries.
+//
+// "SSA-lite" is a deliberate trade. Full SSA (the x/tools/go/ssa route)
+// buys precise value flow at the cost of a second IR, phi placement,
+// and a much larger surface to keep correct offline. The invariants
+// centurylint enforces — can this multiplication overflow int64
+// nanoseconds, does this goroutine ever observe a stop signal, does
+// this locked region reach a syscall — need only (a) which definitions
+// of a variable reach a use and (b) a conservative per-function effect
+// summary. Both are computable directly on the AST the analyzers
+// already hold, with go/types answering every name-resolution question.
+//
+// The three layers:
+//
+//   - CFG (this file): basic blocks of ast.Node with successor edges,
+//     built per function body. if/for/range/switch/select/labels/
+//     goto/break/continue/return are modelled; defer and go bodies are
+//     deliberately not inlined (they do not run at their textual
+//     position).
+//   - Reaching definitions (reaching.go): a classic gen/kill worklist
+//     over the CFG, answering "which assignments can reach this use".
+//   - Call summaries (summary.go): per-function effect bits (blocking
+//     I/O, infinite loops, context/stop-channel/WaitGroup usage) with a
+//     cross-package fixpoint, keyed by qualified function name.
+package dataflow
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// A Block is a straight-line run of AST nodes: statements, plus the
+// condition/tag/iteration expressions that execute at that point.
+// Compound statements never appear whole — their bodies live in other
+// blocks — with one exception: a *ast.RangeStmt node marks the loop
+// head where its Key/Value variables are (re)defined on each iteration.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is
+// the entry; Exit is the single synthetic exit block (empty) that every
+// return and the natural fall-off edge lead to.
+type CFG struct {
+	Blocks []*Block
+	Exit   *Block
+}
+
+// NewCFG builds the control-flow graph of one function body. Nested
+// function literals are not descended into: their statements execute
+// when the literal is called, not here, so they belong to their own
+// CFG.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}}
+	entry := b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	b.link(b.cur, b.cfg.Exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.link(g.from, target)
+		}
+	}
+	return b.cfg
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopCtx is one entry of the break/continue target stacks. label is ""
+// for the innermost implicit target.
+type loopCtx struct {
+	label  string
+	target *Block
+}
+
+type builder struct {
+	cfg       *CFG
+	cur       *Block
+	breaks    []loopCtx
+	continues []loopCtx
+	labels    map[string]*Block
+	gotos     []pendingGoto
+
+	// pendingLabel names the label directly wrapping the next loop,
+	// switch, or select, so labelled break/continue resolve to it.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) link(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) emit(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the label pending for the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, loopCtx{label, brk})
+	b.continues = append(b.continues, loopCtx{label, cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) pushBreak(label string, brk *Block) {
+	b.breaks = append(b.breaks, loopCtx{label, brk})
+}
+
+func (b *builder) popBreak() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+func findTarget(stack []loopCtx, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].target
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmtList(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.link(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Cond)
+		head := b.cur
+		then := b.newBlock()
+		after := b.newBlock()
+		b.link(head, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.link(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.link(head, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.link(b.cur, after)
+		} else {
+			b.link(head, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		head := b.newBlock()
+		b.link(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.emit(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		if s.Cond != nil {
+			b.link(head, after)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.link(post, head)
+			cont = post
+		}
+		b.pushLoop(label, after, cont)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.link(b.cur, cont)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.emit(s.X)
+		head := b.newBlock()
+		b.link(b.cur, head)
+		// The RangeStmt node on the head block stands for the per-
+		// iteration Key/Value definition (see Block doc).
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		b.link(head, after)
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.link(b.cur, head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.caseBlocks(label, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.emit(s.Init)
+		}
+		b.emit(s.Assign)
+		b.caseBlocks(label, s.Body, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.pushBreak(label, after)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.link(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.emit(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.link(b.cur, after)
+		}
+		b.popBreak()
+		// A case-less select{} blocks forever: head then has no
+		// successors and `after` is unreachable, which is exact.
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.link(b.cur, lb)
+		if b.labels == nil {
+			b.labels = make(map[string]*Block)
+		}
+		b.labels[s.Label.Name] = lb
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			b.link(b.cur, findTarget(b.breaks, label))
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			b.link(b.cur, findTarget(b.continues, label))
+			b.cur = b.newBlock()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			// Handled by caseBlocks; reaching it here (invalid Go)
+			// is ignored.
+		}
+
+	default:
+		// Straight-line statements: assignments, declarations, calls,
+		// sends, defer/go registration, inc/dec, empty.
+		b.emit(s)
+	}
+}
+
+// caseBlocks builds the per-case blocks of a switch or type switch.
+// fallthroughOK enables the fallthrough edge into the next case body.
+func (b *builder) caseBlocks(label string, body *ast.BlockStmt, fallthroughOK bool) {
+	head := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	blocks := make([]*Block, len(body.List))
+	for i := range body.List {
+		blocks[i] = b.newBlock()
+		b.link(head, blocks[i])
+	}
+	b.pushBreak(label, after)
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.emit(e)
+		}
+		stmts := cc.Body
+		fallsThrough := false
+		if n := len(stmts); fallthroughOK && n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				stmts = stmts[:n-1]
+			}
+		}
+		b.stmtList(stmts)
+		if fallsThrough && i+1 < len(blocks) {
+			b.link(b.cur, blocks[i+1])
+		} else {
+			b.link(b.cur, after)
+		}
+	}
+	b.popBreak()
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.cur = after
+}
+
+// String renders the CFG for tests and debugging: one line per block,
+// statements printed compactly, successor indices at the end.
+func (c *CFG) String() string {
+	fset := token.NewFileSet()
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d:", blk.Index)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " [%s]", renderNode(fset, n))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		if blk == c.Exit {
+			sb.WriteString(" (exit)")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		// Render only the iteration-variable definition, not the body
+		// (which lives in other blocks).
+		s := "range"
+		if r.Key != nil {
+			s += " " + renderNode(fset, r.Key)
+			if r.Value != nil {
+				s += ", " + renderNode(fset, r.Value)
+			}
+		}
+		return s
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

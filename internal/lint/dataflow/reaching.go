@@ -1,0 +1,299 @@
+// Reaching definitions over the CFG: the classic gen/kill worklist,
+// answering "which assignments to this variable can be live at this
+// use". centurytime uses it to bound multiplication operands — a count
+// whose every reaching definition is a known constant is provably safe
+// (or provably overflowing) where an opaque one must be assumed
+// century-scale.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Def is one definition of a local variable. Rhs is the defining
+// expression when the assignment pins one (x := e, x = e); it is nil
+// when the value is opaque at this layer — range variables, tuple
+// assignments, x++/x--, compound assignment, or `var x T` zero values.
+type Def struct {
+	Var *types.Var
+	Rhs ast.Expr
+}
+
+// Reaching holds the fixpoint solution for one function body.
+type Reaching struct {
+	cfg  *CFG
+	info *types.Info
+
+	in map[*Block]map[Def]bool
+
+	// untracked marks variables whose definition set cannot be trusted:
+	// address-taken locals, variables assigned inside nested function
+	// literals (which run at unknown times), and anything that is not a
+	// function-local variable at all.
+	untracked map[*types.Var]bool
+	locals    map[*types.Var]bool
+}
+
+// ReachingDefs solves reaching definitions for body's CFG. The body
+// must be the same one the CFG was built from.
+func ReachingDefs(cfg *CFG, body *ast.BlockStmt, info *types.Info) *Reaching {
+	r := &Reaching{
+		cfg:       cfg,
+		info:      info,
+		in:        make(map[*Block]map[Def]bool),
+		untracked: make(map[*types.Var]bool),
+		locals:    make(map[*types.Var]bool),
+	}
+	r.classifyVars(body)
+
+	gen := make(map[*Block]map[*types.Var]Def)
+	kill := make(map[*Block]map[*types.Var]bool)
+	for _, b := range cfg.Blocks {
+		g := make(map[*types.Var]Def)
+		k := make(map[*types.Var]bool)
+		for _, n := range b.Nodes {
+			for _, d := range r.defsIn(n) {
+				g[d.Var] = d // later defs in the block shadow earlier ones
+				k[d.Var] = true
+			}
+		}
+		gen[b] = g
+		kill[b] = k
+	}
+
+	preds := make(map[*Block][]*Block)
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	out := make(map[*Block]map[Def]bool)
+	for _, b := range cfg.Blocks {
+		r.in[b] = make(map[Def]bool)
+		out[b] = make(map[Def]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			inB := r.in[b]
+			for _, p := range preds[b] {
+				for d := range out[p] {
+					if !inB[d] {
+						inB[d] = true
+						changed = true
+					}
+				}
+			}
+			outB := out[b]
+			for d := range inB {
+				if kill[b][d.Var] {
+					continue
+				}
+				if !outB[d] {
+					outB[d] = true
+					changed = true
+				}
+			}
+			for _, d := range gen[b] {
+				if !outB[d] {
+					outB[d] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return r
+}
+
+// classifyVars records which variables are trackable: local to this
+// body, never address-taken, and never assigned inside a nested
+// function literal.
+func (r *Reaching) classifyVars(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v := r.varOf(id); v != nil {
+						r.untracked[v] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Assignments inside the literal run when it is called,
+			// which the CFG does not model: poison its targets.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range m.Lhs {
+						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+							if v := r.varOf(id); v != nil {
+								r.untracked[v] = true
+							}
+						}
+					}
+				case *ast.IncDecStmt:
+					if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+						if v := r.varOf(id); v != nil {
+							r.untracked[v] = true
+						}
+					}
+				case *ast.UnaryExpr:
+					if m.Op == token.AND {
+						if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+							if v := r.varOf(id); v != nil {
+								r.untracked[v] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if v, ok := r.info.Defs[id].(*types.Var); ok {
+							r.locals[v] = true
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range n.Names {
+				if v, ok := r.info.Defs[id].(*types.Var); ok {
+					r.locals[v] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (r *Reaching) varOf(id *ast.Ident) *types.Var {
+	if v, ok := r.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := r.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// defsIn extracts the definitions a single CFG node performs.
+func (r *Reaching) defsIn(n ast.Node) []Def {
+	var defs []Def
+	add := func(e ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if v := r.varOf(id); v != nil {
+			defs = append(defs, Def{Var: v, Rhs: rhs})
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		switch {
+		case n.Tok == token.ASSIGN || n.Tok == token.DEFINE:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					add(lhs, n.Rhs[i])
+				}
+			} else { // tuple: x, y := f()
+				for _, lhs := range n.Lhs {
+					add(lhs, nil)
+				}
+			}
+		default: // op-assign (+=, *=, ...): value depends on the old one
+			add(n.Lhs[0], nil)
+		}
+	case *ast.IncDecStmt:
+		add(n.X, nil)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			break
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if len(vs.Values) == len(vs.Names) {
+					add(name, vs.Values[i])
+				} else {
+					add(name, nil)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			add(n.Key, nil)
+		}
+		if n.Value != nil {
+			add(n.Value, nil)
+		}
+	}
+	return defs
+}
+
+// At returns the definitions of id's variable that can reach this use.
+// ok is false when the variable is not trackable (not a local, address
+// taken, assigned in a closure, or no definition found) — callers must
+// treat that as "value unknown".
+func (r *Reaching) At(id *ast.Ident) ([]Def, bool) {
+	v, _ := r.info.Uses[id].(*types.Var)
+	if v == nil || r.untracked[v] || !r.locals[v] {
+		return nil, false
+	}
+	blk, node := r.locate(id.Pos())
+	if blk == nil {
+		return nil, false
+	}
+	live := make(map[Def]bool)
+	for d := range r.in[blk] {
+		if d.Var == v {
+			live[d] = true
+		}
+	}
+	// Apply the block's own definitions that complete before the use.
+	for _, n := range blk.Nodes {
+		if n == node || n.End() > id.Pos() {
+			continue
+		}
+		for _, d := range r.defsIn(n) {
+			if d.Var != v {
+				continue
+			}
+			for old := range live {
+				delete(live, old)
+			}
+			live[d] = true
+		}
+	}
+	if len(live) == 0 {
+		return nil, false
+	}
+	out := make([]Def, 0, len(live))
+	for d := range live {
+		out = append(out, d)
+	}
+	return out, true
+}
+
+// locate finds the block and node containing pos.
+func (r *Reaching) locate(pos token.Pos) (*Block, ast.Node) {
+	for _, b := range r.cfg.Blocks {
+		for _, n := range b.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				return b, n
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,382 @@
+// Interprocedural call summaries. Each function declaration in an
+// analyzed package gets a FuncSummary of the effects centurylint cares
+// about; an Index aggregates summaries across every package the driver
+// loads and closes them transitively over the call graph, so an
+// analyzer inspecting a call site in package a can see that the callee
+// three packages away fsyncs a file or loops forever.
+//
+// Summaries are keyed by qualified name ("pkg/path.Func" or
+// "pkg/path.(Type).Method"), which is exactly what the loader's export
+// data identifies, so the index works across any set of packages loaded
+// in one run. Calls through interfaces or function values resolve to no
+// summary and contribute nothing — the suite stays conservative in the
+// no-false-positive direction at dynamic dispatch, and the analyzers
+// that need a hard guarantee (lockedio's WAL contract) keep their
+// package-local precision unchanged.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"centuryscale/internal/lint/typeutil"
+)
+
+// ioFuncs maps package path → package-level functions that block on
+// I/O. A nil set means every function in the package.
+var ioFuncs = map[string]map[string]bool{
+	"net":      nil,
+	"net/http": nil,
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+		"WriteFile": true, "ReadFile": true, "ReadDir": true,
+		"Mkdir": true, "MkdirAll": true, "Remove": true, "RemoveAll": true,
+		"Rename": true, "Truncate": true,
+	},
+	"encoding/json": {"Marshal": true, "MarshalIndent": true},
+	"io":            {"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true},
+}
+
+// ioMethods maps receiver (pkg, type) → methods that block on I/O.
+// A nil set means every method.
+var ioMethods = map[[2]string]map[string]bool{
+	{"os", "File"}: {
+		"Write": true, "WriteString": true, "WriteAt": true, "ReadFrom": true,
+		"Read": true, "ReadAt": true, "Sync": true, "Truncate": true, "Close": true,
+	},
+	{"encoding/json", "Encoder"}: {"Encode": true},
+	{"encoding/json", "Decoder"}: {"Decode": true},
+	{"bufio", "Writer"}:          {"Flush": true, "ReadFrom": true},
+}
+
+// DirectIO returns a human-readable name for the blocking I/O fn
+// performs itself, or "".
+func DirectIO(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	named := typeutil.ReceiverNamed(fn)
+	path := typeutil.PkgPath(fn)
+	// Package-level functions, plus every function and method of the
+	// all-blocking packages (net, net/http — including their interface
+	// methods, whose object also carries the package).
+	if names, ok := ioFuncs[path]; ok && (names == nil || (named == nil && names[fn.Name()])) {
+		if named != nil {
+			return path + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return path + "." + fn.Name()
+	}
+	if named != nil {
+		key := [2]string{typeutil.PkgPath(named.Obj()), named.Obj().Name()}
+		if names, ok := ioMethods[key]; ok && (names == nil || names[fn.Name()]) {
+			return key[0] + "." + key[1] + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// Name returns the qualified summary key for fn: "pkg/path.Func" for a
+// package-level function, "pkg/path.(Recv).Method" for a method
+// (pointerness ignored). Empty for builtins and error.Error-style
+// objects with no package.
+func Name(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if named := typeutil.ReceiverNamed(fn); named != nil {
+		return fn.Pkg().Path() + ".(" + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// A FuncSummary records the effects of one function body that
+// centurylint's flow analyzers consume. After Index.Resolve, the
+// effect fields are transitive over the static call graph.
+type FuncSummary struct {
+	// Name is the qualified key ("" for function literals summarized at
+	// their use site).
+	Name string
+
+	// IO names the first blocking I/O this function reaches ("" if
+	// none). Synchronous code only: nested literals, defers, and go
+	// statements do not run under the caller's locks.
+	IO string
+
+	// Blocking reports that the body cannot reach its own CFG exit: no
+	// path from entry escapes its loops via break, return, or goto. A
+	// decode loop with a break is not Blocking; `for { work() }` is.
+	Blocking bool
+
+	// Stops reports that the body can observe a shutdown signal: it
+	// references a context.Context, receives from a struct{} channel,
+	// or calls (*sync.WaitGroup).Done. Nested literals count — a
+	// watcher goroutine holding the ctx still ties the lifetime.
+	Stops bool
+
+	// HasCtxParam reports a context.Context in the signature.
+	HasCtxParam bool
+
+	// CallsBackground reports a direct call to context.Background or
+	// context.TODO in the synchronous body.
+	CallsBackground bool
+
+	// Calls lists qualified names of statically-resolved callees in the
+	// synchronous body, for transitive closure.
+	Calls []string
+}
+
+// summarizeBody computes a FuncSummary for one body. sig may be nil
+// (literals summarize their own FuncType separately).
+func summarizeBody(info *types.Info, body *ast.BlockStmt) *FuncSummary {
+	s := &FuncSummary{}
+	seenCall := make(map[string]bool)
+
+	// Blocking is a control-flow fact, not a syntactic one: build the
+	// body's CFG and ask whether the exit is reachable. This is what
+	// lets a `for { ... break }` decode loop stay non-blocking while
+	// `for { work() }` is caught.
+	s.Blocking = !reachesExit(NewCFG(body))
+
+	// Pass 1 — synchronous effects: skip nested literals entirely.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			callee := typeutil.Callee(info, n)
+			if callee == nil {
+				return true
+			}
+			if typeutil.PkgPath(callee) == "context" && (callee.Name() == "Background" || callee.Name() == "TODO") {
+				s.CallsBackground = true
+			}
+			if io := DirectIO(callee); io != "" && s.IO == "" {
+				s.IO = io
+			}
+			if name := Name(callee); name != "" && !seenCall[name] {
+				seenCall[name] = true
+				s.Calls = append(s.Calls, name)
+			}
+		}
+		return true
+	})
+
+	// Pass 2 — lifetime signals: nested literals included, because a
+	// spawned watcher that closes over ctx still stops the whole body.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContext(obj.Type()) {
+				s.Stops = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isStopChan(info.TypeOf(n.X)) {
+				s.Stops = true
+			}
+		case *ast.CallExpr:
+			if callee := typeutil.Callee(info, n); callee != nil &&
+				callee.Name() == "Done" && typeutil.IsMethodOf(callee, "sync", "WaitGroup") {
+				s.Stops = true
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// reachesExit reports whether any path from the CFG entry reaches the
+// synthetic exit block.
+func reachesExit(c *CFG) bool {
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{c.Blocks[0]}
+	seen[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == c.Exit {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// SummarizeLit summarizes a function literal at its use site (the
+// goroleak path). The literal's own parameters count toward ctx/stop
+// detection exactly like a declaration's would.
+func SummarizeLit(info *types.Info, lit *ast.FuncLit) *FuncSummary {
+	s := summarizeBody(info, lit.Body)
+	if tv, ok := info.Types[lit]; ok {
+		if sig, ok := tv.Type.(*types.Signature); ok {
+			s.HasCtxParam = sigHasContext(sig)
+		}
+	}
+	return s
+}
+
+// Summarize builds summaries for every function declaration in the
+// files of one type-checked package.
+func Summarize(info *types.Info, files []*ast.File) map[string]*FuncSummary {
+	out := make(map[string]*FuncSummary)
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			name := Name(fn)
+			if name == "" {
+				continue
+			}
+			s := summarizeBody(info, fd.Body)
+			s.Name = name
+			if sig, ok := fn.Type().(*types.Signature); ok {
+				s.HasCtxParam = sigHasContext(sig)
+			}
+			out[name] = s
+		}
+	}
+	return out
+}
+
+func sigHasContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContext(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && typeutil.PkgPath(obj) == "context"
+}
+
+// isStopChan reports whether t is a receivable channel of struct{} —
+// the conventional stop/done signal.
+func isStopChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// An Index aggregates function summaries across packages and resolves
+// transitive effects over the call graph.
+type Index struct {
+	funcs map[string]*FuncSummary
+}
+
+// NewIndex returns an empty summary index.
+func NewIndex() *Index {
+	return &Index{funcs: make(map[string]*FuncSummary)}
+}
+
+// Add merges one package's summaries into the index. Call Resolve after
+// the last Add.
+func (ix *Index) Add(sums map[string]*FuncSummary) {
+	for name, s := range sums {
+		ix.funcs[name] = s
+	}
+}
+
+// Resolve closes IO, Blocking, and Stops transitively over Calls. Safe
+// to call more than once; later Adds require a fresh Resolve.
+func (ix *Index) Resolve() {
+	for changed := true; changed; {
+		changed = false
+		for _, s := range ix.funcs {
+			for _, callee := range s.Calls {
+				t := ix.funcs[callee]
+				if t == nil {
+					continue
+				}
+				if s.IO == "" && t.IO != "" {
+					s.IO = t.IO
+					changed = true
+				}
+				if t.Blocking && !s.Blocking {
+					s.Blocking = true
+					changed = true
+				}
+				if t.Stops && !s.Stops {
+					s.Stops = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// Lookup returns the (resolved) summary for a qualified name, or nil
+// when the function was not in any loaded package.
+func (ix *Index) Lookup(name string) *FuncSummary {
+	if ix == nil {
+		return nil
+	}
+	return ix.funcs[name]
+}
+
+// ReachesIO returns the blocking I/O the named function transitively
+// reaches, or "".
+func (ix *Index) ReachesIO(name string) string {
+	if s := ix.Lookup(name); s != nil {
+		return s.IO
+	}
+	return ""
+}
+
+// BlockingOf evaluates a (possibly literal, unindexed) summary against
+// the index: does the body loop forever, directly or through a callee?
+func (ix *Index) BlockingOf(s *FuncSummary) bool {
+	if s == nil {
+		return false
+	}
+	if s.Blocking {
+		return true
+	}
+	for _, c := range s.Calls {
+		if t := ix.Lookup(c); t != nil && t.Blocking {
+			return true
+		}
+	}
+	return false
+}
+
+// StopsOf evaluates a summary against the index: can the body observe a
+// stop signal, directly or through a callee?
+func (ix *Index) StopsOf(s *FuncSummary) bool {
+	if s == nil {
+		return false
+	}
+	if s.Stops || s.HasCtxParam {
+		return true
+	}
+	for _, c := range s.Calls {
+		if t := ix.Lookup(c); t != nil && (t.Stops || t.HasCtxParam) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+// Package goroleak implements the centurylint analyzer that catches
+// goroutines whose lifetime is tied to nothing.
+//
+// A century-scale endpoint restarts its daemons on config swaps,
+// failover, and firmware migration — on the paper's timescales,
+// thousands of times. A goroutine that loops forever without observing
+// any stop signal survives every one of those restarts' soft-shutdown
+// paths: it keeps a stale socket, a stale shard handle, or a stale
+// ticker alive until the process is killed, and leaks one copy per
+// restart until then. The failure is invisible in short tests and
+// compounds over exactly the horizons this repository simulates.
+//
+// For every `go` statement the analyzer asks the dataflow call
+// summaries two questions about the spawned body, both transitive over
+// the static call graph:
+//
+//   - does it loop forever (a `for` with no condition, directly or in
+//     any callee)?
+//   - can it observe a stop signal (a context.Context reference — own
+//     parameter or closed-over — a receive from a struct{} stop
+//     channel, or a sync.WaitGroup.Done)?
+//
+// Forever-looping and unstoppable is a leak. Passing a Context, a
+// struct{} channel, or a *sync.WaitGroup as a call argument counts as
+// stoppable even when the callee's body is outside the loaded
+// packages. Dynamic dispatch (interface methods, function values)
+// resolves to no summary and is skipped — conservative in the
+// no-false-positive direction. Intentional process-lifetime goroutines
+// annotate `//lint:goroleak <reason>`.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/dataflow"
+	"centuryscale/internal/lint/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "goroleak",
+	Directive: "goroleak",
+	Doc: "flag go statements that spawn a forever-looping body with no way to " +
+		"observe shutdown: no context, no stop channel, no WaitGroup — a " +
+		"goroutine leaked once per daemon restart",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	index := pass.Summaries
+	if index == nil {
+		// Without the driver's summary pre-pass there is no transitive
+		// call information; build a package-local index so the analyzer
+		// still works under single-analyzer test harnesses.
+		index = dataflow.NewIndex()
+		index.Add(dataflow.Summarize(pass.TypesInfo, pass.Files))
+		index.Resolve()
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkSpawn(pass, index, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSpawn(pass *analysis.Pass, index *dataflow.Index, g *ast.GoStmt) {
+	call := g.Call
+	for _, arg := range call.Args {
+		if isStopArg(pass.TypesInfo.TypeOf(arg)) {
+			return
+		}
+	}
+
+	var sum *dataflow.FuncSummary
+	name := "the function literal"
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		sum = dataflow.SummarizeLit(pass.TypesInfo, fun)
+	default:
+		callee := typeutil.Callee(pass.TypesInfo, call)
+		if callee == nil {
+			return // dynamic dispatch: no summary, stay quiet
+		}
+		sum = index.Lookup(dataflow.Name(callee))
+		if sum == nil {
+			return // outside the loaded packages
+		}
+		name = callee.Name()
+	}
+
+	if index.BlockingOf(sum) && !index.StopsOf(sum) {
+		pass.Reportf(g.Pos(),
+			"goroutine runs forever with no stop signal: %s loops without observing a context, stop channel, or WaitGroup, and leaks on every daemon restart; tie its lifetime to a ctx (select on ctx.Done()) or annotate //lint:goroleak <reason>",
+			name)
+	}
+}
+
+// isStopArg reports whether an argument of type t hands the goroutine a
+// way to learn about shutdown: a context, a struct{} channel, or a
+// WaitGroup pointer.
+func isStopArg(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Name() == "Context" && typeutil.PkgPath(obj) == "context" {
+			return true
+		}
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "WaitGroup" && typeutil.PkgPath(obj) == "sync" {
+				return true
+			}
+		}
+	}
+	if ch, ok := t.Underlying().(*types.Chan); ok {
+		if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/analysistest"
+	"centuryscale/internal/lint/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "goroleak")
+}

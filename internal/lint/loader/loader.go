@@ -180,9 +180,20 @@ func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Import
 	return pkg, info, nil
 }
 
+// inTestdata reports whether dir sits under a testdata directory.
+func inTestdata(dir string) bool {
+	for _, part := range strings.Split(filepath.ToSlash(dir), "/") {
+		if part == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
 // Load builds and type-checks the packages matching patterns, rooted at
 // dir. The returned slice holds only the matched packages (dependencies
 // are consumed as export data, never re-parsed), in `go list` order.
+// Packages under a testdata directory are skipped.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	args := append([]string{"-export", "-deps"}, patterns...)
 	listed, err := GoList(dir, args...)
@@ -196,6 +207,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	var out []*Package
 	for _, lp := range listed {
 		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if inTestdata(lp.Dir) {
+			// The go tool already keeps testdata out of ./... wildcards;
+			// this guards the explicit-pattern path too, so analyzer
+			// fixtures (which deliberately violate the invariants) can
+			// never leak into a lint run.
 			continue
 		}
 		files, err := ParseDir(fset, lp.Dir, lp.GoFiles)

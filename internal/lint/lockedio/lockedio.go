@@ -13,11 +13,13 @@
 // `mu.Lock()`/`mu.RLock()` statement and closes at the matching
 // `mu.Unlock()`/`mu.RUnlock()` in the same block (a deferred unlock holds
 // to the end of the function). Inside a region, lockedio flags calls that
-// perform blocking I/O directly, and calls to same-package functions that
-// transitively reach blocking I/O (so hiding an fsync one helper deep —
-// shard → wal — still reports at the locked call site). Function literal
-// bodies, `go` statements, and deferred calls are not scanned: they do
-// not run synchronously under the lock at that point.
+// perform blocking I/O directly, and calls that transitively reach
+// blocking I/O through the dataflow call summaries — since v2 across
+// package boundaries, not just same-package helpers, so a store method
+// that appends to another package's WAL while holding the store mutex
+// reports at the locked call site three packages away from the fsync.
+// Function literal bodies, `go` statements, and deferred calls are not
+// scanned: they do not run synchronously under the lock at that point.
 //
 // Some critical sections hold a lock across I/O on purpose — the WAL
 // append must serialize the write with the memtable insert or the
@@ -31,6 +33,7 @@ import (
 	"go/types"
 
 	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/dataflow"
 	"centuryscale/internal/lint/typeutil"
 )
 
@@ -39,39 +42,20 @@ var Analyzer = &analysis.Analyzer{
 	Directive: "lockedio",
 	Doc: "flag blocking I/O (file writes/fsyncs, net and net/http calls, bulk " +
 		"JSON encode/decode) performed while a sync.Mutex or RWMutex is held " +
-		"(snapshot-stall class), including I/O reached through same-package helpers",
+		"(snapshot-stall class), including I/O reached transitively through " +
+		"helpers in any loaded package",
 	Run: run,
 }
 
-// ioFuncs maps package path → function/method names that block on I/O.
-// A nil set means every function in the package.
-var ioFuncs = map[string]map[string]bool{
-	"net":      nil,
-	"net/http": nil,
-	"os": {
-		"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
-		"WriteFile": true, "ReadFile": true, "ReadDir": true,
-		"Mkdir": true, "MkdirAll": true, "Remove": true, "RemoveAll": true,
-		"Rename": true, "Truncate": true,
-	},
-	"encoding/json": {"Marshal": true, "MarshalIndent": true},
-	"io":            {"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true},
-}
-
-// ioMethods maps receiver (pkg, type) → method names that block on I/O.
-// A nil set means every method.
-var ioMethods = map[[2]string]map[string]bool{
-	{"os", "File"}: {
-		"Write": true, "WriteString": true, "WriteAt": true, "ReadFrom": true,
-		"Read": true, "ReadAt": true, "Sync": true, "Truncate": true, "Close": true,
-	},
-	{"encoding/json", "Encoder"}: {"Encode": true},
-	{"encoding/json", "Decoder"}: {"Decode": true},
-	{"bufio", "Writer"}:          {"Flush": true, "ReadFrom": true},
-}
-
 func run(pass *analysis.Pass) error {
-	reach := buildReachability(pass)
+	index := pass.Summaries
+	if index == nil {
+		// No driver pre-pass: fall back to a package-local index, which
+		// reproduces v1's same-package reachability exactly.
+		index = dataflow.NewIndex()
+		index.Add(dataflow.Summarize(pass.TypesInfo, pass.Files))
+		index.Resolve()
+	}
 	for _, file := range pass.Files {
 		// Every function body — declarations and literals, however deeply
 		// nested — is scanned independently; scanBlock itself never
@@ -80,10 +64,10 @@ func run(pass *analysis.Pass) error {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
 				if fn.Body != nil {
-					scanBlock(pass, reach, fn.Body.List, map[string]bool{})
+					scanBlock(pass, index, fn.Body.List, map[string]bool{})
 				}
 			case *ast.FuncLit:
-				scanBlock(pass, reach, fn.Body.List, map[string]bool{})
+				scanBlock(pass, index, fn.Body.List, map[string]bool{})
 			}
 			return true
 		})
@@ -91,95 +75,10 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// directIO returns a human-readable name for the blocking I/O fn performs,
-// or "".
-func directIO(fn *types.Func) string {
-	named := typeutil.ReceiverNamed(fn)
-	path := typeutil.PkgPath(fn)
-	// Package-level functions, plus every function and method of the
-	// all-blocking packages (net, net/http — including their interface
-	// methods, whose object also carries the package).
-	if names, ok := ioFuncs[path]; ok && (names == nil || (named == nil && names[fn.Name()])) {
-		if named != nil {
-			return path + "." + named.Obj().Name() + "." + fn.Name()
-		}
-		return path + "." + fn.Name()
-	}
-	if named != nil {
-		key := [2]string{typeutil.PkgPath(named.Obj()), named.Obj().Name()}
-		if names, ok := ioMethods[key]; ok && (names == nil || names[fn.Name()]) {
-			return key[0] + "." + key[1] + "." + fn.Name()
-		}
-	}
-	return ""
-}
-
-// buildReachability computes, for every function declared in this
-// package, the first blocking I/O call it can reach through same-package
-// calls (direct I/O short-circuits). The map value is the description of
-// the underlying I/O.
-func buildReachability(pass *analysis.Pass) map[*types.Func]string {
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	for _, file := range pass.Files {
-		for _, d := range file.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[obj] = fd
-			}
-		}
-	}
-
-	reach := make(map[*types.Func]string)
-	calls := make(map[*types.Func][]*types.Func)
-	for obj, fd := range decls {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			if _, ok := n.(*ast.FuncLit); ok {
-				return false
-			}
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := typeutil.Callee(pass.TypesInfo, call)
-			if callee == nil {
-				return true
-			}
-			if io := directIO(callee); io != "" && reach[obj] == "" {
-				reach[obj] = io
-			}
-			if _, local := decls[callee]; local {
-				calls[obj] = append(calls[obj], callee)
-			}
-			return true
-		})
-	}
-	// Propagate to a fixpoint: a caller reaches I/O if any same-package
-	// callee does.
-	for changed := true; changed; {
-		changed = false
-		for obj := range decls {
-			if reach[obj] != "" {
-				continue
-			}
-			for _, callee := range calls[obj] {
-				if io := reach[callee]; io != "" {
-					reach[obj] = io
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return reach
-}
-
 // scanBlock walks one statement list tracking which mutexes are held.
 // Nested control flow is scanned with a copy of the held set, so a
 // branch-local Lock or Unlock never leaks into the enclosing block.
-func scanBlock(pass *analysis.Pass, reach map[*types.Func]string, stmts []ast.Stmt, held map[string]bool) {
+func scanBlock(pass *analysis.Pass, index *dataflow.Index, stmts []ast.Stmt, held map[string]bool) {
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
@@ -192,7 +91,7 @@ func scanBlock(pass *analysis.Pass, reach map[*types.Func]string, stmts []ast.St
 				}
 				continue
 			}
-			inspectForIO(pass, reach, s, held)
+			inspectForIO(pass, index, s, held)
 		case *ast.DeferStmt:
 			// A deferred Unlock keeps the region open to function end;
 			// other deferred calls run after the section closes. Either
@@ -200,45 +99,45 @@ func scanBlock(pass *analysis.Pass, reach map[*types.Func]string, stmts []ast.St
 		case *ast.GoStmt:
 			// The spawned goroutine does not hold this goroutine's locks.
 		case *ast.BlockStmt:
-			scanBlock(pass, reach, s.List, clone(held))
+			scanBlock(pass, index, s.List, clone(held))
 		case *ast.IfStmt:
-			inspectForIO(pass, reach, s.Init, held)
-			inspectForIO(pass, reach, s.Cond, held)
-			scanBlock(pass, reach, s.Body.List, clone(held))
+			inspectForIO(pass, index, s.Init, held)
+			inspectForIO(pass, index, s.Cond, held)
+			scanBlock(pass, index, s.Body.List, clone(held))
 			if s.Else != nil {
-				scanBlock(pass, reach, []ast.Stmt{s.Else}, clone(held))
+				scanBlock(pass, index, []ast.Stmt{s.Else}, clone(held))
 			}
 		case *ast.ForStmt:
-			inspectForIO(pass, reach, s.Init, held)
-			inspectForIO(pass, reach, s.Cond, held)
-			inspectForIO(pass, reach, s.Post, held)
-			scanBlock(pass, reach, s.Body.List, clone(held))
+			inspectForIO(pass, index, s.Init, held)
+			inspectForIO(pass, index, s.Cond, held)
+			inspectForIO(pass, index, s.Post, held)
+			scanBlock(pass, index, s.Body.List, clone(held))
 		case *ast.RangeStmt:
-			inspectForIO(pass, reach, s.X, held)
-			scanBlock(pass, reach, s.Body.List, clone(held))
+			inspectForIO(pass, index, s.X, held)
+			scanBlock(pass, index, s.Body.List, clone(held))
 		case *ast.SwitchStmt:
-			inspectForIO(pass, reach, s.Init, held)
-			inspectForIO(pass, reach, s.Tag, held)
-			scanCases(pass, reach, s.Body, held)
+			inspectForIO(pass, index, s.Init, held)
+			inspectForIO(pass, index, s.Tag, held)
+			scanCases(pass, index, s.Body, held)
 		case *ast.TypeSwitchStmt:
-			scanCases(pass, reach, s.Body, held)
+			scanCases(pass, index, s.Body, held)
 		case *ast.SelectStmt:
-			scanCases(pass, reach, s.Body, held)
+			scanCases(pass, index, s.Body, held)
 		case *ast.LabeledStmt:
-			scanBlock(pass, reach, []ast.Stmt{s.Stmt}, held)
+			scanBlock(pass, index, []ast.Stmt{s.Stmt}, held)
 		default:
-			inspectForIO(pass, reach, stmt, held)
+			inspectForIO(pass, index, stmt, held)
 		}
 	}
 }
 
-func scanCases(pass *analysis.Pass, reach map[*types.Func]string, body *ast.BlockStmt, held map[string]bool) {
+func scanCases(pass *analysis.Pass, index *dataflow.Index, body *ast.BlockStmt, held map[string]bool) {
 	for _, c := range body.List {
 		switch cc := c.(type) {
 		case *ast.CaseClause:
-			scanBlock(pass, reach, cc.Body, clone(held))
+			scanBlock(pass, index, cc.Body, clone(held))
 		case *ast.CommClause:
-			scanBlock(pass, reach, cc.Body, clone(held))
+			scanBlock(pass, index, cc.Body, clone(held))
 		}
 	}
 }
@@ -276,7 +175,7 @@ func lockOp(pass *analysis.Pass, expr ast.Expr) (recv, op string, ok bool) {
 // inspectForIO reports every blocking I/O call inside node while any
 // mutex is held. Function literals are skipped: their bodies run when
 // invoked, which scanBlock/run handle separately.
-func inspectForIO(pass *analysis.Pass, reach map[*types.Func]string, node ast.Node, held map[string]bool) {
+func inspectForIO(pass *analysis.Pass, index *dataflow.Index, node ast.Node, held map[string]bool) {
 	if node == nil || len(held) == 0 {
 		return
 	}
@@ -298,16 +197,22 @@ func inspectForIO(pass *analysis.Pass, reach map[*types.Func]string, node ast.No
 		if callee == nil {
 			return true
 		}
-		if io := directIO(callee); io != "" {
+		if io := dataflow.DirectIO(callee); io != "" {
 			pass.Reportf(call.Pos(),
 				"%s while %q is held blocks every goroutine contending for the lock (snapshot-stall class); move the I/O outside the critical section or annotate //lint:lockedio <reason>",
 				io, heldName)
 			return true
 		}
-		if io := reach[callee]; io != "" {
+		if io := index.ReachesIO(dataflow.Name(callee)); io != "" {
+			// Same-package callees keep their bare name; a cross-package
+			// callee is named in full so the reader can find the sink.
+			name := callee.Name()
+			if callee.Pkg() != pass.Pkg {
+				name = dataflow.Name(callee)
+			}
 			pass.Reportf(call.Pos(),
 				"call to %s reaches blocking I/O (%s) while %q is held (snapshot-stall class); move the I/O outside the critical section or annotate //lint:lockedio <reason>",
-				callee.Name(), io, heldName)
+				name, io, heldName)
 		}
 		return true
 	})

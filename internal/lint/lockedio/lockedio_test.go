@@ -10,3 +10,9 @@ import (
 func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, "testdata", lockedio.Analyzer, "locked")
 }
+
+// TestCrossPackage locks in package a and writes in package b: the v2
+// summary index must carry the I/O fact across the package boundary.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", lockedio.Analyzer, "crosspkg/a")
+}

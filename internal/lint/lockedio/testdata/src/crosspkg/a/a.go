@@ -1,0 +1,38 @@
+// Cross-package fixture: the lock is held here in package a, the
+// blocking write happens in package b. v2's shared summary index must
+// carry the I/O fact across the boundary.
+package a
+
+import (
+	"sync"
+
+	"crosspkg/b"
+)
+
+type Store struct {
+	mu  sync.Mutex
+	wal *b.WAL
+}
+
+// Ingest holds the store mutex across b's WAL append, which fsyncs.
+func (s *Store) Ingest(rec []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal.Append(rec) // want `call to crosspkg/b\.\(WAL\)\.Append reaches blocking I/O \(os\.File\.Write\) while "s\.mu" is held`
+}
+
+// Stage only touches memory under the lock and appends after release.
+func (s *Store) Stage(rec []byte) {
+	s.mu.Lock()
+	staged := append([]byte(nil), rec...)
+	s.mu.Unlock()
+	s.wal.Append(staged)
+}
+
+// Deep reaches b's I/O through a b-internal helper: the index closes
+// over b's own call graph too.
+func (s *Store) Deep(rec []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.Checkpoint(s.wal, rec) // want `call to crosspkg/b\.Checkpoint reaches blocking I/O \(os\.File\.Write\) while "s\.mu" is held`
+}

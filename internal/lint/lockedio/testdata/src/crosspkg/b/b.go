@@ -1,0 +1,23 @@
+// Package b is the I/O sink side of the cross-package lockedio fixture.
+package b
+
+import "os"
+
+type WAL struct {
+	f *os.File
+}
+
+// Append writes and fsyncs: direct blocking I/O.
+func (w *WAL) Append(rec []byte) {
+	_, _ = w.f.Write(rec)
+	_ = w.f.Sync()
+}
+
+// Checkpoint reaches the I/O one helper deep inside b.
+func Checkpoint(w *WAL, rec []byte) {
+	flush(w, rec)
+}
+
+func flush(w *WAL, rec []byte) {
+	w.Append(rec)
+}

@@ -1,0 +1,34 @@
+// Fixture for the waiveraudit analyzer, run in a suite together with
+// centurytime so the suppression log carries real entries.
+package waiveraudit
+
+import "time"
+
+// usedWaiver is the healthy case: the directive suppresses a real
+// centurytime finding and states why — no diagnostics at all.
+func usedWaiver(a, b time.Duration) time.Duration {
+	return a * b //lint:centurytime calibration product, operands bounded by caller
+}
+
+// reasonless still suppresses the finding, but a bare waiver is
+// unreviewable.
+func reasonless(a, b time.Duration) time.Duration {
+	return a * b //lint:centurytime // want "must carry a reason"
+}
+
+// stale waives a line that produces no finding.
+func stale() time.Duration {
+	return 2 * time.Second //lint:centurytime historical, product was removed // want "stale waiver"
+}
+
+// typo: the misspelled directive waives nothing, so the real finding
+// escapes AND the directive is reported.
+func typo(a, b time.Duration) time.Duration {
+	return a * b //lint:centurytim operands bounded // want "unknown suppression directive" "multiplying two non-constant"
+}
+
+// standalone directives (line above the code) are audited identically.
+func standaloneUsed(a, b time.Duration) time.Duration {
+	//lint:centurytime calibration product, operands bounded by caller
+	return a * b
+}

@@ -200,8 +200,11 @@ func DetectOutage(p OutageParams) OutageResult {
 		panic("metering: bad outage params")
 	}
 	// First missed report boundary at or after the outage instant.
-	periods := p.OutageAt / p.ReportEvery
-	firstMiss := (periods + 1) * p.ReportEvery
+	// periods is a unitless count (duration over duration), typed as
+	// such so the count-times-unit multiplications below cannot be
+	// misread as nanoseconds-squared.
+	periods := int64(p.OutageAt / p.ReportEvery)
+	firstMiss := time.Duration(periods+1) * p.ReportEvery
 	detected := firstMiss + time.Duration(p.MissesToAlarm-1)*p.ReportEvery
 	return OutageResult{
 		DetectedAt: detected,

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestMulBoundary pins the 292/293-year line: the largest whole-year
+// count that fits int64 nanoseconds is 292, and the first count past it
+// must saturate instead of wrapping negative.
+func TestMulBoundary(t *testing.T) {
+	if got := Mul(292, Year); got != 292*Year {
+		t.Fatalf("Mul(292, Year) = %v, want exact %v", got, 292*Year)
+	}
+	if got := Mul(293, Year); got != MaxHorizon {
+		t.Fatalf("Mul(293, Year) = %v, want MaxHorizon", got)
+	}
+	// The raw multiplication this replaces really does wrap. (Computed
+	// through a variable: as a constant expression the compiler rejects
+	// it, which is exactly the check centurytime extends to runtime
+	// values.)
+	years := int64(293)
+	if raw := time.Duration(years) * Year; raw >= 0 {
+		t.Fatalf("expected raw 293*Year to wrap negative, got %v", raw)
+	}
+}
+
+func TestMul(t *testing.T) {
+	tests := []struct {
+		count int64
+		unit  time.Duration
+		want  time.Duration
+	}{
+		{0, Year, 0},
+		{1 << 40, 0, 0},
+		{100, Year, 100 * Year},
+		{-100, Year, -100 * Year},
+		{100, -Year, -100 * Year},
+		{-100, -Year, 100 * Year},
+		{math.MaxInt64, Year, MaxHorizon},
+		{math.MaxInt64, -Year, -MaxHorizon},
+		{-math.MaxInt64, -Year, MaxHorizon},
+		{-1, math.MinInt64, MaxHorizon},
+		{math.MinInt64, -1, MaxHorizon},
+		{math.MinInt64, time.Nanosecond, math.MinInt64},
+	}
+	for _, tt := range tests {
+		if got := Mul(tt.count, tt.unit); got != tt.want {
+			t.Errorf("Mul(%d, %d) = %d, want %d", tt.count, tt.unit, got, tt.want)
+		}
+	}
+}
+
+// TestYearsClamp: the float conversion must clamp at the horizon, not
+// hit the implementation-defined out-of-range float->int conversion.
+func TestYearsClamp(t *testing.T) {
+	if got := Years(100); got != time.Duration(100*float64(Year)) {
+		t.Fatalf("Years(100) = %v", got)
+	}
+	if got := Years(300); got != MaxHorizon {
+		t.Fatalf("Years(300) = %v, want MaxHorizon", got)
+	}
+	if got := Years(-300); got != -MaxHorizon {
+		t.Fatalf("Years(-300) = %v, want -MaxHorizon", got)
+	}
+	if got := Years(1e30); got != MaxHorizon {
+		t.Fatalf("Years(1e30) = %v, want MaxHorizon", got)
+	}
+}
+
+// TestTick: the coarse clock holds multi-century spans exactly and
+// saturates only when converted back to nanoseconds.
+func TestTick(t *testing.T) {
+	if got := TickOf(90 * time.Second); got != 90 {
+		t.Fatalf("TickOf(90s) = %d", got)
+	}
+	if got := Tick(90).Duration(); got != 90*time.Second {
+		t.Fatalf("Tick(90).Duration() = %v", got)
+	}
+	century := YearTicks(100)
+	if got := century.Years(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("YearTicks(100).Years() = %v", got)
+	}
+	// A millennium is fine in Ticks and exact in Years...
+	millennium := YearTicks(1000)
+	if got := millennium.Years(); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("YearTicks(1000).Years() = %v", got)
+	}
+	// ...and saturates instead of wrapping when forced into a Duration.
+	if got := millennium.Duration(); got != MaxHorizon {
+		t.Fatalf("YearTicks(1000).Duration() = %v, want MaxHorizon", got)
+	}
+	if got := TickOf(MaxHorizon).Duration(); got > MaxHorizon || got < MaxHorizon-time.Second {
+		t.Fatalf("TickOf(MaxHorizon).Duration() = %v", got)
+	}
+}

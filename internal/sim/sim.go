@@ -31,16 +31,78 @@ const (
 	Year = time.Duration(365.25 * 24 * float64(time.Hour))
 )
 
+// MaxHorizon is the longest representable virtual time: 2^63-1
+// nanoseconds, about 292.47 Julian years. Horizon arithmetic that could
+// pass it must saturate (Mul) or move to the coarse Tick clock — the
+// centurytime analyzer enforces this at build time.
+const MaxHorizon = time.Duration(1<<63 - 1)
+
 // Years converts a (possibly fractional) number of Julian years to a
-// Duration.
+// Duration, clamping at ±MaxHorizon: a 300-year request yields the
+// horizon ceiling, never a wrapped negative time.
 func Years(y float64) time.Duration {
-	return time.Duration(y * float64(Year))
+	ns := y * float64(Year)
+	if ns >= float64(MaxHorizon) {
+		return MaxHorizon
+	}
+	if ns <= -float64(MaxHorizon) {
+		return -MaxHorizon
+	}
+	return time.Duration(ns)
 }
 
 // ToYears converts a Duration to fractional Julian years.
 func ToYears(d time.Duration) float64 {
 	return float64(d) / float64(Year)
 }
+
+// Mul multiplies a unitless count by a duration unit, saturating at
+// ±MaxHorizon instead of wrapping. This is the safe form of
+// `time.Duration(n) * unit` for counts that may be century-scale:
+// Mul(293, sim.Year) returns MaxHorizon where the raw multiplication
+// returns a negative time 292 years in the past.
+func Mul(count int64, unit time.Duration) time.Duration {
+	if count == 0 || unit == 0 {
+		return 0
+	}
+	sat := MaxHorizon
+	if (count < 0) != (unit < 0) {
+		sat = -MaxHorizon
+	}
+	// MinInt64 edge cases overflow in a way the division check below
+	// cannot see (MinInt64 / -1 == MinInt64 in two's complement).
+	if (count == -1 && unit == -MaxHorizon-1) || (int64(unit) == -1 && count == int64(-MaxHorizon-1)) {
+		return sat
+	}
+	p := unit * time.Duration(count)
+	if p/time.Duration(count) != unit {
+		return sat
+	}
+	return p
+}
+
+// A Tick is virtual time counted in whole seconds: the coarse clock for
+// quantities that can outgrow the nanosecond Duration. One-second
+// resolution covers ±292 billion years, so Tick arithmetic cannot
+// meaningfully overflow on any horizon this repository simulates.
+// Maintenance ledgers, wear-out schedules, and anything else carrying
+// multi-century spans should accumulate in Ticks and convert to
+// Duration only at the edge, where Duration saturates the excess.
+type Tick int64
+
+// TickOf truncates d to whole virtual seconds.
+func TickOf(d time.Duration) Tick { return Tick(d / time.Second) }
+
+// YearTicks converts (possibly fractional) Julian years to Ticks.
+func YearTicks(y float64) Tick { return Tick(y * 365.25 * 24 * 3600) }
+
+// Duration converts back to nanosecond resolution, saturating at
+// ±MaxHorizon for spans beyond ~292 years.
+func (t Tick) Duration() time.Duration { return Mul(int64(t), time.Second) }
+
+// Years converts to fractional Julian years without a Duration
+// intermediate, so it stays exact far past the 292-year ceiling.
+func (t Tick) Years() float64 { return float64(t) / (365.25 * 24 * 3600) }
 
 // Event is a scheduled callback. The callback runs with the clock set to
 // the event's time.
@@ -207,7 +269,7 @@ func (e *Engine) Run(horizon time.Duration) time.Duration {
 // no horizon, and leaves the clock at the last executed event. Use only for
 // schedules known to terminate.
 func (e *Engine) RunAll() time.Duration {
-	e.run(time.Duration(1<<63 - 1))
+	e.run(MaxHorizon)
 	return e.now
 }
 
