@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-gate lint-baseline race check bench bench-tsdb
+.PHONY: build test vet lint lint-gate lint-baseline race check bench bench-tsdb bench-obs smoke-obs
 
 build:
 	$(GO) build ./...
@@ -62,3 +62,17 @@ bench:
 bench-tsdb:
 	$(GO) test -run '^$$' -bench 'BenchmarkTSDB' -benchmem ./internal/tsdb/
 	$(GO) test -run '^$$' -bench 'BenchmarkUplink' -benchmem ./internal/daemon/
+
+# bench-obs measures the observability layer: metric primitives, the
+# exposition renderer, and — the number the 5% ingest overhead budget is
+# judged against — instrumented vs bare cloud ingest. Compare against
+# the committed BENCH_obs.json baseline.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchmem ./internal/obs/
+	$(GO) test -run '^$$' -bench 'BenchmarkIngest' -benchmem ./internal/cloud/
+
+# smoke-obs boots endpointd with a debug listener, scrapes /metrics and
+# /healthz, and fails on a non-200 or empty exposition — the CI check
+# that the flag wiring actually serves.
+smoke-obs:
+	./scripts/smoke_obs.sh

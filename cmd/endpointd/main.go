@@ -42,6 +42,7 @@ import (
 	"centuryscale/internal/chaos"
 	"centuryscale/internal/cloud"
 	"centuryscale/internal/daemon"
+	"centuryscale/internal/obs"
 	"centuryscale/internal/tsdb"
 )
 
@@ -62,6 +63,7 @@ func main() {
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
 	)
 	cf := daemon.RegisterChaosFlags()
+	of := daemon.RegisterObsFlags()
 	flag.Parse()
 	if *master == "" {
 		log.Fatal("endpointd: -master is required")
@@ -110,15 +112,31 @@ func main() {
 	server := cloud.NewServer(store, time.Now())
 	server.SetIngestLimit(*maxInFl)
 	server.SetRetryAfter(*retryAfter)
+
+	reg := obs.NewRegistry()
+	store.RegisterMetrics(reg, nil)
+	store.DB().RegisterMetrics(reg)
+
 	var handler http.Handler = server
 	if cf.Enabled() {
 		log.Printf("endpointd: chaos injection enabled (seed %d)", cf.Seed)
-		handler = chaos.Handler(handler, cf.Config())
+		in := chaos.NewInjector(cf.Config())
+		in.RegisterMetrics(reg, "chaos")
+		handler = chaos.HandlerWith(handler, in)
 	}
+
+	health := obs.NewHealth()
+	health.Register("ingest", func() error {
+		if server.Degraded() {
+			return errors.New("checkpointing failing; shedding ingest")
+		}
+		return nil
+	})
 
 	srv := &http.Server{Addr: *listen, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	of.Serve(ctx, log.Printf, reg, health)
 
 	if *snapshot != "" {
 		go func() {

@@ -19,6 +19,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os/signal"
@@ -29,6 +30,7 @@ import (
 	"centuryscale/internal/daemon"
 	"centuryscale/internal/gateway"
 	"centuryscale/internal/lpwan"
+	"centuryscale/internal/obs"
 	"centuryscale/internal/resilience"
 )
 
@@ -42,6 +44,7 @@ func main() {
 	)
 	rf := daemon.RegisterResilienceFlags()
 	cf := daemon.RegisterChaosFlags()
+	of := daemon.RegisterObsFlags()
 	flag.Parse()
 
 	inner := &daemon.HTTPUplink{URL: *endpoint, Client: cf.HTTPClient(10 * time.Second)}
@@ -67,6 +70,21 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	reg := obs.NewRegistry()
+	gw.RegisterMetrics(reg)
+	up.RegisterMetrics(reg, "uplink")
+	if in := cf.Injector(); in != nil {
+		in.RegisterMetrics(reg, "chaos")
+	}
+	health := obs.NewHealth()
+	health.Register("uplink", func() error {
+		if st := up.Stats(); st.State == resilience.BreakerOpen {
+			return fmt.Errorf("breaker open; %d payloads buffered", st.QueueLen)
+		}
+		return nil
+	})
+	of.Serve(ctx, log.Printf, reg, health)
 
 	log.Printf("gatewayd %s: forwarding %s -> %s (queue %d)", *id, conn.LocalAddr(), *endpoint, rf.Queue)
 	if err := daemon.ServeUDP(ctx, conn, gw); err != nil {

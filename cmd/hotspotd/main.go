@@ -16,6 +16,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os/signal"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"centuryscale/internal/daemon"
+	"centuryscale/internal/obs"
 	"centuryscale/internal/resilience"
 )
 
@@ -34,6 +36,7 @@ func main() {
 	)
 	rf := daemon.RegisterResilienceFlags()
 	cf := daemon.RegisterChaosFlags()
+	of := daemon.RegisterObsFlags()
 	flag.Parse()
 
 	inner := &daemon.RouterUplink{URL: *router, Client: cf.HTTPClient(10 * time.Second)}
@@ -48,6 +51,20 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	reg := obs.NewRegistry()
+	up.RegisterMetrics(reg, "uplink")
+	if in := cf.Injector(); in != nil {
+		in.RegisterMetrics(reg, "chaos")
+	}
+	health := obs.NewHealth()
+	health.Register("uplink", func() error {
+		if st := up.Stats(); st.State == resilience.BreakerOpen {
+			return fmt.Errorf("breaker open; %d frames buffered", st.QueueLen)
+		}
+		return nil
+	})
+	of.Serve(ctx, log.Printf, reg, health)
 
 	log.Printf("hotspotd: forwarding %s -> %s (queue %d)", conn.LocalAddr(), *router, rf.Queue)
 	if err := daemon.ServeHotspotUplink(ctx, conn, up); err != nil {

@@ -286,7 +286,13 @@ func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
 // TCP request, so unreachable kinds degrade to refusal), and slow
 // responses delay h. This is the operator's endpoint-overload drill.
 func Handler(h http.Handler, cfg Config) http.Handler {
-	in := NewInjector(cfg)
+	return HandlerWith(h, NewInjector(cfg))
+}
+
+// HandlerWith is Handler with a caller-owned injector, for hosts that
+// need to keep a handle on the schedule — to assert its History, or to
+// export its Stats as metrics — after wiring the middleware in.
+func HandlerWith(h http.Handler, in *Injector) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch in.Next() {
 		case FaultOutage, FaultDrop, FaultErr:
@@ -294,7 +300,7 @@ func Handler(h http.Handler, cfg Config) http.Handler {
 			http.Error(w, "chaos: injected unavailability", http.StatusServiceUnavailable)
 			return
 		case FaultSlow:
-			time.Sleep(cfg.slowDelay())
+			time.Sleep(in.Config().slowDelay())
 		}
 		h.ServeHTTP(w, r)
 	})

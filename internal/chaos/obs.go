@@ -1,0 +1,23 @@
+package chaos
+
+import "centuryscale/internal/obs"
+
+// RegisterMetrics exposes the injector's fault counters on reg under the
+// given prefix (e.g. "chaos_client"), so a daemon injecting faults on
+// both its client and serving sides can export both schedules. Values
+// are scrape-time closures over Stats; the request path gains nothing.
+func (in *Injector) RegisterMetrics(reg *obs.Registry, prefix string) {
+	count := func(read func(Stats) uint64) func() uint64 {
+		return func() uint64 { return read(in.Stats()) }
+	}
+	reg.CounterFunc(prefix+"_requests_total", "requests that passed through the fault schedule",
+		count(func(s Stats) uint64 { return s.Requests }))
+	reg.CounterFunc(prefix+"_outages_total", "requests failed by the scheduled outage window",
+		count(func(s Stats) uint64 { return s.Outages }))
+	reg.CounterFunc(prefix+"_drops_total", "requests failed as dropped connections",
+		count(func(s Stats) uint64 { return s.Drops }))
+	reg.CounterFunc(prefix+"_errs_total", "requests answered with injected 503s",
+		count(func(s Stats) uint64 { return s.Errs }))
+	reg.CounterFunc(prefix+"_slows_total", "requests delayed by injected latency",
+		count(func(s Stats) uint64 { return s.Slows }))
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"centuryscale/internal/lpwan"
@@ -51,7 +52,9 @@ type Reading struct {
 	Packet telemetry.Packet
 }
 
-// IngestStats counts the endpoint's traffic disposition.
+// IngestStats counts the endpoint's traffic disposition. It is the
+// plain-value snapshot/export form (JSON in snapshots and /status); the
+// live counters behind it are atomics (ingestCounters).
 type IngestStats struct {
 	Accepted        uint64
 	Duplicates      uint64 // same packet via a second gateway, or replay
@@ -61,6 +64,46 @@ type IngestStats struct {
 	LeaseLapsed     uint64 // arrived while the public endpoint was dark
 	Quarantined     uint64 // from devices whose trust has been revoked
 	PersistFailures uint64 // WAL append failed; packet refused, not acked
+}
+
+// ingestCounters is the live, lock-free backing of IngestStats. Every
+// disposition is one atomic add: a storm of rejects (malformed floods, a
+// replayed batch, a quarantined fleet) must not serialize all cores on
+// the aux mutex just to count itself — that lock is for the small policy
+// state, not the hot path.
+type ingestCounters struct {
+	accepted        atomic.Uint64
+	duplicates      atomic.Uint64
+	badSignature    atomic.Uint64
+	malformed       atomic.Uint64
+	unknownDev      atomic.Uint64
+	leaseLapsed     atomic.Uint64
+	quarantined     atomic.Uint64
+	persistFailures atomic.Uint64
+}
+
+func (c *ingestCounters) snapshot() IngestStats {
+	return IngestStats{
+		Accepted:        c.accepted.Load(),
+		Duplicates:      c.duplicates.Load(),
+		BadSignature:    c.badSignature.Load(),
+		Malformed:       c.malformed.Load(),
+		UnknownDev:      c.unknownDev.Load(),
+		LeaseLapsed:     c.leaseLapsed.Load(),
+		Quarantined:     c.quarantined.Load(),
+		PersistFailures: c.persistFailures.Load(),
+	}
+}
+
+func (c *ingestCounters) restore(st IngestStats) {
+	c.accepted.Store(st.Accepted)
+	c.duplicates.Store(st.Duplicates)
+	c.badSignature.Store(st.BadSignature)
+	c.malformed.Store(st.Malformed)
+	c.unknownDev.Store(st.UnknownDev)
+	c.leaseLapsed.Store(st.LeaseLapsed)
+	c.quarantined.Store(st.Quarantined)
+	c.persistFailures.Store(st.PersistFailures)
 }
 
 // ErrPersist wraps a storage-engine append failure: the reading was NOT
@@ -80,15 +123,23 @@ type guardShard struct {
 // Store is the endpoint state: authenticated time-series per device plus
 // the weekly-uptime ledger. Safe for concurrent use. The hot ingest path
 // takes only its device's guard-shard lock and the matching storage
-// shard lock; the aux mutex guards the small policy state (stats, weeks,
-// lapses, quarantine) for nanoseconds at a time.
+// shard lock; disposition counting is lock-free atomics; the aux mutex
+// guards the small policy state (weeks, lapses, quarantine) for
+// nanoseconds at a time.
 type Store struct {
 	keys   KeyResolver
 	db     *tsdb.DB
 	guards []*guardShard
 
-	mu    sync.Mutex // aux state only; never held across db calls
-	stats IngestStats
+	stats ingestCounters // lock-free; see IngestStats for the export form
+
+	// obs is the optional ingest latency histogram, installed by
+	// RegisterMetrics. An atomic pointer rather than a field set at
+	// construction so un-instrumented stores (simulations, tests) pay
+	// one predictable nil-check and nothing else.
+	obs atomic.Pointer[ingestObs]
+
+	mu    sync.Mutex     // aux state only; never held across db calls
 	weeks map[int64]bool // week index -> data arrived
 
 	// lapses are [from,to) windows when the endpoint was unreachable
@@ -190,30 +241,43 @@ var (
 // success the reading is as durable as the storage engine's fsync policy
 // guarantees before Ingest returns — the acknowledgement contract.
 func (s *Store) Ingest(at time.Duration, wire []byte) error {
+	o := s.obs.Load()
+	if o == nil {
+		return s.ingest(at, wire)
+	}
+	// Measured without defer: a closure capture here would put an
+	// allocation on every packet.
+	start := o.latency.Now()
+	err := s.ingest(at, wire)
+	o.latency.ObserveSince(start)
+	return err
+}
+
+func (s *Store) ingest(at time.Duration, wire []byte) error {
 	p, err := telemetry.Parse(wire)
 	if err != nil {
-		s.bump(&s.stats.Malformed)
+		s.stats.malformed.Add(1)
 		return err
 	}
 	key, ok := s.keys(p.Device)
 	if !ok {
-		s.bump(&s.stats.UnknownDev)
+		s.stats.unknownDev.Add(1)
 		return fmt.Errorf("%w: %v", ErrUnknownDevice, p.Device)
 	}
 	if _, err := telemetry.Verify(wire, key); err != nil {
-		s.bump(&s.stats.BadSignature)
+		s.stats.badSignature.Add(1)
 		return err
 	}
 
 	s.mu.Lock()
 	if s.inLapseLocked(at) {
-		s.stats.LeaseLapsed++
 		s.mu.Unlock()
+		s.stats.leaseLapsed.Add(1)
 		return ErrLeaseLapsed
 	}
 	if s.quarantinedLocked(p.Device, at) {
-		s.stats.Quarantined++
 		s.mu.Unlock()
+		s.stats.quarantined.Add(1)
 		return fmt.Errorf("%w: %v", ErrQuarantined, p.Device)
 	}
 	s.mu.Unlock()
@@ -226,28 +290,22 @@ func (s *Store) Ingest(at time.Duration, wire []byte) error {
 	gs.mu.Lock()
 	if err := gs.guard.Fresh(p); err != nil {
 		gs.mu.Unlock()
-		s.bump(&s.stats.Duplicates)
+		s.stats.duplicates.Add(1)
 		return err
 	}
 	if err := s.db.Append(pointOf(at, p)); err != nil { //lint:lockedio Fresh/Append/Admit must commit atomically under the per-device guard shard, or a crash between them acks an unpersisted packet; the lock is sharded per device, never global
 		gs.mu.Unlock()
-		s.bump(&s.stats.PersistFailures)
+		s.stats.persistFailures.Add(1)
 		return fmt.Errorf("%w: %v", ErrPersist, err)
 	}
 	_ = gs.guard.Admit(p) // cannot fail: Fresh held under the same lock
 	gs.mu.Unlock()
 
+	s.stats.accepted.Add(1)
 	s.mu.Lock()
-	s.stats.Accepted++
 	s.weeks[int64(at/sim.Week)] = true
 	s.mu.Unlock()
 	return nil
-}
-
-func (s *Store) bump(counter *uint64) {
-	s.mu.Lock()
-	*counter++
-	s.mu.Unlock()
 }
 
 // ReplayWAL rolls the storage engine's write-ahead log forward over
@@ -265,8 +323,8 @@ func (s *Store) ReplayWAL() (tsdb.ReplayStats, error) {
 		if err != nil {
 			return false
 		}
+		s.stats.accepted.Add(1)
 		s.mu.Lock()
-		s.stats.Accepted++
 		s.weeks[int64(pt.At/sim.Week)] = true
 		s.mu.Unlock()
 		return true
@@ -298,11 +356,12 @@ func readingOf(pt tsdb.Point) Reading {
 	return Reading{At: pt.At, Packet: packetOf(pt)}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Each field is individually
+// exact; a snapshot taken while ingest races may tear between fields
+// (e.g. an accept counted but its week not yet ledgered) — at
+// quiescence it is exact in full.
 func (s *Store) Stats() IngestStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return s.stats.snapshot()
 }
 
 // Devices returns the addresses with stored data, sorted.
@@ -334,9 +393,7 @@ func (s *Store) HistoryRange(dev lpwan.EUI64, from, to time.Duration) []Reading 
 
 // Count returns the total accepted readings.
 func (s *Store) Count() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats.Accepted
+	return s.stats.accepted.Load()
 }
 
 // WeeklyUptime returns the paper's end-to-end metric over [0, horizon):
@@ -361,23 +418,107 @@ func (s *Store) WeeklyUptime(horizon time.Duration) float64 {
 // packets (across all devices) within [0, horizon), including the gap from
 // the last packet to the horizon. It answers "how close did the
 // experiment come to missing its weekly deadline".
+//
+// The fleet's history is already mostly ordered: each device's series is
+// in arrival order, which is sorted by At within one daemon run. So
+// instead of flattening every point into one slice and re-sorting the
+// whole history (O(n log n) per call, with n growing for 50 years), we
+// k-way merge the per-device runs through a min-heap: O(n log k) time
+// and O(k) heap state, with only the 8-byte times copied out of the
+// shards. A device whose run is locally unsorted (a restart resets the
+// arrival clock) is detected and sorted alone before the merge.
 func (s *Store) LongestGap(horizon time.Duration) time.Duration {
-	var times []time.Duration
-	s.db.ForEach(func(p tsdb.Point) { times = append(times, p.At) })
-	if len(times) == 0 {
+	series := s.db.TimesByDevice()
+	h := make(gapHeap, 0, len(series))
+	for _, ts := range series {
+		if len(ts) == 0 {
+			continue
+		}
+		if !sortedTimes(ts) {
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		}
+		h = append(h, gapCursor{ts: ts})
+	}
+	if len(h) == 0 {
 		return horizon
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	gap := times[0]
-	for i := 1; i < len(times); i++ {
-		if d := times[i] - times[i-1]; d > gap {
+	h.init()
+
+	// Streaming min-merge: each pop yields the globally next arrival.
+	prev := time.Duration(0) // gap from experiment start to first packet counts
+	var gap time.Duration
+	for len(h) > 0 {
+		cur := &h[0]
+		at := cur.ts[cur.i]
+		if d := at - prev; d > gap {
 			gap = d
 		}
+		prev = at
+		cur.i++
+		if cur.i == len(cur.ts) {
+			h.popRoot()
+		} else {
+			h.siftDown(0)
+		}
 	}
-	if d := horizon - times[len(times)-1]; d > gap {
+	if d := horizon - prev; d > gap {
 		gap = d
 	}
 	return gap
+}
+
+func sortedTimes(ts []time.Duration) bool {
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// gapCursor walks one device's sorted arrival times.
+type gapCursor struct {
+	ts []time.Duration
+	i  int
+}
+
+// gapHeap is a min-heap of cursors ordered by their next arrival time —
+// hand-rolled so the merge stays allocation-free after setup (the
+// container/heap interface boxes every operation).
+type gapHeap []gapCursor
+
+func (h gapHeap) less(i, j int) bool { return h[i].ts[h[i].i] < h[j].ts[h[j].i] }
+
+func (h gapHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h gapHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(h) && h.less(l, least) {
+			least = l
+		}
+		if r < len(h) && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// popRoot removes the root cursor (its series is exhausted).
+func (h *gapHeap) popRoot() {
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	h.siftDown(0)
 }
 
 // DomainLeaseSchedule returns the renewal deadlines the operators must

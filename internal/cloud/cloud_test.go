@@ -2,12 +2,16 @@ package cloud
 
 import (
 	"errors"
+	"math/rand"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"centuryscale/internal/lpwan"
 	"centuryscale/internal/sim"
 	"centuryscale/internal/telemetry"
+	"centuryscale/internal/tsdb"
 )
 
 var master = []byte("fleet-master-secret")
@@ -77,6 +81,74 @@ func TestIngestRejectsUnknownDevice(t *testing.T) {
 	}
 }
 
+// TestConcurrentIngestStats hammers every disposition counter from many
+// goroutines and checks the totals are exact. Run under -race this also
+// pins the locking contract: disposition counting is lock-free atomics,
+// not the aux mutex.
+func TestConcurrentIngestStats(t *testing.T) {
+	const workers, each = 8, 200
+	s := NewStore(StaticKeys(master))
+
+	type load struct{ good, bad, junk, unknown [][]byte }
+	loads := make([]load, workers)
+	unknownKeys := StaticKeys([]byte("some other fleet"))
+	for w := 0; w < workers; w++ {
+		for i := 0; i < each; i++ {
+			good := sealed(t, uint64(w+1), uint32(i+1), 1)
+			bad := sealed(t, uint64(w+1), uint32(i+1), 1)
+			bad[15] ^= 0xff
+			id := lpwan.EUIFromUint64(uint64(1000 + w))
+			key, _ := unknownKeys(id)
+			stranger, err := telemetry.Packet{Device: id, Seq: uint32(i + 1)}.Seal(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loads[w].good = append(loads[w].good, good)
+			loads[w].bad = append(loads[w].bad, bad)
+			loads[w].junk = append(loads[w].junk, []byte("junk"))
+			loads[w].unknown = append(loads[w].unknown, stranger)
+		}
+	}
+	resolver := func(dev lpwan.EUI64) (telemetry.Key, bool) {
+		if dev.Uint64() >= 1000 {
+			return nil, false
+		}
+		return telemetry.DeriveKey(master, dev), true
+	}
+	s = NewStore(resolver)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(l load) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				at := time.Duration(i) * time.Hour
+				_ = s.Ingest(at, l.good[i]) // accepted
+				_ = s.Ingest(at, l.good[i]) // duplicate (same device, same seq)
+				_ = s.Ingest(at, l.bad[i])
+				_ = s.Ingest(at, l.junk[i])
+				_ = s.Ingest(at, l.unknown[i])
+			}
+		}(loads[w])
+	}
+	wg.Wait()
+
+	want := IngestStats{
+		Accepted:     workers * each,
+		Duplicates:   workers * each,
+		BadSignature: workers * each,
+		Malformed:    workers * each,
+		UnknownDev:   workers * each,
+	}
+	if got := s.Stats(); got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+	if s.Count() != workers*each {
+		t.Fatalf("count = %d, want %d", s.Count(), workers*each)
+	}
+}
+
 func TestDuplicateViaSecondGateway(t *testing.T) {
 	s := NewStore(StaticKeys(master))
 	wire := sealed(t, 1, 5, 1)
@@ -135,6 +207,68 @@ func TestLongestGap(t *testing.T) {
 	empty := NewStore(StaticKeys(master))
 	if got := empty.LongestGap(sim.Week); got != sim.Week {
 		t.Fatalf("empty-store gap = %v", got)
+	}
+}
+
+// naiveLongestGap is the reference implementation the k-way merge
+// replaced: flatten every arrival time and sort the whole history.
+func naiveLongestGap(s *Store, horizon time.Duration) time.Duration {
+	var times []time.Duration
+	s.DB().ForEach(func(p tsdb.Point) { times = append(times, p.At) })
+	if len(times) == 0 {
+		return horizon
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	gap := times[0]
+	for i := 1; i < len(times); i++ {
+		if d := times[i] - times[i-1]; d > gap {
+			gap = d
+		}
+	}
+	if d := horizon - times[len(times)-1]; d > gap {
+		gap = d
+	}
+	return gap
+}
+
+// TestLongestGapMatchesNaive drives a many-device fleet with randomized
+// arrival times — per-device series deliberately NOT sorted by At, the
+// shape a restarted daemon's reset arrival clock leaves behind — and
+// checks the merge agrees exactly with the flatten-and-sort reference.
+func TestLongestGapMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewStore(StaticKeys(master))
+	seqs := make(map[uint64]uint32)
+	for i := 0; i < 3000; i++ {
+		dev := uint64(rng.Intn(25) + 1)
+		seqs[dev]++
+		at := time.Duration(rng.Int63n(int64(100 * sim.Day)))
+		if err := s.Ingest(at, sealed(t, dev, seqs[dev], 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, horizon := range []time.Duration{100 * sim.Day, 101 * sim.Day, 365 * sim.Day} {
+		want := naiveLongestGap(s, horizon)
+		if got := s.LongestGap(horizon); got != want {
+			t.Fatalf("horizon %v: merge gap = %v, naive = %v", horizon, got, want)
+		}
+	}
+}
+
+// TestLongestGapSingleDeviceDominates pins the cross-device property:
+// one chatty device must not mask another's silence — the gap is over
+// the union of arrivals, not per device.
+func TestLongestGapSingleDeviceDominates(t *testing.T) {
+	s := NewStore(StaticKeys(master))
+	// Device 1 reports daily for 10 days; device 2 only at day 0.
+	for d := 0; d < 10; d++ {
+		_ = s.Ingest(time.Duration(d)*sim.Day, sealed(t, 1, uint32(d+1), 1))
+	}
+	_ = s.Ingest(0, sealed(t, 2, 1, 1))
+	// Union of arrivals is daily: the longest gap is the 2-day tail to
+	// the 11-day horizon, not device 2's 11 days of silence.
+	if got := s.LongestGap(11 * sim.Day); got != 2*sim.Day {
+		t.Fatalf("gap = %v, want %v", got, 2*sim.Day)
 	}
 }
 

@@ -1,0 +1,29 @@
+package cloud
+
+import "centuryscale/internal/obs"
+
+// ingestObs is the hot-path slice of the endpoint's instrumentation: the
+// one histogram Ingest itself touches. Everything else is bridged as
+// scrape-time closures over counters the store already keeps.
+type ingestObs struct {
+	latency *obs.Histogram
+}
+
+// RegisterMetrics exposes the endpoint's ingest disposition counters and
+// installs a packet-latency histogram on reg under the cloud_ prefix.
+// clock feeds the histogram's Now/ObserveSince (nil means process wall
+// time); deterministic hosts pass their virtual clock so two seeded runs
+// scrape byte-identical latency sums.
+func (s *Store) RegisterMetrics(reg *obs.Registry, clock obs.Clock) {
+	reg.CounterFunc("cloud_ingest_accepted_total", "packets verified, persisted, and acknowledged", s.stats.accepted.Load)
+	reg.CounterFunc("cloud_ingest_duplicates_total", "packets rejected as replays or dual-gateway duplicates", s.stats.duplicates.Load)
+	reg.CounterFunc("cloud_ingest_bad_signature_total", "packets failing HMAC verification", s.stats.badSignature.Load)
+	reg.CounterFunc("cloud_ingest_malformed_total", "packets failing structural parse", s.stats.malformed.Load)
+	reg.CounterFunc("cloud_ingest_unknown_device_total", "packets from devices the key resolver refused", s.stats.unknownDev.Load)
+	reg.CounterFunc("cloud_ingest_lease_lapsed_total", "packets arriving while the public endpoint was dark", s.stats.leaseLapsed.Load)
+	reg.CounterFunc("cloud_ingest_quarantined_total", "packets from devices whose trust was revoked", s.stats.quarantined.Load)
+	reg.CounterFunc("cloud_ingest_persist_failures_total", "packets refused because the WAL append failed", s.stats.persistFailures.Load)
+	s.obs.Store(&ingestObs{
+		latency: reg.Histogram("cloud_ingest_seconds", "wall time per Ingest call, all dispositions", nil, clock),
+	})
+}

@@ -55,7 +55,7 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	s.mu.Lock()
 	snap := snapshotFile{
 		Version: snapshotVersion,
-		Stats:   s.stats,
+		Stats:   s.stats.snapshot(),
 		Weeks:   make([]int64, 0, len(s.weeks)),
 	}
 	for wk := range s.weeks {
@@ -156,8 +156,8 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		}
 	}
 
+	s.stats.restore(snap.Stats)
 	s.mu.Lock()
-	s.stats = snap.Stats
 	s.weeks = weeks
 	s.lapses = lapses
 	s.mu.Unlock()

@@ -60,6 +60,8 @@ type ChaosFlags struct {
 	Slow        float64
 	OutageAfter int
 	OutageLen   int
+
+	rt *chaos.RoundTripper // built by HTTPClient; see Injector
 }
 
 // RegisterChaosFlags declares the standard chaos flags on the process
@@ -99,8 +101,19 @@ func (f *ChaosFlags) HTTPClient(timeout time.Duration) *http.Client {
 	if !f.Enabled() {
 		return nil
 	}
+	f.rt = chaos.NewRoundTripper(nil, f.Config())
 	return &http.Client{
 		Timeout:   timeout,
-		Transport: chaos.NewRoundTripper(nil, f.Config()),
+		Transport: f.rt,
 	}
+}
+
+// Injector returns the client-side fault schedule HTTPClient built, so
+// the daemon can export its counters as metrics. Nil until HTTPClient
+// has run with injection enabled.
+func (f *ChaosFlags) Injector() *chaos.Injector {
+	if f.rt == nil {
+		return nil
+	}
+	return f.rt.Injector()
 }

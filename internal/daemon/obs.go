@@ -1,0 +1,54 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net/http"
+	"time"
+
+	"centuryscale/internal/obs"
+)
+
+// ObsFlags carries the shared observability knob of one daemon. The
+// debug surface is a separate listener from the service port on purpose:
+// an operator firewalls it to localhost/ops networks, and a melting
+// service port never takes the diagnostics down with it.
+type ObsFlags struct {
+	DebugAddr string
+}
+
+// RegisterObsFlags declares the standard -debug-addr flag on the process
+// flag set and returns its destination.
+func RegisterObsFlags() *ObsFlags {
+	f := &ObsFlags{}
+	flag.StringVar(&f.DebugAddr, "debug-addr", "",
+		"debug HTTP listen address for /metrics, /healthz, and /debug/pprof (empty = disabled)")
+	return f
+}
+
+// Enabled reports whether a debug server was requested.
+func (f *ObsFlags) Enabled() bool { return f.DebugAddr != "" }
+
+// Serve starts the debug server (obs.DebugMux over reg and health) on
+// its own listener, shutting it down when ctx is cancelled. It returns
+// immediately; with no -debug-addr it does nothing. Startup failures
+// (port taken, bad address) are reported through logf rather than
+// killing the daemon: the datapath must not die for want of diagnostics.
+func (f *ObsFlags) Serve(ctx context.Context, logf func(string, ...any), reg *obs.Registry, health *obs.Health) {
+	if !f.Enabled() {
+		return
+	}
+	srv := &http.Server{Addr: f.DebugAddr, Handler: obs.DebugMux(reg, health)}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logf("debug server on %s: %v", f.DebugAddr, err)
+		}
+	}()
+}

@@ -1,0 +1,166 @@
+package daemon
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"centuryscale/internal/cloud"
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/obs"
+	"centuryscale/internal/telemetry"
+)
+
+var obsMaster = []byte("obs-test-master")
+
+func obsSealed(t *testing.T, dev uint64, seq uint32) []byte {
+	t.Helper()
+	id := lpwan.EUIFromUint64(dev)
+	wire, err := telemetry.Packet{Device: id, Seq: seq, Value: 1}.Seal(telemetry.DeriveKey(obsMaster, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// stepClock returns a deterministic obs.Clock: every reading advances it
+// by 1ms, so a fixed observation sequence yields fixed latencies.
+func stepClock() obs.Clock {
+	var n int64
+	return func() time.Duration {
+		n++
+		return time.Duration(n) * time.Millisecond
+	}
+}
+
+// driveSeededWorkload ingests a seed-determined mix of accepted,
+// duplicate, malformed, and bad-signature packets.
+func driveSeededWorkload(t *testing.T, store *cloud.Store, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seqs := make(map[uint64]uint32)
+	for i := 0; i < 500; i++ {
+		dev := uint64(rng.Intn(8) + 1)
+		at := time.Duration(i) * time.Minute
+		switch rng.Intn(4) {
+		case 0, 1: // accepted
+			seqs[dev]++
+			if err := store.Ingest(at, obsSealed(t, dev, seqs[dev])); err != nil {
+				t.Fatal(err)
+			}
+		case 2: // duplicate (replay of the device's last accepted seq)
+			if seqs[dev] == 0 {
+				seqs[dev]++
+				_ = store.Ingest(at, obsSealed(t, dev, seqs[dev]))
+			}
+			_ = store.Ingest(at, obsSealed(t, dev, seqs[dev]))
+		case 3: // malformed or tampered
+			if rng.Intn(2) == 0 {
+				_ = store.Ingest(at, []byte("garbage"))
+			} else {
+				wire := obsSealed(t, dev, seqs[dev]+1000)
+				wire[13] ^= 0xff
+				_ = store.Ingest(at, wire)
+			}
+		}
+	}
+}
+
+// metricValue extracts one un-labelled sample value from an exposition.
+func metricValue(t *testing.T, exp []byte, name string) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(string(exp), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: parsing %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, exp)
+	return 0
+}
+
+// TestDebugMetricsMatchStoreStats boots the daemon debug surface over a
+// live store, drives ingest, and checks the scraped counters agree with
+// Store.Stats() exactly.
+func TestDebugMetricsMatchStoreStats(t *testing.T) {
+	store := cloud.NewStore(cloud.StaticKeys(obsMaster))
+	reg := obs.NewRegistry()
+	store.RegisterMetrics(reg, stepClock())
+	store.DB().RegisterMetrics(reg)
+
+	health := obs.NewHealth()
+	health.Register("ingest", func() error { return nil })
+	srv := httptest.NewServer(obs.DebugMux(reg, health))
+	defer srv.Close()
+
+	driveSeededWorkload(t, store, 1)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	exp, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+
+	st := store.Stats()
+	for name, want := range map[string]uint64{
+		"cloud_ingest_accepted_total":      st.Accepted,
+		"cloud_ingest_duplicates_total":    st.Duplicates,
+		"cloud_ingest_malformed_total":     st.Malformed,
+		"cloud_ingest_bad_signature_total": st.BadSignature,
+		"tsdb_appended_total":              st.Accepted, // every accept is one append
+		"cloud_ingest_seconds_count":       st.Accepted + st.Duplicates + st.Malformed + st.BadSignature,
+	} {
+		if got := metricValue(t, exp, name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if st.Accepted == 0 || st.Duplicates == 0 || st.Malformed == 0 || st.BadSignature == 0 {
+		t.Fatalf("workload did not exercise every disposition: %+v", st)
+	}
+
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", hr.StatusCode)
+	}
+}
+
+// TestExpositionByteIdenticalAcrossRuns is the determinism acceptance
+// check: two daemons running the identical seed-1 workload serve
+// byte-identical /metrics expositions — the seed-identifies-the-run
+// contract extended to the observability layer.
+func TestExpositionByteIdenticalAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		store := cloud.NewStore(cloud.StaticKeys(obsMaster))
+		reg := obs.NewRegistry()
+		store.RegisterMetrics(reg, stepClock())
+		store.DB().RegisterMetrics(reg)
+		driveSeededWorkload(t, store, 1)
+		rec := httptest.NewRecorder()
+		obs.MetricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		return rec.Body.Bytes()
+	}
+	e1, e2 := run(), run()
+	if !bytes.Equal(e1, e2) {
+		t.Fatalf("two seed-1 runs rendered different /metrics bytes:\n%s\n---\n%s", e1, e2)
+	}
+	if len(e1) == 0 {
+		t.Fatal("empty exposition")
+	}
+}

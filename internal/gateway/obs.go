@@ -1,0 +1,22 @@
+package gateway
+
+import "centuryscale/internal/obs"
+
+// RegisterMetrics exposes the gateway's forwarding counters on reg under
+// the gateway_ prefix, as scrape-time closures over the stats the
+// gateway already keeps — HandleFrame gains nothing.
+func (g *Gateway) RegisterMetrics(reg *obs.Registry) {
+	count := func(read func(Stats) uint64) func() uint64 {
+		return func() uint64 { return read(g.Stats()) }
+	}
+	reg.CounterFunc("gateway_forwarded_total", "frames validated and forwarded upstream",
+		count(func(s Stats) uint64 { return s.Forwarded }))
+	reg.CounterFunc("gateway_drop_malformed_total", "frames failing link-layer decode",
+		count(func(s Stats) uint64 { return s.DropMalformed }))
+	reg.CounterFunc("gateway_drop_blocked_total", "frames from blocklisted devices",
+		count(func(s Stats) uint64 { return s.DropBlocked }))
+	reg.CounterFunc("gateway_drop_policy_total", "frames rejected by vendor policy",
+		count(func(s Stats) uint64 { return s.DropPolicy }))
+	reg.CounterFunc("gateway_uplink_errors_total", "forwards permanently refused by the uplink",
+		count(func(s Stats) uint64 { return s.UplinkErrors }))
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkObsCounterInc is the floor for a hot-path disposition count:
+// one uncontended atomic add.
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "bench counter")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsHistogramObserve is the cost of recording one latency
+// sample: count add, CAS sum, bounded bucket scan. Must stay
+// allocation-free — a histogram on the ingest path may fire per packet.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "bench histogram", nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 1e6)
+	}
+}
+
+// BenchmarkObsHistogramTimed is Observe plus the two clock readings a
+// timed section pays (Now + ObserveSince) — the full per-call price of
+// wrapping a code path with latency instrumentation.
+func BenchmarkObsHistogramTimed(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "bench histogram", nil, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(h.Now())
+	}
+}
+
+// BenchmarkObsExposition renders a registry shaped like endpointd's
+// (a couple dozen counters/gauges plus a populated default-bucket
+// histogram). This is the scrape cost, paid off the hot path.
+func BenchmarkObsExposition(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 16; i++ {
+		reg.Counter(fmt.Sprintf("bench_c%02d_total", i), "bench counter").Add(uint64(i) * 1_000_003)
+	}
+	for i := 0; i < 4; i++ {
+		reg.Gauge(fmt.Sprintf("bench_g%d", i), "bench gauge").Set(float64(i) * 1.5)
+	}
+	h := reg.Histogram("bench_seconds", "bench histogram", nil, nil)
+	for i := 0; i < 10_000; i++ {
+		h.Observe(float64(i%700) / 1e5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := reg.Exposition(); len(out) == 0 {
+			b.Fatal("empty exposition")
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Health is a named set of liveness checks backing /healthz. A check
+// returns nil when its subsystem is serving its contract and an error
+// describing the degradation otherwise. Safe for concurrent use.
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth returns an empty health check set.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error)}
+}
+
+// Register adds a named check; duplicate names panic (a boot-time
+// programming error, like a duplicate metric).
+func (h *Health) Register(name string, check func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.checks[name]; dup {
+		panic("obs: duplicate health check " + name)
+	}
+	h.checks[name] = check
+}
+
+// Report runs every check and renders one line per check in name order
+// ("ok <name>" or "fail <name>: <error>"), reporting whether all passed.
+// Checks run after the lock is released, so a check may take its
+// subsystem's locks freely.
+func (h *Health) Report() (string, bool) {
+	h.mu.Lock()
+	names := make([]string, 0, len(h.checks))
+	for n := range h.checks {
+		names = append(names, n)
+	}
+	checks := make([]func() error, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		checks = append(checks, h.checks[n])
+	}
+	h.mu.Unlock()
+
+	var b strings.Builder
+	healthy := true
+	for i, n := range names {
+		if err := checks[i](); err != nil {
+			healthy = false
+			b.WriteString("fail ")
+			b.WriteString(n)
+			b.WriteString(": ")
+			b.WriteString(err.Error())
+		} else {
+			b.WriteString("ok ")
+			b.WriteString(n)
+		}
+		b.WriteByte('\n')
+	}
+	if len(names) == 0 {
+		b.WriteString("ok\n")
+	}
+	return b.String(), healthy
+}
+
+// MetricsHandler serves a registry's exposition on GET.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(reg.Exposition())
+	})
+}
+
+// HealthHandler serves a health set: 200 with per-check lines when every
+// check passes, 503 otherwise. A nil Health always answers 200 "ok".
+func HealthHandler(h *Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h == nil {
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+		body, healthy := h.Report()
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_, _ = w.Write([]byte(body))
+	})
+}
+
+// DebugMux assembles the standard debug surface every daemon mounts
+// behind its -debug-addr flag:
+//
+//	GET /metrics        Prometheus-text exposition of reg
+//	GET /healthz        aggregate health (503 on any failing check)
+//	GET /debug/pprof/*  the standard Go profiler endpoints
+//
+// The profiler is mounted explicitly rather than via net/http/pprof's
+// DefaultServeMux side effect, so nothing leaks onto a mux the daemon
+// did not ask for.
+func DebugMux(reg *Registry, health *Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", MetricsHandler(reg))
+	mux.Handle("GET /healthz", HealthHandler(health))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

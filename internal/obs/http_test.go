@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDebugMuxMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "hits").Add(3)
+	srv := httptest.NewServer(DebugMux(reg, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(string(body), "hits_total 3\n") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+}
+
+func TestDebugMuxHealthz(t *testing.T) {
+	h := NewHealth()
+	failing := errors.New("wal disk gone")
+	var broken bool
+	h.Register("storage", func() error {
+		if broken {
+			return failing
+		}
+		return nil
+	})
+	h.Register("ingest", func() error { return nil })
+
+	srv := httptest.NewServer(DebugMux(NewRegistry(), h))
+	defer srv.Close()
+
+	get := func() (int, string) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(); code != http.StatusOK || body != "ok ingest\nok storage\n" {
+		t.Fatalf("healthy: code=%d body=%q", code, body)
+	}
+	broken = true
+	if code, body := get(); code != http.StatusServiceUnavailable || !strings.Contains(body, "fail storage: wal disk gone") {
+		t.Fatalf("unhealthy: code=%d body=%q", code, body)
+	}
+}
+
+func TestHealthDuplicatePanics(t *testing.T) {
+	h := NewHealth()
+	h.Register("x", func() error { return nil })
+	mustPanic(t, "duplicate health check", func() { h.Register("x", func() error { return nil }) })
+}
+
+func TestDebugMuxPprof(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(NewRegistry(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+func TestNilHealthAlwaysOK(t *testing.T) {
+	rec := httptest.NewRecorder()
+	HealthHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Fatalf("nil health: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}

@@ -51,8 +51,9 @@ type BreakerConfig struct {
 
 // BreakerStats counts breaker activity.
 type BreakerStats struct {
-	Trips    uint64 // closed/half-open -> open transitions
-	Rejected uint64 // calls refused while open
+	Trips       uint64 // closed/half-open -> open transitions
+	Rejected    uint64 // calls refused while open
+	Transitions uint64 // every state change, trips included
 }
 
 // Breaker is a three-state circuit breaker. Safe for concurrent use.
@@ -96,6 +97,7 @@ func (b *Breaker) Allow() bool {
 		if b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenFor {
 			b.state = BreakerHalfOpen
 			b.successes = 0
+			b.stats.Transitions++
 			return true
 		}
 		b.stats.Rejected++
@@ -115,6 +117,7 @@ func (b *Breaker) Success() {
 		if b.successes >= b.cfg.HalfOpenSuccesses {
 			b.state = BreakerClosed
 			b.failures = 0
+			b.stats.Transitions++
 		}
 	}
 }
@@ -142,6 +145,7 @@ func (b *Breaker) trip() {
 	b.failures = 0
 	b.successes = 0
 	b.stats.Trips++
+	b.stats.Transitions++
 }
 
 // State returns the current position (resolving an elapsed open window

@@ -189,10 +189,14 @@ func (g *ReplayGuard) Fresh(p Packet) error {
 	if !known {
 		return nil
 	}
+	// Window arithmetic is done in uint64: a device that has counted to
+	// the top of the uint32 sequence space (hw near MaxUint32) would
+	// otherwise wrap hw+1 to 0 and admit arbitrarily stale replays as
+	// "within the window".
 	switch {
 	case p.Seq > hw:
 		return nil
-	case p.Seq+g.Window >= hw+1: // within window below high water
+	case uint64(p.Seq)+uint64(g.Window) >= uint64(hw)+1: // within window below high water
 		if g.seen[p.Device][p.Seq] {
 			return fmt.Errorf("%w: seq %d already seen", ErrReplay, p.Seq)
 		}
@@ -229,11 +233,14 @@ func (g *ReplayGuard) markSeen(dev lpwan.EUI64, seq uint32) {
 }
 
 // pruneSeen drops seen entries that fell out of the window to bound
-// memory over a 50-year run.
+// memory over a 50-year run. As in Fresh, the comparison is widened to
+// uint64: with hw near MaxUint32 the narrow s+Window would wrap and
+// prune entries still inside the window, forgetting sequence numbers
+// that must stay rejected.
 func (g *ReplayGuard) pruneSeen(dev lpwan.EUI64, hw uint32) {
 	m := g.seen[dev]
 	for s := range m {
-		if s+g.Window < hw {
+		if uint64(s)+uint64(g.Window) < uint64(hw) {
 			delete(m, s)
 		}
 	}

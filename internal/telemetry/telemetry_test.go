@@ -187,6 +187,78 @@ func TestReplayGuardWindow(t *testing.T) {
 	}
 }
 
+// TestReplayGuardWraparound pins the uint64-widened window arithmetic at
+// the top of the uint32 sequence space. The narrow forms overflowed two
+// ways: Fresh's p.Seq+Window >= hw+1 wrapped hw+1 to 0 once hw hit
+// MaxUint32, admitting arbitrarily stale replays, and pruneSeen's
+// s+Window < hw wrapped s+Window small, forgetting in-window sequence
+// numbers that must stay rejected.
+func TestReplayGuardWraparound(t *testing.T) {
+	const max = math.MaxUint32
+
+	cases := []struct {
+		name   string
+		window uint32
+		admit  []uint32 // admitted in order; all must succeed
+		seq    uint32   // then probed via Admit
+		replay bool     // probe must be rejected as a replay
+	}{
+		{"stale far below hw at MaxUint32", 16, []uint32{max}, 100, true},
+		{"stale just below window at MaxUint32", 16, []uint32{max}, max - 16, true},
+		{"in-window fresh at MaxUint32", 16, []uint32{max}, max - 15, false},
+		{"in-window duplicate at MaxUint32", 16, []uint32{max, max - 8}, max - 8, true},
+		{"duplicate hw at MaxUint32", 16, []uint32{max}, max, true},
+		{"strict monotone at MaxUint32", 0, []uint32{max}, max - 1, true},
+		{"hw just under the wrap", 16, []uint32{max - 1}, max, false},
+		{"low-seq window unchanged", 16, []uint32{20}, 10, false},
+		{"low-seq stale unchanged", 16, []uint32{20}, 3, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewReplayGuard(tc.window)
+			for _, s := range tc.admit {
+				if err := g.Admit(mkPacket(1, s)); err != nil {
+					t.Fatalf("setup admit seq %d: %v", s, err)
+				}
+			}
+			err := g.Admit(mkPacket(1, tc.seq))
+			if tc.replay && !errors.Is(err, ErrReplay) {
+				t.Fatalf("seq %d admitted, want replay rejection (err=%v)", tc.seq, err)
+			}
+			if !tc.replay && err != nil {
+				t.Fatalf("seq %d rejected: %v", tc.seq, err)
+			}
+		})
+	}
+}
+
+// TestReplayGuardPruneNearWrap drives the high-water mark to the top of
+// the sequence space and checks pruning keeps exactly the in-window seen
+// set: entries inside the window survive (their replays stay rejected)
+// and the set stays bounded.
+func TestReplayGuardPruneNearWrap(t *testing.T) {
+	g := NewReplayGuard(8)
+	dev := lpwan.EUIFromUint64(1)
+	for _, s := range []uint32{math.MaxUint32 - 10, math.MaxUint32 - 4, math.MaxUint32} {
+		if err := g.Admit(mkPacket(1, s)); err != nil {
+			t.Fatalf("admit %d: %v", s, err)
+		}
+	}
+	seen := g.seen[dev]
+	// MaxUint32-4 is within window 8 of hw=MaxUint32: it must still be
+	// remembered, so replaying it is rejected.
+	if !seen[math.MaxUint32-4] {
+		t.Fatal("in-window seen entry pruned near the wrap")
+	}
+	if err := g.Admit(mkPacket(1, math.MaxUint32-4)); !errors.Is(err, ErrReplay) {
+		t.Fatal("replay of in-window seq admitted after prune near the wrap")
+	}
+	// MaxUint32-10 fell out of the window and must have been pruned.
+	if seen[math.MaxUint32-10] {
+		t.Fatal("out-of-window seen entry survived pruning")
+	}
+}
+
 func TestReplayGuardPrunes(t *testing.T) {
 	g := NewReplayGuard(8)
 	for seq := uint32(1); seq <= 10000; seq++ {

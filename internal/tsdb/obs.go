@@ -1,0 +1,62 @@
+package tsdb
+
+import "centuryscale/internal/obs"
+
+// walCounters sums the per-shard WAL fsync counters, taking each shard's
+// lock only for the two loads. Memory-only shards contribute zero.
+func (db *DB) walCounters() (fsyncs, errs uint64) {
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		if sh.wal != nil {
+			fsyncs += sh.wal.fsyncs
+			errs += sh.wal.fsyncErrs
+		}
+		sh.mu.Unlock()
+	}
+	return fsyncs, errs
+}
+
+// seriesCounts counts devices and points, shard by shard. Unlike Stats it
+// touches no filesystem, so it is cheap enough for every scrape.
+func (db *DB) seriesCounts() (devices, points int) {
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		devices += len(sh.points)
+		for _, pts := range sh.points {
+			points += len(pts)
+		}
+		sh.mu.Unlock()
+	}
+	return devices, points
+}
+
+// RegisterMetrics exposes the engine's counters on reg under the tsdb_
+// prefix. Everything is bridged via CounterFunc/GaugeFunc closures over
+// the counters the engine already keeps: registration adds nothing to
+// the append hot path, and scraping never reads the filesystem (the WAL
+// footprint stays a Stats-only figure, since sizing segment files is a
+// ReadDir per shard).
+func (db *DB) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("tsdb_appended_total", "points durably appended", db.appended.Load)
+	reg.CounterFunc("tsdb_replayed_total", "WAL records decoded at boot replay", db.replayed.Load)
+	reg.CounterFunc("tsdb_corruptions_total", "torn or corrupt WAL frames tolerated", db.corruptions.Load)
+	reg.CounterFunc("tsdb_append_errors_total", "appends refused by the WAL (not acknowledged)", db.appendErrors.Load)
+	reg.CounterFunc("tsdb_compaction_runs_total", "retention compaction passes", db.compactionRuns.Load)
+	reg.CounterFunc("tsdb_compaction_dropped_total", "points dropped by retention compaction", db.compactionDropped.Load)
+	reg.CounterFunc("tsdb_wal_fsyncs_total", "WAL fsync syscalls issued", func() uint64 {
+		n, _ := db.walCounters()
+		return n
+	})
+	reg.CounterFunc("tsdb_wal_fsync_errors_total", "WAL fsync syscalls failed", func() uint64 {
+		_, e := db.walCounters()
+		return e
+	})
+	reg.GaugeFunc("tsdb_devices", "devices with stored points", func() float64 {
+		d, _ := db.seriesCounts()
+		return float64(d)
+	})
+	reg.GaugeFunc("tsdb_points", "points held in memory", func() float64 {
+		_, p := db.seriesCounts()
+		return float64(p)
+	})
+}

@@ -74,6 +74,23 @@ func (sh *shard) rangeCopy(dev lpwan.EUI64, from, to time.Duration) []Point {
 	return out
 }
 
+// times copies just the arrival times of every series in the shard, one
+// slice per device in arrival order. Gap analysis needs only the 8-byte
+// times; copying full Points would move ~5x the bytes under the lock.
+func (sh *shard) times() [][]time.Duration {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([][]time.Duration, 0, len(sh.points))
+	for _, ps := range sh.points {
+		ts := make([]time.Duration, len(ps))
+		for i, p := range ps {
+			ts[i] = p.At
+		}
+		out = append(out, ts)
+	}
+	return out
+}
+
 // devices returns the shard's device set (unsorted).
 func (sh *shard) devices() []lpwan.EUI64 {
 	sh.mu.Lock()

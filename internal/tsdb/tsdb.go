@@ -79,9 +79,12 @@ type DB struct {
 	// directories are retired at the next checkpoint.
 	orphanDirs []string
 
-	appended    atomic.Uint64
-	replayed    atomic.Uint64
-	corruptions atomic.Uint64
+	appended          atomic.Uint64
+	replayed          atomic.Uint64
+	corruptions       atomic.Uint64
+	appendErrors      atomic.Uint64
+	compactionRuns    atomic.Uint64
+	compactionDropped atomic.Uint64
 
 	stopSync chan struct{}
 	syncDone chan struct{}
@@ -188,6 +191,7 @@ func (db *DB) shardFor(dev lpwan.EUI64) *shard {
 // caller must not acknowledge it.
 func (db *DB) Append(p Point) error {
 	if err := db.shardFor(p.Device).append(p, true); err != nil {
+		db.appendErrors.Add(1)
 		return err
 	}
 	db.appended.Add(1)
@@ -370,6 +374,20 @@ func (db *DB) ForEach(fn func(Point)) {
 	}
 }
 
+// TimesByDevice copies the arrival times of every stored series, one
+// slice per device in that device's arrival order (not guaranteed sorted
+// by At across restarts — see rangeCopy). Order across devices is
+// unspecified. Each shard's lock is held only for its own copy. This
+// feeds cross-device gap analysis, which merges the per-device runs
+// rather than re-sorting the fleet's entire history.
+func (db *DB) TimesByDevice() [][]time.Duration {
+	var out [][]time.Duration
+	for _, sh := range db.shards {
+		out = append(out, sh.times()...)
+	}
+	return out
+}
+
 // SnapshotShard copies shard i's series map. Snapshot writers iterate
 // shards with this so no two shards are locked at once and encoding
 // happens lock-free.
@@ -387,6 +405,8 @@ func (db *DB) Compact(now time.Duration, r Retention) (dropped int) {
 	for _, sh := range db.shards {
 		dropped += sh.compact(now, r)
 	}
+	db.compactionRuns.Add(1)
+	db.compactionDropped.Add(uint64(dropped))
 	return dropped
 }
 

@@ -81,6 +81,14 @@ type wal struct {
 	dirty   bool // unsynced bytes outstanding (SyncInterval)
 	scratch []byte
 
+	// fsyncs/fsyncErrs count Sync syscalls issued and failed — plain
+	// uint64s, mutated and read only under the owning shard's mutex.
+	// Fsync cadence is the observable difference between the three
+	// durability policies, so it is the first thing an operator checks
+	// when acknowledged-write latency drifts.
+	fsyncs    uint64
+	fsyncErrs uint64
+
 	// existing lists the segment indices found at open time, i.e. the
 	// replay set. The active segment is always newer than all of them.
 	existing []uint64
@@ -132,8 +140,8 @@ func (w *wal) append(p Point) error {
 	}
 	switch w.policy {
 	case SyncAlways:
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("tsdb: wal fsync: %w", err)
+		if err := w.fsync(); err != nil {
+			return err
 		}
 	case SyncInterval:
 		w.dirty = true
@@ -166,13 +174,23 @@ func (w *wal) dropTorn(good int64) {
 	_ = w.openActive()
 }
 
+// fsync wraps f.Sync with the counters.
+func (w *wal) fsync() error {
+	w.fsyncs++
+	if err := w.f.Sync(); err != nil {
+		w.fsyncErrs++
+		return fmt.Errorf("tsdb: wal fsync: %w", err)
+	}
+	return nil
+}
+
 // sync flushes outstanding appends (the SyncInterval ticker's target).
 func (w *wal) sync() error {
 	if !w.dirty {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("tsdb: wal fsync: %w", err)
+	if err := w.fsync(); err != nil {
+		return err
 	}
 	w.dirty = false
 	return nil
@@ -182,8 +200,8 @@ func (w *wal) sync() error {
 // nothing; callers needing a checkpoint watermark read w.idx after.
 func (w *wal) rotate() error {
 	if w.policy != SyncNever {
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("tsdb: wal fsync: %w", err)
+		if err := w.fsync(); err != nil {
+			return err
 		}
 	}
 	if err := w.f.Close(); err != nil {
@@ -214,8 +232,8 @@ func (w *wal) removeBelow(idx uint64) error {
 
 func (w *wal) close() error {
 	if w.policy != SyncNever {
-		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("tsdb: wal fsync: %w", err)
+		if err := w.fsync(); err != nil {
+			return err
 		}
 	}
 	return w.f.Close()
