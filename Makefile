@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-gate lint-baseline race check bench bench-tsdb bench-obs smoke-obs
+.PHONY: build test vet lint lint-gate lint-baseline race check bench bench-tsdb bench-obs smoke-obs smoke-cluster
 
 build:
 	$(GO) build ./...
@@ -76,3 +76,12 @@ bench-obs:
 # that the flag wiring actually serves.
 smoke-obs:
 	./scripts/smoke_obs.sh
+
+# smoke-cluster is the failover drill against the real binaries: three
+# WAL-backed endpointd nodes behind a cluster-mode routerd (R=2, W=2),
+# one SIGKILLed mid-ingest by a seeded chaos schedule and rebooted from
+# its WAL. Fails on any acknowledged packet lost, on health reporting
+# failed (rather than degraded) during the outage, or on a 503 in the
+# post-recovery window.
+smoke-cluster:
+	./scripts/smoke_cluster.sh

@@ -1,0 +1,265 @@
+// Command clusterload is the smoke driver for the replicated endpoint
+// cluster: it pumps sealed telemetry through a cluster-mode router's
+// POST /ingest, lets a seeded chaos schedule pick when — and which —
+// node dies mid-stream, and then proves the cluster's contract from the
+// outside: every acknowledged packet is readable back exactly once,
+// health degrades (never fails) during the outage, and the recovery
+// window serves a fresh burst with zero 503s.
+//
+// The driver does not kill processes itself; it writes the seeded
+// verdict (the victim's node index) to -kill-marker and the supervising
+// script executes it. That keeps the schedule deterministic in one
+// place while the script owns process lifecycles:
+//
+//	clusterload -router http://127.0.0.1:19000 -master fleet-secret \
+//	            -seed 7 -packets 300 -kill-marker /tmp/kill.marker
+//
+// Exit status 0 means the zero-acknowledged-loss invariant held.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"centuryscale/internal/chaos"
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/telemetry"
+)
+
+func main() {
+	var (
+		router   = flag.String("router", "http://127.0.0.1:19000", "cluster-mode router base URL")
+		master   = flag.String("master", "", "fleet master secret (must match the endpoints')")
+		devices  = flag.Int("devices", 6, "device fleet size")
+		packets  = flag.Int("packets", 300, "packets to push through the cluster")
+		seed     = flag.Uint64("seed", 1, "chaos schedule seed (same seed = same kill point and victim)")
+		nodes    = flag.Int("nodes", 3, "cluster size the schedule draws its victim from")
+		killAt   = flag.Int("kill-after", 60, "accepted-ingest count before the seeded kill")
+		marker   = flag.String("kill-marker", "", "file to write the victim node index to at the kill point (empty = no chaos)")
+		deadline = flag.Duration("deadline", 2*time.Minute, "overall drain deadline")
+	)
+	flag.Parse()
+	if *master == "" {
+		log.Fatal("clusterload: -master is required")
+	}
+
+	d := &driver{
+		router:  *router,
+		master:  []byte(*master),
+		devices: *devices,
+		client:  &http.Client{Timeout: 5 * time.Second},
+	}
+
+	// The seeded schedule decides when the kill lands and who dies; the
+	// supervising script only executes the verdict.
+	killAfter, victim := -1, -1
+	if *marker != "" {
+		evs := chaos.PlanNodes(chaos.NodeConfig{
+			Seed: *seed, Nodes: *nodes, Kills: 1, FirstKillAfter: *killAt,
+		})
+		if len(evs) == 0 || evs[0].Op != chaos.NodeKill {
+			log.Fatalf("clusterload: schedule produced no kill: %v", evs)
+		}
+		killAfter, victim = evs[0].After, evs[0].Node
+		log.Printf("clusterload: seed %d elects node %d to die at %d acked", *seed, victim, killAfter)
+	}
+
+	end := time.Now().Add(*deadline)
+	var pending []packet
+	killed := false
+	for sent := 0; sent < *packets; sent++ {
+		p := d.nextPacket()
+		if !d.trySend(p) {
+			pending = append(pending, p)
+		}
+		if !killed && killAfter >= 0 && len(d.acked) >= killAfter {
+			killed = true
+			if err := os.WriteFile(*marker, []byte(strconv.Itoa(victim)), 0o644); err != nil {
+				log.Fatalf("clusterload: writing kill marker: %v", err)
+			}
+			log.Printf("clusterload: kill marker written at %d acked", len(d.acked))
+			d.awaitHealth("degraded", 30*time.Second)
+		}
+	}
+	log.Printf("clusterload: %d sent, %d acked first-try, %d refused during outage", *packets, len(d.acked), len(pending))
+
+	// Drain the refused backlog: everything is eventually acknowledged
+	// once the victim is back and replayed its WAL.
+	for len(pending) > 0 {
+		if time.Now().After(end) {
+			log.Fatalf("clusterload: %d packets never acknowledged before deadline", len(pending))
+		}
+		still := pending[:0]
+		for _, p := range pending {
+			if !d.trySend(p) {
+				still = append(still, p)
+			}
+		}
+		pending = still
+		if len(pending) > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	log.Printf("clusterload: backlog drained, %d total acked", len(d.acked))
+
+	if killAfter >= 0 {
+		d.awaitHealth("healthy", 30*time.Second)
+	}
+	d.verifyHistories()
+	d.recoveryWindow(30)
+	log.Printf("clusterload: OK — zero acknowledged loss across %d packets, %d devices", len(d.acked), *devices)
+}
+
+// packet keeps a sealed wire together with its identity so retries of
+// a refused payload are attributed to the right (device, seq) on ack.
+type packet struct {
+	wire []byte
+	dev  int
+	seq  uint32
+}
+
+type driver struct {
+	router  string
+	master  []byte
+	devices int
+	client  *http.Client
+
+	seqs  []uint32
+	next  int
+	acked []packet
+}
+
+func (d *driver) deviceID(i int) lpwan.EUI64 { return lpwan.EUIFromUint64(uint64(i) + 1) }
+
+// nextPacket seals the next packet round-robin across the device fleet.
+// Values encode the sequence number so verification can check payload
+// integrity, not just presence.
+func (d *driver) nextPacket() packet {
+	if d.seqs == nil {
+		d.seqs = make([]uint32, d.devices)
+	}
+	dev := d.next % d.devices
+	d.next++
+	d.seqs[dev]++
+	id := d.deviceID(dev)
+	wire, err := telemetry.Packet{
+		Device: id, Seq: d.seqs[dev], Sensor: telemetry.SensorStrain,
+		Value: float32(d.seqs[dev]),
+	}.Seal(telemetry.DeriveKey(d.master, id))
+	if err != nil {
+		log.Fatalf("clusterload: seal: %v", err)
+	}
+	return packet{wire: wire, dev: dev, seq: d.seqs[dev]}
+}
+
+// trySend offers one packet to the cluster. Only a 202 counts as
+// acknowledged; 503 (quorum missed) is the caller's cue to retry later;
+// anything else is a driver or cluster bug.
+func (d *driver) trySend(p packet) bool {
+	resp, err := d.client.Post(d.router+"/ingest", "application/octet-stream", bytes.NewReader(p.wire))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		d.acked = append(d.acked, p)
+		return true
+	case http.StatusServiceUnavailable:
+		return false
+	default:
+		log.Fatalf("clusterload: POST /ingest returned %s", resp.Status)
+		return false
+	}
+}
+
+// awaitHealth polls the router's /status until the cluster aggregate
+// reaches want. During the outage that must be "degraded" — a cluster
+// answering "failed" with every partition still covered, or "healthy"
+// with a corpse in the ring, fails the smoke.
+func (d *driver) awaitHealth(want string, within time.Duration) {
+	deadline := time.Now().Add(within)
+	var got string
+	for time.Now().Before(deadline) {
+		var status struct {
+			Health string `json:"health"`
+		}
+		resp, err := d.client.Get(d.router + "/status")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&status)
+			resp.Body.Close()
+		}
+		if err == nil {
+			got = status.Health
+			if got == want {
+				log.Printf("clusterload: cluster health is %q", got)
+				return
+			}
+			if want == "degraded" && got == "failed" {
+				log.Fatalf("clusterload: health reported failed during a single-node outage")
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	log.Fatalf("clusterload: health never reached %q (last %q)", want, got)
+}
+
+// verifyHistories reads every device back through the router's merged,
+// read-repairing GET /history and checks each acknowledged (device,
+// seq) is present exactly once with its payload intact.
+func (d *driver) verifyHistories() {
+	type reading struct {
+		Seq   uint32  `json:"seq"`
+		Value float32 `json:"value"`
+	}
+	hists := make([]map[uint32]float32, d.devices)
+	for dev := range hists {
+		url := fmt.Sprintf("%s/history?device=%s", d.router, d.deviceID(dev))
+		resp, err := d.client.Get(url)
+		if err != nil {
+			log.Fatalf("clusterload: GET /history: %v", err)
+		}
+		var recs []reading
+		err = json.NewDecoder(resp.Body).Decode(&recs)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatalf("clusterload: decoding history for device %d: %v", dev, err)
+		}
+		hists[dev] = make(map[uint32]float32, len(recs))
+		for _, r := range recs {
+			if _, dup := hists[dev][r.Seq]; dup {
+				log.Fatalf("clusterload: device %d stores seq %d twice", dev, r.Seq)
+			}
+			hists[dev][r.Seq] = r.Value
+		}
+	}
+	for _, a := range d.acked {
+		v, ok := hists[a.dev][a.seq]
+		if !ok {
+			log.Fatalf("clusterload: ACKNOWLEDGED PACKET LOST: device %d seq %d", a.dev, a.seq)
+		}
+		if v != float32(a.seq) {
+			log.Fatalf("clusterload: device %d seq %d corrupted: value %v", a.dev, a.seq, v)
+		}
+	}
+	log.Printf("clusterload: verified %d acknowledged packets across %d devices", len(d.acked), d.devices)
+}
+
+// recoveryWindow sends a fresh burst after the cluster has healed and
+// requires every packet to be acknowledged first try: the recovery
+// window must be 503-free.
+func (d *driver) recoveryWindow(n int) {
+	for i := 0; i < n; i++ {
+		if !d.trySend(d.nextPacket()) {
+			log.Fatalf("clusterload: recovery window not 503-free (packet %d of %d refused)", i+1, n)
+		}
+	}
+	log.Printf("clusterload: recovery window clean (%d/%d acked first try)", n, n)
+}

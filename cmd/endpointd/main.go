@@ -27,6 +27,12 @@
 // failing WAL disk turn into 503 + Retry-After so resilient gateways
 // buffer and retry rather than lose data. The -chaos-* flags wrap the
 // whole server in a seeded fault schedule for overload drills.
+//
+// As a member of a replicated endpoint fleet (see routerd
+// -cluster-peers), -cluster-secret arms the intra-cluster surface:
+// /cluster/history and /cluster/replicate for read-repair, plus the
+// coordinator's arrival-stamp override so every replica stores the same
+// arrival time for a packet. Unset (the default), those routes 404.
 package main
 
 import (
@@ -61,6 +67,7 @@ func main() {
 		retainPer  = flag.Duration("retain-bucket", cloud.DefaultRetention().KeepOnePer, "retention: one reading kept per bucket beyond the window")
 		maxInFl    = flag.Int("max-inflight", 256, "max concurrent ingests before shedding 503 (0 = unlimited)")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
+		clusterSec = flag.String("cluster-secret", "", "shared secret arming the intra-cluster routes (/cluster/*) and coordinator arrival stamps")
 	)
 	cf := daemon.RegisterChaosFlags()
 	of := daemon.RegisterObsFlags()
@@ -112,6 +119,10 @@ func main() {
 	server := cloud.NewServer(store, time.Now())
 	server.SetIngestLimit(*maxInFl)
 	server.SetRetryAfter(*retryAfter)
+	if *clusterSec != "" {
+		server.SetClusterSecret(*clusterSec)
+		log.Printf("endpointd: cluster routes armed")
+	}
 
 	reg := obs.NewRegistry()
 	store.RegisterMetrics(reg, nil)

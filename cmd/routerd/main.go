@@ -17,6 +17,20 @@
 // store-and-forward queue (-queue) that SIGINT/SIGTERM flush before
 // exit. The -chaos-* flags inject a seeded fault schedule into endpoint
 // delivery for outage drills.
+//
+// With -cluster-peers the router fronts a replicated endpoint fleet
+// instead of a single endpoint: each verified frame is forwarded to the
+// R owner replicas of its device partition and acknowledged only after
+// W durable appends (WAL-before-ack across machines). The router then
+// also serves the cluster's public face — POST /ingest, GET /history
+// (merged + read-repaired), GET /status — next to /uplink, and its
+// -debug-addr /healthz aggregates per-node heartbeat state: degraded
+// while any node is down, failed only when a partition has lost every
+// replica.
+//
+//	routerd -listen :9000 -abp-master 0123456789abcdef \
+//	        -cluster-peers http://n0:8080,http://n1:8080,http://n2:8080 \
+//	        -replicas 2 -write-quorum 2 -cluster-secret $SECRET
 package main
 
 import (
@@ -29,8 +43,10 @@ import (
 	"syscall"
 	"time"
 
+	"centuryscale/internal/cluster"
 	"centuryscale/internal/daemon"
 	"centuryscale/internal/helium"
+	"centuryscale/internal/obs"
 	"centuryscale/internal/resilience"
 )
 
@@ -38,12 +54,14 @@ func main() {
 	var (
 		listen   = flag.String("listen", ":9000", "HTTP listen address for hotspot uplinks")
 		master   = flag.String("abp-master", "", "16-byte ABP master secret (required)")
-		endpoint = flag.String("endpoint", "http://127.0.0.1:8080", "owner endpoint base URL")
+		endpoint = flag.String("endpoint", "http://127.0.0.1:8080", "owner endpoint base URL (single-endpoint mode)")
 		credits  = flag.Int64("credits", 500000, "initial data-credit balance (the $5 wallet)")
 		flushFor = flag.Duration("flush-timeout", 10*time.Second, "how long shutdown waits to drain the buffer")
 	)
 	rf := daemon.RegisterResilienceFlags()
 	cf := daemon.RegisterChaosFlags()
+	clf := daemon.RegisterClusterFlags()
+	of := daemon.RegisterObsFlags()
 	flag.Parse()
 	if len(*master) != 16 {
 		log.Fatalf("routerd: -abp-master must be exactly 16 bytes, got %d", len(*master))
@@ -54,15 +72,46 @@ func main() {
 	if err != nil {
 		log.Fatalf("routerd: %v", err)
 	}
-	inner := &daemon.HTTPUplink{URL: *endpoint, Client: cf.HTTPClient(10 * time.Second)}
 	if cf.Enabled() {
 		log.Printf("routerd: chaos injection enabled (seed %d)", cf.Seed)
 	}
-	up := resilience.NewUplink(inner, rf.Config())
-	handler := daemon.RouterHandler(router, up.Send)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	reg := obs.NewRegistry()
+	health := obs.NewHealth()
+
+	// Delivery target: one endpoint, or the replicated fleet.
+	var (
+		inner resilience.Sender
+		coord *cluster.Coordinator
+	)
+	if clf.Enabled() {
+		coord, err = clf.Coordinator(rf.Config())
+		if err != nil {
+			log.Fatalf("routerd: %v", err)
+		}
+		coord.RegisterHealth(health)
+		coord.RegisterMetrics(reg)
+		go coord.RunHeartbeats(ctx, clf.HeartbeatEvery)
+		inner = daemon.ClusterSender(coord)
+		log.Printf("routerd: cluster mode, R=%d W=%d over %s", clf.Replicas, clf.WriteQuorum, clf.Peers)
+	} else {
+		inner = &daemon.HTTPUplink{URL: *endpoint, Client: cf.HTTPClient(10 * time.Second)}
+	}
+	up := resilience.NewUplink(inner, rf.Config())
+	up.RegisterMetrics(reg, "router_uplink")
+
+	handler := daemon.RouterHandler(router, up.Send)
+	if coord != nil {
+		// The cluster's public face rides the same listener as /uplink.
+		mux := http.NewServeMux()
+		mux.Handle("POST /uplink", handler)
+		mux.Handle("/", coord.Handler())
+		handler = mux
+	}
+	of.Serve(ctx, log.Printf, reg, health)
 
 	srv := &http.Server{Addr: *listen, Handler: handler}
 	go func() {
@@ -72,7 +121,11 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("routerd: listening on %s, forwarding to %s, %d credits (queue %d)", *listen, *endpoint, wallet.Balance(), rf.Queue)
+	target := *endpoint
+	if coord != nil {
+		target = "cluster " + clf.Peers
+	}
+	log.Printf("routerd: listening on %s, forwarding to %s, %d credits (queue %d)", *listen, target, wallet.Balance(), rf.Queue)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("routerd: %v", err)
 	}
@@ -82,6 +135,13 @@ func main() {
 	defer cancel()
 	if err := up.Close(flushCtx); err != nil {
 		log.Printf("routerd: shutdown flush: %v", err)
+	}
+	if coord != nil {
+		if err := coord.Close(flushCtx); err != nil {
+			log.Printf("routerd: cluster close: %v", err)
+		}
+		cs := coord.Stats()
+		log.Printf("routerd: cluster acked=%d no-quorum=%d rejected=%d read-repaired=%d", cs.Acked, cs.NoQuorum, cs.Rejected, cs.RepairedRecords)
 	}
 	rs := router.Stats()
 	u := up.Stats()

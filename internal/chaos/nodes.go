@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"centuryscale/internal/rng"
+)
+
+// NodeOp is one cluster-level fault action. Where Fault describes what
+// happens to a single request, NodeOp describes what happens to a whole
+// node: it dies, it comes back, it loses sight of a peer, it heals.
+type NodeOp uint8
+
+// Node operations.
+const (
+	// NodeKill crashes the node: process gone, no shutdown, WAL left
+	// as-is on disk. The cluster's view of it decays via heartbeats.
+	NodeKill NodeOp = iota
+	// NodeRestart boots the killed node again from its surviving state
+	// directory (WAL replay path).
+	NodeRestart
+	// NodePartition cuts the link between Node and Peer in both
+	// directions; each side sees the other as unreachable.
+	NodePartition
+	// NodeHeal restores the link between Node and Peer.
+	NodeHeal
+)
+
+// String implements fmt.Stringer.
+func (op NodeOp) String() string {
+	switch op {
+	case NodeKill:
+		return "kill"
+	case NodeRestart:
+		return "restart"
+	case NodePartition:
+		return "partition"
+	case NodeHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("nodeop(%d)", uint8(op))
+	}
+}
+
+// NodeEvent schedules one NodeOp. Events are keyed by accepted-ingest
+// count, not wall time: "kill node 2 after the cluster has accepted 40
+// packets" replays identically on any machine at any speed, which is
+// what lets the failover test assert exact loss accounting instead of
+// racing a timer.
+type NodeEvent struct {
+	// After is the accepted-ingest count at which the event fires: the
+	// event is due once the cluster has acknowledged >= After packets.
+	After int
+	// Node is the target node index in [0, Nodes).
+	Node int
+	// Peer is the other end of a partition/heal; -1 for kill/restart.
+	Peer int
+	Op   NodeOp
+}
+
+// NodeConfig describes a node-level fault schedule. The zero value
+// schedules nothing.
+type NodeConfig struct {
+	// Seed drives victim selection. The same NodeConfig always yields
+	// the same schedule.
+	Seed uint64
+	// Nodes is the cluster size; victims are drawn from [0, Nodes).
+	Nodes int
+
+	// Kills is the number of kill→restart cycles. Victims are drawn
+	// uniformly per cycle, never killing a node that is already down.
+	Kills int
+	// FirstKillAfter is the accepted-ingest count before the first kill.
+	// Default 10.
+	FirstKillAfter int
+	// KillEvery spaces successive kills (in accepted ingests). Default 50.
+	KillEvery int
+	// DownFor is how many accepted ingests a killed node stays down
+	// before its restart. Default 20.
+	DownFor int
+
+	// Partitions is the number of partition→heal cycles, interleaved on
+	// the same request axis. Pairs are drawn uniformly from live links.
+	Partitions int
+	// FirstPartitionAfter, PartitionEvery, HealAfter mirror the kill
+	// spacing knobs. Defaults 25 / 60 / 15.
+	FirstPartitionAfter int
+	PartitionEvery      int
+	HealAfter           int
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.FirstKillAfter <= 0 {
+		c.FirstKillAfter = 10
+	}
+	if c.KillEvery <= 0 {
+		c.KillEvery = 50
+	}
+	if c.DownFor <= 0 {
+		c.DownFor = 20
+	}
+	if c.FirstPartitionAfter <= 0 {
+		c.FirstPartitionAfter = 25
+	}
+	if c.PartitionEvery <= 0 {
+		c.PartitionEvery = 60
+	}
+	if c.HealAfter <= 0 {
+		c.HealAfter = 15
+	}
+	return c
+}
+
+// PlanNodes expands cfg into its full event list, ordered by After (ties
+// keep kill/restart before partition/heal, then schedule order). It is a
+// pure function: the same config always returns the identical slice, the
+// reproducibility contract the request-level Plan already makes.
+//
+// Invariants the generator maintains:
+//   - every NodeKill is followed by exactly one NodeRestart of the same
+//     node, DownFor accepted ingests later;
+//   - a node already down is never chosen as the next victim (the draw
+//     rotates deterministically to the next live node);
+//   - every NodePartition is healed, and a partition never targets a
+//     node that is down when it starts.
+func PlanNodes(cfg NodeConfig) []NodeEvent {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		return nil
+	}
+	src := rng.New(cfg.Seed)
+	var events []NodeEvent
+
+	// Kill/restart cycles. downUntil[n] is the After index at which node
+	// n is live again; used to steer victim selection away from corpses.
+	downUntil := make([]int, cfg.Nodes)
+	at := cfg.FirstKillAfter
+	for k := 0; k < cfg.Kills; k++ {
+		victim := src.Intn(cfg.Nodes)
+		for probe := 0; probe < cfg.Nodes && downUntil[victim] > at; probe++ {
+			victim = (victim + 1) % cfg.Nodes
+		}
+		if downUntil[victim] > at {
+			// Every node is down at this index (pathological config:
+			// DownFor >> KillEvery with Kills >= Nodes). Skip the cycle
+			// rather than violate the never-kill-a-corpse invariant.
+			at += cfg.KillEvery
+			continue
+		}
+		events = append(events,
+			NodeEvent{After: at, Node: victim, Peer: -1, Op: NodeKill},
+			NodeEvent{After: at + cfg.DownFor, Node: victim, Peer: -1, Op: NodeRestart},
+		)
+		downUntil[victim] = at + cfg.DownFor
+		at += cfg.KillEvery
+	}
+
+	// Partition/heal cycles on the same axis. Only pairs both live at
+	// the cut index are eligible.
+	at = cfg.FirstPartitionAfter
+	for p := 0; p < cfg.Partitions && cfg.Nodes >= 2; p++ {
+		a := src.Intn(cfg.Nodes)
+		b := src.Intn(cfg.Nodes - 1)
+		if b >= a {
+			b++
+		}
+		for probe := 0; probe < cfg.Nodes && downUntil[a] > at; probe++ {
+			a = (a + 1) % cfg.Nodes
+		}
+		for probe := 0; probe < cfg.Nodes && (downUntil[b] > at || b == a); probe++ {
+			b = (b + 1) % cfg.Nodes
+		}
+		if downUntil[a] > at || downUntil[b] > at || a == b {
+			at += cfg.PartitionEvery
+			continue
+		}
+		events = append(events,
+			NodeEvent{After: at, Node: a, Peer: b, Op: NodePartition},
+			NodeEvent{After: at + cfg.HealAfter, Node: a, Peer: b, Op: NodeHeal},
+		)
+		at += cfg.PartitionEvery
+	}
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].After < events[j].After })
+	return events
+}
+
+// NodeSchedule walks a planned event list against a live accepted-ingest
+// counter. It is the runtime half of PlanNodes: the chaos test bumps the
+// counter per acknowledged packet and applies whatever comes due. Not
+// safe for concurrent use — drive it from the single ingest loop.
+type NodeSchedule struct {
+	events []NodeEvent
+	next   int
+}
+
+// NewNodeSchedule plans cfg and wraps the result.
+func NewNodeSchedule(cfg NodeConfig) *NodeSchedule {
+	return &NodeSchedule{events: PlanNodes(cfg)}
+}
+
+// Due returns the events that fire at an accepted-ingest count of n,
+// in order, advancing past them. Subsequent calls with the same n return
+// nothing.
+func (s *NodeSchedule) Due(n int) []NodeEvent {
+	start := s.next
+	for s.next < len(s.events) && s.events[s.next].After <= n {
+		s.next++
+	}
+	return s.events[start:s.next]
+}
+
+// Remaining returns how many events have not yet fired.
+func (s *NodeSchedule) Remaining() int { return len(s.events) - s.next }

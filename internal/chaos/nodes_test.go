@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanNodesDeterministic(t *testing.T) {
+	cfg := NodeConfig{Seed: 42, Nodes: 5, Kills: 4, Partitions: 3}
+	a := PlanNodes(cfg)
+	b := PlanNodes(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) != 2*4+2*3 {
+		t.Fatalf("got %d events, want %d", len(a), 2*4+2*3)
+	}
+	c := PlanNodes(NodeConfig{Seed: 43, Nodes: 5, Kills: 4, Partitions: 3})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestPlanNodesInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := NodeConfig{Seed: seed, Nodes: 3, Kills: 6, Partitions: 4,
+			FirstKillAfter: 5, KillEvery: 30, DownFor: 12,
+			FirstPartitionAfter: 9, PartitionEvery: 25, HealAfter: 8}
+		events := PlanNodes(cfg)
+
+		prev := -1
+		downUntil := map[int]int{}
+		kills, restarts := 0, 0
+		for _, ev := range events {
+			if ev.After < prev {
+				t.Fatalf("seed %d: events not ordered by After: %v", seed, events)
+			}
+			prev = ev.After
+			if ev.Node < 0 || ev.Node >= cfg.Nodes {
+				t.Fatalf("seed %d: node %d out of range", seed, ev.Node)
+			}
+			switch ev.Op {
+			case NodeKill:
+				kills++
+				if downUntil[ev.Node] > ev.After {
+					t.Fatalf("seed %d: node %d killed while already down", seed, ev.Node)
+				}
+				downUntil[ev.Node] = ev.After + cfg.DownFor
+			case NodeRestart:
+				restarts++
+				if downUntil[ev.Node] != ev.After {
+					t.Fatalf("seed %d: restart of node %d at %d, want %d", seed, ev.Node, ev.After, downUntil[ev.Node])
+				}
+			case NodePartition, NodeHeal:
+				if ev.Peer < 0 || ev.Peer >= cfg.Nodes || ev.Peer == ev.Node {
+					t.Fatalf("seed %d: bad partition pair (%d,%d)", seed, ev.Node, ev.Peer)
+				}
+				if ev.Op == NodePartition && (downUntil[ev.Node] > ev.After || downUntil[ev.Peer] > ev.After) {
+					t.Fatalf("seed %d: partition (%d,%d) targets a down node", seed, ev.Node, ev.Peer)
+				}
+			}
+		}
+		if kills != restarts {
+			t.Fatalf("seed %d: %d kills but %d restarts", seed, kills, restarts)
+		}
+	}
+}
+
+func TestPlanNodesZeroAndPathological(t *testing.T) {
+	if got := PlanNodes(NodeConfig{}); got != nil {
+		t.Fatalf("zero config planned %v", got)
+	}
+	if got := PlanNodes(NodeConfig{Seed: 1, Nodes: 1, Partitions: 5}); len(got) != 0 {
+		t.Fatalf("single node planned partitions: %v", got)
+	}
+	// DownFor far beyond KillEvery with more kills than nodes: cycles
+	// where everyone is down must be skipped, never a corpse re-kill.
+	got := PlanNodes(NodeConfig{Seed: 7, Nodes: 2, Kills: 6, KillEvery: 1, DownFor: 1000, FirstKillAfter: 1})
+	kills := 0
+	for _, ev := range got {
+		if ev.Op == NodeKill {
+			kills++
+		}
+	}
+	if kills != 2 {
+		t.Fatalf("pathological config scheduled %d kills, want 2 (one per node): %v", kills, got)
+	}
+}
+
+func TestNodeScheduleDue(t *testing.T) {
+	cfg := NodeConfig{Seed: 3, Nodes: 3, Kills: 2, FirstKillAfter: 10, KillEvery: 40, DownFor: 15}
+	planned := PlanNodes(cfg)
+	s := NewNodeSchedule(cfg)
+
+	if due := s.Due(9); len(due) != 0 {
+		t.Fatalf("events before FirstKillAfter: %v", due)
+	}
+	var fired []NodeEvent
+	for n := 10; n <= 100; n++ {
+		fired = append(fired, s.Due(n)...)
+		// Re-polling the same count must be idempotent.
+		if dup := s.Due(n); len(dup) != 0 {
+			t.Fatalf("Due(%d) fired twice: %v", n, dup)
+		}
+	}
+	if !reflect.DeepEqual(fired, planned) {
+		t.Fatalf("fired %v != planned %v", fired, planned)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after draining", s.Remaining())
+	}
+}
+
+func TestNodeScheduleSkipsAhead(t *testing.T) {
+	cfg := NodeConfig{Seed: 3, Nodes: 3, Kills: 2, FirstKillAfter: 10, KillEvery: 40, DownFor: 15}
+	s := NewNodeSchedule(cfg)
+	// A burst of acks can jump the counter past several events; all of
+	// them come due at once, still in order.
+	due := s.Due(10_000)
+	if !reflect.DeepEqual(due, PlanNodes(cfg)) {
+		t.Fatalf("jump did not drain schedule: %v", due)
+	}
+}

@@ -64,6 +64,7 @@ type IngestStats struct {
 	LeaseLapsed     uint64 // arrived while the public endpoint was dark
 	Quarantined     uint64 // from devices whose trust has been revoked
 	PersistFailures uint64 // WAL append failed; packet refused, not acked
+	Repaired        uint64 // readings merged from a replica by read-repair
 }
 
 // ingestCounters is the live, lock-free backing of IngestStats. Every
@@ -80,6 +81,7 @@ type ingestCounters struct {
 	leaseLapsed     atomic.Uint64
 	quarantined     atomic.Uint64
 	persistFailures atomic.Uint64
+	repaired        atomic.Uint64
 }
 
 func (c *ingestCounters) snapshot() IngestStats {
@@ -92,6 +94,7 @@ func (c *ingestCounters) snapshot() IngestStats {
 		LeaseLapsed:     c.leaseLapsed.Load(),
 		Quarantined:     c.quarantined.Load(),
 		PersistFailures: c.persistFailures.Load(),
+		Repaired:        c.repaired.Load(),
 	}
 }
 
@@ -104,6 +107,7 @@ func (c *ingestCounters) restore(st IngestStats) {
 	c.leaseLapsed.Store(st.LeaseLapsed)
 	c.quarantined.Store(st.Quarantined)
 	c.persistFailures.Store(st.PersistFailures)
+	c.repaired.Store(st.Repaired)
 }
 
 // ErrPersist wraps a storage-engine append failure: the reading was NOT

@@ -46,6 +46,10 @@ type Server struct {
 	shed        atomic.Uint64
 	// retryAfterSec is the hint sent with every 503. Default 1.
 	retryAfterSec int64
+
+	// clusterSecret (a string; empty = disarmed) gates the
+	// cluster-internal routes and the arrival override; see cluster.go.
+	clusterSecret atomic.Value
 }
 
 // NewServer wraps a store; the weekly-uptime clock starts now.
@@ -56,6 +60,8 @@ func NewServer(store *Store, now time.Time) *Server {
 	s.mux.HandleFunc("GET /devices", s.handleDevices)
 	s.mux.HandleFunc("GET /history", s.handleHistory)
 	s.mux.HandleFunc("GET /export", s.handleExport)
+	s.mux.HandleFunc("GET /cluster/history", s.handleClusterHistory)
+	s.mux.HandleFunc("POST /cluster/replicate", s.handleClusterReplicate)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	return s
 }
@@ -122,7 +128,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.store.Ingest(s.now(), body); err != nil {
+	// Replicated ingest carries the coordinator's arrival stamp so every
+	// replica stores the same time; only cluster-authenticated peers may
+	// assert one (an outsider stamping history would corrupt the ledger).
+	at := s.now()
+	if hdr := r.Header.Get(ClusterArrivalHeader); hdr != "" {
+		if !s.clusterAuthorized(r) {
+			http.Error(w, "cloud: arrival override requires cluster auth", http.StatusForbidden)
+			return
+		}
+		nanos, err := strconv.ParseInt(hdr, 10, 64)
+		if err != nil {
+			http.Error(w, "cloud: bad arrival header: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		at = time.Duration(nanos)
+	}
+	if err := s.store.Ingest(at, body); err != nil {
 		// A WAL append failure means the reading is not durable: shed
 		// 503 so the gateway buffers and retries, exactly like a
 		// snapshot-disk failure.

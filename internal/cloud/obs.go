@@ -23,6 +23,7 @@ func (s *Store) RegisterMetrics(reg *obs.Registry, clock obs.Clock) {
 	reg.CounterFunc("cloud_ingest_lease_lapsed_total", "packets arriving while the public endpoint was dark", s.stats.leaseLapsed.Load)
 	reg.CounterFunc("cloud_ingest_quarantined_total", "packets from devices whose trust was revoked", s.stats.quarantined.Load)
 	reg.CounterFunc("cloud_ingest_persist_failures_total", "packets refused because the WAL append failed", s.stats.persistFailures.Load)
+	reg.CounterFunc("cloud_repair_readings_total", "readings merged from replicas by read-repair", s.stats.repaired.Load)
 	s.obs.Store(&ingestObs{
 		latency: reg.Histogram("cloud_ingest_seconds", "wall time per Ingest call, all dispositions", nil, clock),
 	})

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/obs"
+	"centuryscale/internal/resilience"
+)
+
+// Handler returns the router tier's public face — shaped like a single
+// endpoint so gateways need no cluster awareness:
+//
+//	POST /ingest   raw packet; 202 only after the write quorum held it
+//	GET  /history  merged + read-repaired readings for one device
+//	GET  /status   cluster topology, detector states, counters
+//
+// Mount /healthz and /metrics via obs.DebugMux with RegisterHealth /
+// RegisterMetrics.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", c.handleIngest)
+	mux.HandleFunc("GET /history", c.handleHistory)
+	mux.HandleFunc("GET /status", c.handleStatus)
+	return mux
+}
+
+func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1024))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch err := c.Ingest(r.Context(), body); {
+	case err == nil:
+		w.WriteHeader(http.StatusAccepted)
+	case resilience.IsPermanent(err):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	default:
+		// Quorum missed: shed exactly like a degraded single endpoint,
+		// propagating the replicas' own Retry-After hint upstream.
+		secs := int64(1)
+		var ra *resilience.RetryAfterError
+		if errors.As(err, &ra) && ra.After > 0 {
+			secs = int64((ra.After + time.Second - 1) / time.Second)
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+}
+
+// readingPayload mirrors the single-endpoint /history JSON shape, so a
+// dashboard pointed at a router cannot tell it from one node.
+type readingPayload struct {
+	AtSeconds float64 `json:"at_seconds"`
+	Seq       uint32  `json:"seq"`
+	Sensor    string  `json:"sensor"`
+	Value     float32 `json:"value"`
+	Uptime    uint32  `json:"device_uptime_seconds"`
+}
+
+func (c *Coordinator) handleHistory(w http.ResponseWriter, r *http.Request) {
+	devStr := r.URL.Query().Get("device")
+	if devStr == "" {
+		http.Error(w, "cluster: missing device parameter", http.StatusBadRequest)
+		return
+	}
+	dev, err := lpwan.ParseEUI64(devStr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	from, to, err := parseRange(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs, err := c.History(r.Context(), dev, from, to)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	out := make([]readingPayload, len(recs))
+	for i, rec := range recs {
+		rd := rec.Reading(dev)
+		out[i] = readingPayload{
+			AtSeconds: rd.At.Seconds(),
+			Seq:       rd.Packet.Seq,
+			Sensor:    rd.Packet.Sensor.String(),
+			Value:     rd.Packet.Value,
+			Uptime:    rd.Packet.UptimeSeconds,
+		}
+	}
+	writeJSON(w, out)
+}
+
+func parseRange(r *http.Request) (from, to time.Duration, err error) {
+	from, to = math.MinInt64, math.MaxInt64
+	if v := r.URL.Query().Get("from"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("cluster: bad from parameter: %v", err)
+		}
+		from = time.Duration(secs * float64(time.Second))
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		secs, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("cluster: bad to parameter: %v", err)
+		}
+		to = time.Duration(secs * float64(time.Second))
+	}
+	return from, to, nil
+}
+
+type nodeStatus struct {
+	URL   string `json:"url"`
+	State string `json:"state"`
+}
+
+type statusPayload struct {
+	Nodes       []nodeStatus `json:"nodes"`
+	Replicas    int          `json:"replicas"`
+	WriteQuorum int          `json:"write_quorum"`
+	Health      string       `json:"health"`
+	Stats       Stats        `json:"stats"`
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	_ = c.aggregateHealth() // refresh the recorded verdict before serving it
+	states := c.det.Snapshot()
+	nodes := make([]nodeStatus, len(c.peers))
+	for i, p := range c.peers {
+		nodes[i] = nodeStatus{URL: p.url, State: states[i].String()}
+	}
+	writeJSON(w, statusPayload{
+		Nodes:       nodes,
+		Replicas:    c.cfg.Replicas,
+		WriteQuorum: c.cfg.WriteQuorum,
+		Health:      obs.Status(c.healthState.Load()).String(),
+		Stats:       c.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return
+	}
+}

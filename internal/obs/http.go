@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -8,9 +9,63 @@ import (
 	"sync"
 )
 
+// Status is the three-state outcome of a health report. The middle
+// state exists for exactly the situation a replicated cluster lives in
+// during a node outage: the contract is still being served (so load
+// balancers and alerting must NOT treat the endpoint as dead), but with
+// reduced margin — the operator should look, the pager should not fire
+// as a total outage.
+type Status int
+
+// Health statuses, ordered by severity.
+const (
+	StatusHealthy Status = iota
+	StatusDegraded
+	StatusFailed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusHealthy:
+		return "healthy"
+	case StatusDegraded:
+		return "degraded"
+	case StatusFailed:
+		return "failed"
+	default:
+		return "status(?)"
+	}
+}
+
+// degradedError marks a check failure as degradation rather than
+// outright failure: the subsystem is still serving, with reduced margin.
+type degradedError struct{ err error }
+
+func (e *degradedError) Error() string { return e.err.Error() }
+func (e *degradedError) Unwrap() error { return e.err }
+
+// Degraded wraps err so a health check can report "serving, but with
+// reduced margin" — /healthz stays 200 and the check line reads
+// "degraded <name>: ..." instead of "fail". A nil err returns nil.
+func Degraded(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &degradedError{err: err}
+}
+
+// IsDegraded reports whether err (or anything it wraps) was marked
+// Degraded.
+func IsDegraded(err error) bool {
+	var d *degradedError
+	return errors.As(err, &d)
+}
+
 // Health is a named set of liveness checks backing /healthz. A check
-// returns nil when its subsystem is serving its contract and an error
-// describing the degradation otherwise. Safe for concurrent use.
+// returns nil when its subsystem is serving its contract, an error
+// wrapped in Degraded when it is serving with reduced margin, and a
+// plain error when it is failing outright. Safe for concurrent use.
 type Health struct {
 	mu     sync.Mutex
 	checks map[string]func() error
@@ -32,11 +87,12 @@ func (h *Health) Register(name string, check func() error) {
 	h.checks[name] = check
 }
 
-// Report runs every check and renders one line per check in name order
-// ("ok <name>" or "fail <name>: <error>"), reporting whether all passed.
-// Checks run after the lock is released, so a check may take its
-// subsystem's locks freely.
-func (h *Health) Report() (string, bool) {
+// ReportStatus runs every check and renders one line per check in name
+// order ("ok <name>", "degraded <name>: <error>", or
+// "fail <name>: <error>"), returning the worst status seen. Checks run
+// after the lock is released, so a check may take its subsystem's locks
+// freely.
+func (h *Health) ReportStatus() (string, Status) {
 	h.mu.Lock()
 	names := make([]string, 0, len(h.checks))
 	for n := range h.checks {
@@ -50,24 +106,41 @@ func (h *Health) Report() (string, bool) {
 	h.mu.Unlock()
 
 	var b strings.Builder
-	healthy := true
+	status := StatusHealthy
 	for i, n := range names {
-		if err := checks[i](); err != nil {
-			healthy = false
+		switch err := checks[i](); {
+		case err == nil:
+			b.WriteString("ok ")
+			b.WriteString(n)
+		case IsDegraded(err):
+			if status < StatusDegraded {
+				status = StatusDegraded
+			}
+			b.WriteString("degraded ")
+			b.WriteString(n)
+			b.WriteString(": ")
+			b.WriteString(err.Error())
+		default:
+			status = StatusFailed
 			b.WriteString("fail ")
 			b.WriteString(n)
 			b.WriteString(": ")
 			b.WriteString(err.Error())
-		} else {
-			b.WriteString("ok ")
-			b.WriteString(n)
 		}
 		b.WriteByte('\n')
 	}
 	if len(names) == 0 {
 		b.WriteString("ok\n")
 	}
-	return b.String(), healthy
+	return b.String(), status
+}
+
+// Report runs every check and reports whether the process is serving its
+// contract: true for healthy AND degraded (still serving), false only on
+// outright failure. Use ReportStatus to distinguish the middle state.
+func (h *Health) Report() (string, bool) {
+	body, status := h.ReportStatus()
+	return body, status != StatusFailed
 }
 
 // MetricsHandler serves a registry's exposition on GET.
@@ -78,17 +151,21 @@ func MetricsHandler(reg *Registry) http.Handler {
 	})
 }
 
-// HealthHandler serves a health set: 200 with per-check lines when every
-// check passes, 503 otherwise. A nil Health always answers 200 "ok".
+// HealthHandler serves a health set: 200 with per-check lines while the
+// process is serving its contract — including degraded (the body's
+// "degraded" lines and an X-Health header carry the distinction) — and
+// 503 only on outright failure. A nil Health always answers 200 "ok".
 func HealthHandler(h *Health) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if h == nil {
+			w.Header().Set("X-Health", StatusHealthy.String())
 			_, _ = w.Write([]byte("ok\n"))
 			return
 		}
-		body, healthy := h.Report()
-		if !healthy {
+		body, status := h.ReportStatus()
+		w.Header().Set("X-Health", status.String())
+		if status == StatusFailed {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
 		_, _ = w.Write([]byte(body))

@@ -2,11 +2,15 @@ package obs
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDebugMuxMetrics(t *testing.T) {
@@ -90,5 +94,219 @@ func TestNilHealthAlwaysOK(t *testing.T) {
 	HealthHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
 	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
 		t.Fatalf("nil health: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestHealthDegradedStatus(t *testing.T) {
+	h := NewHealth()
+	h.Register("cluster", func() error { return Degraded(errors.New("1 of 3 nodes down")) })
+	h.Register("ingest", func() error { return nil })
+
+	body, status := h.ReportStatus()
+	if status != StatusDegraded {
+		t.Fatalf("status = %v, want degraded", status)
+	}
+	if !strings.Contains(body, "degraded cluster: 1 of 3 nodes down") || !strings.Contains(body, "ok ingest") {
+		t.Fatalf("body = %q", body)
+	}
+	// Degraded still serves the contract: Report says healthy, the
+	// handler answers 200 with the distinction in body and header.
+	if _, healthy := h.Report(); !healthy {
+		t.Fatal("degraded reported as not serving")
+	}
+	rec := httptest.NewRecorder()
+	HealthHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded /healthz = %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get("X-Health"); got != "degraded" {
+		t.Fatalf("X-Health = %q", got)
+	}
+
+	// A plain failure dominates degraded.
+	h.Register("storage", func() error { return errors.New("wal disk gone") })
+	if _, status := h.ReportStatus(); status != StatusFailed {
+		t.Fatalf("status = %v, want failed", status)
+	}
+	rec = httptest.NewRecorder()
+	HealthHandler(h).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("X-Health") != "failed" {
+		t.Fatalf("failed /healthz: code=%d X-Health=%q", rec.Code, rec.Header().Get("X-Health"))
+	}
+}
+
+func TestDegradedWrapping(t *testing.T) {
+	if Degraded(nil) != nil {
+		t.Fatal("Degraded(nil) != nil")
+	}
+	base := errors.New("margin low")
+	d := Degraded(base)
+	if !IsDegraded(d) {
+		t.Fatal("Degraded not detected")
+	}
+	if !errors.Is(d, base) {
+		t.Fatal("Degraded does not unwrap")
+	}
+	if IsDegraded(base) {
+		t.Fatal("plain error reported degraded")
+	}
+}
+
+// TestHealthConcurrentRegisterAndScrape hammers check registration and
+// scraping from many goroutines at once; run under -race. Registration
+// during a scrape must neither corrupt the set nor deadlock — checks run
+// outside the Health lock, so other goroutines may register while a
+// scrape is mid-flight.
+func TestHealthConcurrentRegisterAndScrape(t *testing.T) {
+	h := NewHealth()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers: render reports continuously.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body, status := h.ReportStatus()
+				if body == "" {
+					t.Error("empty health report")
+					return
+				}
+				if status != StatusHealthy && status != StatusDegraded {
+					t.Errorf("unexpected status %v", status)
+					return
+				}
+			}
+		}()
+	}
+
+	// Registrars: add checks while scrapes run.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("check-%d-%d", g, i)
+				if i%7 == 0 {
+					h.Register(name, func() error { return Degraded(errors.New("margin")) })
+				} else {
+					h.Register(name, func() error { return nil })
+				}
+			}
+		}(g)
+	}
+
+	// Let registrars finish, then stop scrapers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			t.Fatal("scrapers exited early")
+		default:
+		}
+		if body, _ := h.ReportStatus(); strings.Count(body, "\n") == 200 {
+			break
+		}
+		if i > 1_000_000 {
+			t.Fatal("registrations never completed")
+		}
+	}
+	close(stop)
+	<-done
+
+	body, status := h.ReportStatus()
+	if got := strings.Count(body, "\n"); got != 200 {
+		t.Fatalf("final report has %d lines, want 200", got)
+	}
+	if status != StatusDegraded {
+		t.Fatalf("final status = %v", status)
+	}
+}
+
+// TestDebugMuxServesWhileCheckFlips scrapes /healthz from concurrent
+// clients while the checked subsystem flips failed -> ok, asserting
+// every response is internally consistent: 503 iff the body says fail,
+// and the handler never serves a torn mixture.
+func TestDebugMuxServesWhileCheckFlips(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	h := NewHealth()
+	h.Register("flappy", func() error {
+		if failing.Load() {
+			return errors.New("recovering")
+		}
+		return nil
+	})
+	srv := httptest.NewServer(DebugMux(NewRegistry(), h))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	sawFail := make([]atomic.Bool, 4)
+	sawOK := make([]atomic.Bool, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for !sawFail[g].Load() || !sawOK[g].Load() {
+				resp, err := http.Get(srv.URL + "/healthz")
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusServiceUnavailable:
+					if !strings.Contains(string(body), "fail flappy") {
+						t.Errorf("503 with body %q", body)
+						return
+					}
+					sawFail[g].Store(true)
+				case http.StatusOK:
+					if !strings.Contains(string(body), "ok flappy") {
+						t.Errorf("200 with body %q", body)
+						return
+					}
+					sawOK[g].Store(true)
+				default:
+					t.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Flip failed -> ok once every scraper has seen the failure; the
+	// scrapers then keep going until each has also seen a 200.
+	deadline := time.After(10 * time.Second)
+	for {
+		all := true
+		for g := range sawFail {
+			if !sawFail[g].Load() {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("scrapers never observed the failure")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	failing.Store(false)
+	wg.Wait()
+	for g := range sawOK {
+		if !sawOK[g].Load() || !sawFail[g].Load() {
+			t.Fatalf("scraper %d: sawFail=%v sawOK=%v", g, sawFail[g].Load(), sawOK[g].Load())
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -42,26 +43,32 @@ func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
 // delay after the first failure is Delay(0)).
 func (b *Backoff) Delay(attempt int) time.Duration {
 	ceil := b.ceiling(attempt)
+	// Int63n's bound is exclusive, so the draw range is [0, ceil] via
+	// ceil+1 — except when ceil is already the int64 maximum, where +1
+	// would wrap negative and panic the source. Dropping the single
+	// topmost value there is indistinguishable in practice.
+	n := int64(ceil)
+	if n < math.MaxInt64 {
+		n++
+	}
 	b.mu.Lock()
-	d := time.Duration(b.src.Int63n(int64(ceil) + 1))
+	d := time.Duration(b.src.Int63n(n))
 	b.mu.Unlock()
 	return d
 }
 
-// ceiling is the un-jittered exponential cap for attempt.
+// ceiling is the un-jittered exponential cap for attempt: base<<attempt,
+// clamped to max. A node that has been down for hours drives attempt
+// into the hundreds, where a naive left shift wraps int64 and could hand
+// the jitter draw a negative (or tiny) ceiling — so the clamp is decided
+// by comparison (base > max>>attempt) before any shift happens, and any
+// attempt ≥ 63 clamps outright. O(1) regardless of attempt.
 func (b *Backoff) ceiling(attempt int) time.Duration {
-	if attempt < 0 {
-		attempt = 0
+	if attempt <= 0 {
+		return b.base
 	}
-	ceil := b.base
-	for i := 0; i < attempt; i++ {
-		ceil *= 2
-		if ceil >= b.max || ceil < 0 { // overflow guard
-			return b.max
-		}
-	}
-	if ceil > b.max {
+	if attempt >= 63 || b.base > b.max>>uint(attempt) {
 		return b.max
 	}
-	return ceil
+	return b.base << uint(attempt)
 }

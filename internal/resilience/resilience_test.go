@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -405,5 +407,228 @@ func TestUplinkConcurrentSends(t *testing.T) {
 		if n != 1 {
 			t.Fatalf("payload %d delivered %d times", k, n)
 		}
+	}
+}
+
+// TestBackoffCeilingBoundary is the overflow boundary table for the
+// exponential ceiling: a node that has been down for hours drives the
+// attempt counter far past the point where base<<attempt wraps int64,
+// and the ceiling must clamp to max instead of wrapping negative (which
+// would panic the jitter draw) or tiny (which would turn a 30s cap into
+// a hot retry loop).
+func TestBackoffCeilingBoundary(t *testing.T) {
+	maxDur := time.Duration(math.MaxInt64)
+	cases := []struct {
+		name      string
+		base, max time.Duration
+		attempt   int
+		want      time.Duration
+	}{
+		{"attempt0", 100 * time.Millisecond, 30 * time.Second, 0, 100 * time.Millisecond},
+		{"negativeAttempt", 100 * time.Millisecond, 30 * time.Second, -5, 100 * time.Millisecond},
+		{"doubling", 100 * time.Millisecond, 30 * time.Second, 3, 800 * time.Millisecond},
+		{"hitsCapExactly", time.Second, 8 * time.Second, 3, 8 * time.Second},
+		{"justUnderCap", time.Second, 9 * time.Second, 3, 8 * time.Second},
+		{"pastCap", 100 * time.Millisecond, 30 * time.Second, 20, 30 * time.Second},
+		{"shiftBoundary62", 1, maxDur, 62, 1 << 62},
+		{"shiftBoundary63", 1, maxDur, 63, maxDur},
+		{"shiftBoundary64", 1, maxDur, 64, maxDur},
+		{"hoursOfAttempts", 100 * time.Millisecond, 30 * time.Second, 100_000, 30 * time.Second},
+		{"hugeBaseHugeAttempt", maxDur / 2, maxDur, 1 << 30, maxDur},
+		{"intMaxAttempt", 100 * time.Millisecond, 30 * time.Second, math.MaxInt, 30 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBackoff(tc.base, tc.max, 1)
+			if got := b.ceiling(tc.attempt); got != tc.want {
+				t.Fatalf("ceiling(%d) with base=%v max=%v: got %v, want %v", tc.attempt, tc.base, tc.max, got, tc.want)
+			}
+		})
+	}
+
+	// The ceiling must be monotone non-decreasing in attempt — a wrap
+	// anywhere shows up as a decrease.
+	b := NewBackoff(3*time.Millisecond, maxDur, 1)
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 200; attempt++ {
+		c := b.ceiling(attempt)
+		if c < prev {
+			t.Fatalf("ceiling decreased at attempt %d: %v -> %v", attempt, prev, c)
+		}
+		if c <= 0 {
+			t.Fatalf("non-positive ceiling at attempt %d: %v", attempt, c)
+		}
+		prev = c
+	}
+}
+
+// TestBackoffDelayAtMaxInt64Ceiling drives Delay at the topmost ceiling,
+// where the exclusive-bound adjustment int64(ceil)+1 would overflow.
+func TestBackoffDelayAtMaxInt64Ceiling(t *testing.T) {
+	b := NewBackoff(time.Duration(math.MaxInt64), time.Duration(math.MaxInt64), 7)
+	for i := 0; i < 10; i++ {
+		d := b.Delay(100)
+		if d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+	}
+}
+
+// recordingSleep captures the durations a retry loop decides to sleep.
+type recordingSleep struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (r *recordingSleep) sleep(_ context.Context, d time.Duration) {
+	r.mu.Lock()
+	r.durs = append(r.durs, d)
+	r.mu.Unlock()
+}
+
+func (r *recordingSleep) slept() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.durs...)
+}
+
+// TestUplinkHonorsPeerRetryAfter sends through Uplink.Send against a
+// peer whose 503s carry a Retry-After hint, with the uplink's own
+// backoff schedule configured far larger than the hint. The retry sleep
+// must be exactly the peer's hint — the hint replaces the local
+// schedule, it is not merely a floor under it.
+func TestUplinkHonorsPeerRetryAfter(t *testing.T) {
+	const hint = 700 * time.Millisecond
+	rec := &recordingSleep{}
+	calls := 0
+	inner := SenderFunc(func([]byte) error {
+		calls++
+		if calls == 1 {
+			return &RetryAfterError{After: hint, Err: errors.New("shedding")}
+		}
+		return nil
+	})
+	cfg := testConfig()
+	cfg.MaxAttempts = 2
+	// Own schedule would sleep somewhere in (1h, 2h]: full jitter can
+	// draw small values from a large ceiling, so force the floor up to
+	// make "used own backoff" and "used peer hint" disjoint.
+	cfg.BackoffBase = 2 * time.Hour
+	cfg.BackoffMax = 2 * time.Hour
+	cfg.Sleep = rec.sleep
+	u := NewUplink(inner, cfg)
+	defer u.Close(context.Background())
+
+	if err := u.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	slept := rec.slept()
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want 1 (%v)", len(slept), slept)
+	}
+	if slept[0] != hint {
+		t.Fatalf("slept %v, want the peer hint %v", slept[0], hint)
+	}
+
+	// The converse direction must NOT block the caller: a hint longer
+	// than the local schedule ends the synchronous loop, Send parks the
+	// payload, and the drain loop delivers it — the peer is still not
+	// hammered before its hint, but the datapath calling Send (a
+	// gateway's UDP handler) is never held hostage for 90 minutes.
+	rec2 := &recordingSleep{}
+	var calls2 atomic.Int64
+	long := 90 * time.Minute
+	inner2 := SenderFunc(func([]byte) error {
+		if calls2.Add(1) == 1 {
+			return &RetryAfterError{After: long, Err: errors.New("shedding")}
+		}
+		return nil
+	})
+	cfg2 := testConfig()
+	cfg2.MaxAttempts = 2
+	cfg2.BackoffBase = time.Millisecond
+	cfg2.BackoffMax = time.Millisecond
+	cfg2.Sleep = rec2.sleep
+	u2 := NewUplink(inner2, cfg2)
+	defer u2.Close(context.Background())
+	if err := u2.Send([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	flushCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := u2.Flush(flushCtx); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rec2.slept() {
+		if d == long {
+			t.Fatalf("synchronous path slept the full %v hint; it must hand off to the buffer instead", long)
+		}
+	}
+	st := u2.Stats()
+	if st.Buffered != 1 || st.Drained != 1 {
+		t.Fatalf("payload not delivered via the buffer: %+v", st)
+	}
+}
+
+// TestUplinkSendSyncNeverBuffers pins the quorum-replication contract:
+// SendSync reports the true delivery outcome and leaves nothing in the
+// store-and-forward queue.
+func TestUplinkSendSyncNeverBuffers(t *testing.T) {
+	inner := &flakySender{failN: 1000} // down for the whole test
+	u := NewUplink(inner, testConfig())
+	defer u.Close(context.Background())
+
+	if err := u.SendSync(context.Background(), []byte{1}); err == nil {
+		t.Fatal("SendSync against a dead peer reported success")
+	}
+	if n := u.QueueLen(); n != 0 {
+		t.Fatalf("SendSync buffered %d payloads", n)
+	}
+	st := u.Stats()
+	if st.Sent != 0 || st.Buffered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUplinkSendSyncDelivers(t *testing.T) {
+	inner := &flakySender{failN: 1} // first try fails, retry lands
+	u := NewUplink(inner, testConfig())
+	defer u.Close(context.Background())
+	if err := u.SendSync(context.Background(), []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	st := u.Stats()
+	if st.Sent != 1 || st.Retries != 1 || st.Buffered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	got := inner.received()
+	if len(got) != 1 || got[0][0] != 42 {
+		t.Fatalf("received %v", got)
+	}
+}
+
+func TestUplinkSendSyncBreakerOpen(t *testing.T) {
+	inner := &flakySender{failN: 1000}
+	cfg := testConfig()
+	cfg.BreakerThreshold = 2
+	cfg.BreakerOpenFor = time.Hour
+	u := NewUplink(inner, cfg)
+	defer u.Close(context.Background())
+	_ = u.SendSync(context.Background(), []byte{1}) // trips the breaker
+	err := u.SendSync(context.Background(), []byte{2})
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("err = %v, want ErrPeerDown", err)
+	}
+}
+
+func TestUplinkSendSyncPermanentSurfaces(t *testing.T) {
+	u := NewUplink(SenderFunc(func([]byte) error { return Permanent(errors.New("refused")) }), testConfig())
+	defer u.Close(context.Background())
+	err := u.SendSync(context.Background(), []byte{1})
+	if err == nil || !IsPermanent(err) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := u.Stats(); st.RejectedPermanent != 1 {
+		t.Fatalf("stats = %+v", st)
 	}
 }

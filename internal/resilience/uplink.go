@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -168,6 +169,34 @@ func (u *Uplink) Send(payload []byte) error {
 	return nil
 }
 
+// ErrPeerDown reports that SendSync could not attempt delivery because
+// the circuit breaker is open: the peer is known-down and probing is not
+// yet due. It is transient — callers treat it like any failed send.
+var ErrPeerDown = errors.New("resilience: peer down (breaker open)")
+
+// SendSync attempts synchronous delivery only and reports the true
+// outcome: unlike Send it never buffers, so a nil return means the peer
+// accepted the payload before SendSync returned. This is the primitive
+// quorum replication needs — an acknowledgement upstream must mean
+// "durably delivered to W peers", and a payload parked in a
+// store-and-forward queue is not that. Retries, jitter, Retry-After
+// hints, and the circuit breaker all apply exactly as in Send.
+func (u *Uplink) SendSync(ctx context.Context, payload []byte) error {
+	u.sendMu.Lock()
+	defer u.sendMu.Unlock()
+	if !u.breaker.Allow() {
+		return ErrPeerDown
+	}
+	err := u.trySend(ctx, payload, u.cfg.MaxAttempts)
+	switch {
+	case err == nil:
+		u.sent.Add(1)
+	case IsPermanent(err):
+		u.rejects.Add(1)
+	}
+	return err
+}
+
 // buffer enqueues payload and wakes the drain loop.
 func (u *Uplink) buffer(payload []byte) {
 	u.queue.Push(payload)
@@ -178,17 +207,30 @@ func (u *Uplink) buffer(payload []byte) {
 }
 
 // trySend makes up to attempts tries against the inner sender, sleeping
-// a jittered backoff (or the peer's Retry-After hint, if longer) between
-// them, and keeps the breaker informed.
+// between them, and keeps the breaker informed. When the previous
+// failure carried the peer's own Retry-After hint, that hint governs —
+// the peer knows its recovery timeline better than our jitter schedule
+// does — but in two different ways. A hint shorter than the local
+// backoff IS the sleep: an endpoint asking for 1s must not be kept
+// waiting behind a 30s schedule. A hint longer than the local backoff
+// ends the synchronous loop instead — trySend runs inline on datapaths
+// (a gateway's UDP handler, a router's ingest), and a peer asking for
+// more patience than the backoff schedule budgeted must not stall the
+// caller; the hinted error is returned so Send parks the payload for
+// the drain loop (which waits out the full hint off the hot path) and
+// SendSync surfaces the hint for the caller's own shedding.
 func (u *Uplink) trySend(ctx context.Context, payload []byte, attempts int) error {
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			u.retries.Add(1)
 			d := u.backoff.Delay(i - 1)
-			if hint := retryHint(err); hint > d {
+			if hint := retryHint(err); hint > 0 {
+				if hint > d {
+					return err
+				}
 				d = hint
 			}
+			u.retries.Add(1)
 			u.cfg.Sleep(ctx, d)
 			if ctx.Err() != nil {
 				return err
@@ -256,10 +298,11 @@ func (u *Uplink) drainOnce(ctx context.Context) {
 			u.sendMu.Unlock()
 		default:
 			u.sendMu.Unlock()
-			// Peer still down: wait out a backoff (honouring its own
-			// hint) before the next probe rather than spinning.
+			// Peer still down: wait out a backoff before the next probe
+			// rather than spinning — or exactly the peer's own hint, when
+			// the failure carried one.
 			d := u.backoff.Delay(0)
-			if hint := retryHint(err); hint > d {
+			if hint := retryHint(err); hint > 0 {
 				d = hint
 			}
 			u.cfg.Sleep(ctx, d)

@@ -168,18 +168,26 @@ func (db *DB) Shards() int { return len(db.shards) }
 // Durable reports whether the engine has a WAL.
 func (db *DB) Durable() bool { return db.opts.Dir != "" }
 
-// ShardIndex maps a device to its partition: a splitmix64 finalizer over
-// the EUI-64, so the sequential device numbering a manufacturer burns in
-// still spreads evenly. Exported so callers sharding their own
-// per-device state (the endpoint's replay guards) stay aligned.
-func ShardIndex(dev lpwan.EUI64, shards int) int {
-	x := dev.Uint64()
+// Mix64 is the splitmix64 finalizer: the avalanche function behind
+// ShardIndex. Exported on its own so higher layers that partition the
+// same device space — the cluster's consistent-hash ring — hash with
+// bit-identical spread, keeping "which shard" and "which node" decisions
+// derived from one function.
+func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return int(x % uint64(shards))
+	return x
+}
+
+// ShardIndex maps a device to its partition: a splitmix64 finalizer over
+// the EUI-64, so the sequential device numbering a manufacturer burns in
+// still spreads evenly. Exported so callers sharding their own
+// per-device state (the endpoint's replay guards) stay aligned.
+func ShardIndex(dev lpwan.EUI64, shards int) int {
+	return int(Mix64(dev.Uint64()) % uint64(shards))
 }
 
 func (db *DB) shardFor(dev lpwan.EUI64) *shard {

@@ -1,0 +1,113 @@
+#!/bin/sh
+# smoke_cluster.sh — the end-to-end failover drill against the real
+# binaries: boot three endpointd nodes with WAL-backed storage and a
+# cluster-mode routerd (R=2, W=2), then let cmd/clusterload pump sealed
+# telemetry through the router while a seeded chaos schedule picks a
+# victim to SIGKILL mid-ingest. The victim reboots from its WAL, and the
+# driver proves the contract from outside: zero acknowledged packets
+# lost (byte-checked via merged /history), health degraded — never
+# failed — during the outage, and a 503-free recovery window after it.
+#
+# The driver owns the seeded schedule and writes the victim's index to a
+# marker file; this script executes the kill and the restart. Ports are
+# fixed but obscure; pass SMOKE_CLUSTER_BASE_PORT to override.
+set -eu
+
+BASE="${SMOKE_CLUSTER_BASE_PORT:-19080}"
+ROUTER_PORT=$((BASE + 3))
+DEBUG_PORT=$((BASE + 4))
+MASTER="smoke-fleet-master"
+SECRET="smoke-cluster-secret"
+SEED="${SMOKE_CLUSTER_SEED:-7}"
+
+TMP="$(mktemp -d)"
+MARKER="$TMP/kill.marker"
+
+cleanup() {
+    for pid in "${ROUTER_PID:-}" "${N0_PID:-}" "${N1_PID:-}" "${N2_PID:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/endpointd" ./cmd/endpointd
+go build -o "$TMP/routerd" ./cmd/routerd
+go build -o "$TMP/clusterload" ./cmd/clusterload
+
+# boot_node <index> — start one WAL-backed endpoint; its data dir
+# survives kills, so a restart replays everything it ever acknowledged.
+boot_node() {
+    idx="$1"
+    mkdir -p "$TMP/node$idx"
+    "$TMP/endpointd" -listen "127.0.0.1:$((BASE + idx))" -master "$MASTER" \
+        -data-dir "$TMP/node$idx" -shards 4 -wal-fsync always \
+        -cluster-secret "$SECRET" >"$TMP/node$idx.log" 2>&1 &
+    echo $!
+}
+
+N0_PID="$(boot_node 0)"
+N1_PID="$(boot_node 1)"
+N2_PID="$(boot_node 2)"
+
+"$TMP/routerd" -listen "127.0.0.1:$ROUTER_PORT" -abp-master 0123456789abcdef \
+    -cluster-peers "http://127.0.0.1:$BASE,http://127.0.0.1:$((BASE + 1)),http://127.0.0.1:$((BASE + 2))" \
+    -replicas 2 -write-quorum 2 -cluster-secret "$SECRET" \
+    -suspect-after 500ms -heartbeat-every 200ms \
+    -retries 1 -retry-base 10ms \
+    -debug-addr "127.0.0.1:$DEBUG_PORT" >"$TMP/routerd.log" 2>&1 &
+ROUTER_PID=$!
+
+# Wait for the router's cluster front, and for every node to answer it.
+ok=""
+for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$ROUTER_PORT/status" | grep -q '"health":"healthy"'; then
+        ok=1
+        break
+    fi
+    kill -0 "$ROUTER_PID" 2>/dev/null || { echo "smoke-cluster: routerd died during boot" >&2; cat "$TMP/routerd.log" >&2; exit 1; }
+    sleep 0.2
+done
+[ -n "$ok" ] || { echo "smoke-cluster: cluster never reported healthy on :$ROUTER_PORT" >&2; cat "$TMP/routerd.log" >&2; exit 1; }
+
+# The kill executor: when the driver writes the seeded verdict, SIGKILL
+# that node (no shutdown path — the WAL is the only survivor), hold the
+# outage long enough for the detector to call it, then reboot it.
+(
+    while [ ! -f "$MARKER" ]; do sleep 0.1; done
+    victim="$(cat "$MARKER")"
+    case "$victim" in
+        0) vpid="$N0_PID" ;;
+        1) vpid="$N1_PID" ;;
+        2) vpid="$N2_PID" ;;
+        *) echo "smoke-cluster: bad victim index '$victim'" >&2; exit 1 ;;
+    esac
+    echo "smoke-cluster: SIGKILL node $victim (pid $vpid)"
+    kill -9 "$vpid"
+    sleep 4
+    echo "smoke-cluster: rebooting node $victim from its WAL"
+    boot_node "$victim" >"$TMP/victim.pid"
+) &
+EXECUTOR_PID=$!
+
+"$TMP/clusterload" -router "http://127.0.0.1:$ROUTER_PORT" -master "$MASTER" \
+    -seed "$SEED" -nodes 3 -packets 300 -devices 6 -kill-after 60 \
+    -kill-marker "$MARKER" || {
+    echo "smoke-cluster: FAILED — driver logs above, router log follows" >&2
+    tail -40 "$TMP/routerd.log" >&2
+    exit 1
+}
+
+wait "$EXECUTOR_PID" 2>/dev/null || true
+if [ -f "$TMP/victim.pid" ]; then
+    kill "$(cat "$TMP/victim.pid")" 2>/dev/null || true
+fi
+
+# The router's debug surface must agree: /healthz is 200 again.
+HSTATUS="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DEBUG_PORT/healthz")"
+if [ "$HSTATUS" != "200" ]; then
+    echo "smoke-cluster: GET /healthz returned $HSTATUS after recovery" >&2
+    exit 1
+fi
+
+echo "smoke-cluster: OK (zero acknowledged loss, degraded-not-failed outage, 503-free recovery)"
