@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-gate lint-baseline race check bench bench-tsdb bench-obs smoke-obs smoke-cluster
+.PHONY: build test vet lint lint-gate lint-baseline race check bench bench-tsdb bench-obs bench-query smoke-obs smoke-cluster smoke-query
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,25 @@ bench-tsdb:
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchmem ./internal/obs/
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest' -benchmem ./internal/cloud/
+
+# bench-query runs the read-path benchmarks: a century of hourly data
+# queried week-by-week from the rollup tiers vs. the same answer
+# computed by scanning every raw point, plus the top-K gap scan.
+# Compare against the committed BENCH_query.json baseline — the tiered
+# path must stay under the 10 ms budget and an order of magnitude ahead
+# of the raw scan.
+bench-query:
+	$(GO) test -run '^$$' -bench 'BenchmarkQueryCentury' -benchmem ./internal/query/
+
+# smoke-query is the tiered-read-path drill against the real binary:
+# endpointd with -retain-raw pumps two years of cluster-stamped virtual
+# data, a checkpoint folds the old raw tail into hourly/daily buckets,
+# and cmd/queryload verifies /query from outside — full coverage, daily
+# tier engaged, within the latency budget — then SIGKILLs the daemon,
+# reboots it from snapshot + WAL, and requires the byte-exact same
+# answer.
+smoke-query:
+	./scripts/smoke_query.sh
 
 # smoke-obs boots endpointd with a debug listener, scrapes /metrics and
 # /healthz, and fails on a non-200 or empty exposition — the CI check

@@ -22,6 +22,14 @@
 // archive; -data-dir alone is fully durable but replays the whole WAL at
 // boot; -snapshot alone restores the old snapshot-interval loss window.
 //
+// With -retain-raw set, storage becomes tiered: at every checkpoint,
+// points older than the retention window are folded into hourly/daily
+// aggregate buckets (-rollup-hourly / -rollup-daily) and their raw
+// copies dropped — the century-scale read path. GET /query answers
+// windowed aggregates from the tiers, /query/uptime weekly uptime, and
+// /query/gaps the top-K silent devices; all three report which tier
+// served them.
+//
 // The endpoint degrades gracefully instead of failing opaquely: more
 // than -max-inflight concurrent ingests, a failing snapshot disk, or a
 // failing WAL disk turn into 503 + Retry-After so resilient gateways
@@ -49,8 +57,20 @@ import (
 	"centuryscale/internal/cloud"
 	"centuryscale/internal/daemon"
 	"centuryscale/internal/obs"
+	"centuryscale/internal/rollup"
 	"centuryscale/internal/tsdb"
 )
+
+// checkpoint saves the snapshot and truncates the WAL behind it, folding
+// the raw tail into rollup tiers first when tiered retention is on. The
+// data clock (HighWater) drives the fold cutoff, so virtual-time
+// workloads fold correctly too.
+func checkpoint(store *cloud.Store, path string) error {
+	if store.Rollups() != nil {
+		return store.CheckpointAt(path, store.HighWater())
+	}
+	return store.Checkpoint(path)
+}
 
 func main() {
 	var (
@@ -65,6 +85,9 @@ func main() {
 		compactEv  = flag.Duration("compact-every", 0, "background retention compaction interval (0 = off)")
 		retainFull = flag.Duration("retain-full", cloud.DefaultRetention().FullResolutionWindow, "retention: full-resolution window")
 		retainPer  = flag.Duration("retain-bucket", cloud.DefaultRetention().KeepOnePer, "retention: one reading kept per bucket beyond the window")
+		rollupHr   = flag.Duration("rollup-hourly", time.Hour, "rollup fine-tier bucket width")
+		rollupDay  = flag.Duration("rollup-daily", 24*time.Hour, "rollup coarse-tier bucket width (multiple of -rollup-hourly)")
+		retainRaw  = flag.Duration("retain-raw", 0, "tiered retention: fold points older than this into rollup buckets at each checkpoint and drop the raw copies (0 = rollups off)")
 		maxInFl    = flag.Int("max-inflight", 256, "max concurrent ingests before shedding 503 (0 = unlimited)")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
 		clusterSec = flag.String("cluster-secret", "", "shared secret arming the intra-cluster routes (/cluster/*) and coordinator arrival stamps")
@@ -98,6 +121,17 @@ func main() {
 		store = cloud.NewStore(keys)
 	}
 
+	// Rollups must be enabled before the snapshot loads: the loader
+	// restores bucket state into the engine (and refuses a snapshot whose
+	// tier geometry differs — summarized buckets cannot be re-cut).
+	if *retainRaw > 0 {
+		cfg := rollup.Config{Hourly: *rollupHr, Daily: *rollupDay}
+		if err := store.EnableRollups(cfg, *retainRaw); err != nil {
+			log.Fatalf("endpointd: %v", err)
+		}
+		log.Printf("endpointd: tiered rollups on (hourly %v, daily %v, raw retention %v)", *rollupHr, *rollupDay, *retainRaw)
+	}
+
 	// Boot: snapshot first (the checkpoint), then the WAL on top (the
 	// readings accepted since that checkpoint).
 	if *snapshot != "" {
@@ -127,6 +161,7 @@ func main() {
 	reg := obs.NewRegistry()
 	store.RegisterMetrics(reg, nil)
 	store.DB().RegisterMetrics(reg)
+	server.RegisterQueryMetrics(reg, nil)
 
 	var handler http.Handler = server
 	if cf.Enabled() {
@@ -158,8 +193,10 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					// Checkpoint = snapshot + WAL truncation behind it.
-					if err := store.Checkpoint(*snapshot); err != nil {
+					// Checkpoint = snapshot + WAL truncation behind it;
+					// with rollups on it also folds everything older than
+					// the raw retention window into the tiers first.
+					if err := checkpoint(store, *snapshot); err != nil {
 						// Can't persist what we accept: shed until the
 						// disk recovers so gateways buffer instead.
 						log.Printf("endpointd: checkpoint: %v (degrading ingest)", err)
@@ -184,6 +221,16 @@ func main() {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
+					if store.Rollups() != nil {
+						// Tiered retention supersedes the lossy KeepOnePer
+						// thinning: folding summarizes exactly instead of
+						// sampling, so the old compactor must not thin the
+						// raw tail the next fold will consume.
+						if folded := store.FoldRollups(store.HighWater()); folded > 0 {
+							log.Printf("endpointd: rollup fold summarized %d readings (watermark %v)", folded, store.Rollups().FoldedBefore())
+						}
+						continue
+					}
 					if dropped := store.Compact(time.Since(start), policy); dropped > 0 {
 						log.Printf("endpointd: retention compaction dropped %d readings", dropped)
 					}
@@ -204,7 +251,7 @@ func main() {
 		log.Fatalf("endpointd: %v", err)
 	}
 	if *snapshot != "" {
-		if err := store.Checkpoint(*snapshot); err != nil {
+		if err := checkpoint(store, *snapshot); err != nil {
 			log.Fatalf("endpointd: final checkpoint: %v", err)
 		}
 		log.Printf("endpointd: saved %d readings to %s", store.Count(), *snapshot)

@@ -1,0 +1,273 @@
+// Command queryload is the smoke driver for the tiered read path: it
+// pumps a multi-year virtual series into one endpointd (arrival stamps
+// asserted via the cluster header, so the data clock — not the wall
+// clock — paces retention), then proves the /query contract from the
+// outside: every ingested point is covered by the windowed answer, the
+// daily rollup tier actually engaged (the cheap path, not a raw scan),
+// the query returns under the latency budget, and the answer bytes are
+// stable — the supervising script SIGKILLs the daemon between two
+// -mode verify runs and the second must reproduce the first exactly.
+//
+//	queryload -endpoint http://127.0.0.1:18090 -master fleet-secret \
+//	          -cluster-secret smoke -mode ingest -devices 2 -points 730
+//	queryload -endpoint http://127.0.0.1:18090 -mode verify -devices 2 \
+//	          -points 730 -answer /tmp/answer.json -max-millis 10
+//
+// Exit status 0 means every check held.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"centuryscale/internal/cloud"
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/telemetry"
+)
+
+func main() {
+	var (
+		endpoint  = flag.String("endpoint", "http://127.0.0.1:18090", "endpointd base URL")
+		master    = flag.String("master", "", "fleet master secret (required for -mode ingest)")
+		secret    = flag.String("cluster-secret", "", "cluster secret authorizing arrival stamps (required for -mode ingest)")
+		mode      = flag.String("mode", "", "ingest | verify")
+		devices   = flag.Int("devices", 2, "device fleet size")
+		points    = flag.Int("points", 730, "points per device")
+		cadence   = flag.Duration("cadence", 24*time.Hour, "virtual arrival spacing between a device's points")
+		step      = flag.Duration("step", 7*24*time.Hour, "aggregation window width for -mode verify")
+		answer    = flag.String("answer", "", "answer file: written on first verify, byte-compared on the next (the crash-equivalence check)")
+		maxMillis = flag.Int("max-millis", 10, "latency budget per /query request (best of 5)")
+		retainRaw = flag.Duration("retain-raw", 720*time.Hour, "the daemon's raw retention window (verify waits for the fold watermark to reach its terminal position)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "wait budget for the terminal fold")
+	)
+	flag.Parse()
+
+	d := &driver{
+		endpoint: *endpoint,
+		master:   []byte(*master),
+		secret:   *secret,
+		devices:  *devices,
+		points:   *points,
+		cadence:  *cadence,
+		step:     *step,
+		client:   &http.Client{Timeout: 10 * time.Second},
+	}
+	switch *mode {
+	case "ingest":
+		if *master == "" || *secret == "" {
+			log.Fatal("queryload: -mode ingest requires -master and -cluster-secret")
+		}
+		d.ingest()
+	case "verify":
+		d.verify(*answer, *maxMillis, *retainRaw, *timeout)
+	default:
+		log.Fatalf("queryload: unknown -mode %q (want ingest or verify)", *mode)
+	}
+}
+
+type driver struct {
+	endpoint string
+	master   []byte
+	secret   string
+	devices  int
+	points   int
+	cadence  time.Duration
+	step     time.Duration
+	client   *http.Client
+}
+
+func (d *driver) deviceID(i int) lpwan.EUI64 { return lpwan.EUIFromUint64(uint64(i) + 1) }
+
+// horizon is the query range end: past the last stamped arrival (which
+// lands at points*cadence + device offset) so every point is covered.
+func (d *driver) horizon() time.Duration {
+	return d.cadence*time.Duration(d.points) + time.Hour
+}
+
+// ingest pumps the virtual series: per device, one sealed packet every
+// -cadence of data time, arrival asserted via the cluster stamp header.
+// A small per-device offset keeps arrivals distinct without breaking
+// determinism.
+func (d *driver) ingest() {
+	start := time.Now()
+	for i := 0; i < d.points; i++ {
+		for dev := 0; dev < d.devices; dev++ {
+			id := d.deviceID(dev)
+			wire, err := telemetry.Packet{
+				Device: id, Seq: uint32(i + 1), Sensor: telemetry.SensorStrain,
+				Value: float32(i%100) / 2,
+			}.Seal(telemetry.DeriveKey(d.master, id))
+			if err != nil {
+				log.Fatalf("queryload: seal: %v", err)
+			}
+			arrival := d.cadence*time.Duration(i+1) + time.Duration(dev)*time.Minute
+			req, err := http.NewRequest("POST", d.endpoint+"/ingest", bytes.NewReader(wire))
+			if err != nil {
+				log.Fatalf("queryload: %v", err)
+			}
+			req.Header.Set(cloud.ClusterSecretHeader, d.secret)
+			req.Header.Set(cloud.ClusterArrivalHeader, strconv.FormatInt(int64(arrival), 10))
+			resp, err := d.client.Do(req)
+			if err != nil {
+				log.Fatalf("queryload: POST /ingest: %v", err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				log.Fatalf("queryload: POST /ingest device %d point %d returned %s", dev, i, resp.Status)
+			}
+		}
+	}
+	log.Printf("queryload: ingested %d points × %d devices (%v of data time) in %v",
+		d.points, d.devices, d.cadence*time.Duration(d.points), time.Since(start).Round(time.Millisecond))
+}
+
+type queryAnswer struct {
+	FoldedBeforeSeconds float64 `json:"folded_before_seconds"`
+	Tiers               struct {
+		Daily  int `json:"daily_buckets"`
+		Hourly int `json:"hourly_buckets"`
+		Raw    int `json:"raw_points"`
+	} `json:"tiers"`
+	Windows []struct {
+		Count uint64 `json:"count"`
+	} `json:"windows"`
+}
+
+func (d *driver) queryPath(dev int) string {
+	return fmt.Sprintf("%s/query?device=%s&step=%d&from=0&to=%d",
+		d.endpoint, d.deviceID(dev), int64(d.step/time.Second), int64(d.horizon()/time.Second))
+}
+
+func (d *driver) get(url string) (int, []byte) {
+	resp, err := d.client.Get(url)
+	if err != nil {
+		log.Fatalf("queryload: GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("queryload: reading %s: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+// verify proves the read-path contract: full coverage, daily tier
+// engaged, latency within budget, and (via the answer file) the same
+// bytes before and after a SIGKILL + WAL reboot.
+func (d *driver) verify(answerFile string, maxMillis int, retainRaw, within time.Duration) {
+	// The fold runs at the daemon's checkpoint cadence. Wait for the
+	// watermark to reach its TERMINAL position — the high water mark
+	// minus the retention window, hour-aligned — not merely for the
+	// daily tier to engage: a mid-ingest fold already engages it, and
+	// recording the answer before the last checkpoint would make the
+	// post-reboot bytes (folded further) spuriously diverge.
+	highWater := d.cadence*time.Duration(d.points) + time.Duration(d.devices-1)*time.Minute
+	wantFolded := ((highWater - retainRaw) / time.Hour * time.Hour).Seconds()
+	deadline := time.Now().Add(within)
+	for {
+		status, body := d.get(d.queryPath(0))
+		var qa queryAnswer
+		if status == http.StatusOK {
+			if err := json.Unmarshal(body, &qa); err != nil {
+				log.Fatalf("queryload: decoding /query: %v", err)
+			}
+			if qa.Tiers.Daily > 0 && qa.FoldedBeforeSeconds == wantFolded {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("queryload: fold never reached watermark %.0fs within %v (last status %d, folded %.0fs, daily %d)",
+				wantFolded, within, status, qa.FoldedBeforeSeconds, qa.Tiers.Daily)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	var combined bytes.Buffer
+	for dev := 0; dev < d.devices; dev++ {
+		url := d.queryPath(dev)
+		var body []byte
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 5; rep++ {
+			t0 := time.Now()
+			status, b := d.get(url)
+			elapsed := time.Since(t0)
+			if status != http.StatusOK {
+				log.Fatalf("queryload: GET /query device %d returned %d: %s", dev, status, b)
+			}
+			if elapsed < best {
+				best = elapsed
+			}
+			body = b
+		}
+		var qa queryAnswer
+		if err := json.Unmarshal(body, &qa); err != nil {
+			log.Fatalf("queryload: decoding /query: %v", err)
+		}
+		var covered uint64
+		for _, w := range qa.Windows {
+			covered += w.Count
+		}
+		if covered != uint64(d.points) {
+			log.Fatalf("queryload: device %d answer covers %d points, ingested %d", dev, covered, d.points)
+		}
+		if qa.Tiers.Daily == 0 {
+			log.Fatalf("queryload: device %d answered without the daily tier (tiers: %+v)", dev, qa.Tiers)
+		}
+		if budget := time.Duration(maxMillis) * time.Millisecond; best > budget {
+			log.Fatalf("queryload: device %d /query took %v, budget %v", dev, best, budget)
+		}
+		log.Printf("queryload: device %d: %d points covered, tiers daily=%d hourly=%d raw=%d, folded_before=%.0fs, best latency %v",
+			dev, covered, qa.Tiers.Daily, qa.Tiers.Hourly, qa.Tiers.Raw, qa.FoldedBeforeSeconds, best.Round(time.Microsecond))
+		combined.Write(body)
+	}
+
+	// The other two routes must answer, and with the expected shape.
+	if status, body := d.get(fmt.Sprintf("%s/query/uptime?device=%s&horizon=%d",
+		d.endpoint, d.deviceID(0), int64(d.horizon()/time.Second))); status != http.StatusOK {
+		log.Fatalf("queryload: /query/uptime returned %d: %s", status, body)
+	} else {
+		var up struct {
+			WeeklyUptime float64 `json:"weekly_uptime"`
+		}
+		if err := json.Unmarshal(body, &up); err != nil || up.WeeklyUptime <= 0 {
+			log.Fatalf("queryload: /query/uptime gave %s (err %v)", body, err)
+		}
+	}
+	if status, body := d.get(fmt.Sprintf("%s/query/gaps?k=%d", d.endpoint, d.devices)); status != http.StatusOK {
+		log.Fatalf("queryload: /query/gaps returned %d: %s", status, body)
+	} else {
+		var gaps []struct {
+			Device string `json:"device"`
+		}
+		if err := json.Unmarshal(body, &gaps); err != nil || len(gaps) != d.devices {
+			log.Fatalf("queryload: /query/gaps gave %d entries, want %d: %s", len(gaps), d.devices, body)
+		}
+	}
+
+	// Crash equivalence: the first verify records the answer bytes, the
+	// post-kill verify must reproduce them exactly — same buckets, same
+	// watermark, same windows.
+	if answerFile != "" {
+		if prev, err := os.ReadFile(answerFile); err == nil {
+			if !bytes.Equal(prev, combined.Bytes()) {
+				log.Fatalf("queryload: answer diverged from %s after reboot (%d vs %d bytes)",
+					answerFile, len(prev), combined.Len())
+			}
+			log.Printf("queryload: answer byte-identical to pre-kill record (%d bytes)", combined.Len())
+		} else if err := os.WriteFile(answerFile, combined.Bytes(), 0o644); err != nil {
+			log.Fatalf("queryload: writing %s: %v", answerFile, err)
+		} else {
+			log.Printf("queryload: answer recorded to %s (%d bytes)", answerFile, combined.Len())
+		}
+	}
+	log.Printf("queryload: OK — %d devices served from the rollup tiers within %dms", d.devices, maxMillis)
+}

@@ -22,12 +22,13 @@ package cloud
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"centuryscale/internal/lpwan"
+	"centuryscale/internal/query"
+	"centuryscale/internal/rollup"
 	"centuryscale/internal/sim"
 	"centuryscale/internal/telemetry"
 	"centuryscale/internal/tsdb"
@@ -65,6 +66,7 @@ type IngestStats struct {
 	Quarantined     uint64 // from devices whose trust has been revoked
 	PersistFailures uint64 // WAL append failed; packet refused, not acked
 	Repaired        uint64 // readings merged from a replica by read-repair
+	Stale           uint64 // arrival below the rollup fold watermark (sealed region)
 }
 
 // ingestCounters is the live, lock-free backing of IngestStats. Every
@@ -82,6 +84,7 @@ type ingestCounters struct {
 	quarantined     atomic.Uint64
 	persistFailures atomic.Uint64
 	repaired        atomic.Uint64
+	stale           atomic.Uint64
 }
 
 func (c *ingestCounters) snapshot() IngestStats {
@@ -95,6 +98,7 @@ func (c *ingestCounters) snapshot() IngestStats {
 		Quarantined:     c.quarantined.Load(),
 		PersistFailures: c.persistFailures.Load(),
 		Repaired:        c.repaired.Load(),
+		Stale:           c.stale.Load(),
 	}
 }
 
@@ -108,6 +112,7 @@ func (c *ingestCounters) restore(st IngestStats) {
 	c.quarantined.Store(st.Quarantined)
 	c.persistFailures.Store(st.PersistFailures)
 	c.repaired.Store(st.Repaired)
+	c.stale.Store(st.Stale)
 }
 
 // ErrPersist wraps a storage-engine append failure: the reading was NOT
@@ -136,6 +141,19 @@ type Store struct {
 	guards []*guardShard
 
 	stats ingestCounters // lock-free; see IngestStats for the export form
+
+	// rollups is the tiered-downsampling engine (nil = rollups
+	// disabled). An atomic pointer because the ingest hot path reads it
+	// per packet while boot (EnableRollups, ReadSnapshot) installs it;
+	// see rollups.go for the fold protocol.
+	rollups   atomic.Pointer[rollup.Engine]
+	retainRaw time.Duration // raw tail width; set once by EnableRollups
+	foldMu    sync.Mutex    // serializes FoldRollups against itself
+
+	// highWater is the maximum arrival time ever accepted (nanoseconds):
+	// the data clock fold cutoffs are derived from, so retention depends
+	// on the stream, not the wall.
+	highWater atomic.Int64
 
 	// obs is the optional ingest latency histogram, installed by
 	// RegisterMetrics. An atomic pointer rather than a field set at
@@ -292,6 +310,17 @@ func (s *Store) ingest(at time.Duration, wire []byte) error {
 	// guard clean and the packet retryable.
 	gs := s.guardFor(p.Device)
 	gs.mu.Lock()
+	// Sealed-region check under the guard lock: FoldRollups publishes
+	// the watermark and then takes every guard lock once (the barrier),
+	// so any append that saw the old watermark has committed before the
+	// drain runs — no packet can slip between "summarized" and "raw".
+	if r := s.rollups.Load(); r != nil {
+		if wm := r.FoldedBefore(); at < wm {
+			gs.mu.Unlock()
+			s.stats.stale.Add(1)
+			return fmt.Errorf("%w: arrival %v precedes fold watermark %v", ErrSealed, at, wm)
+		}
+	}
 	if err := gs.guard.Fresh(p); err != nil {
 		gs.mu.Unlock()
 		s.stats.duplicates.Add(1)
@@ -306,6 +335,7 @@ func (s *Store) ingest(at time.Duration, wire []byte) error {
 	gs.mu.Unlock()
 
 	s.stats.accepted.Add(1)
+	s.observeArrival(at)
 	s.mu.Lock()
 	s.weeks[int64(at/sim.Week)] = true
 	s.mu.Unlock()
@@ -316,14 +346,27 @@ func (s *Store) ingest(at time.Duration, wire []byte) error {
 // whatever state is already loaded (usually the last snapshot). Records
 // the replay guard has already seen — the overlap a crash between
 // checkpoint write and WAL truncation leaves behind — are skipped, so
-// replay is idempotent. Returns the engine's replay summary.
+// replay is idempotent. Records below the restored fold watermark are
+// likewise skipped: they are already summarized in the snapshot's
+// rollup buckets (a crash between the checkpoint's rename and its WAL
+// truncation leaves them behind), and loading them raw would count them
+// twice. The guard still learns their sequence numbers first. Returns
+// the engine's replay summary.
 func (s *Store) ReplayWAL() (tsdb.ReplayStats, error) {
+	var folded time.Duration
+	if r := s.rollups.Load(); r != nil {
+		folded = r.FoldedBefore()
+	}
 	return s.db.Replay(func(pt tsdb.Point) bool {
+		s.observeArrival(pt.At)
 		p := packetOf(pt)
 		gs := s.guardFor(p.Device)
 		gs.mu.Lock()
 		err := gs.guard.Admit(p)
 		gs.mu.Unlock()
+		if pt.At < folded {
+			return false // summarized in the snapshot's buckets; stats already counted there
+		}
 		if err != nil {
 			return false
 		}
@@ -423,106 +466,14 @@ func (s *Store) WeeklyUptime(horizon time.Duration) float64 {
 // the last packet to the horizon. It answers "how close did the
 // experiment come to missing its weekly deadline".
 //
-// The fleet's history is already mostly ordered: each device's series is
-// in arrival order, which is sorted by At within one daemon run. So
-// instead of flattening every point into one slice and re-sorting the
-// whole history (O(n log n) per call, with n growing for 50 years), we
-// k-way merge the per-device runs through a min-heap: O(n log k) time
-// and O(k) heap state, with only the 8-byte times copied out of the
-// shards. A device whose run is locally unsorted (a restart resets the
-// arrival clock) is detected and sorted alone before the merge.
+// The k-way merge over per-device arrival runs (PR 5's O(n log k)
+// replacement for flatten-and-sort) lives in internal/query now, shared
+// with the per-device tier-walk queries; only the 8-byte times are
+// copied out of the shards. Note this scans the RAW store: with rollups
+// enabled it covers the raw tail only — use the query engine's
+// LongestGap/TopGaps for the full sealed history.
 func (s *Store) LongestGap(horizon time.Duration) time.Duration {
-	series := s.db.TimesByDevice()
-	h := make(gapHeap, 0, len(series))
-	for _, ts := range series {
-		if len(ts) == 0 {
-			continue
-		}
-		if !sortedTimes(ts) {
-			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
-		}
-		h = append(h, gapCursor{ts: ts})
-	}
-	if len(h) == 0 {
-		return horizon
-	}
-	h.init()
-
-	// Streaming min-merge: each pop yields the globally next arrival.
-	prev := time.Duration(0) // gap from experiment start to first packet counts
-	var gap time.Duration
-	for len(h) > 0 {
-		cur := &h[0]
-		at := cur.ts[cur.i]
-		if d := at - prev; d > gap {
-			gap = d
-		}
-		prev = at
-		cur.i++
-		if cur.i == len(cur.ts) {
-			h.popRoot()
-		} else {
-			h.siftDown(0)
-		}
-	}
-	if d := horizon - prev; d > gap {
-		gap = d
-	}
-	return gap
-}
-
-func sortedTimes(ts []time.Duration) bool {
-	for i := 1; i < len(ts); i++ {
-		if ts[i] < ts[i-1] {
-			return false
-		}
-	}
-	return true
-}
-
-// gapCursor walks one device's sorted arrival times.
-type gapCursor struct {
-	ts []time.Duration
-	i  int
-}
-
-// gapHeap is a min-heap of cursors ordered by their next arrival time —
-// hand-rolled so the merge stays allocation-free after setup (the
-// container/heap interface boxes every operation).
-type gapHeap []gapCursor
-
-func (h gapHeap) less(i, j int) bool { return h[i].ts[h[i].i] < h[j].ts[h[j].i] }
-
-func (h gapHeap) init() {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		h.siftDown(i)
-	}
-}
-
-func (h gapHeap) siftDown(i int) {
-	for {
-		l, r := 2*i+1, 2*i+2
-		least := i
-		if l < len(h) && h.less(l, least) {
-			least = l
-		}
-		if r < len(h) && h.less(r, least) {
-			least = r
-		}
-		if least == i {
-			return
-		}
-		h[i], h[least] = h[least], h[i]
-		i = least
-	}
-}
-
-// popRoot removes the root cursor (its series is exhausted).
-func (h *gapHeap) popRoot() {
-	last := len(*h) - 1
-	(*h)[0] = (*h)[last]
-	*h = (*h)[:last]
-	h.siftDown(0)
+	return query.MergeLongestGap(s.db.TimesByDevice(), horizon)
 }
 
 // DomainLeaseSchedule returns the renewal deadlines the operators must

@@ -178,6 +178,14 @@ func (s *Store) Repair(dev lpwan.EUI64, recs []Reading) (int, error) {
 	}
 	gs := s.guardFor(dev)
 	gs.mu.Lock()
+	// Records below the rollup fold watermark are already summarized in
+	// sealed buckets (their raw copies — and with them the seq-dedup
+	// evidence — may be gone), so merging them raw would double-count.
+	// Same rule and same barrier discipline as Ingest's sealed check.
+	var sealedBelow time.Duration
+	if r := s.rollups.Load(); r != nil {
+		sealedBelow = r.FoldedBefore()
+	}
 	have := make(map[uint32]struct{})
 	for _, pt := range s.db.History(dev) {
 		have[pt.Seq] = struct{}{}
@@ -186,6 +194,10 @@ func (s *Store) Repair(dev lpwan.EUI64, recs []Reading) (int, error) {
 	var weeks []int64
 	var firstErr error
 	for _, r := range recs {
+		if r.At < sealedBelow {
+			s.stats.stale.Add(1)
+			continue
+		}
 		if _, dup := have[r.Packet.Seq]; dup {
 			continue
 		}
@@ -200,6 +212,7 @@ func (s *Store) Repair(dev lpwan.EUI64, recs []Reading) (int, error) {
 		// older than the window simply leave it unchanged.
 		_ = gs.guard.Admit(r.Packet)
 		added++
+		s.observeArrival(r.At)
 		weeks = append(weeks, int64(r.At/sim.Week))
 	}
 	gs.mu.Unlock()

@@ -50,6 +50,10 @@ type Server struct {
 	// clusterSecret (a string; empty = disarmed) gates the
 	// cluster-internal routes and the arrival override; see cluster.go.
 	clusterSecret atomic.Value
+
+	// Query-layer instrumentation; see query_http.go.
+	queryStats queryCounters
+	queryObs   atomic.Pointer[queryObs]
 }
 
 // NewServer wraps a store; the weekly-uptime clock starts now.
@@ -60,6 +64,9 @@ func NewServer(store *Store, now time.Time) *Server {
 	s.mux.HandleFunc("GET /devices", s.handleDevices)
 	s.mux.HandleFunc("GET /history", s.handleHistory)
 	s.mux.HandleFunc("GET /export", s.handleExport)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /query/uptime", s.handleQueryUptime)
+	s.mux.HandleFunc("GET /query/gaps", s.handleQueryGaps)
 	s.mux.HandleFunc("GET /cluster/history", s.handleClusterHistory)
 	s.mux.HandleFunc("POST /cluster/replicate", s.handleClusterReplicate)
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)

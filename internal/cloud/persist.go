@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"time"
 
 	"centuryscale/internal/lpwan"
+	"centuryscale/internal/rollup"
 	"centuryscale/internal/tsdb"
 )
 
@@ -26,8 +28,12 @@ import (
 // readings accepted since the last checkpoint. Checkpoint writes the
 // snapshot and then truncates the WAL segments it covers.
 
-// snapshotVersion identifies the on-disk format.
-const snapshotVersion = 1
+// snapshotVersion identifies the on-disk format. Version 2 added the
+// optional rollups section; version-1 files (no rollups) still load.
+const (
+	snapshotVersion    = 2
+	minSnapshotVersion = 1
+)
 
 type snapshotReading struct {
 	AtNanos int64   `json:"at"`
@@ -37,12 +43,43 @@ type snapshotReading struct {
 	Uptime  uint32  `json:"uptime"`
 }
 
+// snapshotBucket is one rollup bucket in wire form. The float fields
+// are serialized as IEEE-754 bit patterns: the buckets are required to
+// be byte-identical across seed-identical runs and across
+// crash-replay-refold cycles, and integer bits make that property
+// independent of any encoder's float formatting.
+type snapshotBucket struct {
+	StartNanos  int64  `json:"start"`
+	Count       uint64 `json:"count"`
+	SumBits     uint64 `json:"sum_bits"`
+	MinBits     uint32 `json:"min_bits"`
+	MaxBits     uint32 `json:"max_bits"`
+	FirstNanos  int64  `json:"first"`
+	LastNanos   int64  `json:"last"`
+	MaxGapNanos int64  `json:"max_gap"`
+	MaxSeq      uint32 `json:"max_seq"`
+}
+
+// snapshotRollups carries the rollup engine's full state: tier
+// geometry, both watermarks, and every bucket. Geometry rides along so
+// a restore into a differently-configured engine fails loudly instead
+// of mis-bucketing (summarized data cannot be re-cut).
+type snapshotRollups struct {
+	HourlyNanos      int64                       `json:"hourly"`
+	DailyNanos       int64                       `json:"daily"`
+	FoldedNanos      int64                       `json:"folded_before"`
+	DailyFoldedNanos int64                       `json:"daily_folded_before"`
+	Hourly           map[string][]snapshotBucket `json:"hourly_buckets"`
+	Daily            map[string][]snapshotBucket `json:"daily_buckets"`
+}
+
 type snapshotFile struct {
 	Version  int                          `json:"version"`
 	Stats    IngestStats                  `json:"stats"`
 	Readings map[string][]snapshotReading `json:"readings"`
 	Weeks    []int64                      `json:"weeks"`
 	Lapses   [][2]int64                   `json:"lapses"`
+	Rollups  *snapshotRollups             `json:"rollups,omitempty"`
 }
 
 // WriteSnapshot serialises the store's full state. Ingest is never
@@ -90,11 +127,104 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		}
 	}
 
+	if r := s.rollups.Load(); r != nil {
+		snap.Rollups = rollupsToSnapshot(r.Snapshot())
+	}
+
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(snap); err != nil {
 		return fmt.Errorf("cloud: snapshot encode: %w", err)
 	}
 	return nil
+}
+
+func bucketsToSnapshot(bs []rollup.Bucket) []snapshotBucket {
+	out := make([]snapshotBucket, len(bs))
+	for i, b := range bs {
+		out[i] = snapshotBucket{
+			StartNanos:  int64(b.Start),
+			Count:       b.Count,
+			SumBits:     math.Float64bits(b.Sum),
+			MinBits:     math.Float32bits(b.Min),
+			MaxBits:     math.Float32bits(b.Max),
+			FirstNanos:  int64(b.First),
+			LastNanos:   int64(b.Last),
+			MaxGapNanos: int64(b.MaxGap),
+			MaxSeq:      b.MaxSeq,
+		}
+	}
+	return out
+}
+
+func bucketsFromSnapshot(sbs []snapshotBucket) []rollup.Bucket {
+	out := make([]rollup.Bucket, len(sbs))
+	for i, sb := range sbs {
+		out[i] = rollup.Bucket{
+			Start:  time.Duration(sb.StartNanos),
+			Count:  sb.Count,
+			Sum:    math.Float64frombits(sb.SumBits),
+			Min:    math.Float32frombits(sb.MinBits),
+			Max:    math.Float32frombits(sb.MaxBits),
+			First:  time.Duration(sb.FirstNanos),
+			Last:   time.Duration(sb.LastNanos),
+			MaxGap: time.Duration(sb.MaxGapNanos),
+			MaxSeq: sb.MaxSeq,
+		}
+	}
+	return out
+}
+
+func rollupsToSnapshot(st rollup.EngineState) *snapshotRollups {
+	out := &snapshotRollups{
+		HourlyNanos:      int64(st.Config.Hourly),
+		DailyNanos:       int64(st.Config.Daily),
+		FoldedNanos:      int64(st.FoldedBefore),
+		DailyFoldedNanos: int64(st.DailyFoldedBefore),
+		Hourly:           make(map[string][]snapshotBucket, len(st.Devices)),
+		Daily:            make(map[string][]snapshotBucket, len(st.Devices)),
+	}
+	for _, ds := range st.Devices {
+		k := ds.Device.String()
+		if len(ds.Hourly) > 0 {
+			out.Hourly[k] = bucketsToSnapshot(ds.Hourly)
+		}
+		if len(ds.Daily) > 0 {
+			out.Daily[k] = bucketsToSnapshot(ds.Daily)
+		}
+	}
+	return out
+}
+
+func rollupsFromSnapshot(sr *snapshotRollups, cfg rollup.Config) (*rollup.Engine, error) {
+	st := rollup.EngineState{
+		Config:            rollup.Config{Hourly: time.Duration(sr.HourlyNanos), Daily: time.Duration(sr.DailyNanos)},
+		FoldedBefore:      time.Duration(sr.FoldedNanos),
+		DailyFoldedBefore: time.Duration(sr.DailyFoldedNanos),
+	}
+	devs := make(map[string]bool, len(sr.Hourly))
+	for k := range sr.Hourly {
+		devs[k] = true
+	}
+	for k := range sr.Daily {
+		devs[k] = true
+	}
+	keys := make([]string, 0, len(devs))
+	for k := range devs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dev, err := lpwan.ParseEUI64(k)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: snapshot rollup device %q: %w", k, err)
+		}
+		st.Devices = append(st.Devices, rollup.DeviceState{
+			Device: dev,
+			Hourly: bucketsFromSnapshot(sr.Hourly[k]),
+			Daily:  bucketsFromSnapshot(sr.Daily[k]),
+		})
+	}
+	return rollup.Restore(cfg, st)
 }
 
 // ReadSnapshot replaces the store's state with a snapshot's. The replay
@@ -105,8 +235,32 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("cloud: snapshot decode: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("cloud: snapshot version %d, this build reads %d", snap.Version, snapshotVersion)
+	if snap.Version < minSnapshotVersion || snap.Version > snapshotVersion {
+		return fmt.Errorf("cloud: snapshot version %d, this build reads %d-%d", snap.Version, minSnapshotVersion, snapshotVersion)
+	}
+
+	// Rollup state must restore into a matching engine before anything
+	// is swapped: a snapshot with buckets loaded into a store that has
+	// rollups disabled would silently drop summarized history.
+	var restoredRollups *rollup.Engine
+	if snap.Rollups != nil {
+		cur := s.rollups.Load()
+		if cur == nil {
+			return fmt.Errorf("cloud: snapshot carries rollup buckets but rollups are disabled on this store (enable with the same tier geometry, or the sealed history is lost)")
+		}
+		var err error
+		restoredRollups, err = rollupsFromSnapshot(snap.Rollups, cur.Config())
+		if err != nil {
+			return err
+		}
+	} else if cur := s.rollups.Load(); cur != nil {
+		// Pre-rollup snapshot into a rollup-enabled store: start the
+		// tiers empty at the configured geometry.
+		fresh, err := rollup.New(cur.Config())
+		if err != nil {
+			return err
+		}
+		restoredRollups = fresh
 	}
 
 	type devSeries struct {
@@ -152,8 +306,24 @@ func (s *Store) ReadSnapshot(r io.Reader) error {
 		g := guards[tsdb.ShardIndex(ds.dev, len(guards))]
 		for _, pt := range ds.pts {
 			s.db.Load(pt)
+			s.observeArrival(pt.At)
 			_ = g.guard.Admit(packetOf(pt))
 		}
+	}
+	if restoredRollups != nil {
+		// The watermark is a lower bound on the data clock that produced
+		// it; restoring it keeps HighWater monotone even when every raw
+		// point was folded away.
+		s.observeArrival(restoredRollups.FoldedBefore())
+		// Seed replay protection for devices whose raw points were
+		// folded away: only the buckets' max sequence number survives,
+		// and without it a replayed pre-fold packet would re-enter.
+		for _, dev := range restoredRollups.Devices() {
+			if seq := restoredRollups.MaxSeq(dev); seq > 0 {
+				guards[tsdb.ShardIndex(dev, len(guards))].guard.Seed(dev, seq)
+			}
+		}
+		s.rollups.Store(restoredRollups)
 	}
 
 	s.stats.restore(snap.Stats)

@@ -18,9 +18,12 @@ import (
 // Handler returns the router tier's public face — shaped like a single
 // endpoint so gateways need no cluster awareness:
 //
-//	POST /ingest   raw packet; 202 only after the write quorum held it
-//	GET  /history  merged + read-repaired readings for one device
-//	GET  /status   cluster topology, detector states, counters
+//	POST /ingest        raw packet; 202 only after the write quorum held it
+//	GET  /history       merged + read-repaired readings for one device
+//	GET  /status        cluster topology, detector states, counters
+//	GET  /query         windowed aggregates, proxied to the device's owners
+//	GET  /query/uptime  per-device weekly uptime, proxied likewise
+//	GET  /query/gaps    top-K gap devices, fanned out and merged (query.go)
 //
 // Mount /healthz and /metrics via obs.DebugMux with RegisterHealth /
 // RegisterMetrics.
@@ -29,6 +32,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /ingest", c.handleIngest)
 	mux.HandleFunc("GET /history", c.handleHistory)
 	mux.HandleFunc("GET /status", c.handleStatus)
+	c.queryRoutes(mux)
 	return mux
 }
 

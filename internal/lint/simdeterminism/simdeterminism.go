@@ -41,6 +41,13 @@ var VirtualTimePackages = []string{
 	"internal/metering",
 	"internal/stats",
 	"internal/rng",
+	// The tiered read path runs entirely on the data clock (arrival
+	// durations): fold watermarks, window grids, and gap statistics are
+	// functions of the series, never of the serving process's wall time
+	// — that is what makes rollup state byte-deterministic across
+	// crashes and re-folds.
+	"internal/rollup",
+	"internal/query",
 }
 
 // wallClockFuncs are the time package functions that read or schedule off

@@ -1,0 +1,116 @@
+package query
+
+import (
+	"sort"
+	"time"
+)
+
+// MergeLongestGap returns the longest interval between consecutive
+// arrivals across ALL series within [0, horizon), including the gap
+// from 0 to the first arrival and from the last arrival to the horizon.
+// It answers "how close did the fleet come to missing its weekly
+// deadline" — the cross-device counterpart of Engine.LongestGap.
+//
+// The input is already mostly ordered: each series is one device's
+// arrival-order run, sorted by At within one daemon run. So instead of
+// flattening every time into one slice and re-sorting the whole history
+// (O(n log n) per call, with n growing for 50 years), the runs are
+// k-way merged through a min-heap: O(n log k) time and O(k) heap state.
+// A run that is locally unsorted (a restart resets the arrival clock)
+// is detected and sorted alone before the merge.
+//
+// This grew up as cloud.Store.LongestGap (PR 5); it lives here now so
+// the fleet-wide raw path and the per-device tier path share one
+// package, and cloud delegates to it.
+func MergeLongestGap(series [][]time.Duration, horizon time.Duration) time.Duration {
+	h := make(gapHeap, 0, len(series))
+	for _, ts := range series {
+		if len(ts) == 0 {
+			continue
+		}
+		if !sortedTimes(ts) {
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		}
+		h = append(h, gapCursor{ts: ts})
+	}
+	if len(h) == 0 {
+		return horizon
+	}
+	h.init()
+
+	// Streaming min-merge: each pop yields the globally next arrival.
+	prev := time.Duration(0) // gap from experiment start to first packet counts
+	var gap time.Duration
+	for len(h) > 0 {
+		cur := &h[0]
+		at := cur.ts[cur.i]
+		if d := at - prev; d > gap {
+			gap = d
+		}
+		prev = at
+		cur.i++
+		if cur.i == len(cur.ts) {
+			h.popRoot()
+		} else {
+			h.siftDown(0)
+		}
+	}
+	if d := horizon - prev; d > gap {
+		gap = d
+	}
+	return gap
+}
+
+func sortedTimes(ts []time.Duration) bool {
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// gapCursor walks one device's sorted arrival times.
+type gapCursor struct {
+	ts []time.Duration
+	i  int
+}
+
+// gapHeap is a min-heap of cursors ordered by their next arrival time —
+// hand-rolled so the merge stays allocation-free after setup (the
+// container/heap interface boxes every operation).
+type gapHeap []gapCursor
+
+func (h gapHeap) less(i, j int) bool { return h[i].ts[h[i].i] < h[j].ts[h[j].i] }
+
+func (h gapHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h gapHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < len(h) && h.less(l, least) {
+			least = l
+		}
+		if r < len(h) && h.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+// popRoot removes the root cursor (its series is exhausted).
+func (h *gapHeap) popRoot() {
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	h.siftDown(0)
+}

@@ -246,5 +246,25 @@ func (g *ReplayGuard) pruneSeen(dev lpwan.EUI64, hw uint32) {
 	}
 }
 
+// Seed raises a device's sequence high-water mark without replaying the
+// individual packets — rebuilding replay protection for readings whose
+// raw copies were folded into rollup buckets, where only the maximum
+// sequence number survives. The seeded sequence itself is marked seen
+// (so an exact replay of the last folded packet is still rejected);
+// unseen sequence numbers inside the reordering window below it remain
+// admissible, the same bounded tolerance live ingest grants. A seed
+// never lowers an existing mark.
+func (g *ReplayGuard) Seed(dev lpwan.EUI64, seq uint32) {
+	hw, known := g.highWater[dev]
+	if known && seq <= hw {
+		return
+	}
+	g.highWater[dev] = seq
+	g.markSeen(dev, seq)
+	if known {
+		g.pruneSeen(dev, seq)
+	}
+}
+
 // Devices reports how many distinct devices the guard has seen.
 func (g *ReplayGuard) Devices() int { return len(g.highWater) }

@@ -144,8 +144,35 @@ func BenchmarkTSDBRangeQuery(b *testing.B) {
 		for it.Next() {
 			n++
 		}
+		it.Close() // returns the backing buffer to the range pool
 		if n != points/3 {
 			b.Fatalf("range returned %d points", n)
 		}
+	}
+}
+
+// BenchmarkTSDBRangeSlice is the same query through the pooled-slice
+// fast path the query engine uses — no Iterator wrapper at all.
+func BenchmarkTSDBRangeSlice(b *testing.B) {
+	db, err := Open(Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	dev := lpwan.EUIFromUint64(7)
+	const points = 10_000
+	for i := 0; i < points; i++ {
+		db.Load(Point{Device: dev, At: time.Duration(i) * time.Minute, Seq: uint32(i + 1), Value: float32(i)})
+	}
+	from := time.Duration(points/3) * time.Minute
+	to := time.Duration(2*points/3) * time.Minute
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, release := db.RangeSlice(dev, from, to)
+		if len(pts) != points/3 {
+			b.Fatalf("range returned %d points", len(pts))
+		}
+		release()
 	}
 }

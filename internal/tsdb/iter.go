@@ -3,16 +3,19 @@ package tsdb
 // Iterator walks a range-query result in arrival order:
 //
 //	it := db.Range(dev, from, to)
+//	defer it.Close()
 //	for it.Next() {
 //		p := it.Point()
 //		...
 //	}
 //
 // It iterates a private copy taken under the shard lock at creation, so
-// it never blocks ingest and never observes concurrent mutation.
+// it never blocks ingest and never observes concurrent mutation. The
+// copy lives in a pooled buffer; Close recycles it.
 type Iterator struct {
-	pts []Point
-	i   int
+	pts     []Point
+	i       int
+	release func()
 }
 
 // Next advances the iterator, reporting whether a point is available.
@@ -33,4 +36,15 @@ func (it *Iterator) Remaining() int {
 		return len(it.pts)
 	}
 	return len(it.pts) - it.i
+}
+
+// Close returns the iterator's buffer to the range pool. The iterator
+// must not be used afterwards. Idempotent; skipping it leaks nothing
+// (the buffer is garbage-collected instead of reused).
+func (it *Iterator) Close() {
+	if it.release != nil {
+		it.release()
+		it.release = nil
+	}
+	it.pts = nil
 }

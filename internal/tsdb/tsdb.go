@@ -361,12 +361,40 @@ func (db *DB) History(dev lpwan.EUI64) []Point {
 	return db.shardFor(dev).history(dev)
 }
 
+// rangePool recycles range-query result buffers. Entries are *[]Point
+// (pointer to avoid an allocation per Put); capacity is whatever the
+// largest query that used the buffer needed.
+var rangePool = sync.Pool{
+	New: func() any {
+		buf := make([]Point, 0, 512)
+		return &buf
+	},
+}
+
 // Range returns an iterator over one device's points with At in
 // [from, to), in arrival order. The iterator holds a private copy, so it
 // stays valid (and the shard stays unlocked) while the caller streams
-// it out to a slow HTTP client.
+// it out to a slow HTTP client. The copy's buffer is pooled: call Close
+// when done to recycle it. Skipping Close is safe — the buffer is then
+// simply garbage-collected instead of reused.
 func (db *DB) Range(dev lpwan.EUI64, from, to time.Duration) *Iterator {
-	return &Iterator{pts: db.shardFor(dev).rangeCopy(dev, from, to), i: -1}
+	pts, release := db.RangeSlice(dev, from, to)
+	return &Iterator{pts: pts, i: -1, release: release}
+}
+
+// RangeSlice is the allocation-free form of Range: the returned slice
+// borrows a pooled buffer, and release returns it to the pool. The
+// slice must not be used after release (which is idempotent and safe to
+// drop — unreleased buffers are garbage-collected).
+func (db *DB) RangeSlice(dev lpwan.EUI64, from, to time.Duration) (pts []Point, release func()) {
+	bufp := rangePool.Get().(*[]Point)
+	*bufp = db.shardFor(dev).rangeInto(dev, from, to, (*bufp)[:0])
+	return *bufp, func() {
+		if bufp != nil {
+			rangePool.Put(bufp)
+			bufp = nil
+		}
+	}
 }
 
 // ForEach calls fn for every stored point, shard by shard (each shard's

@@ -1,0 +1,118 @@
+#!/bin/sh
+# smoke_query.sh — the end-to-end drill for the tiered read path against
+# the real binary: boot endpointd with rollups on (-retain-raw), pump a
+# two-year virtual series through /ingest with cluster-stamped arrival
+# times (the data clock paces retention, not the wall clock), wait for a
+# checkpoint to fold the old raw tail into hourly/daily buckets, and
+# verify /query from outside: full coverage, daily tier engaged, under
+# the latency budget. Then SIGKILL the daemon — no shutdown path — boot
+# a fresh process from the snapshot + WAL, and require the byte-exact
+# same answer: the rollup state survived the crash with no double-count
+# and no loss. Finally scrape /metrics for the query_* instruments.
+#
+# Ports are fixed but obscure; pass SMOKE_QUERY_PORT/SMOKE_QUERY_DEBUG_PORT
+# to override on a busy host.
+set -eu
+
+PORT="${SMOKE_QUERY_PORT:-18090}"
+DEBUG_PORT="${SMOKE_QUERY_DEBUG_PORT:-18091}"
+MASTER="smoke-fleet-master"
+SECRET="smoke-query-secret"
+
+TMP="$(mktemp -d)"
+
+cleanup() {
+    if [ -n "${PID:-}" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/endpointd" ./cmd/endpointd
+go build -o "$TMP/queryload" ./cmd/queryload
+
+# boot — start the endpoint with tiered retention: hourly/daily rollup
+# buckets, raw kept for 30 virtual days, checkpoint (= fold + snapshot +
+# WAL truncation) every second. The same data dir and snapshot survive
+# kills, so a restart replays to the identical state.
+boot() {
+    "$TMP/endpointd" -listen "127.0.0.1:$PORT" -master "$MASTER" \
+        -data-dir "$TMP/tsdb" -shards 4 -wal-fsync always \
+        -snapshot "$TMP/store.json" -save-every 1s \
+        -retain-raw 720h -cluster-secret "$SECRET" \
+        -debug-addr "127.0.0.1:$DEBUG_PORT" >>"$TMP/endpointd.log" 2>&1 &
+    PID=$!
+}
+
+await_ready() {
+    ok=""
+    for _ in $(seq 1 50); do
+        if curl -sf -o /dev/null "http://127.0.0.1:$PORT/status"; then
+            ok=1
+            break
+        fi
+        kill -0 "$PID" 2>/dev/null || { echo "smoke-query: endpointd died during boot" >&2; cat "$TMP/endpointd.log" >&2; exit 1; }
+        sleep 0.2
+    done
+    [ -n "$ok" ] || { echo "smoke-query: endpointd never came up on :$PORT" >&2; cat "$TMP/endpointd.log" >&2; exit 1; }
+}
+
+mkdir -p "$TMP/tsdb"
+boot
+await_ready
+
+# Two devices, 730 daily points each: two years of data time in a few
+# wall seconds, arrival-stamped via the cluster header.
+"$TMP/queryload" -endpoint "http://127.0.0.1:$PORT" -master "$MASTER" \
+    -cluster-secret "$SECRET" -mode ingest -devices 2 -points 730 || {
+    echo "smoke-query: ingest failed — endpointd log follows" >&2
+    tail -20 "$TMP/endpointd.log" >&2
+    exit 1
+}
+
+# First verify: waits for the fold (checkpoint cadence is 1s), checks
+# coverage + daily tier + latency, and records the answer bytes.
+"$TMP/queryload" -endpoint "http://127.0.0.1:$PORT" -mode verify \
+    -devices 2 -points 730 -answer "$TMP/answer.json" -max-millis 10 || {
+    echo "smoke-query: pre-kill verify failed — endpointd log follows" >&2
+    tail -20 "$TMP/endpointd.log" >&2
+    exit 1
+}
+
+# The crash: SIGKILL, no shutdown path — the snapshot (folded buckets +
+# watermark) and the WAL (raw tail) are the only survivors.
+echo "smoke-query: SIGKILL endpointd (pid $PID)"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+echo "smoke-query: rebooting from snapshot + WAL"
+boot
+await_ready
+
+# Post-kill verify: the same checks, and the answer must be
+# byte-identical to the pre-kill record — no double-count, no loss.
+"$TMP/queryload" -endpoint "http://127.0.0.1:$PORT" -mode verify \
+    -devices 2 -points 730 -answer "$TMP/answer.json" -max-millis 10 || {
+    echo "smoke-query: post-kill verify failed — endpointd log follows" >&2
+    tail -20 "$TMP/endpointd.log" >&2
+    exit 1
+}
+
+# The query layer's instruments must be live on the debug surface.
+METRICS="$TMP/metrics.txt"
+STATUS="$(curl -s -o "$METRICS" -w '%{http_code}' "http://127.0.0.1:$DEBUG_PORT/metrics")"
+if [ "$STATUS" != "200" ]; then
+    echo "smoke-query: GET /metrics returned $STATUS" >&2
+    exit 1
+fi
+for want in query_requests_total query_tier_daily_buckets_total query_seconds; do
+    if ! grep -q "^$want" "$METRICS"; then
+        echo "smoke-query: exposition is missing $want" >&2
+        exit 1
+    fi
+done
+REQS="$(grep '^query_requests_total ' "$METRICS" | awk '{print $2}')"
+
+echo "smoke-query: OK (daily tier engaged, crash-equivalent answers, $REQS query requests instrumented)"
