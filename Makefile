@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-gate lint-baseline race check bench bench-tsdb bench-obs bench-query smoke-obs smoke-cluster smoke-query
+.PHONY: build test vet lint lint-pkg lint-gate lint-baseline race check bench bench-tsdb bench-obs bench-query smoke-obs smoke-cluster smoke-query
 
 build:
 	$(GO) build ./...
@@ -17,13 +17,25 @@ vet:
 	$(GO) vet ./...
 
 # lint runs centurylint, the repo's own go/analysis-style suite
-# (internal/lint): simdeterminism, lockedio, syncerr, seedflow, and the
-# v2 dataflow analyzers centurytime, goroleak, ctxflow, waiveraudit —
-# the determinism, durability, horizon, and lifetime invariants the
-# century-scale argument rests on. See DESIGN.md §32–33 for the
-# invariants and the //lint: waivers.
+# (internal/lint): simdeterminism, lockedio, syncerr, seedflow, the v2
+# dataflow analyzers centurytime, goroleak, ctxflow, the v3
+# interprocedural concurrency analyzers lockorder, atomicmix,
+# lifecycle, and waiveraudit — the determinism, durability, horizon,
+# deadlock-freedom, and lifetime invariants the century-scale argument
+# rests on. See DESIGN.md §32–33 and §37 for the invariants and the
+# //lint: waivers.
 lint:
 	$(GO) run ./cmd/centurylint ./...
+
+# lint-pkg scopes the suite to one package tree during an edit loop:
+#   make lint-pkg PKG=./internal/tsdb/...
+# Note the narrowed load is a partial run: cross-package findings whose
+# witness lies outside PKG can't fire, and waiver staleness is not
+# audited (the driver says so in a note). The full `make lint` is the
+# word that counts.
+lint-pkg:
+	@test -n "$(PKG)" || { echo "usage: make lint-pkg PKG=./internal/...."; exit 2; }
+	$(GO) run ./cmd/centurylint $(PKG)
 
 # lint-gate is the merge gate: findings are diffed against the
 # committed baseline, so only NEW violations fail the build. Matching

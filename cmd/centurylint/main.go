@@ -57,10 +57,15 @@ type Finding struct {
 	Message  string `json:"message"`
 }
 
-// A Report is the document -json emits and baseline files hold.
+// A Report is the document -json emits and baseline files hold. Notes
+// carry non-finding caveats (e.g. "waiver staleness not evaluated" on
+// partial runs); omitempty keeps baseline files — always written from
+// full-suite full-tree runs, which produce no notes — byte-identical in
+// format.
 type Report struct {
 	Version  int       `json:"version"`
 	Findings []Finding `json:"findings"`
+	Notes    []string  `json:"notes,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -150,6 +155,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cwd, _ := os.Getwd()
+
+	// With staleness accounting off, a waived file in the run would
+	// silently skip its audit — a partial run could be mistaken for a
+	// clean one. Surface every such file as a note instead.
+	var notes []string
+	if log == nil {
+		notes = waiverNotes(cwd, pkgs)
+	}
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -187,7 +200,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "centurylint: %v\n", err)
 			return 2
 		}
-		werr := writeReport(f, findings)
+		werr := writeReport(f, findings, nil)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -212,13 +225,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut {
-		if err := writeReport(stdout, findings); err != nil {
+		if err := writeReport(stdout, findings, notes); err != nil {
 			fmt.Fprintf(stderr, "centurylint: %v\n", err)
 			return 2
 		}
 	} else {
 		for _, f := range findings {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+		for _, n := range notes {
+			fmt.Fprintf(stderr, "centurylint: note: %s\n", n)
 		}
 	}
 	if len(findings) > 0 {
@@ -265,13 +281,45 @@ func sortFindings(fs []Finding) {
 // writeReport encodes findings as the versioned JSON document. The
 // input must already be sorted; encoding adds nothing nondeterministic,
 // which the byte-stability test pins.
-func writeReport(w io.Writer, findings []Finding) error {
+func writeReport(w io.Writer, findings []Finding, notes []string) error {
 	if findings == nil {
 		findings = []Finding{} // encode as [], never null
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Report{Version: 1, Findings: findings})
+	return enc.Encode(Report{Version: 1, Findings: findings, Notes: notes})
+}
+
+// waiverNotes lists every loaded file carrying a //lint: waiver, for
+// runs where staleness accounting is off (-only, or a package subset):
+// the waivers in those files were not audited, and the note keeps a
+// partial run from passing for a clean full one.
+func waiverNotes(cwd string, pkgs []*loader.Package) []string {
+	seen := make(map[string]bool)
+	var files []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//lint:") {
+						continue
+					}
+					name := relPath(cwd, pkg.Fset.Position(c.Pos()).Filename)
+					if !seen[name] {
+						seen[name] = true
+						files = append(files, name)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(files)
+	notes := make([]string, 0, len(files))
+	for _, f := range files {
+		notes = append(notes,
+			f+": waiver staleness not evaluated (partial run: -only or a package subset); run the full suite over ./... to audit waivers")
+	}
+	return notes
 }
 
 // baselineKey matches findings to baseline entries on everything except

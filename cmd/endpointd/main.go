@@ -50,6 +50,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -184,8 +185,15 @@ func main() {
 	defer stop()
 	of.Serve(ctx, log.Printf, reg, health)
 
+	// Every daemon goroutine joins here before the final checkpoint: a
+	// checkpoint racing a still-running ticker (or Shutdown's drain)
+	// could snapshot mid-write state.
+	var daemons sync.WaitGroup
+
 	if *snapshot != "" {
+		daemons.Add(1)
 		go func() {
+			defer daemons.Done()
 			tick := time.NewTicker(*saveEvery)
 			defer tick.Stop()
 			for {
@@ -212,7 +220,9 @@ func main() {
 
 	if *compactEv > 0 {
 		start := time.Now()
+		daemons.Add(1)
 		go func() {
+			defer daemons.Done()
 			tick := time.NewTicker(*compactEv)
 			defer tick.Stop()
 			policy := cloud.RetentionPolicy{FullResolutionWindow: *retainFull, KeepOnePer: *retainPer}
@@ -239,7 +249,9 @@ func main() {
 		}()
 	}
 
+	daemons.Add(1)
 	go func() {
+		defer daemons.Done()
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -250,6 +262,11 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("endpointd: %v", err)
 	}
+	// ListenAndServe returns when Shutdown *starts*; wait for the drain
+	// (and the tickers) to finish before the final checkpoint touches
+	// the store.
+	stop()
+	daemons.Wait()
 	if *snapshot != "" {
 		if err := checkpoint(store, *snapshot); err != nil {
 			log.Fatalf("endpointd: final checkpoint: %v", err)

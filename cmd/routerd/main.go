@@ -40,6 +40,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -114,7 +115,10 @@ func main() {
 	of.Serve(ctx, log.Printf, reg, health)
 
 	srv := &http.Server{Addr: *listen, Handler: handler}
+	var daemons sync.WaitGroup
+	daemons.Add(1)
 	go func() {
+		defer daemons.Done()
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -129,6 +133,10 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("routerd: %v", err)
 	}
+	// ListenAndServe returns when Shutdown *starts*; join the watcher so
+	// Shutdown has actually drained before the flush below runs.
+	stop()
+	daemons.Wait()
 
 	// In-flight uplinks are done (Shutdown waited); drain the buffer.
 	flushCtx, cancel := context.WithTimeout(context.Background(), *flushFor)

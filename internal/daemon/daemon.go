@@ -103,8 +103,15 @@ func parseRetryAfter(resp *http.Response) time.Duration {
 // returned.
 func ServeUDP(ctx context.Context, conn net.PacketConn, gw *gateway.Gateway) error {
 	done := make(chan struct{})
-	defer close(done)
+	watcherDone := make(chan struct{})
+	defer func() {
+		// Join the watcher: without this it could still be inside
+		// conn.Close when we return and the caller reuses the socket.
+		close(done)
+		<-watcherDone
+	}()
 	go func() {
+		defer close(watcherDone)
 		select {
 		case <-ctx.Done():
 			conn.Close()

@@ -40,12 +40,14 @@ func (f *ObsFlags) Serve(ctx context.Context, logf func(string, ...any), reg *ob
 		return
 	}
 	srv := &http.Server{Addr: f.DebugAddr, Handler: obs.DebugMux(reg, health)}
+	//lint:lifecycle debug-server shutdown watcher is deliberately unjoined: Serve's contract is fire-and-forget so the datapath never waits on diagnostics, and the 2s Shutdown timeout bounds its tail
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
 	}()
+	//lint:lifecycle debug listener is deliberately unsupervised: it stops via the watcher above, startup failure only logs, and the process — not a join — bounds its life; the datapath must not die or wait for want of diagnostics
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logf("debug server on %s: %v", f.DebugAddr, err)

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/analysistest"
+	"centuryscale/internal/lint/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "atomicmix")
+}

@@ -1,0 +1,72 @@
+// Fixture for the atomicmix analyzer: a struct field must pick one
+// discipline — sync/atomic everywhere, or plain access everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits    uint64
+	misses  uint64
+	plainly uint64
+}
+
+// bump uses the atomics...
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.misses, 1)
+}
+
+// snapshot mixes in plain loads — the race the analyzer exists for.
+func (c *counters) snapshot() (uint64, uint64) {
+	h := c.hits // want `plain access of counters\.hits, which is accessed with atomic\.AddUint64 elsewhere in this package`
+	m := atomic.LoadUint64(&c.misses)
+	return h, m
+}
+
+// reset mixes in a plain store.
+func (c *counters) reset() {
+	c.hits = 0 // want `plain access of counters\.hits`
+}
+
+// onlyPlain never touches sync/atomic: one consistent discipline, not
+// flagged.
+func (c *counters) onlyPlain() uint64 {
+	c.plainly++
+	return c.plainly
+}
+
+// escape leaks the address of an atomically-accessed field to a helper
+// that is free to dereference it plainly.
+func (c *counters) escape() {
+	scribble(&c.misses) // want `address of counters\.misses escapes outside sync/atomic`
+}
+
+func scribble(p *uint64) { *p = 0 }
+
+// modern uses the wrapper types: no address-taking, no mix possible,
+// never flagged.
+type modern struct {
+	hits atomic.Uint64
+}
+
+func (m *modern) bump() uint64 {
+	m.hits.Add(1)
+	return m.hits.Load()
+}
+
+// published documents the constructor exemption pattern: the waiver
+// states why the plain write cannot race (the struct is not yet
+// shared).
+type published struct {
+	gen uint64
+}
+
+func newPublished() *published {
+	p := &published{}
+	p.gen = 1 //lint:atomicmix not yet published: no other goroutine can hold p before this returns
+	return p
+}
+
+func (p *published) next() uint64 {
+	return atomic.AddUint64(&p.gen, 1)
+}

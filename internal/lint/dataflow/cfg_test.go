@@ -165,6 +165,76 @@ b5: [other()] -> b2
 `,
 		},
 		{
+			// defer inside a loop body registers once per iteration but
+			// never splices the unlock into the loop's flow: the defer
+			// node sits in the body block and the walk sees the lock as
+			// net-held. This is the shape the lock walker's
+			// defer-unlock-in-loop accumulation rests on.
+			name: "defer-unlock-in-loop",
+			src: `func f(mus []Mutex) {
+	for i := range mus {
+		mus[i].Lock()
+		defer mus[i].Unlock()
+	}
+}`,
+			want: `
+b0: [mus] -> b2
+b1: (exit)
+b2: [range i] -> b3 b4
+b3: [mus[i].Lock()] [defer mus[i].Unlock()] -> b2
+b4: -> b1
+`,
+		},
+		{
+			// A lock split across if/else arms: both arms rejoin at the
+			// same block, so a flow walk that clones held-sets per branch
+			// must merge — neither arm's acquisition leaks past the join
+			// unconditionally.
+			name: "lock-split-if-else",
+			src: `func f(c bool) {
+	if c {
+		mu.Lock()
+	} else {
+		mu.RLock()
+	}
+	work()
+	if c {
+		mu.Unlock()
+	} else {
+		mu.RUnlock()
+	}
+}`,
+			want: `
+b0: [c] -> b2 b4
+b1: (exit)
+b2: [mu.Lock()] -> b3
+b3: [work()] [c] -> b5 b7
+b4: [mu.RLock()] -> b3
+b5: [mu.Unlock()] -> b6
+b6: -> b1
+b7: [mu.RUnlock()] -> b6
+`,
+		},
+		{
+			// Method values: f := mu.Lock captures the receiver, and the
+			// later call site is a bare f() — the selector appears only in
+			// the assignment node. Effect analyses keyed on call-site
+			// selectors are conservatively blind here; the CFG still
+			// records both statements in order.
+			name: "method-value-lock",
+			src: `func f() {
+	lock := mu.Lock
+	unlock := mu.Unlock
+	lock()
+	work()
+	unlock()
+}`,
+			want: `
+b0: [lock := mu.Lock] [unlock := mu.Unlock] [lock()] [work()] [unlock()] -> b1
+b1: (exit)
+`,
+		},
+		{
 			// The range head carries the RangeStmt node standing for the
 			// per-iteration key/value definition.
 			name: "range",

@@ -1,0 +1,463 @@
+// Lock-effect extraction: the dataflow layer under the lockorder
+// analyzer. Each function body is walked once, tracking which mutex
+// roots are held at every point, producing two effect lists on the
+// FuncSummary:
+//
+//   - Acquires: every mu.Lock()/mu.RLock() whose receiver resolves to a
+//     stable root, with the set of roots already held at that moment;
+//   - CallsUnder: every statically-resolved call made while at least one
+//     root is held.
+//
+// A root names a lock *family*, not an instance: every (*guardShard).mu
+// in the program is one root, because lock-order discipline is a
+// property of the type's locking protocol, not of one object. Receiver
+// fields canonicalize through the named type that declares them
+// ("pkg.(Type).field"), package-level mutexes through their package
+// ("pkg.var"). Locals and fields of unnamed types resolve to no root
+// and contribute nothing — conservative in the no-false-positive
+// direction, exactly like dynamic dispatch in the call summaries.
+//
+// Loops get one extra fact. A body that locks a root and does not
+// release it before the next iteration is accumulating instances of the
+// same family — the "grab every shard" pattern — which is a
+// self-deadlock between two goroutines unless all acquirers agree on an
+// order. The walk marks such acquisitions Looped, and marks them
+// IndexOrdered when the iteration itself fixes the order: a range over
+// a slice or array (Go iterates ascending), or an index expression
+// driven by the enclosing for-loop's counter. lockorder treats
+// index-ordered accumulation as a safe hierarchy (the guard-shard
+// barrier idiom) and flags the rest.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Acquire is one lock acquisition with its held-set context.
+type Acquire struct {
+	// Root is the canonical lock family acquired.
+	Root string
+	// Held lists the roots already held at the acquisition, in
+	// acquisition order.
+	Held []string
+	// Pos is the position of the Lock/RLock call.
+	Pos token.Pos
+	// Looped marks an acquisition that accumulates across iterations of
+	// its enclosing loop: the body locks Root and does not release it
+	// before the next iteration.
+	Looped bool
+	// IndexOrdered marks a Looped acquisition whose order is fixed by
+	// the iteration itself: a range over a slice/array, or a receiver
+	// indexed by the enclosing for-loop's counter variable.
+	IndexOrdered bool
+}
+
+// A CallUnder is one statically-resolved call made while locks are held.
+type CallUnder struct {
+	// Callee is the qualified summary key of the called function.
+	Callee string
+	// Held lists the roots held at the call, in acquisition order.
+	Held []string
+	// Pos is the position of the call expression.
+	Pos token.Pos
+}
+
+// ExprRoot returns the canonical root naming the variable or field an
+// expression denotes, for the whole-program lock and channel graphs:
+// "pkg.(Type).field" when the expression is a field of a named type
+// (every instance of the type maps to one root), "pkg.var" for a
+// package-level variable, "" when no stable root exists (locals,
+// unnamed types) — the conservative-quiet direction. Indexing and
+// dereferencing are transparent: s.guards[i].mu and (*p).mu resolve
+// like s.guards.mu and p.mu.
+func ExprRoot(info *types.Info, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		if named := derefNamed(info.TypeOf(e.X)); named != nil && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + ".(" + named.Obj().Name() + ")." + e.Sel.Name
+		}
+		if root := ExprRoot(info, e.X); root != "" {
+			return root + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		return ExprRoot(info, e.X)
+	case *ast.StarExpr:
+		return ExprRoot(info, e.X)
+	}
+	return ""
+}
+
+// derefNamed returns the named type behind t, looking through one level
+// of pointer, or nil.
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// LockOp matches `<expr>.Lock()`-shaped calls on sync.Mutex/RWMutex,
+// returning the receiver expression and the operation name.
+func LockOp(info *types.Info, expr ast.Expr) (recv ast.Expr, op string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return nil, "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel.X, fn.Name(), true
+	}
+	return nil, "", false
+}
+
+// loopFrame describes the innermost loop enclosing a statement, for the
+// index-order test.
+type loopFrame struct {
+	// rangeOverSeq is true for a range over a slice or array: Go
+	// iterates those in ascending index order, so any per-element
+	// acquisition inside is index-ordered by construction.
+	rangeOverSeq bool
+	// counter is the for-loop counter variable (or the range key), when
+	// one exists; an acquisition whose receiver indexes by it is
+	// index-ordered.
+	counter types.Object
+	// iterVars are the range Key/Value objects: a receiver rooted at
+	// one of them iterates with the range, inheriting its order.
+	iterVars []types.Object
+}
+
+// lockWalker accumulates lock effects for one body.
+type lockWalker struct {
+	info *types.Info
+	sum  *FuncSummary
+}
+
+// walkLocks records Acquires and CallsUnder for the body of one
+// function. It mirrors the nesting discipline lockedio uses: branches
+// are scanned with a copy of the held list, so a branch-local Lock
+// never leaks into the enclosing block; loop bodies additionally report
+// their net-acquired roots, which both marks Looped acquisitions and
+// keeps post-loop calls aware of locks the loop accumulated.
+func walkLocks(info *types.Info, sum *FuncSummary, body *ast.BlockStmt) {
+	w := &lockWalker{info: info, sum: sum}
+	w.block(body.List, &[]string{}, nil)
+}
+
+func cloneHeld(h []string) *[]string {
+	c := append([]string(nil), h...)
+	return &c
+}
+
+func removeLast(h []string, root string) []string {
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i] == root {
+			return append(h[:i], h[i+1:]...)
+		}
+	}
+	return h
+}
+
+func (w *lockWalker) block(stmts []ast.Stmt, held *[]string, loop *loopFrame) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := LockOp(w.info, s.X); ok {
+				root := ExprRoot(w.info, recv)
+				if root == "" {
+					continue
+				}
+				switch op {
+				case "Lock", "RLock":
+					w.acquire(root, recv, s.X.Pos(), *held, loop)
+					*held = append(*held, root)
+				case "Unlock", "RUnlock":
+					*held = removeLast(*held, root)
+				}
+				continue
+			}
+			w.callsIn(s, *held)
+		case *ast.DeferStmt:
+			// A deferred Unlock holds the region to function end; other
+			// deferred calls run after the body, outside every region
+			// opened here. Neither contributes a call-under-lock.
+		case *ast.GoStmt:
+			// The spawned goroutine does not hold this goroutine's locks.
+		case *ast.BlockStmt:
+			w.block(s.List, cloneHeld(*held), loop)
+		case *ast.IfStmt:
+			w.callsIn(s.Init, *held)
+			w.callsIn(s.Cond, *held)
+			w.block(s.Body.List, cloneHeld(*held), loop)
+			if s.Else != nil {
+				w.block([]ast.Stmt{s.Else}, cloneHeld(*held), loop)
+			}
+		case *ast.ForStmt:
+			w.callsIn(s.Init, *held)
+			w.callsIn(s.Cond, *held)
+			w.callsIn(s.Post, *held)
+			w.loopBody(s.Body.List, held, forFrame(w.info, s))
+		case *ast.RangeStmt:
+			w.callsIn(s.X, *held)
+			w.loopBody(s.Body.List, held, rangeFrame(w.info, s))
+		case *ast.SwitchStmt:
+			w.callsIn(s.Init, *held)
+			w.callsIn(s.Tag, *held)
+			w.cases(s.Body, *held, loop)
+		case *ast.TypeSwitchStmt:
+			w.cases(s.Body, *held, loop)
+		case *ast.SelectStmt:
+			w.cases(s.Body, *held, loop)
+		case *ast.LabeledStmt:
+			w.block([]ast.Stmt{s.Stmt}, held, loop)
+		default:
+			w.callsIn(stmt, *held)
+		}
+	}
+}
+
+// loopBody scans one loop body and merges its net-acquired roots into
+// the caller's held list: a root locked in the body and not released
+// there is genuinely held after the loop (and across iterations, which
+// is what Looped records).
+//
+// Net acquisition is a syntactic count — locks minus unlocks anywhere
+// in the body, at any branch depth — rather than the branch-cloned held
+// walk: a loop that locks at the top and releases inside every switch
+// arm (the Uplink drain pattern) releases per iteration, which the
+// clones cannot see. Deferred unlocks do NOT count as releases: they
+// run at function end, so a `defer mu.Unlock()` inside a loop body
+// really does accumulate one pending lock per iteration.
+func (w *lockWalker) loopBody(stmts []ast.Stmt, held *[]string, frame *loopFrame) {
+	inner := cloneHeld(*held)
+	firstAcquire := len(w.sum.Acquires)
+	w.block(stmts, inner, frame)
+
+	net := w.netRoots(stmts)
+	// IndexOrdered is a claim about accumulation order; on an
+	// acquisition the loop releases before its next iteration it means
+	// nothing, so it only survives on Looped ones.
+	for i := firstAcquire; i < len(w.sum.Acquires); i++ {
+		if net[w.sum.Acquires[i].Root] > 0 {
+			w.sum.Acquires[i].Looped = true
+		} else {
+			w.sum.Acquires[i].IndexOrdered = false
+		}
+	}
+	// The accumulated roots stay held after the loop.
+	var nets []string
+	for r, n := range net {
+		if n > 0 {
+			nets = append(nets, r)
+		}
+	}
+	sort.Strings(nets)
+	*held = append(*held, nets...)
+}
+
+// netRoots counts, per lock root, acquisitions minus releases anywhere
+// in the statements, at any branch depth — skipping deferred calls,
+// nested literals, and spawned goroutines, none of which run within the
+// iteration.
+func (w *lockWalker) netRoots(stmts []ast.Stmt) map[string]int {
+	net := make(map[string]int)
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.CallExpr:
+				if recv, op, ok := LockOp(w.info, n); ok {
+					root := ExprRoot(w.info, recv)
+					if root == "" {
+						return true
+					}
+					switch op {
+					case "Lock", "RLock":
+						net[root]++
+					case "Unlock", "RUnlock":
+						net[root]--
+					}
+				}
+			}
+			return true
+		})
+	}
+	return net
+}
+
+func (w *lockWalker) cases(body *ast.BlockStmt, held []string, loop *loopFrame) {
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.callsIn(e, held)
+			}
+			w.block(cc.Body, cloneHeld(held), loop)
+		case *ast.CommClause:
+			w.callsIn(cc.Comm, held)
+			w.block(cc.Body, cloneHeld(held), loop)
+		}
+	}
+}
+
+// acquire records one acquisition, deciding index-orderedness from the
+// innermost enclosing loop.
+func (w *lockWalker) acquire(root string, recv ast.Expr, pos token.Pos, held []string, loop *loopFrame) {
+	a := Acquire{
+		Root: root,
+		Held: append([]string(nil), held...),
+		Pos:  pos,
+	}
+	if loop != nil {
+		a.IndexOrdered = w.indexOrdered(recv, loop)
+	}
+	w.sum.Acquires = append(w.sum.Acquires, a)
+}
+
+// indexOrdered reports whether the receiver's iteration order is fixed
+// by the enclosing loop: rooted at a slice/array range variable, or
+// indexed by the loop counter.
+func (w *lockWalker) indexOrdered(recv ast.Expr, loop *loopFrame) bool {
+	ordered := false
+	ast.Inspect(recv, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := w.info.Uses[n]; obj != nil && loop.rangeOverSeq {
+				for _, v := range loop.iterVars {
+					if obj == v {
+						ordered = true
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(n.Index).(*ast.Ident); ok && loop.counter != nil {
+				if w.info.Uses[id] == loop.counter {
+					ordered = true
+				}
+			}
+		}
+		return true
+	})
+	return ordered
+}
+
+// callsIn records every statically-resolved call inside node while any
+// lock is held. Function literals are skipped: their bodies run when
+// invoked, not here. An empty held set contributes nothing to the lock
+// graph, so lock-free regions cost nothing.
+func (w *lockWalker) callsIn(node ast.Node, held []string) {
+	if node == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// A nested Lock/Unlock expression is an acquisition, not a call
+		// into the graph (handled by the statement walk when it stands
+		// alone; inside a larger expression the receiver is untrackable
+		// anyway).
+		if _, _, isLockOp := LockOp(w.info, call); isLockOp {
+			return true
+		}
+		var callee *types.Func
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			callee, _ = w.info.Uses[fun].(*types.Func)
+		case *ast.SelectorExpr:
+			callee, _ = w.info.Uses[fun.Sel].(*types.Func)
+		}
+		if callee == nil {
+			return true
+		}
+		name := Name(callee)
+		if name == "" {
+			return true
+		}
+		w.sum.CallsUnder = append(w.sum.CallsUnder, CallUnder{
+			Callee: name,
+			Held:   append([]string(nil), held...),
+			Pos:    call.Pos(),
+		})
+		return true
+	})
+}
+
+// forFrame extracts the counter variable of a classic counted for loop
+// (`for i := 0; i < n; i++` and friends). Only the counter identity
+// matters: an acquisition indexed by it follows the loop's own order.
+func forFrame(info *types.Info, s *ast.ForStmt) *loopFrame {
+	f := &loopFrame{}
+	if init, ok := s.Init.(*ast.AssignStmt); ok && len(init.Lhs) == 1 {
+		if id, ok := init.Lhs[0].(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				f.counter = obj
+			} else if obj := info.Uses[id]; obj != nil {
+				f.counter = obj
+			}
+		}
+	}
+	return f
+}
+
+// rangeFrame extracts the iteration variables of a range loop and
+// whether the ranged expression is a slice or array (ascending index
+// order by the language spec).
+func rangeFrame(info *types.Info, s *ast.RangeStmt) *loopFrame {
+	f := &loopFrame{}
+	switch info.TypeOf(s.X).Underlying().(type) {
+	case *types.Slice, *types.Array:
+		f.rangeOverSeq = true
+	case *types.Pointer:
+		if p, ok := info.TypeOf(s.X).Underlying().(*types.Pointer); ok {
+			if _, isArr := p.Elem().Underlying().(*types.Array); isArr {
+				f.rangeOverSeq = true
+			}
+		}
+	}
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			f.iterVars = append(f.iterVars, obj)
+			if f.counter == nil && s.Key == e {
+				f.counter = obj
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,437 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// summarizePkg typechecks a whole file and returns the summaries keyed
+// by qualified name ("p.f", "p.(T).m").
+func summarizePkg(t *testing.T, src string) map[string]*FuncSummary {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return Summarize(info, []*ast.File{file})
+}
+
+// acquireString renders one Acquire compactly for golden comparison:
+// "root [held...]" with loop flags appended.
+func acquireString(a Acquire) string {
+	s := fmt.Sprintf("%s %v", a.Root, a.Held)
+	if a.Looped {
+		s += " looped"
+	}
+	if a.IndexOrdered {
+		s += " ordered"
+	}
+	return s
+}
+
+func acquireStrings(s *FuncSummary) []string {
+	var out []string
+	for _, a := range s.Acquires {
+		out = append(out, acquireString(a))
+	}
+	return out
+}
+
+func TestLockEffects(t *testing.T) {
+	const prelude = `package p
+
+import "sync"
+
+var gmu sync.Mutex
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Shard struct {
+	mu sync.Mutex
+}
+
+type S struct {
+	shards []*Shard
+}
+
+func work() {}
+`
+	tests := []struct {
+		name string
+		src  string
+		fn   string
+		want []string
+	}{
+		{
+			name: "nested-acquire-records-held",
+			src: `func (t *T) f() {
+	gmu.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	gmu.Unlock()
+}`,
+			fn:   "p.(T).f",
+			want: []string{"p.gmu []", "p.(T).mu [p.gmu]"},
+		},
+		{
+			name: "defer-unlock-holds-to-end",
+			src: `func (t *T) f() {
+	gmu.Lock()
+	defer gmu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}`,
+			fn:   "p.(T).f",
+			want: []string{"p.gmu []", "p.(T).mu [p.gmu]"},
+		},
+		{
+			name: "branch-lock-does-not-leak",
+			src: `func (t *T) f(c bool) {
+	if c {
+		gmu.Lock()
+		gmu.Unlock()
+	}
+	t.mu.Lock()
+	t.mu.Unlock()
+}`,
+			fn:   "p.(T).f",
+			want: []string{"p.gmu []", "p.(T).mu []"},
+		},
+		{
+			// The FoldRollups barrier: lock+unlock per iteration nets to
+			// zero held, so nothing is Looped and nothing accumulates.
+			name: "barrier-loop-not-looped",
+			src: `func (s *S) f() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.mu.Unlock()
+	}
+	work()
+}`,
+			fn:   "p.(S).f",
+			want: []string{"p.(Shard).mu []"},
+		},
+		{
+			// Grab-all in slice order: accumulates (Looped) but the range
+			// fixes the order (IndexOrdered) — the safe hierarchy idiom.
+			name: "accumulate-range-slice-ordered",
+			src: `func (s *S) f() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+}`,
+			fn:   "p.(S).f",
+			want: []string{"p.(Shard).mu [] looped ordered"},
+		},
+		{
+			name: "accumulate-counter-index-ordered",
+			src: `func (s *S) f() {
+	for i := 0; i < len(s.shards); i++ {
+		s.shards[i].mu.Lock()
+	}
+	for i := 0; i < len(s.shards); i++ {
+		s.shards[i].mu.Unlock()
+	}
+}`,
+			fn:   "p.(S).f",
+			want: []string{"p.(Shard).mu [] looped ordered"},
+		},
+		{
+			// Ranging a map gives no order: accumulation without a
+			// hierarchy, the self-deadlock lockorder flags.
+			name: "accumulate-map-range-unordered",
+			src: `func f(m map[string]*Shard) {
+	for _, sh := range m {
+		sh.mu.Lock()
+	}
+}`,
+			fn:   "p.f",
+			want: []string{"p.(Shard).mu [] looped"},
+		},
+		{
+			// Locks accumulated by a loop are held by the statements after
+			// it: the second family acquires under the first.
+			name: "post-loop-still-held",
+			src: `func (s *S) f(t *T) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	t.mu.Lock()
+	t.mu.Unlock()
+}`,
+			fn:   "p.(S).f",
+			want: []string{"p.(Shard).mu [] looped ordered", "p.(T).mu [p.(Shard).mu]"},
+		},
+		{
+			// The Uplink drain shape: lock at the top of the iteration,
+			// release inside every switch arm. The net count sees the
+			// branch-nested unlocks; nothing accumulates.
+			name: "switch-arm-release-not-looped",
+			src: `func (t *T) f(xs []int) {
+	for _, x := range xs {
+		t.mu.Lock()
+		switch {
+		case x > 0:
+			t.mu.Unlock()
+		default:
+			t.mu.Unlock()
+		}
+	}
+}`,
+			fn:   "p.(T).f",
+			want: []string{"p.(T).mu []"},
+		},
+		{
+			// defer runs at function end, not per iteration: the deferred
+			// unlock is NOT a release, so the loop accumulates — exactly
+			// the hold-all-until-return pattern.
+			name: "defer-unlock-in-loop-accumulates",
+			src: `func (s *S) f() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
+	work()
+}`,
+			fn:   "p.(S).f",
+			want: []string{"p.(Shard).mu [] looped ordered"},
+		},
+		{
+			name: "local-mutex-untracked",
+			src: `func f() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}`,
+			fn:   "p.f",
+			want: nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sums := summarizePkg(t, prelude+tt.src)
+			s := sums[tt.fn]
+			if s == nil {
+				t.Fatalf("no summary for %s (have %v)", tt.fn, keys(sums))
+			}
+			got := acquireStrings(s)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("acquires = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func keys(m map[string]*FuncSummary) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestCallsUnderLock(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type T struct{ mu sync.Mutex }
+
+func work() {}
+
+func free() { work() }
+
+func (t *T) f() {
+	t.mu.Lock()
+	work()
+	t.mu.Unlock()
+	free()
+}`
+	sums := summarizePkg(t, src)
+	s := sums["p.(T).f"]
+	if s == nil {
+		t.Fatal("no summary for p.(T).f")
+	}
+	if len(s.CallsUnder) != 1 {
+		t.Fatalf("CallsUnder = %+v, want exactly the locked work() call", s.CallsUnder)
+	}
+	cu := s.CallsUnder[0]
+	if cu.Callee != "p.work" || !reflect.DeepEqual(cu.Held, []string{"p.(T).mu"}) {
+		t.Errorf("CallsUnder[0] = %+v, want p.work under [p.(T).mu]", cu)
+	}
+}
+
+// TestTransitiveLocksAndChain exercises the whole-index view lockorder
+// consumes: transitive lock sets over the call graph and the shortest
+// acquisition chain used in diagnostics.
+func TestTransitiveLocksAndChain(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func (b *B) deep() {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func middle(b *B) { b.deep() }
+
+func (a *A) top(b *B) {
+	a.mu.Lock()
+	middle(b)
+	a.mu.Unlock()
+}`
+	ix := NewIndex()
+	ix.Add(summarizePkg(t, src))
+	ix.Resolve()
+
+	got := ix.TransitiveLocks("p.(A).top")
+	want := []string{"p.(A).mu", "p.(B).mu"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TransitiveLocks(top) = %v, want %v", got, want)
+	}
+
+	chain := ix.AcquireChain("p.(A).top", "p.(B).mu")
+	wantChain := []string{"p.(A).top", "p.middle", "p.(B).deep"}
+	if !reflect.DeepEqual(chain, wantChain) {
+		t.Errorf("AcquireChain = %v, want %v", chain, wantChain)
+	}
+}
+
+func TestChanAndWGEffects(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type D struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (d *D) loop() {
+	defer close(d.done)
+	for range d.done {
+	}
+}
+
+func (d *D) worker() {
+	defer d.wg.Done()
+}
+
+func (d *D) shutdown(local chan int) {
+	local <- 1
+	<-d.done
+	d.wg.Wait()
+}`
+	sums := summarizePkg(t, src)
+
+	loop := sums["p.(D).loop"]
+	if !reflect.DeepEqual(loop.ClosesChans, []string{"p.(D).done"}) {
+		t.Errorf("loop.ClosesChans = %v, want [p.(D).done]", loop.ClosesChans)
+	}
+	if !reflect.DeepEqual(loop.ReceivesChans, []string{"p.(D).done"}) {
+		t.Errorf("loop.ReceivesChans = %v, want [p.(D).done]", loop.ReceivesChans)
+	}
+
+	worker := sums["p.(D).worker"]
+	if !worker.CallsWGDone || worker.CallsWGWait {
+		t.Errorf("worker Done/Wait = %v/%v, want true/false", worker.CallsWGDone, worker.CallsWGWait)
+	}
+
+	shutdown := sums["p.(D).shutdown"]
+	if !shutdown.CallsWGWait {
+		t.Error("shutdown.CallsWGWait = false, want true")
+	}
+	if !reflect.DeepEqual(shutdown.ReceivesChans, []string{"p.(D).done"}) {
+		t.Errorf("shutdown.ReceivesChans = %v, want [p.(D).done]", shutdown.ReceivesChans)
+	}
+	// The local channel has no stable root and must not pollute the set.
+	if len(shutdown.SendsChans) != 0 {
+		t.Errorf("shutdown.SendsChans = %v, want empty", shutdown.SendsChans)
+	}
+}
+
+// TestExprRoot pins the canonicalization rules directly.
+func TestExprRoot(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+var gmu sync.Mutex
+
+type Shard struct{ mu sync.Mutex }
+type S struct{ shards []*Shard }
+
+func (s *S) f(i int) {
+	gmu.Lock()
+	s.shards[i].mu.Lock()
+	var local sync.Mutex
+	local.Lock()
+	_ = local
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var got []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		if recv, op, ok := LockOp(info, call); ok && op == "Lock" {
+			got = append(got, ExprRoot(info, recv))
+		}
+		return true
+	})
+	want := []string{"p.gmu", "p.(Shard).mu", ""}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("roots = %v, want %v", got, want)
+	}
+}
+
+// Guard against the golden format drifting silently: the rendering used
+// above is itself part of the contract these tests pin.
+func TestAcquireStringFormat(t *testing.T) {
+	a := Acquire{Root: "p.x", Held: []string{"p.y"}, Looped: true, IndexOrdered: true}
+	if s := acquireString(a); !strings.Contains(s, "p.x") || !strings.Contains(s, "looped") {
+		t.Errorf("acquireString = %q", s)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"centuryscale/internal/lint/typeutil"
 )
@@ -124,6 +125,42 @@ type FuncSummary struct {
 	// Calls lists qualified names of statically-resolved callees in the
 	// synchronous body, for transitive closure.
 	Calls []string
+
+	// Acquires lists every lock acquisition with a stable root in the
+	// synchronous body, in source order (see locks.go).
+	Acquires []Acquire
+
+	// CallsUnder lists every statically-resolved call made while at
+	// least one lock root is held.
+	CallsUnder []CallUnder
+
+	// CallsWGDone / CallsWGWait report (*sync.WaitGroup).Done / .Wait
+	// calls anywhere in the body, nested literals included: join
+	// evidence for the lifecycle analyzer. After Resolve, transitive.
+	CallsWGDone bool
+	CallsWGWait bool
+
+	// ClosesChans, SendsChans, and ReceivesChans list the canonical
+	// roots (ExprRoot) of channels the body closes, sends on, and
+	// receives from, nested literals included. A goroutine body that
+	// closes a root some shutdown path receives from has a join path.
+	// After Resolve, transitive.
+	ClosesChans   []string
+	SendsChans    []string
+	ReceivesChans []string
+}
+
+// addRoot appends root to *set if non-empty and not already present.
+func addRoot(set *[]string, root string) {
+	if root == "" {
+		return
+	}
+	for _, r := range *set {
+		if r == root {
+			return
+		}
+	}
+	*set = append(*set, root)
 }
 
 // summarizeBody computes a FuncSummary for one body. sig may be nil
@@ -164,6 +201,8 @@ func summarizeBody(info *types.Info, body *ast.BlockStmt) *FuncSummary {
 
 	// Pass 2 — lifetime signals: nested literals included, because a
 	// spawned watcher that closes over ctx still stops the whole body.
+	// Channel and WaitGroup effects ride along here for the same reason:
+	// the close that joins a goroutine is often deferred inside it.
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.Ident:
@@ -171,17 +210,40 @@ func summarizeBody(info *types.Info, body *ast.BlockStmt) *FuncSummary {
 				s.Stops = true
 			}
 		case *ast.UnaryExpr:
-			if n.Op == token.ARROW && isStopChan(info.TypeOf(n.X)) {
-				s.Stops = true
+			if n.Op == token.ARROW {
+				if isStopChan(info.TypeOf(n.X)) {
+					s.Stops = true
+				}
+				addRoot(&s.ReceivesChans, ExprRoot(info, n.X))
+			}
+		case *ast.SendStmt:
+			addRoot(&s.SendsChans, ExprRoot(info, n.Chan))
+		case *ast.RangeStmt:
+			if _, isChan := info.TypeOf(n.X).Underlying().(*types.Chan); isChan {
+				addRoot(&s.ReceivesChans, ExprRoot(info, n.X))
 			}
 		case *ast.CallExpr:
-			if callee := typeutil.Callee(info, n); callee != nil &&
-				callee.Name() == "Done" && typeutil.IsMethodOf(callee, "sync", "WaitGroup") {
-				s.Stops = true
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "close" {
+					addRoot(&s.ClosesChans, ExprRoot(info, n.Args[0]))
+				}
+			}
+			if callee := typeutil.Callee(info, n); callee != nil {
+				if callee.Name() == "Done" && typeutil.IsMethodOf(callee, "sync", "WaitGroup") {
+					s.Stops = true
+					s.CallsWGDone = true
+				}
+				if callee.Name() == "Wait" && typeutil.IsMethodOf(callee, "sync", "WaitGroup") {
+					s.CallsWGWait = true
+				}
 			}
 		}
 		return true
 	})
+
+	// Pass 3 — lock effects: a held-set walk of the statement tree (see
+	// locks.go).
+	walkLocks(info, s, body)
 	return s
 }
 
@@ -286,6 +348,9 @@ func isStopChan(t types.Type) bool {
 // transitive effects over the call graph.
 type Index struct {
 	funcs map[string]*FuncSummary
+	// locks maps function name → transitive set of lock roots it
+	// acquires, built by Resolve.
+	locks map[string]map[string]bool
 }
 
 // NewIndex returns an empty summary index.
@@ -301,7 +366,8 @@ func (ix *Index) Add(sums map[string]*FuncSummary) {
 	}
 }
 
-// Resolve closes IO, Blocking, and Stops transitively over Calls. Safe
+// Resolve closes IO, Blocking, Stops, the WaitGroup/channel join
+// evidence, and the lock-acquisition sets transitively over Calls. Safe
 // to call more than once; later Adds require a fresh Resolve.
 func (ix *Index) Resolve() {
 	for changed := true; changed; {
@@ -324,9 +390,59 @@ func (ix *Index) Resolve() {
 					s.Stops = true
 					changed = true
 				}
+				if t.CallsWGDone && !s.CallsWGDone {
+					s.CallsWGDone = true
+					changed = true
+				}
+				if t.CallsWGWait && !s.CallsWGWait {
+					s.CallsWGWait = true
+					changed = true
+				}
+				changed = mergeRoots(&s.ClosesChans, t.ClosesChans) || changed
+				changed = mergeRoots(&s.SendsChans, t.SendsChans) || changed
+				changed = mergeRoots(&s.ReceivesChans, t.ReceivesChans) || changed
 			}
 		}
 	}
+
+	// Transitive lock sets: the roots a function acquires itself or
+	// through any statically-resolved callee. Computed after the effect
+	// fixpoint so lockorder's call-under-lock edges see the full set.
+	ix.locks = make(map[string]map[string]bool, len(ix.funcs))
+	for name, s := range ix.funcs {
+		set := make(map[string]bool)
+		for _, a := range s.Acquires {
+			set[a.Root] = true
+		}
+		ix.locks[name] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, s := range ix.funcs {
+			set := ix.locks[name]
+			for _, callee := range s.Calls {
+				for root := range ix.locks[callee] {
+					if !set[root] {
+						set[root] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// mergeRoots unions src into *dst, reporting whether anything was added.
+func mergeRoots(dst *[]string, src []string) bool {
+	added := false
+	for _, r := range src {
+		n := len(*dst)
+		addRoot(dst, r)
+		if len(*dst) != n {
+			added = true
+		}
+	}
+	return added
 }
 
 // Lookup returns the (resolved) summary for a qualified name, or nil
@@ -379,4 +495,75 @@ func (ix *Index) StopsOf(s *FuncSummary) bool {
 		}
 	}
 	return false
+}
+
+// Names returns every indexed function name in sorted order, for
+// deterministic whole-program iteration.
+func (ix *Index) Names() []string {
+	if ix == nil {
+		return nil
+	}
+	names := make([]string, 0, len(ix.funcs))
+	for name := range ix.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TransitiveLocks returns the sorted set of lock roots the named
+// function acquires, directly or through any statically-resolved
+// callee. Valid after Resolve.
+func (ix *Index) TransitiveLocks(name string) []string {
+	if ix == nil || ix.locks == nil {
+		return nil
+	}
+	set := ix.locks[name]
+	if len(set) == 0 {
+		return nil
+	}
+	roots := make([]string, 0, len(set))
+	for r := range set {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	return roots
+}
+
+// AcquireChain returns a shortest call chain (function names, starting
+// at from) ending at a function that directly acquires root, or nil.
+// BFS over Calls with sorted expansion keeps the witness deterministic.
+func (ix *Index) AcquireChain(from, root string) []string {
+	if ix == nil {
+		return nil
+	}
+	type node struct {
+		name string
+		path []string
+	}
+	seen := map[string]bool{from: true}
+	queue := []node{{from, []string{from}}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		s := ix.funcs[n.name]
+		if s == nil {
+			continue
+		}
+		for _, a := range s.Acquires {
+			if a.Root == root {
+				return n.path
+			}
+		}
+		callees := append([]string(nil), s.Calls...)
+		sort.Strings(callees)
+		for _, c := range callees {
+			if seen[c] || ix.locks[c] == nil || !ix.locks[c][root] {
+				continue
+			}
+			seen[c] = true
+			queue = append(queue, node{c, append(append([]string(nil), n.path...), c)})
+		}
+	}
+	return nil
 }

@@ -1,0 +1,348 @@
+// Package lifecycle implements the centurylint analyzer that upgrades
+// goroleak's "has a stop signal" to a full lifecycle contract for
+// daemon code.
+//
+// A stop signal alone means a goroutine will *eventually* notice
+// shutdown; it says nothing about who waits for it. On a century-scale
+// node the difference matters twice over: a goroutine still running
+// after "shutdown" holds sockets, shard handles, and WAL files that the
+// restarting daemon is about to reopen (the conn.Close-after-return
+// race), and a supervisor that cannot know when a child is actually
+// finished cannot sequence an upgrade. So in daemon packages every `go`
+// spawn must satisfy both halves of the contract:
+//
+//   - tied: the body can observe shutdown — a context, a struct{} stop
+//     channel, or a WaitGroup, as an argument or closed over,
+//     transitively through its callees (goroleak's test, applied to
+//     every spawn, not just forever-loops);
+//   - joined: completion is observable — the body (transitively) calls
+//     (*sync.WaitGroup).Done and someone in the package Waits, or it
+//     closes/sends on a channel some shutdown path in the package
+//     receives from. Channels match by canonical root
+//     (dataflow.ExprRoot) for fields and globals, and by object
+//     identity for function-local done-channels joined in the spawning
+//     function itself.
+//
+// Dynamic dispatch and spawns of functions outside the loaded packages
+// resolve to no summary and stay quiet, as everywhere in the suite.
+// Genuinely process-lifetime goroutines (an http.Serve runner whose
+// join *is* the server's Shutdown) state their contract with
+// `//lint:lifecycle <reason>` — the reason is mandatory, audited by
+// waiveraudit.
+package lifecycle
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/dataflow"
+	"centuryscale/internal/lint/typeutil"
+)
+
+// DaemonPackages lists the packages held to the full lifecycle
+// contract, as "/"-suffixes: the long-running serving stack plus the
+// daemon mains. Simulation and pure-library packages are exempt — they
+// spawn under test harnesses that outlive every goroutine.
+var DaemonPackages = []string{
+	"internal/daemon",
+	"internal/cloud",
+	"internal/tsdb",
+	"internal/cluster",
+	"internal/resilience",
+	"internal/obs",
+	"internal/gateway",
+	"cmd/routerd",
+	"cmd/endpointd",
+	"cmd/gatewayd",
+	"cmd/hotspotd",
+	"cmd/sensornode",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "lifecycle",
+	Directive: "lifecycle",
+	Doc: "enforce the goroutine lifecycle contract in daemon packages: every go " +
+		"spawn must be tied to shutdown (ctx/stop channel/WaitGroup) and have a " +
+		"join path (WaitGroup.Wait or a done-channel receive) so shutdown can " +
+		"prove the goroutine finished",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !typeutil.HasPathSuffix(pass.Pkg.Path(), DaemonPackages) {
+		return nil
+	}
+	index := pass.Summaries
+	if index == nil {
+		index = dataflow.NewIndex()
+		index.Add(dataflow.Summarize(pass.TypesInfo, pass.Files))
+		index.Resolve()
+	}
+
+	// The package-side join evidence: who Waits, and which channel
+	// roots shutdown paths receive from. Computed from this package's
+	// own (resolved) summaries.
+	pkgWaits := false
+	pkgReceives := make(map[string]bool)
+	prefix := pass.Pkg.Path() + "."
+	for _, name := range index.Names() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		s := index.Lookup(name)
+		if s.CallsWGWait {
+			pkgWaits = true
+		}
+		for _, r := range receivesOf(index, s) {
+			pkgReceives[r] = true
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, index, fd, pkgWaits, pkgReceives)
+		}
+	}
+	return nil
+}
+
+// checkFunc examines every spawn lexically inside one declaration,
+// with the declaration's body as the local-join scope.
+func checkFunc(pass *analysis.Pass, index *dataflow.Index, fd *ast.FuncDecl, pkgWaits bool, pkgReceives map[string]bool) {
+	// Local join scope: channel objects the enclosing function receives
+	// from, and whether it Waits — a spawn joined right where it was
+	// made (the fan-out idiom) needs no package-wide evidence.
+	localRecv := make(map[types.Object]bool)
+	localWaits := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if obj := chanObj(pass.TypesInfo, n.X); obj != nil {
+					localRecv[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if _, isChan := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Chan); isChan {
+				if obj := chanObj(pass.TypesInfo, n.X); obj != nil {
+					localRecv[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			if callee := typeutil.Callee(pass.TypesInfo, n); callee != nil &&
+				callee.Name() == "Wait" && typeutil.IsMethodOf(callee, "sync", "WaitGroup") {
+				localWaits = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		checkSpawn(pass, index, g, pkgWaits || localWaits, pkgReceives, localRecv)
+		return true
+	})
+}
+
+func checkSpawn(pass *analysis.Pass, index *dataflow.Index, g *ast.GoStmt, anyWaits bool, pkgReceives map[string]bool, localRecv map[types.Object]bool) {
+	call := g.Call
+
+	var sum *dataflow.FuncSummary
+	var lit *ast.FuncLit
+	name := "the function literal"
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		lit = fun
+		sum = dataflow.SummarizeLit(pass.TypesInfo, fun)
+	default:
+		callee := typeutil.Callee(pass.TypesInfo, call)
+		if callee == nil {
+			return // dynamic dispatch: no summary, stay quiet
+		}
+		sum = index.Lookup(dataflow.Name(callee))
+		if sum == nil {
+			return // outside the loaded packages
+		}
+		name = callee.Name()
+	}
+
+	// Half one: tied to shutdown.
+	tied := index.StopsOf(sum)
+	for _, arg := range call.Args {
+		if isStopArg(pass.TypesInfo.TypeOf(arg)) {
+			tied = true
+		}
+	}
+	if !tied {
+		pass.Reportf(g.Pos(),
+			"goroutine is not tied to shutdown: %s observes no context, stop channel, or WaitGroup; in a daemon package every spawn must be able to learn the process is stopping — pass a ctx or annotate //lint:lifecycle <reason>",
+			name)
+	}
+
+	// Half two: a join path reachable from shutdown.
+	joined := false
+	if wgDoneOf(index, sum) || hasWGArg(pass.TypesInfo, call) {
+		joined = anyWaits
+	}
+	if !joined {
+		for _, root := range signalsOf(index, sum) {
+			if pkgReceives[root] {
+				joined = true
+				break
+			}
+		}
+	}
+	if !joined && lit != nil {
+		// Local done-channel: the literal closes/sends a function-local
+		// channel the spawning function receives from.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+					if b, isB := pass.TypesInfo.Uses[id].(*types.Builtin); isB && b.Name() == "close" {
+						if obj := chanObj(pass.TypesInfo, n.Args[0]); obj != nil && localRecv[obj] {
+							joined = true
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if obj := chanObj(pass.TypesInfo, n.Chan); obj != nil && localRecv[obj] {
+					joined = true
+				}
+			}
+			return true
+		})
+	}
+	if !joined {
+		pass.Reportf(g.Pos(),
+			"goroutine has no join path: nothing can wait for %s to finish — shutdown returns while it may still hold sockets or shard handles; give it a WaitGroup (Done here, Wait on the shutdown path) or a done channel someone receives from, or annotate //lint:lifecycle <reason>",
+			name)
+	}
+}
+
+// wgDoneOf reports whether the body calls WaitGroup.Done, directly or
+// through resolved callees.
+func wgDoneOf(index *dataflow.Index, s *dataflow.FuncSummary) bool {
+	if s.CallsWGDone {
+		return true
+	}
+	for _, c := range s.Calls {
+		if t := index.Lookup(c); t != nil && t.CallsWGDone {
+			return true
+		}
+	}
+	return false
+}
+
+// signalsOf returns the canonical channel roots the body closes or
+// sends on, directly or through resolved callees — its completion
+// signals.
+func signalsOf(index *dataflow.Index, s *dataflow.FuncSummary) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(roots []string) {
+		for _, r := range roots {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	add(s.ClosesChans)
+	add(s.SendsChans)
+	for _, c := range s.Calls {
+		if t := index.Lookup(c); t != nil {
+			add(t.ClosesChans)
+			add(t.SendsChans)
+		}
+	}
+	return out
+}
+
+// receivesOf mirrors signalsOf for the receiving side.
+func receivesOf(index *dataflow.Index, s *dataflow.FuncSummary) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(roots []string) {
+		for _, r := range roots {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	add(s.ReceivesChans)
+	for _, c := range s.Calls {
+		if t := index.Lookup(c); t != nil {
+			add(t.ReceivesChans)
+		}
+	}
+	return out
+}
+
+// chanObj resolves a channel expression to its variable object when it
+// is a plain identifier (function-local done channels); selector-based
+// channels go through canonical roots instead.
+func chanObj(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// hasWGArg reports whether the spawn passes a *sync.WaitGroup.
+func hasWGArg(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		t := info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Name() == "WaitGroup" && typeutil.PkgPath(obj) == "sync" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isStopArg matches goroleak's: a context, struct{} channel, or
+// WaitGroup pointer argument hands the goroutine a shutdown signal.
+func isStopArg(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Name() == "Context" && typeutil.PkgPath(obj) == "context" {
+			return true
+		}
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "WaitGroup" && typeutil.PkgPath(obj) == "sync" {
+				return true
+			}
+		}
+	}
+	if ch, ok := t.Underlying().(*types.Chan); ok {
+		if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lifecycle_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/analysistest"
+	"centuryscale/internal/lint/lifecycle"
+)
+
+func TestLifecycle(t *testing.T) {
+	analysistest.Run(t, "testdata", lifecycle.Analyzer, "internal/daemon", "pure")
+}

@@ -1,0 +1,114 @@
+// Fixture for the lifecycle analyzer: in daemon packages every spawn
+// must be tied to shutdown AND joinable. The two halves are independent
+// diagnostics — a spawn can fail either or both.
+package daemon
+
+import (
+	"context"
+	"sync"
+)
+
+func compute() int { return 1 }
+
+// --- good: the WaitGroup fan-out idiom. Done ties and joins at once:
+// the workers observe completion through the group, Wait proves it.
+func fanOut(ctx context.Context, n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			compute()
+		}()
+	}
+	wg.Wait()
+}
+
+// --- good: the stop/done channel pair on a long-lived loop (the tsdb
+// syncLoop shape). The loop is tied through the stop receive; the
+// deferred close of done is its completion signal, and Close receives
+// it — a join path reachable from shutdown, across methods.
+type DB struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (d *DB) loop() {
+	defer close(d.done)
+	for {
+		select {
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+func (d *DB) Open() {
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go d.loop()
+}
+
+func (d *DB) Close() {
+	close(d.stop)
+	<-d.done
+}
+
+// --- good: a bounded worker joined through a local result channel; the
+// send is the completion signal and the enclosing function receives it.
+// Tied through ctx.
+func bounded(ctx context.Context) int {
+	res := make(chan int, 1)
+	go func() {
+		select {
+		case <-ctx.Done():
+			res <- 0
+		case res <- compute():
+		}
+	}()
+	return <-res
+}
+
+// --- bad: tied but unjoined. The watcher sees ctx, but nothing can
+// wait for it — the enclosing function returns while the goroutine may
+// still be running (the conn.Close-after-return race).
+type conn struct{}
+
+func (*conn) Close() {}
+
+func watch(ctx context.Context, c *conn) {
+	go func() { // want `goroutine has no join path`
+		<-ctx.Done()
+		c.Close()
+	}()
+}
+
+// --- bad: joined but untied. The spawn is waited for, but it cannot
+// learn the process is stopping — on a wedged compute it blocks
+// shutdown forever with no escape.
+func untied() int {
+	res := make(chan int, 1)
+	go func() { // want `goroutine is not tied to shutdown`
+		res <- compute()
+	}()
+	return <-res
+}
+
+// --- bad: both halves missing.
+func fireAndForget() {
+	go func() { // want `goroutine is not tied to shutdown` `goroutine has no join path`
+		compute()
+	}()
+}
+
+// --- waived: a process-lifetime goroutine states its contract.
+func serveForever(d *DB) {
+	//lint:lifecycle process-lifetime pump: joined by process exit, the listener close is its stop signal
+	go pump(d)
+}
+
+func pump(d *DB) {
+	for {
+		compute()
+	}
+}

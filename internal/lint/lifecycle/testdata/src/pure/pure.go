@@ -1,0 +1,12 @@
+// Fixture: a package outside DaemonPackages is exempt from the
+// lifecycle contract — library and simulation code spawns under test
+// harnesses that outlive every goroutine.
+package pure
+
+func compute() int { return 1 }
+
+func fireAndForget() {
+	go func() {
+		compute()
+	}()
+}

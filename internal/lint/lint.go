@@ -15,6 +15,13 @@
 //     stop signal
 //   - ctxflow: no breaks in the cancellation chain from cmd/*d mains
 //     into blocking loops
+//   - lockorder: no cycles in the whole-program lock-acquisition graph
+//     (potential deadlocks); index-ordered accumulation is a safe
+//     hierarchy
+//   - atomicmix: no struct field accessed both through sync/atomic and
+//     by plain load/store
+//   - lifecycle: every goroutine spawned in daemon packages is tied to
+//     shutdown and has a join path
 //   - waiveraudit: every //lint: waiver names a real directive, carries
 //     a reason, and still suppresses a finding
 //
@@ -28,10 +35,13 @@ package lint
 
 import (
 	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/atomicmix"
 	"centuryscale/internal/lint/centurytime"
 	"centuryscale/internal/lint/ctxflow"
 	"centuryscale/internal/lint/goroleak"
+	"centuryscale/internal/lint/lifecycle"
 	"centuryscale/internal/lint/lockedio"
+	"centuryscale/internal/lint/lockorder"
 	"centuryscale/internal/lint/seedflow"
 	"centuryscale/internal/lint/simdeterminism"
 	"centuryscale/internal/lint/syncerr"
@@ -48,6 +58,9 @@ func Suite() []*analysis.Analyzer {
 		centurytime.Analyzer,
 		goroleak.Analyzer,
 		ctxflow.Analyzer,
+		lockorder.Analyzer,
+		atomicmix.Analyzer,
+		lifecycle.Analyzer,
 		waiveraudit.Analyzer,
 	}
 }

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/analysistest"
+	"centuryscale/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer,
+		"lockorder", "lockorder/base", "lockorder/top")
+}

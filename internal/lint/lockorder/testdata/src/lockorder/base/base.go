@@ -1,0 +1,25 @@
+// Fixture package base: the lower half of a multi-package lock-order
+// cycle. BA acquires (A).Mu while holding (B).Mu; the opposite edge
+// lives in lockorder/top, which imports this package. The cycle's
+// canonical first edge ((A).Mu -> (B).Mu) is witnessed in top, so the
+// diagnostic lands there and this package stays silent — one report per
+// cycle program-wide.
+package base
+
+import "sync"
+
+type A struct{ Mu sync.Mutex }
+type B struct{ Mu sync.Mutex }
+
+// Acquire/Release let a caller take (B).Mu through a call, exercising
+// the call-under-lock edges in the graph.
+func (b *B) Acquire() { b.Mu.Lock() }
+func (b *B) Release() { b.Mu.Unlock() }
+
+// BA is the B-then-A half of the inversion.
+func BA(a *A, b *B) {
+	b.Mu.Lock()
+	a.Mu.Lock()
+	a.Mu.Unlock()
+	b.Mu.Unlock()
+}

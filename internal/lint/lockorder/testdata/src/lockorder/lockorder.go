@@ -1,0 +1,82 @@
+// Fixture for the lockorder analyzer: inconsistent lock-acquisition
+// order across the program is a potential deadlock; index-ordered
+// accumulation is a safe hierarchy.
+package lockorder
+
+import "sync"
+
+type L1 struct{ mu sync.Mutex }
+type L2 struct{ mu sync.Mutex }
+
+// oneTwo and twoOne take the same pair of lock families in opposite
+// orders — the classic inversion. The cycle is reported once, at the
+// first edge of the canonical path (smallest root first), with the
+// complete acquisition path in the message.
+func oneTwo(a *L1, b *L2) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle: lockorder\.oneTwo acquires lockorder\.\(L2\)\.mu while holding lockorder\.\(L1\)\.mu; then lockorder\.twoOne acquires lockorder\.\(L1\)\.mu while holding lockorder\.\(L2\)\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func twoOne(a *L1, b *L2) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type Shard struct{ mu sync.Mutex }
+
+// grabAll accumulates every instance of one family while ranging a map
+// — no fixed order, so two goroutines can grab instances in opposite
+// order and deadlock: a self-cycle on the family.
+func grabAll(m map[string]*Shard) {
+	for _, s := range m { // keep: order depends on map iteration
+		s.mu.Lock() // want `lock-order cycle: lockorder\.\(Shard\)\.mu accumulated across loop iterations in lockorder\.grabAll with no fixed order`
+	}
+	for _, s := range m {
+		s.mu.Unlock()
+	}
+}
+
+type Guard struct{ mu sync.Mutex }
+
+// barrier is the guard-shard idiom: every instance taken in slice index
+// order, a total order over the family — safe hierarchy, not flagged.
+func barrier(gs []*Guard) {
+	for _, g := range gs {
+		g.mu.Lock()
+	}
+	for _, g := range gs {
+		g.mu.Unlock()
+	}
+}
+
+// lockStep locks and releases per iteration — no accumulation at all,
+// so nothing to order. Not flagged.
+func lockStep(gs []*Guard) {
+	for _, g := range gs {
+		g.mu.Lock()
+		g.mu.Unlock()
+	}
+}
+
+type W1 struct{ mu sync.Mutex }
+type W2 struct{ mu sync.Mutex }
+
+// waived shows the escape hatch: an inversion whose ordering is
+// guaranteed by something the graph cannot see states its contract.
+func waived(a *W1, b *W2) {
+	a.mu.Lock()
+	b.mu.Lock() //lint:lockorder fixture: callers serialize through a semaphore, the inversion is unreachable
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func waivedReverse(a *W1, b *W2) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

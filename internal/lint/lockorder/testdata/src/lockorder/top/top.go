@@ -1,0 +1,15 @@
+// Fixture package top: the upper half of the multi-package cycle with
+// lockorder/base. AB holds (A).Mu and reaches (B).Mu through a call
+// into base — the lock graph must follow the call summary across the
+// package boundary to see the edge, and the diagnostic prints the
+// function chain that takes it.
+package top
+
+import "lockorder/base"
+
+func AB(a *base.A, b *base.B) {
+	a.Mu.Lock()
+	b.Acquire() // want `lock-order cycle: lockorder/top\.AB holds lockorder/base\.\(A\)\.Mu and calls lockorder/base\.\(B\)\.Acquire, which acquires lockorder/base\.\(B\)\.Mu; then lockorder/base\.BA acquires lockorder/base\.\(A\)\.Mu while holding lockorder/base\.\(B\)\.Mu`
+	b.Release()
+	a.Mu.Unlock()
+}

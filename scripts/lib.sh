@@ -1,0 +1,73 @@
+#!/bin/sh
+# lib.sh — shared plumbing for the smoke drills. Source it after
+# `set -eu`, with SMOKE_NAME set to the script's reporting prefix:
+#
+#     SMOKE_NAME="smoke-obs"
+#     . "$(dirname "$0")/lib.sh"
+#
+# The library owns the cleanup trap: register background pids with
+# smoke_defer_pid and temp dirs with smoke_defer_dir, and every exit
+# path — success, smoke_fail, ^C — kills and removes them. A script
+# needing bespoke teardown defines smoke_extra_cleanup(); it runs
+# before the registered kills.
+
+SMOKE_NAME="${SMOKE_NAME:-smoke}"
+SMOKE_PIDS=""
+SMOKE_DIRS=""
+
+smoke_defer_pid() { SMOKE_PIDS="$SMOKE_PIDS $1"; }
+smoke_defer_dir() { SMOKE_DIRS="$SMOKE_DIRS $1"; }
+
+smoke_cleanup() {
+    if type smoke_extra_cleanup >/dev/null 2>&1; then
+        smoke_extra_cleanup || true
+    fi
+    for _pid in $SMOKE_PIDS; do
+        kill "$_pid" 2>/dev/null || true
+    done
+    # Reap what we can; pids started in subshells are not our children
+    # and fail the wait, which is fine — the kill already landed.
+    for _pid in $SMOKE_PIDS; do
+        wait "$_pid" 2>/dev/null || true
+    done
+    # shellcheck disable=SC2086 # word-splitting the dir list is the point
+    [ -n "$SMOKE_DIRS" ] && rm -rf $SMOKE_DIRS
+    return 0
+}
+trap smoke_cleanup EXIT INT TERM
+
+# smoke_fail <message> [logfile] — report the failure, dump the log
+# tail when one is given, and exit 1 (through the cleanup trap).
+smoke_fail() {
+    echo "$SMOKE_NAME: $1" >&2
+    if [ -n "${2:-}" ] && [ -f "$2" ]; then
+        tail -40 "$2" >&2
+    fi
+    exit 1
+}
+
+# smoke_await <pid> <url> [pattern] [logfile] — poll the URL (50 x
+# 0.2s) until curl succeeds (and the body matches pattern, when one is
+# given), checking between polls that pid is still alive. Listeners
+# bind asynchronously after daemon setup, so the port — not the
+# process — is the only correct readiness signal.
+smoke_await() {
+    _pid="$1"
+    _url="$2"
+    _pattern="${3:-}"
+    _log="${4:-}"
+    _tries=0
+    while [ "$_tries" -lt 50 ]; do
+        if [ -n "$_pattern" ]; then
+            if curl -sf "$_url" 2>/dev/null | grep -q "$_pattern"; then
+                return 0
+            fi
+        elif curl -sf -o /dev/null "$_url"; then
+            return 0
+        fi
+        kill -0 "$_pid" 2>/dev/null || smoke_fail "process $_pid died during boot" "$_log"
+        sleep 0.2
+        _tries=$((_tries + 1))
+    done
+    smoke_fail "no answer from $_url after 10s" "$_log"
+}

@@ -13,6 +13,9 @@
 # fixed but obscure; pass SMOKE_CLUSTER_BASE_PORT to override.
 set -eu
 
+SMOKE_NAME="smoke-cluster"
+. "$(dirname "$0")/lib.sh"
+
 BASE="${SMOKE_CLUSTER_BASE_PORT:-19080}"
 ROUTER_PORT=$((BASE + 3))
 DEBUG_PORT=$((BASE + 4))
@@ -21,15 +24,16 @@ SECRET="smoke-cluster-secret"
 SEED="${SMOKE_CLUSTER_SEED:-7}"
 
 TMP="$(mktemp -d)"
+smoke_defer_dir "$TMP"
 MARKER="$TMP/kill.marker"
 
-cleanup() {
-    for pid in "${ROUTER_PID:-}" "${N0_PID:-}" "${N1_PID:-}" "${N2_PID:-}"; do
-        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
-    done
-    rm -rf "$TMP"
+# The rebooted victim is started by the executor subshell, so its pid
+# reaches us only through a file — reap it on every exit path.
+smoke_extra_cleanup() {
+    if [ -f "$TMP/victim.pid" ]; then
+        kill "$(cat "$TMP/victim.pid")" 2>/dev/null || true
+    fi
 }
-trap cleanup EXIT INT TERM
 
 go build -o "$TMP/endpointd" ./cmd/endpointd
 go build -o "$TMP/routerd" ./cmd/routerd
@@ -49,6 +53,9 @@ boot_node() {
 N0_PID="$(boot_node 0)"
 N1_PID="$(boot_node 1)"
 N2_PID="$(boot_node 2)"
+smoke_defer_pid "$N0_PID"
+smoke_defer_pid "$N1_PID"
+smoke_defer_pid "$N2_PID"
 
 "$TMP/routerd" -listen "127.0.0.1:$ROUTER_PORT" -abp-master 0123456789abcdef \
     -cluster-peers "http://127.0.0.1:$BASE,http://127.0.0.1:$((BASE + 1)),http://127.0.0.1:$((BASE + 2))" \
@@ -57,18 +64,10 @@ N2_PID="$(boot_node 2)"
     -retries 1 -retry-base 10ms \
     -debug-addr "127.0.0.1:$DEBUG_PORT" >"$TMP/routerd.log" 2>&1 &
 ROUTER_PID=$!
+smoke_defer_pid "$ROUTER_PID"
 
 # Wait for the router's cluster front, and for every node to answer it.
-ok=""
-for _ in $(seq 1 50); do
-    if curl -sf "http://127.0.0.1:$ROUTER_PORT/status" | grep -q '"health":"healthy"'; then
-        ok=1
-        break
-    fi
-    kill -0 "$ROUTER_PID" 2>/dev/null || { echo "smoke-cluster: routerd died during boot" >&2; cat "$TMP/routerd.log" >&2; exit 1; }
-    sleep 0.2
-done
-[ -n "$ok" ] || { echo "smoke-cluster: cluster never reported healthy on :$ROUTER_PORT" >&2; cat "$TMP/routerd.log" >&2; exit 1; }
+smoke_await "$ROUTER_PID" "http://127.0.0.1:$ROUTER_PORT/status" '"health":"healthy"' "$TMP/routerd.log"
 
 # The kill executor: when the driver writes the seeded verdict, SIGKILL
 # that node (no shutdown path — the WAL is the only survivor), hold the
@@ -89,25 +88,17 @@ done
     boot_node "$victim" >"$TMP/victim.pid"
 ) &
 EXECUTOR_PID=$!
+smoke_defer_pid "$EXECUTOR_PID"
 
 "$TMP/clusterload" -router "http://127.0.0.1:$ROUTER_PORT" -master "$MASTER" \
     -seed "$SEED" -nodes 3 -packets 300 -devices 6 -kill-after 60 \
-    -kill-marker "$MARKER" || {
-    echo "smoke-cluster: FAILED — driver logs above, router log follows" >&2
-    tail -40 "$TMP/routerd.log" >&2
-    exit 1
-}
+    -kill-marker "$MARKER" ||
+    smoke_fail "FAILED — driver logs above, router log follows" "$TMP/routerd.log"
 
 wait "$EXECUTOR_PID" 2>/dev/null || true
-if [ -f "$TMP/victim.pid" ]; then
-    kill "$(cat "$TMP/victim.pid")" 2>/dev/null || true
-fi
 
 # The router's debug surface must agree: /healthz is 200 again.
 HSTATUS="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DEBUG_PORT/healthz")"
-if [ "$HSTATUS" != "200" ]; then
-    echo "smoke-cluster: GET /healthz returned $HSTATUS after recovery" >&2
-    exit 1
-fi
+[ "$HSTATUS" = "200" ] || smoke_fail "GET /healthz returned $HSTATUS after recovery"
 
 echo "smoke-cluster: OK (zero acknowledged loss, degraded-not-failed outage, 503-free recovery)"

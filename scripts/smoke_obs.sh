@@ -9,63 +9,41 @@
 # override on a busy host.
 set -eu
 
+SMOKE_NAME="smoke-obs"
+. "$(dirname "$0")/lib.sh"
+
 PORT="${SMOKE_PORT:-18080}"
 DEBUG_PORT="${SMOKE_DEBUG_PORT:-18081}"
-BIN="$(mktemp -d)/endpointd"
-DATA="$(mktemp -d)"
 
-cleanup() {
-    [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true
-    rm -rf "$(dirname "$BIN")" "$DATA"
-}
-trap cleanup EXIT INT TERM
+TMP="$(mktemp -d)"
+smoke_defer_dir "$TMP"
+mkdir -p "$TMP/data"
 
-go build -o "$BIN" ./cmd/endpointd
+go build -o "$TMP/endpointd" ./cmd/endpointd
 
-"$BIN" -listen "127.0.0.1:$PORT" -master smoke-master \
-    -data-dir "$DATA" -shards 2 -wal-fsync never \
+"$TMP/endpointd" -listen "127.0.0.1:$PORT" -master smoke-master \
+    -data-dir "$TMP/data" -shards 2 -wal-fsync never \
     -debug-addr "127.0.0.1:$DEBUG_PORT" &
 PID=$!
+smoke_defer_pid "$PID"
 
 # Wait for the debug listener, not just the process: Serve binds
 # asynchronously after the daemon's own setup.
-ok=""
-for _ in $(seq 1 50); do
-    if curl -sf -o /dev/null "http://127.0.0.1:$DEBUG_PORT/healthz"; then
-        ok=1
-        break
-    fi
-    kill -0 "$PID" 2>/dev/null || { echo "smoke-obs: endpointd died during boot" >&2; exit 1; }
-    sleep 0.2
-done
-[ -n "$ok" ] || { echo "smoke-obs: debug listener never came up on :$DEBUG_PORT" >&2; exit 1; }
+smoke_await "$PID" "http://127.0.0.1:$DEBUG_PORT/healthz"
 
-METRICS="$(mktemp)"
+METRICS="$TMP/metrics.txt"
 STATUS="$(curl -s -o "$METRICS" -w '%{http_code}' "http://127.0.0.1:$DEBUG_PORT/metrics")"
-if [ "$STATUS" != "200" ]; then
-    echo "smoke-obs: GET /metrics returned $STATUS" >&2
-    exit 1
-fi
-if ! [ -s "$METRICS" ]; then
-    echo "smoke-obs: /metrics exposition is empty" >&2
-    exit 1
-fi
+[ "$STATUS" = "200" ] || smoke_fail "GET /metrics returned $STATUS"
+[ -s "$METRICS" ] || smoke_fail "/metrics exposition is empty"
+
 # The registry must actually carry the daemon's instruments, not just
 # any bytes: check for one cloud counter and one tsdb counter.
 for want in cloud_ingest_accepted_total tsdb_appended_total; do
-    if ! grep -q "^$want " "$METRICS"; then
-        echo "smoke-obs: exposition is missing $want:" >&2
-        head -20 "$METRICS" >&2
-        exit 1
-    fi
+    grep -q "^$want " "$METRICS" || smoke_fail "exposition is missing $want:" "$METRICS"
 done
 
 HSTATUS="$(curl -s -o /dev/null -w '%{http_code}' "http://127.0.0.1:$DEBUG_PORT/healthz")"
-if [ "$HSTATUS" != "200" ]; then
-    echo "smoke-obs: GET /healthz returned $HSTATUS" >&2
-    exit 1
-fi
+[ "$HSTATUS" = "200" ] || smoke_fail "GET /healthz returned $HSTATUS"
 
 BYTES="$(wc -c <"$METRICS")"
-rm -f "$METRICS"
 echo "smoke-obs: OK (/metrics served $BYTES bytes, /healthz 200)"

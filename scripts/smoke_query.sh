@@ -14,21 +14,16 @@
 # to override on a busy host.
 set -eu
 
+SMOKE_NAME="smoke-query"
+. "$(dirname "$0")/lib.sh"
+
 PORT="${SMOKE_QUERY_PORT:-18090}"
 DEBUG_PORT="${SMOKE_QUERY_DEBUG_PORT:-18091}"
 MASTER="smoke-fleet-master"
 SECRET="smoke-query-secret"
 
 TMP="$(mktemp -d)"
-
-cleanup() {
-    if [ -n "${PID:-}" ]; then
-        kill "$PID" 2>/dev/null || true
-        wait "$PID" 2>/dev/null || true
-    fi
-    rm -rf "$TMP"
-}
-trap cleanup EXIT INT TERM
+smoke_defer_dir "$TMP"
 
 go build -o "$TMP/endpointd" ./cmd/endpointd
 go build -o "$TMP/queryload" ./cmd/queryload
@@ -44,19 +39,11 @@ boot() {
         -retain-raw 720h -cluster-secret "$SECRET" \
         -debug-addr "127.0.0.1:$DEBUG_PORT" >>"$TMP/endpointd.log" 2>&1 &
     PID=$!
+    smoke_defer_pid "$PID"
 }
 
 await_ready() {
-    ok=""
-    for _ in $(seq 1 50); do
-        if curl -sf -o /dev/null "http://127.0.0.1:$PORT/status"; then
-            ok=1
-            break
-        fi
-        kill -0 "$PID" 2>/dev/null || { echo "smoke-query: endpointd died during boot" >&2; cat "$TMP/endpointd.log" >&2; exit 1; }
-        sleep 0.2
-    done
-    [ -n "$ok" ] || { echo "smoke-query: endpointd never came up on :$PORT" >&2; cat "$TMP/endpointd.log" >&2; exit 1; }
+    smoke_await "$PID" "http://127.0.0.1:$PORT/status" "" "$TMP/endpointd.log"
 }
 
 mkdir -p "$TMP/tsdb"
@@ -66,20 +53,14 @@ await_ready
 # Two devices, 730 daily points each: two years of data time in a few
 # wall seconds, arrival-stamped via the cluster header.
 "$TMP/queryload" -endpoint "http://127.0.0.1:$PORT" -master "$MASTER" \
-    -cluster-secret "$SECRET" -mode ingest -devices 2 -points 730 || {
-    echo "smoke-query: ingest failed — endpointd log follows" >&2
-    tail -20 "$TMP/endpointd.log" >&2
-    exit 1
-}
+    -cluster-secret "$SECRET" -mode ingest -devices 2 -points 730 ||
+    smoke_fail "ingest failed — endpointd log follows" "$TMP/endpointd.log"
 
 # First verify: waits for the fold (checkpoint cadence is 1s), checks
 # coverage + daily tier + latency, and records the answer bytes.
 "$TMP/queryload" -endpoint "http://127.0.0.1:$PORT" -mode verify \
-    -devices 2 -points 730 -answer "$TMP/answer.json" -max-millis 10 || {
-    echo "smoke-query: pre-kill verify failed — endpointd log follows" >&2
-    tail -20 "$TMP/endpointd.log" >&2
-    exit 1
-}
+    -devices 2 -points 730 -answer "$TMP/answer.json" -max-millis 10 ||
+    smoke_fail "pre-kill verify failed — endpointd log follows" "$TMP/endpointd.log"
 
 # The crash: SIGKILL, no shutdown path — the snapshot (folded buckets +
 # watermark) and the WAL (raw tail) are the only survivors.
@@ -94,24 +75,15 @@ await_ready
 # Post-kill verify: the same checks, and the answer must be
 # byte-identical to the pre-kill record — no double-count, no loss.
 "$TMP/queryload" -endpoint "http://127.0.0.1:$PORT" -mode verify \
-    -devices 2 -points 730 -answer "$TMP/answer.json" -max-millis 10 || {
-    echo "smoke-query: post-kill verify failed — endpointd log follows" >&2
-    tail -20 "$TMP/endpointd.log" >&2
-    exit 1
-}
+    -devices 2 -points 730 -answer "$TMP/answer.json" -max-millis 10 ||
+    smoke_fail "post-kill verify failed — endpointd log follows" "$TMP/endpointd.log"
 
 # The query layer's instruments must be live on the debug surface.
 METRICS="$TMP/metrics.txt"
 STATUS="$(curl -s -o "$METRICS" -w '%{http_code}' "http://127.0.0.1:$DEBUG_PORT/metrics")"
-if [ "$STATUS" != "200" ]; then
-    echo "smoke-query: GET /metrics returned $STATUS" >&2
-    exit 1
-fi
+[ "$STATUS" = "200" ] || smoke_fail "GET /metrics returned $STATUS"
 for want in query_requests_total query_tier_daily_buckets_total query_seconds; do
-    if ! grep -q "^$want" "$METRICS"; then
-        echo "smoke-query: exposition is missing $want" >&2
-        exit 1
-    fi
+    grep -q "^$want" "$METRICS" || smoke_fail "exposition is missing $want"
 done
 REQS="$(grep '^query_requests_total ' "$METRICS" | awk '{print $2}')"
 
