@@ -20,10 +20,11 @@ vet:
 # (internal/lint): simdeterminism, lockedio, syncerr, seedflow, the v2
 # dataflow analyzers centurytime, goroleak, ctxflow, the v3
 # interprocedural concurrency analyzers lockorder, atomicmix,
-# lifecycle, and waiveraudit — the determinism, durability, horizon,
-# deadlock-freedom, and lifetime invariants the century-scale argument
-# rests on. See DESIGN.md §32–33 and §37 for the invariants and the
-# //lint: waivers.
+# lifecycle, the v4 allocation analyzers allocbudget, allocfree, and
+# waiveraudit — the determinism, durability, horizon,
+# deadlock-freedom, lifetime, and allocation-budget invariants the
+# century-scale argument rests on. See DESIGN.md §32–33 and §37–38
+# for the invariants and the //lint: waivers.
 lint:
 	$(GO) run ./cmd/centurylint ./...
 

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	centurylint [-only name,name] [-list] [-json] \
+//	centurylint [-only name,name] [-list] [-json] [-deterministic] \
 //	            [-baseline file] [-write-baseline file] [packages]
 //
 // With no package patterns, ./... is checked. The driver first
@@ -37,6 +37,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"centuryscale/internal/lint"
 	"centuryscale/internal/lint/analysis"
@@ -57,15 +58,26 @@ type Finding struct {
 	Message  string `json:"message"`
 }
 
+// An AnalyzerTiming is one analyzer's wall time summed across every
+// package it ran on, in microseconds.
+type AnalyzerTiming struct {
+	Analyzer string `json:"analyzer"`
+	Micros   int64  `json:"micros"`
+}
+
 // A Report is the document -json emits and baseline files hold. Notes
 // carry non-finding caveats (e.g. "waiver staleness not evaluated" on
 // partial runs); omitempty keeps baseline files — always written from
-// full-suite full-tree runs, which produce no notes — byte-identical in
-// format.
+// full-suite full-tree runs, which produce no notes or timings —
+// byte-identical in format. Timings appear only on the -json output
+// path (slowest first; zeroed under -deterministic so the golden test
+// can pin the bytes) so lint runtime can be profiled as the suite
+// grows.
 type Report struct {
-	Version  int       `json:"version"`
-	Findings []Finding `json:"findings"`
-	Notes    []string  `json:"notes,omitempty"`
+	Version  int              `json:"version"`
+	Findings []Finding        `json:"findings"`
+	Notes    []string         `json:"notes,omitempty"`
+	Timings  []AnalyzerTiming `json:"timings,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -74,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	jsonOut := fs.Bool("json", false, "emit findings as a stable JSON document")
+	deterministic := fs.Bool("deterministic", false, "zero the per-analyzer timings in -json output, making it byte-stable across runs")
 	baseline := fs.String("baseline", "", "fail only on findings not present in this baseline file")
 	writeBaseline := fs.String("write-baseline", "", "write the current findings to this baseline file and exit")
 	if err := fs.Parse(args); err != nil {
@@ -164,6 +177,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		notes = waiverNotes(cwd, pkgs)
 	}
 	var findings []Finding
+	elapsed := make(map[string]time.Duration)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
@@ -186,7 +200,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 					})
 				},
 			}
-			if err := a.Run(pass); err != nil {
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
 				fmt.Fprintf(stderr, "centurylint: %s on %s: %v\n", a.Name, pkg.Path, err)
 				return 2
 			}
@@ -194,13 +211,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sortFindings(findings)
 
+	// Per-analyzer wall time, slowest first, for -json output only:
+	// baseline files must stay byte-identical across machines, and the
+	// plain-text gate has no use for it. -deterministic zeroes the
+	// microseconds (collapsing the order to by-name) so the golden and
+	// byte-stability tests can pin the document.
+	var timings []AnalyzerTiming
+	if *jsonOut {
+		for _, a := range analyzers {
+			us := elapsed[a.Name].Microseconds()
+			if *deterministic {
+				us = 0
+			}
+			timings = append(timings, AnalyzerTiming{Analyzer: a.Name, Micros: us})
+		}
+		sort.Slice(timings, func(i, j int) bool {
+			if timings[i].Micros != timings[j].Micros {
+				return timings[i].Micros > timings[j].Micros
+			}
+			return timings[i].Analyzer < timings[j].Analyzer
+		})
+	}
+
 	if *writeBaseline != "" {
 		f, err := os.Create(*writeBaseline)
 		if err != nil {
 			fmt.Fprintf(stderr, "centurylint: %v\n", err)
 			return 2
 		}
-		werr := writeReport(f, findings, nil)
+		werr := writeReport(f, findings, nil, nil)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -225,7 +264,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut {
-		if err := writeReport(stdout, findings, notes); err != nil {
+		if err := writeReport(stdout, findings, notes, timings); err != nil {
 			fmt.Fprintf(stderr, "centurylint: %v\n", err)
 			return 2
 		}
@@ -280,14 +319,15 @@ func sortFindings(fs []Finding) {
 
 // writeReport encodes findings as the versioned JSON document. The
 // input must already be sorted; encoding adds nothing nondeterministic,
-// which the byte-stability test pins.
-func writeReport(w io.Writer, findings []Finding, notes []string) error {
+// which the byte-stability test pins (timings are the one intentional
+// exception, and -deterministic zeroes them).
+func writeReport(w io.Writer, findings []Finding, notes []string, timings []AnalyzerTiming) error {
 	if findings == nil {
 		findings = []Finding{} // encode as [], never null
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Report{Version: 1, Findings: findings, Notes: notes})
+	return enc.Encode(Report{Version: 1, Findings: findings, Notes: notes, Timings: timings})
 }
 
 // waiverNotes lists every loaded file carrying a //lint: waiver, for

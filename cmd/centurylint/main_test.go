@@ -10,20 +10,21 @@ import (
 )
 
 // TestListAnalyzers pins the suite size and order-stability of -list:
-// eleven analyzers, waiveraudit last.
+// thirteen analyzers, waiveraudit last.
 func TestListAnalyzers(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, errOut.String())
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
-	if len(lines) != 11 {
-		t.Fatalf("-list printed %d analyzers, want 11:\n%s", len(lines), out.String())
+	if len(lines) != 13 {
+		t.Fatalf("-list printed %d analyzers, want 13:\n%s", len(lines), out.String())
 	}
 	wantOrder := []string{
 		"simdeterminism", "lockedio", "syncerr", "seedflow",
 		"centurytime", "goroleak", "ctxflow",
-		"lockorder", "atomicmix", "lifecycle", "waiveraudit",
+		"lockorder", "atomicmix", "lifecycle",
+		"allocbudget", "allocfree", "waiveraudit",
 	}
 	for i, name := range wantOrder {
 		if !strings.HasPrefix(lines[i], name) {
@@ -43,7 +44,7 @@ func TestReportGolden(t *testing.T) {
 	}
 	sortFindings(scrambled)
 	var buf bytes.Buffer
-	if err := writeReport(&buf, scrambled, nil); err != nil {
+	if err := writeReport(&buf, scrambled, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	const want = `{
@@ -85,7 +86,7 @@ func TestReportGolden(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := writeReport(&buf, nil, nil); err != nil {
+	if err := writeReport(&buf, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	const wantEmpty = "{\n  \"version\": 1,\n  \"findings\": []\n}\n"
@@ -96,12 +97,24 @@ func TestReportGolden(t *testing.T) {
 	// Notes ride along with omitempty: present on partial runs, absent —
 	// and therefore byte-identical to the old format — in baselines.
 	buf.Reset()
-	if err := writeReport(&buf, nil, []string{"a.go: waiver staleness not evaluated"}); err != nil {
+	if err := writeReport(&buf, nil, []string{"a.go: waiver staleness not evaluated"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	const wantNotes = "{\n  \"version\": 1,\n  \"findings\": [],\n  \"notes\": [\n    \"a.go: waiver staleness not evaluated\"\n  ]\n}\n"
 	if buf.String() != wantNotes {
 		t.Errorf("notes report = %q, want %q", buf.String(), wantNotes)
+	}
+
+	// Timings ride along the same way: present on -json runs, absent in
+	// baselines (which writeBaseline always calls with nil).
+	buf.Reset()
+	timings := []AnalyzerTiming{{Analyzer: "lockedio", Micros: 1200}, {Analyzer: "syncerr", Micros: 40}}
+	if err := writeReport(&buf, nil, nil, timings); err != nil {
+		t.Fatal(err)
+	}
+	const wantTimings = "{\n  \"version\": 1,\n  \"findings\": [],\n  \"timings\": [\n    {\n      \"analyzer\": \"lockedio\",\n      \"micros\": 1200\n    },\n    {\n      \"analyzer\": \"syncerr\",\n      \"micros\": 40\n    }\n  ]\n}\n"
+	if buf.String() != wantTimings {
+		t.Errorf("timings report = %q, want %q", buf.String(), wantTimings)
 	}
 }
 
@@ -139,14 +152,16 @@ func TestPartialRunWaiverNote(t *testing.T) {
 
 // TestJSONByteStableAcrossRuns drives the whole pipeline — go list,
 // type-check, summary pre-pass, the full suite — twice over real
-// packages and requires byte-identical -json output.
+// packages and requires byte-identical -json output. -deterministic
+// zeroes the per-analyzer timings, the one intentionally
+// run-dependent part of the document.
 func TestJSONByteStableAcrossRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("invokes the go tool")
 	}
 	runOnce := func() (string, int) {
 		var out, errOut bytes.Buffer
-		code := run([]string{"-json", "../../internal/sim/...", "../../internal/cloud/..."}, &out, &errOut)
+		code := run([]string{"-json", "-deterministic", "../../internal/sim/...", "../../internal/cloud/..."}, &out, &errOut)
 		if code == 2 {
 			t.Fatalf("driver error: %s", errOut.String())
 		}
@@ -164,6 +179,18 @@ func TestJSONByteStableAcrossRuns(t *testing.T) {
 	}
 	if rep.Version != 1 {
 		t.Errorf("report version = %d, want 1", rep.Version)
+	}
+	// Every analyzer that ran appears, zeroed and therefore name-sorted.
+	if len(rep.Timings) != 13 {
+		t.Fatalf("timings = %+v, want 13 entries", rep.Timings)
+	}
+	for i, tm := range rep.Timings {
+		if tm.Micros != 0 {
+			t.Errorf("timings[%d].Micros = %d, want 0 under -deterministic", i, tm.Micros)
+		}
+		if i > 0 && rep.Timings[i-1].Analyzer > tm.Analyzer {
+			t.Errorf("timings not name-sorted at %d: %q > %q", i, rep.Timings[i-1].Analyzer, tm.Analyzer)
+		}
 	}
 }
 

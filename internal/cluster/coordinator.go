@@ -254,6 +254,7 @@ func quorumSuccess(err error) bool {
 // the largest hint any replica offered — the router's upstream buffers
 // and retries, exactly as it would against a single degraded endpoint.
 // Structurally invalid packets are Permanent: unsendable anywhere.
+//lint:hotpath budget=9 quorum fan-out costs are per-packet and bounded by Replicas (outcome slice, payload framing, one goroutine per owner), never per-point
 func (c *Coordinator) Ingest(ctx context.Context, wire []byte) error {
 	p, err := telemetry.Parse(wire)
 	if err != nil {

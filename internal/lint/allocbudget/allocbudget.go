@@ -1,0 +1,201 @@
+// Package allocbudget implements the centurylint analyzer that enforces
+// `//lint:hotpath budget=N <reason>` function annotations: the
+// annotated function's transitive always-class allocation count (the
+// static measure of dataflow's allocation-effects pass, DESIGN.md §38)
+// must not exceed N, and no path from it may reach an allocation inside
+// an unbounded loop. Both BENCH baselines call allocations "the
+// machine-independent contract" on this single-core host; the
+// annotation turns that contract from prose into a merge-gate failure,
+// with a witness chain naming which callee allocates and via which call
+// path.
+//
+// Semantics of the account (see internal/lint/dataflow/allocs.go):
+// always-class sites count against the budget; amortized sites (append
+// growth, map insert) do not — geometric growth spreads them to O(1)
+// per op, and the AllocsPerRun regression tests pin their runtime cost
+// instead; cold (early-terminating error/exit) branches are free — a
+// budget bounds the steady state, not the error path. Loop-carried
+// allocations are unbounded — and reported regardless of N — unless the
+// loop is a batch range over a slice/array/string (the packet loop
+// itself), whose sites count once.
+//
+// The annotation is not a waiver and cannot be waived: an over-budget
+// diagnostic is fixed by removing the allocation or — with review — by
+// raising N in the annotation. Accordingly this analyzer reports
+// through pass.Report directly, bypassing directive suppression: the
+// `//lint:hotpath` line above the declaration must not silence the very
+// diagnostic it creates. Consumed annotations are logged to the shared
+// suppression log so waiveraudit's staleness rule flags a hotpath
+// comment that annotates nothing.
+package allocbudget
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"centuryscale/internal/lint/analysis"
+	"centuryscale/internal/lint/dataflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "allocbudget",
+	Directive: "hotpath",
+	Doc: "enforce //lint:hotpath budget=N annotations: the function's transitive " +
+		"always-class allocation count (static measure, cold branches excluded, " +
+		"amortized growth exempt) must stay within N and must not reach an " +
+		"allocation inside an unbounded loop; diagnostics carry the witness call " +
+		"chain to the allocating callee",
+	Run: run,
+}
+
+const directive = "//lint:hotpath"
+
+// An annotation is one parsed //lint:hotpath comment attached to a
+// function declaration.
+type annotation struct {
+	budget int
+	line   int
+	file   string
+}
+
+func run(pass *analysis.Pass) error {
+	ix := pass.Summaries
+	if ix == nil {
+		ix = dataflow.NewIndex()
+		ix.Add(dataflow.Summarize(pass.TypesInfo, pass.Files))
+		ix.Resolve()
+	}
+
+	for _, file := range pass.Files {
+		// Every hotpath comment in the file, by line.
+		comments := make(map[int]*ast.Comment)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if isHotpath(c.Text) {
+					comments[pass.Fset.Position(c.Pos()).Line] = c
+				}
+			}
+		}
+		if len(comments) == 0 {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := attached(pass, fd, comments)
+			if c == nil {
+				continue
+			}
+			checkDecl(pass, ix, fd, c)
+		}
+	}
+	return nil
+}
+
+// attached finds the hotpath comment annotating fd: a member of its doc
+// group, a standalone comment on the line directly above the `func`
+// keyword, or trailing on the declaration's first line.
+func attached(pass *analysis.Pass, fd *ast.FuncDecl, comments map[int]*ast.Comment) *ast.Comment {
+	declLine := pass.Fset.Position(fd.Pos()).Line
+	if c := comments[declLine]; c != nil {
+		return c
+	}
+	if c := comments[declLine-1]; c != nil {
+		return c
+	}
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if isHotpath(c.Text) {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+func checkDecl(pass *analysis.Pass, ix *dataflow.Index, fd *ast.FuncDecl, c *ast.Comment) {
+	pos := pass.Fset.Position(c.Pos())
+	budget, ok := parseBudget(c.Text)
+	if !ok {
+		// Malformed annotations report like over-budget ones: directly,
+		// unsuppressable. A hotpath line that parses as nothing must
+		// not silently enforce nothing.
+		pass.Report(analysis.Diagnostic{
+			Pos:     c.Pos(),
+			Message: "malformed //lint:hotpath annotation: want `//lint:hotpath budget=N <reason>`",
+		})
+		return
+	}
+	// The annotation did its job: exempt it from waiveraudit's
+	// staleness rule even when the budget holds.
+	if pass.Suppressions != nil {
+		pass.Suppressions.Use(pos.Filename, pos.Line)
+	}
+
+	name := declName(pass, fd)
+	if name == "" {
+		return
+	}
+	e, indexed := ix.AllocsOf(name)
+	if !indexed {
+		return
+	}
+	if e.Unbounded {
+		chain, desc := ix.AllocUnboundedWitness(name)
+		pass.Report(analysis.Diagnostic{
+			Pos: fd.Name.Pos(),
+			Message: fmt.Sprintf("hot path %s allocates without bound: %s (via %s)",
+				name, desc, strings.Join(chain, " -> ")),
+		})
+		return
+	}
+	if e.Always > budget {
+		chain, site := ix.AllocWitness(name)
+		pass.Report(analysis.Diagnostic{
+			Pos: fd.Name.Pos(),
+			Message: fmt.Sprintf("hot path %s exceeds its allocation budget: %d always-allocations per call, budget=%d (witness: %s, via %s)",
+				name, e.Always, budget, site, strings.Join(chain, " -> ")),
+		})
+	}
+}
+
+// declName returns the dataflow summary key for fd.
+func declName(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return dataflow.Name(fn)
+}
+
+// isHotpath reports whether a comment is a //lint:hotpath directive
+// (exactly, or followed by whitespace and arguments).
+func isHotpath(text string) bool {
+	if !strings.HasPrefix(text, directive) {
+		return false
+	}
+	rest := text[len(directive):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// parseBudget extracts N from `//lint:hotpath budget=N <reason>`.
+func parseBudget(text string) (int, bool) {
+	fields := strings.Fields(strings.TrimPrefix(text, directive))
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, ok := strings.CutPrefix(fields[0], "budget=")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

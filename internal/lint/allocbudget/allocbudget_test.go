@@ -1,0 +1,12 @@
+package allocbudget_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/allocbudget"
+	"centuryscale/internal/lint/analysistest"
+)
+
+func TestAllocBudget(t *testing.T) {
+	analysistest.Run(t, "testdata", allocbudget.Analyzer, "hotpath/hot", "regress")
+}

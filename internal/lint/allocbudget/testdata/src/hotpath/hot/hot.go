@@ -1,0 +1,65 @@
+// Fixture roots for the allocbudget analyzer: //lint:hotpath
+// annotations whose budgets are checked against the transitive
+// allocation effects, with the over-budget witness reported two
+// packages away from the allocation itself.
+package hot
+
+import (
+	"hotpath/leaf"
+	"hotpath/mid"
+)
+
+// Forward's only allocation is two hops away, in leaf.Wrap; the
+// diagnostic lands here, at the annotated root, with the witness chain.
+//
+//lint:hotpath budget=0 the forward path must not allocate
+func Forward(msg string) error { // want "hot path hotpath/hot.Forward exceeds its allocation budget: 1 always-allocations per call, budget=0 .witness: call to errors.New, via hotpath/hot.Forward -> hotpath/mid.Build -> hotpath/leaf.Wrap."
+	return mid.Build(msg)
+}
+
+// InBudget pays the same allocation but declares it: quiet.
+//
+//lint:hotpath budget=1 one wrapped error per call is the contract
+func InBudget(msg string) error {
+	return mid.Build(msg)
+}
+
+// Batch ranges over the packet slice — the batch-loop carve-out: the
+// per-element allocation counts once, not per iteration.
+//
+//lint:hotpath budget=1 one error for the whole batch
+func Batch(msgs []string) error {
+	var last error
+	for _, m := range msgs {
+		last = mid.Build(m)
+	}
+	return last
+}
+
+// Drain loops forever: an allocating callee per iteration is unbounded,
+// and no finite budget covers it.
+//
+//lint:hotpath budget=64 no budget covers an unbounded loop
+func Drain(done chan struct{}) { // want "hot path hotpath/hot.Drain allocates without bound: allocating call in an unbounded loop .via hotpath/hot.Drain -> hotpath/leaf.Wrap."
+	for {
+		leaf.Wrap("tick")
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+// Cold error branches do not count against the budget.
+//
+//lint:hotpath budget=0 errors are off the steady path
+func ColdOnly(msg string, fail bool) error {
+	if fail {
+		return mid.Build(msg)
+	}
+	return nil
+}
+
+//lint:hotpath budget zero reason-first is not the syntax // want "malformed //lint:hotpath annotation"
+func Malformed() {}

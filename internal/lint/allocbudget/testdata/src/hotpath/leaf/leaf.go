@@ -1,0 +1,10 @@
+// Fixture leaf: the allocation two hops below the annotated roots.
+package leaf
+
+import "errors"
+
+// Wrap allocates once on the steady path.
+func Wrap(msg string) error { return errors.New(msg) }
+
+// Clean is allocation-free.
+func Clean(n int) int { return n + 1 }

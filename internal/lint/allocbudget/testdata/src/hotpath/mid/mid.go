@@ -1,0 +1,8 @@
+// Fixture mid: one hop between the annotated root and the allocation.
+package mid
+
+import "hotpath/leaf"
+
+func Build(msg string) error { return leaf.Wrap(msg) }
+
+func Pure(n int) int { return leaf.Clean(n) }

@@ -1,0 +1,15 @@
+// Seeded-regression fixture, quiet half: Fill meets its budget exactly.
+// seeded.go is the same body plus one fmt.Sprintf — the single line
+// that flips the analyzer from quiet to failing.
+package regress
+
+// Fill stages the batch into a fresh buffer; the one make is declared.
+//
+//lint:hotpath budget=1 one staging buffer per call
+func Fill(pts []int) []int {
+	out := make([]int, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, p)
+	}
+	return out
+}

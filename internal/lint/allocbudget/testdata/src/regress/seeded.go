@@ -1,0 +1,16 @@
+package regress
+
+import "fmt"
+
+// Seeded is Fill plus exactly one fmt.Sprintf line: the Sprintf itself
+// and the boxing of its non-constant argument push the count to 3.
+//
+//lint:hotpath budget=1 one staging buffer per call
+func Seeded(pts []int) (string, []int) { // want "hot path regress.Seeded exceeds its allocation budget: 3 always-allocations per call, budget=1 .witness: make, via regress.Seeded."
+	out := make([]int, 0, len(pts))
+	for _, p := range pts {
+		out = append(out, p)
+	}
+	tag := fmt.Sprintf("n=%d", len(pts))
+	return tag, out
+}

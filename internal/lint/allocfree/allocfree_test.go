@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"centuryscale/internal/lint/allocfree"
+	"centuryscale/internal/lint/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, "testdata", allocfree.Analyzer, "internal/obs", "internal/tsdb")
+}

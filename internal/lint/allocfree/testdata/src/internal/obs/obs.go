@@ -1,0 +1,48 @@
+// Fixture mimicking the real metric primitives: the import-path suffix
+// internal/obs puts these methods under the alloc-free contract, so the
+// analyzer needs no annotation to check them.
+package obs
+
+import (
+	"sync/atomic"
+
+	"obshelper"
+)
+
+type Counter struct{ v atomic.Uint64 }
+
+// Inc is clean: the contract holds, no diagnostic.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+type Gauge struct{ v atomic.Uint64 }
+
+// Set's CAS retry loop allocates nothing: a bare loop without
+// allocation sites does not trip the unbounded rule.
+func (g *Gauge) Set(x uint64) {
+	for {
+		old := g.v.Load()
+		if g.v.CompareAndSwap(old, x) {
+			return
+		}
+	}
+}
+
+func (g *Gauge) Add(n uint64) { g.v.Add(n) }
+
+type Histogram struct {
+	count atomic.Uint64
+	last  atomic.Uint64
+}
+
+// Observe reaches an allocation two packages away; the diagnostic lands
+// here, at the contract method, with the witness chain.
+func (h *Histogram) Observe(v float64) { // want "alloc-free contract: internal/obs..Histogram..Observe allocates on the steady path .1 always-allocations per call; witness: call to errors.New, via internal/obs..Histogram..Observe -> obshelper.Note -> obsleaf.Tag."
+	h.count.Add(1)
+	obshelper.Note(v)
+}
+
+func (h *Histogram) ObserveSince(start uint64) { h.last.Store(start) }
+
+func (h *Histogram) Now() uint64 { return h.last.Load() }

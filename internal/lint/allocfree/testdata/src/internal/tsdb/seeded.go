@@ -1,0 +1,17 @@
+package tsdb
+
+import "fmt"
+
+type DB struct {
+	shards []*shard
+}
+
+// Append carries the seeded regression: one fmt.Sprintf line (the call
+// plus the boxing of its non-constant argument) breaks the contract the
+// quiet half upholds.
+func (db *DB) Append(p Point) error { // want "alloc-free contract: internal/tsdb..DB..Append allocates on the steady path .2 always-allocations per call; witness: interface boxing, via internal/tsdb..DB..Append."
+	tag := fmt.Sprintf("dev=%s", p.Device)
+	_ = tag
+	sh := db.shards[len(p.Device)%len(db.shards)]
+	return sh.append(p)
+}

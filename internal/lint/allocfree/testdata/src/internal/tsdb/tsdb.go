@@ -1,0 +1,39 @@
+// Fixture mimicking the real storage append path: wal.append and
+// shard.append are the quiet half of the seeded regression — scratch
+// reuse and amortized growth only. seeded.go adds one fmt.Sprintf to
+// DB.Append, the single line that flips the analyzer to failing.
+package tsdb
+
+type Point struct {
+	Device string
+	Value  float64
+}
+
+type wal struct {
+	scratch []byte
+	size    int
+}
+
+// append reuses its scratch frame: append growth is amortized, admitted
+// by the contract.
+func (w *wal) append(p Point) error {
+	w.scratch = w.scratch[:0]
+	w.scratch = append(w.scratch, byte(len(p.Device)))
+	w.scratch = append(w.scratch, p.Device...)
+	w.size += len(w.scratch)
+	return nil
+}
+
+type shard struct {
+	w      wal
+	points map[string][]Point
+}
+
+// append is clean: map insert and slice growth are amortized.
+func (sh *shard) append(p Point) error {
+	if err := sh.w.append(p); err != nil {
+		return err
+	}
+	sh.points[p.Device] = append(sh.points[p.Device], p)
+	return nil
+}

@@ -1,0 +1,6 @@
+// Fixture mid: one hop between the contract method and the allocation.
+package obshelper
+
+import "obsleaf"
+
+func Note(v float64) { obsleaf.Tag(v) }

@@ -1,0 +1,14 @@
+// Fixture leaf: the allocation two hops below the contract method.
+package obsleaf
+
+import "errors"
+
+var last error
+
+// Tag allocates once on the steady path.
+func Tag(v float64) {
+	if v < 0 {
+		return
+	}
+	last = errors.New("observed")
+}

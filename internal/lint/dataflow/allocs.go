@@ -1,0 +1,683 @@
+// Allocation effects. The walker below records, per function body, every
+// syntactically-decidable heap-allocation site: escaping composite
+// literals, make/new, append growth, string↔[]byte conversions,
+// interface boxing at call sites and assignments, escaping closures,
+// goroutine spawns, and calls into a small table of known-allocating
+// stdlib functions (fmt.Sprintf, errors.New, ...). Index.Resolve closes
+// the per-function counts transitively over the call graph, exactly as
+// it closes lock/IO/blocking effects, so allocbudget can charge an
+// annotated hot path for an allocation three packages away and name the
+// call chain that reaches it.
+//
+// The model is deliberately a static over-approximation of what the
+// compiler's escape analysis will do at -m: a site counts when the
+// construct *can* allocate, not when it provably does. Budgets are
+// therefore defined over this static measure (DESIGN.md §38); the
+// runtime ground truth is pinned separately by testing.AllocsPerRun
+// guards. Three rules keep the measure honest on real hot paths:
+//
+//   - Cold branches don't count. A site inside an if/case body that
+//     terminates early (return/continue/goto/panic) is an error or
+//     exit path, not the steady state, and is dropped at collection.
+//   - Loops are unbounded by default. An always-class site inside a
+//     `for {}`, `for cond {}`, or map/channel range promotes to
+//     per-iteration — no finite budget covers it. Ranging over a
+//     slice, array, or string is the batch/packet-loop idiom and is
+//     exempt: its sites count once.
+//   - Growth is amortized. append and map-insert sites are a separate
+//     amortized class — geometric growth spreads their cost to O(1)
+//     per op — and never promote to unbounded. allocfree admits them;
+//     allocbudget budgets only the always class.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"centuryscale/internal/lint/typeutil"
+)
+
+// An AllocClass classifies one allocation site.
+type AllocClass uint8
+
+const (
+	// AllocAlways sites run once per call of the enclosing function on
+	// the steady (non-cold) path.
+	AllocAlways AllocClass = iota
+	// AllocAmortized sites (append growth, map insert) cost O(1) per
+	// operation under geometric growth.
+	AllocAmortized
+	// AllocPerIter sites sit inside an unbounded loop: no finite
+	// per-call budget covers them.
+	AllocPerIter
+)
+
+// An AllocSite is one syntactic heap-allocation site.
+type AllocSite struct {
+	What  string // stable human-readable description ("make", "interface boxing", ...)
+	Class AllocClass
+}
+
+// An AllocCall is one statically-resolved call recorded for transitive
+// allocation accounting. Unlike FuncSummary.Calls, multiplicity is
+// preserved — calling an allocating helper twice costs twice — and
+// cold-branch calls are dropped.
+type AllocCall struct {
+	Callee string
+	InLoop bool // inside an unbounded loop (batch ranges excluded)
+}
+
+// An AllocEffect is the resolved transitive allocation account of one
+// function: how many always-class and amortized-class allocations a
+// call performs through every statically-resolved callee, and whether
+// any path reaches an allocation inside an unbounded loop.
+type AllocEffect struct {
+	Always    int
+	Amortized int
+	Unbounded bool
+}
+
+// allocSaturate caps transitive counts. Budgets are single digits; any
+// count past the cap reads the same ("over any budget"), and a small
+// cap bounds the Resolve fixpoint under recursion.
+const allocSaturate = 64
+
+func satAdd(a, b int) int {
+	if s := a + b; s < allocSaturate {
+		return s
+	}
+	return allocSaturate
+}
+
+// allocFuncs maps package path → package-level functions whose result
+// is a fresh heap allocation. One site per call; argument boxing is
+// accounted separately at the call site.
+var allocFuncs = map[string]map[string]bool{
+	"fmt":     {"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true},
+	"errors":  {"New": true},
+	"strconv": {"Itoa": true, "Quote": true, "FormatInt": true, "FormatUint": true, "FormatFloat": true},
+	"strings": {"Join": true, "Repeat": true, "Split": true, "Fields": true, "ToLower": true, "ToUpper": true, "ReplaceAll": true, "Clone": true},
+	"bytes":   {"Join": true, "Repeat": true, "Split": true, "ToLower": true, "ToUpper": true, "Clone": true},
+	"sort":    {"Slice": true, "SliceStable": true},
+}
+
+// allocMethods maps receiver (pkg, type) → methods that allocate their
+// result.
+var allocMethods = map[[2]string]map[string]bool{
+	{"time", "Time"}:     {"Format": true, "String": true},
+	{"time", "Duration"}: {"String": true},
+}
+
+// allocCallName returns the table description for a known-allocating
+// stdlib call, or "".
+func allocCallName(fn *types.Func) string {
+	path := typeutil.PkgPath(fn)
+	if named := typeutil.ReceiverNamed(fn); named != nil {
+		key := [2]string{typeutil.PkgPath(named.Obj()), named.Obj().Name()}
+		if names, ok := allocMethods[key]; ok && names[fn.Name()] {
+			return "call to " + key[0] + "." + key[1] + "." + fn.Name()
+		}
+		return ""
+	}
+	if names, ok := allocFuncs[path]; ok && names[fn.Name()] {
+		return "call to " + path + "." + fn.Name()
+	}
+	return ""
+}
+
+// allocCtx carries the statement-walk context.
+type allocCtx struct {
+	loop bool // inside an unbounded loop
+	cold bool // inside an early-terminating branch
+}
+
+func (c allocCtx) withLoop() allocCtx          { c.loop = true; return c }
+func (c allocCtx) withCold(cold bool) allocCtx { c.cold = c.cold || cold; return c }
+
+type allocWalker struct {
+	info *types.Info
+	s    *FuncSummary
+	// skipLits marks function literals consumed directly by a call
+	// (arguments like sort.Search's predicate, or immediate
+	// invocations): assumed non-escaping and not walked.
+	skipLits map[*ast.FuncLit]bool
+	// taken marks composite literals already counted via &T{} so the
+	// inner CompositeLit visit doesn't double-count.
+	taken map[*ast.CompositeLit]bool
+}
+
+// walkAllocs is pass 4 of summarizeBody: a statement walk tracking loop
+// and cold context, with a leaf expression scan per statement.
+func walkAllocs(info *types.Info, s *FuncSummary, body *ast.BlockStmt) {
+	w := &allocWalker{
+		info:     info,
+		s:        s,
+		skipLits: make(map[*ast.FuncLit]bool),
+		taken:    make(map[*ast.CompositeLit]bool),
+	}
+	w.stmts(body.List, allocCtx{})
+}
+
+func (w *allocWalker) add(what string, amortized bool, ctx allocCtx) {
+	if ctx.cold {
+		return
+	}
+	class := AllocAlways
+	switch {
+	case amortized:
+		class = AllocAmortized
+	case ctx.loop:
+		class = AllocPerIter
+	}
+	w.s.Allocs = append(w.s.Allocs, AllocSite{What: what, Class: class})
+}
+
+func (w *allocWalker) stmts(list []ast.Stmt, ctx allocCtx) {
+	for _, st := range list {
+		w.stmt(st, ctx)
+	}
+}
+
+func (w *allocWalker) stmt(st ast.Stmt, ctx allocCtx) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(st.List, ctx)
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, ctx)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, ctx)
+		}
+		w.scan(st.Cond, ctx)
+		w.stmts(st.Body.List, ctx.withCold(w.terminates(st.Body.List)))
+		switch e := st.Else.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			w.stmts(e.List, ctx.withCold(w.terminates(e.List)))
+		default:
+			w.stmt(e, ctx)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, ctx)
+		}
+		w.scan(st.Cond, ctx)
+		if st.Post != nil {
+			w.stmt(st.Post, ctx)
+		}
+		w.stmts(st.Body.List, ctx.withLoop())
+	case *ast.RangeStmt:
+		w.scan(st.X, ctx)
+		inner := ctx
+		if !rangeIsBatch(w.info.TypeOf(st.X)) {
+			inner = ctx.withLoop()
+		}
+		w.stmts(st.Body.List, inner)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, ctx)
+		}
+		w.scan(st.Tag, ctx)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.scan(e, ctx)
+			}
+			w.stmts(cc.Body, ctx.withCold(w.terminates(cc.Body)))
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, ctx)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.stmts(cc.Body, ctx.withCold(w.terminates(cc.Body)))
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, ctx)
+			}
+			w.stmts(cc.Body, ctx.withCold(w.terminates(cc.Body)))
+		}
+	case *ast.GoStmt:
+		// The spawned body runs on another goroutine: like the other
+		// summary effects it is outside the caller's synchronous
+		// account, but the g itself is a heap allocation.
+		w.add("goroutine spawn", false, ctx)
+		for _, a := range st.Call.Args {
+			if _, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+				continue
+			}
+			w.scan(a, ctx)
+		}
+	case *ast.DeferStmt:
+		// Deferred calls run exactly once per invocation, at exit:
+		// their arguments and effects count. Deferred literal bodies
+		// are not walked (they overwhelmingly unlock/close).
+		w.scan(st.Call, ctx)
+	default:
+		w.scan(st, ctx)
+	}
+}
+
+// scan inspects the expressions of one statement (or a sub-expression)
+// for allocation sites. It never crosses into function-literal bodies.
+func (w *allocWalker) scan(n ast.Node, ctx allocCtx) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if w.skipLits[n] {
+				return false
+			}
+			// A literal not consumed directly by a call escapes: its
+			// closure context is heap-allocated.
+			w.add("closure", false, ctx)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					w.taken[cl] = true
+					w.add("&composite literal", false, ctx)
+				}
+			}
+		case *ast.CompositeLit:
+			if w.taken[n] {
+				return true
+			}
+			switch w.typeOf(n).(type) {
+			case *types.Slice:
+				w.add("slice literal", false, ctx)
+			case *types.Map:
+				w.add("map literal", false, ctx)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && w.info.Types[n].Value == nil {
+				if b, ok := w.typeOf(n).(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					w.add("string concatenation", false, ctx)
+				}
+			}
+		case *ast.CallExpr:
+			// Mark literal operands before their visit: a FuncLit that
+			// is the callee or a direct argument is assumed
+			// non-escaping (immediate invocation, sort.Search-style
+			// predicates) and contributes nothing.
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				w.skipLits[lit] = true
+			}
+			for _, a := range n.Args {
+				if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+					w.skipLits[lit] = true
+				}
+			}
+			w.call(n, ctx)
+		case *ast.AssignStmt:
+			w.assign(n, ctx)
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				to := w.info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					if w.info.Types[v].Value != nil {
+						continue
+					}
+					if boxes(w.info.TypeOf(v), to) {
+						w.add("interface boxing", false, ctx)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call records the sites of one call expression: conversions, builtin
+// allocators, argument boxing, table hits, and the transitive edge.
+func (w *allocWalker) call(call *ast.CallExpr, ctx allocCtx) {
+	if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && w.info.Types[call.Args[0]].Value == nil {
+			if what := convAlloc(w.info.TypeOf(call.Args[0]), tv.Type); what != "" {
+				w.add(what, false, ctx)
+			}
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				w.add("make", false, ctx)
+			case "new":
+				w.add("new", false, ctx)
+			case "append":
+				w.add("append growth", true, ctx)
+			}
+			return
+		}
+	}
+
+	// Interface boxing of concrete arguments at the call boundary. The
+	// signature comes from the call operand, so this covers dynamic
+	// calls (function values, interface methods) too.
+	if sig, ok := w.typeOf(call.Fun).(*types.Signature); ok {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			if w.info.Types[arg].Value != nil {
+				continue // constants box from static data
+			}
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if call.Ellipsis.IsValid() {
+					continue // spread: no per-element conversion
+				}
+				if sl, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+					pt = sl.Elem()
+				}
+			case i < params.Len():
+				pt = params.At(i).Type()
+			}
+			if boxes(w.info.TypeOf(arg), pt) {
+				w.add("interface boxing", false, ctx)
+			}
+		}
+	}
+
+	callee := typeutil.Callee(w.info, call)
+	if callee == nil {
+		return
+	}
+	if what := allocCallName(callee); what != "" {
+		w.add(what, false, ctx)
+		// Table functions are charged here as direct sites; Resolve
+		// consults only indexed summaries, so no double count.
+	}
+	if name := Name(callee); name != "" && !ctx.cold {
+		w.s.AllocCalls = append(w.s.AllocCalls, AllocCall{Callee: name, InLoop: ctx.loop})
+	}
+}
+
+func (w *allocWalker) assign(a *ast.AssignStmt, ctx allocCtx) {
+	// m[k] = v may grow the table: amortized, like append.
+	for _, lhs := range a.Lhs {
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if _, isMap := w.typeOf(ix.X).(*types.Map); isMap {
+				w.add("map insert", true, ctx)
+			}
+		}
+	}
+	// Boxing on assignment to an interface-typed lvalue. := never
+	// boxes (the variable takes the operand's type).
+	if a.Tok == token.ASSIGN && len(a.Lhs) == len(a.Rhs) {
+		for i := range a.Lhs {
+			if w.info.Types[a.Rhs[i]].Value != nil {
+				continue
+			}
+			if boxes(w.info.TypeOf(a.Rhs[i]), w.info.TypeOf(a.Lhs[i])) {
+				w.add("interface boxing", false, ctx)
+			}
+		}
+	}
+}
+
+// typeOf returns the underlying type of e, nil-safe.
+func (w *allocWalker) typeOf(e ast.Expr) types.Type {
+	t := w.info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// terminates reports whether a statement list ends by leaving the
+// enclosing flow early: return, continue, goto, or panic. Such branches
+// are error/exit paths, cold by the model's definition. break is not
+// terminating — a case body's implicit fallthrough-to-end is the steady
+// path, and an explicit break must classify identically.
+func (w *allocWalker) terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch st := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE || st.Tok == token.GOTO
+	case *ast.BlockStmt:
+		return w.terminates(st.List)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := w.info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// rangeIsBatch reports whether ranging over t is the bounded batch-loop
+// idiom: slices, arrays (and pointers to them), strings, and integer
+// ranges iterate a known-finite collection — the packet loop. Map,
+// channel, and func ranges are unbounded by the model.
+func rangeIsBatch(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, isArr := u.Elem().Underlying().(*types.Array)
+		return isArr
+	case *types.Basic:
+		return u.Info()&(types.IsString|types.IsInteger) != 0
+	}
+	return false
+}
+
+// boxes reports whether assigning a value of type from to a location of
+// type to is an allocating interface conversion: to is an interface,
+// from is concrete, and from's representation is not a single pointer
+// word (pointers, channels, maps, and funcs store directly in the
+// interface data word).
+func boxes(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	switch u := from.Underlying().(type) {
+	case *types.Interface:
+		return false // interface-to-interface copies the word pair
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored directly
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+// convAlloc names the allocation a conversion from → to performs, or ""
+// when the conversion is free. string↔[]byte/[]rune copy; rune→string
+// builds a fresh string.
+func convAlloc(from, to types.Type) string {
+	if from == nil || to == nil {
+		return ""
+	}
+	fs, ts := isStringT(from), isStringT(to)
+	switch {
+	case fs && (isByteSlice(to) || isRuneSlice(to)):
+		return "string-to-slice conversion"
+	case ts && (isByteSlice(from) || isRuneSlice(from)):
+		return "slice-to-string conversion"
+	case ts && isIntT(from):
+		return "rune-to-string conversion"
+	}
+	return ""
+}
+
+func isStringT(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isIntT(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Rune
+}
+
+// directAllocEffect seeds the fixpoint with a summary's own sites.
+func directAllocEffect(s *FuncSummary) AllocEffect {
+	var e AllocEffect
+	for _, a := range s.Allocs {
+		switch a.Class {
+		case AllocAlways:
+			e.Always = satAdd(e.Always, 1)
+		case AllocAmortized:
+			e.Amortized = satAdd(e.Amortized, 1)
+		case AllocPerIter:
+			e.Unbounded = true
+		}
+	}
+	return e
+}
+
+// AllocsOf returns the resolved transitive allocation effect for a
+// qualified function name. Valid after Resolve; ok is false for
+// functions outside every loaded package.
+func (ix *Index) AllocsOf(name string) (AllocEffect, bool) {
+	if ix == nil || ix.allocs == nil {
+		return AllocEffect{}, false
+	}
+	e := ix.allocs[name]
+	if e == nil {
+		return AllocEffect{}, false
+	}
+	return *e, true
+}
+
+// AllocWitness returns a shortest call chain (function names, starting
+// at from) ending at a function with a direct always-class allocation
+// site, plus that site's description. BFS over non-loop AllocCalls with
+// sorted expansion keeps the witness deterministic. nil when from
+// reaches no always-class site.
+func (ix *Index) AllocWitness(from string) ([]string, string) {
+	if ix == nil || ix.allocs == nil {
+		return nil, ""
+	}
+	type node struct {
+		name string
+		path []string
+	}
+	seen := map[string]bool{from: true}
+	queue := []node{{from, []string{from}}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		s := ix.funcs[n.name]
+		if s == nil {
+			continue
+		}
+		for _, a := range s.Allocs {
+			if a.Class == AllocAlways {
+				return n.path, a.What
+			}
+		}
+		var next []string
+		for _, c := range s.AllocCalls {
+			if c.InLoop || seen[c.Callee] {
+				continue
+			}
+			if e := ix.allocs[c.Callee]; e == nil || e.Always == 0 {
+				continue
+			}
+			seen[c.Callee] = true
+			next = append(next, c.Callee)
+		}
+		sort.Strings(next)
+		for _, c := range next {
+			queue = append(queue, node{c, append(append([]string(nil), n.path...), c)})
+		}
+	}
+	return nil, ""
+}
+
+// AllocUnboundedWitness returns a call chain from from to the cause of
+// an unbounded allocation effect — either a function with a direct
+// per-iteration site, or an allocating callee invoked inside an
+// unbounded loop — plus a description of that cause.
+func (ix *Index) AllocUnboundedWitness(from string) ([]string, string) {
+	if ix == nil || ix.allocs == nil {
+		return nil, ""
+	}
+	type node struct {
+		name string
+		path []string
+	}
+	seen := map[string]bool{from: true}
+	queue := []node{{from, []string{from}}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		s := ix.funcs[n.name]
+		if s == nil {
+			continue
+		}
+		for _, a := range s.Allocs {
+			if a.Class == AllocPerIter {
+				return n.path, a.What + " in an unbounded loop"
+			}
+		}
+		for _, c := range s.AllocCalls {
+			if !c.InLoop {
+				continue
+			}
+			if e := ix.allocs[c.Callee]; e != nil && (e.Always > 0 || e.Unbounded) {
+				return append(append([]string(nil), n.path...), c.Callee), "allocating call in an unbounded loop"
+			}
+		}
+		var next []string
+		for _, c := range s.AllocCalls {
+			if seen[c.Callee] {
+				continue
+			}
+			if e := ix.allocs[c.Callee]; e == nil || !e.Unbounded {
+				continue
+			}
+			seen[c.Callee] = true
+			next = append(next, c.Callee)
+		}
+		sort.Strings(next)
+		for _, c := range next {
+			queue = append(queue, node{c, append(append([]string(nil), n.path...), c)})
+		}
+	}
+	return nil, ""
+}

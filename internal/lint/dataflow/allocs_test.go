@@ -1,0 +1,413 @@
+package dataflow
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// siteStrings renders a summary's sites compactly for golden comparison.
+func siteStrings(s *FuncSummary) []string {
+	var out []string
+	for _, a := range s.Allocs {
+		tag := ""
+		switch a.Class {
+		case AllocAmortized:
+			tag = " amortized"
+		case AllocPerIter:
+			tag = " periter"
+		}
+		out = append(out, a.What+tag)
+	}
+	return out
+}
+
+func TestAllocSites(t *testing.T) {
+	const prelude = `package p
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+type T struct{ n int }
+
+type rec struct{ k, v string }
+
+func sink(v any)      {}
+func sinkErr(e error) { _ = e }
+func work() int       { return 0 }
+var _ = errors.New
+var _ = fmt.Sprintf
+var _ = sort.Search
+`
+	tests := []struct {
+		name string
+		src  string
+		fn   string
+		want []string
+	}{
+		{
+			name: "composite literals and make/new",
+			src: `func f() {
+	p := &T{n: 1}
+	s := []int{1, 2}
+	m := map[string]int{}
+	b := make([]byte, 8)
+	q := new(T)
+	_, _, _, _, _ = p, s, m, b, q
+}`,
+			fn:   "p.f",
+			want: []string{"&composite literal", "slice literal", "map literal", "make", "new"},
+		},
+		{
+			name: "value struct literal is not a site",
+			src: `func f() {
+	v := T{n: 1}
+	_ = v
+}`,
+			fn:   "p.f",
+			want: nil,
+		},
+		{
+			name: "cold error branches are dropped",
+			src: `func f(err error) error {
+	if err != nil {
+		return fmt.Errorf("wrap: %w", err)
+	}
+	return nil
+}`,
+			fn:   "p.f",
+			want: nil,
+		},
+		{
+			name: "table call plus boxing on the steady path",
+			src: `func f(n int) string {
+	return fmt.Sprintf("%d", n)
+}`,
+			fn:   "p.f",
+			want: []string{"interface boxing", "call to fmt.Sprintf"},
+		},
+		{
+			name: "constants do not box",
+			src: `func f() string {
+	return fmt.Sprintf("%d-%s", 42, "x")
+}`,
+			fn:   "p.f",
+			want: []string{"call to fmt.Sprintf"},
+		},
+		{
+			name: "pointer-shaped values do not box",
+			src: `func f(p *T, m map[string]int, e error) {
+	sink(p)
+	sink(m)
+	sink(e)
+}`,
+			fn:   "p.f",
+			want: nil,
+		},
+		{
+			name: "interface boxing on assignment and var decl",
+			src: `func f(n int) {
+	var v any
+	v = n
+	var w any = n
+	_, _ = v, w
+}`,
+			fn:   "p.f",
+			want: []string{"interface boxing", "interface boxing"},
+		},
+		{
+			name: "conversions",
+			src: `func f(s string, b []byte, r rune) {
+	_ = []byte(s)
+	_ = string(b)
+	_ = []rune(s)
+	_ = string(r)
+}`,
+			fn:   "p.f",
+			want: []string{"string-to-slice conversion", "slice-to-string conversion", "string-to-slice conversion", "rune-to-string conversion"},
+		},
+		{
+			name: "append and map insert are amortized",
+			src: `func f(s []int, m map[string]int) []int {
+	s = append(s, 1)
+	m["k"] = 2
+	return s
+}`,
+			fn:   "p.f",
+			want: []string{"append growth amortized", "map insert amortized"},
+		},
+		{
+			name: "string concatenation",
+			src: `func f(a, b string) string {
+	return a + b
+}`,
+			fn:   "p.f",
+			want: []string{"string concatenation"},
+		},
+		{
+			name: "unbounded loop promotes always sites",
+			src: `func f(done chan struct{}) {
+	for {
+		p := &T{}
+		_ = p
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}`,
+			fn:   "p.f",
+			want: []string{"&composite literal periter"},
+		},
+		{
+			name: "slice range is the batch loop",
+			src: `func f(recs []rec) {
+	for _, r := range recs {
+		p := &T{}
+		_, _ = p, r
+	}
+}`,
+			fn:   "p.f",
+			want: []string{"&composite literal"},
+		},
+		{
+			name: "map range is unbounded",
+			src: `func f(m map[string]int) {
+	for k := range m {
+		p := &T{}
+		_, _ = p, k
+	}
+}`,
+			fn:   "p.f",
+			want: []string{"&composite literal periter"},
+		},
+		{
+			name: "amortized never promotes",
+			src: `func f(done chan struct{}) {
+	var s []int
+	for {
+		s = append(s, 1)
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}`,
+			fn:   "p.f",
+			want: []string{"append growth amortized"},
+		},
+		{
+			name: "goroutine spawn counts once, body excluded",
+			src: `func f() {
+	go func() {
+		p := &T{}
+		_ = p
+	}()
+}`,
+			fn:   "p.f",
+			want: []string{"goroutine spawn"},
+		},
+		{
+			name: "call-arg closure is not a site",
+			src: `func f(n int) int {
+	return sort.Search(n, func(i int) bool { return i > 2 })
+}`,
+			fn:   "p.f",
+			want: nil,
+		},
+		{
+			name: "escaping closure is a site",
+			src: `func f() func() int {
+	n := 1
+	g := func() int { return n }
+	return g
+}`,
+			fn:   "p.f",
+			want: []string{"closure"},
+		},
+		{
+			name: "terminating case body is cold",
+			src: `func f(err error) error {
+	switch {
+	case err != nil:
+		return fmt.Errorf("bad: %w", err)
+	default:
+		work()
+	}
+	return nil
+}`,
+			fn:   "p.f",
+			want: nil,
+		},
+		{
+			name: "non-terminating case body is hot",
+			src: `func f(n int) {
+	switch n {
+	case 1:
+		sink(n)
+	}
+}`,
+			fn:   "p.f",
+			want: []string{"interface boxing"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			sums := summarizePkg(t, prelude+"\n"+tc.src+"\n")
+			s := sums[tc.fn]
+			if s == nil {
+				t.Fatalf("no summary for %s (have %v)", tc.fn, allocTestKeys(sums))
+			}
+			if got := siteStrings(s); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("sites = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func allocTestKeys(m map[string]*FuncSummary) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestAllocResolveTransitive(t *testing.T) {
+	const src = `package p
+
+import "errors"
+
+type T struct{ n int }
+
+func leaf() error { return errors.New("x") }
+
+func mid() error { return leaf() }
+
+func root() error { return mid() }
+
+func twice() {
+	leaf()
+	leaf()
+}
+
+func drain(done chan struct{}) {
+	for {
+		leaf()
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+func batch(errs []error) {
+	for range errs {
+		leaf()
+	}
+}
+
+func grow(s []int) []int { return append(s, 1) }
+
+func growCaller(s []int) []int { return grow(s) }
+`
+	sums := summarizePkg(t, src)
+	ix := NewIndex()
+	ix.Add(sums)
+	ix.Resolve()
+
+	check := func(name string, want AllocEffect) {
+		t.Helper()
+		got, ok := ix.AllocsOf(name)
+		if !ok {
+			t.Fatalf("AllocsOf(%s): not indexed", name)
+		}
+		if got != want {
+			t.Errorf("AllocsOf(%s) = %+v, want %+v", name, got, want)
+		}
+	}
+	check("p.leaf", AllocEffect{Always: 1})
+	check("p.mid", AllocEffect{Always: 1})
+	check("p.root", AllocEffect{Always: 1})
+	check("p.twice", AllocEffect{Always: 2})
+	check("p.drain", AllocEffect{Unbounded: true})
+	check("p.batch", AllocEffect{Always: 1})
+	check("p.grow", AllocEffect{Amortized: 1})
+	check("p.growCaller", AllocEffect{Amortized: 1})
+
+	// The witness chain names the path from the root to the function
+	// with the direct site.
+	chain, site := ix.AllocWitness("p.root")
+	if want := []string{"p.root", "p.mid", "p.leaf"}; !reflect.DeepEqual(chain, want) {
+		t.Errorf("AllocWitness(p.root) chain = %v, want %v", chain, want)
+	}
+	if site != "call to errors.New" {
+		t.Errorf("AllocWitness(p.root) site = %q", site)
+	}
+
+	chain, desc := ix.AllocUnboundedWitness("p.drain")
+	if want := []string{"p.drain", "p.leaf"}; !reflect.DeepEqual(chain, want) {
+		t.Errorf("AllocUnboundedWitness(p.drain) chain = %v, want %v", chain, want)
+	}
+	if desc != "allocating call in an unbounded loop" {
+		t.Errorf("AllocUnboundedWitness(p.drain) desc = %q", desc)
+	}
+}
+
+func TestAllocResolveRecursionSaturates(t *testing.T) {
+	const src = `package p
+
+import "errors"
+
+func ping(n int) error {
+	if n == 0 {
+		return nil
+	}
+	errors.New("x")
+	return pong(n - 1)
+}
+
+func pong(n int) error { return ping(n) }
+`
+	sums := summarizePkg(t, src)
+	ix := NewIndex()
+	ix.Add(sums)
+	ix.Resolve() // must terminate
+	got, ok := ix.AllocsOf("p.ping")
+	if !ok || got.Always != allocSaturate {
+		t.Fatalf("AllocsOf(p.ping) = %+v ok=%v, want saturated Always=%d", got, ok, allocSaturate)
+	}
+}
+
+func TestAllocPerIterWitnessDirect(t *testing.T) {
+	src := fmt.Sprintf(`package p
+
+func spin(done chan struct{}) {
+	for {
+		b := make([]byte, %d)
+		_ = b
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+`, 16)
+	sums := summarizePkg(t, src)
+	ix := NewIndex()
+	ix.Add(sums)
+	ix.Resolve()
+	chain, desc := ix.AllocUnboundedWitness("p.spin")
+	if !reflect.DeepEqual(chain, []string{"p.spin"}) || desc != "make in an unbounded loop" {
+		t.Fatalf("witness = %v %q", chain, desc)
+	}
+}

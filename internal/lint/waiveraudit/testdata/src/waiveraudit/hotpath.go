@@ -1,0 +1,24 @@
+// //lint:hotpath cases: the annotation is audited like a waiver, with
+// the budget token stripped before the reason rule is applied, and
+// staleness meaning "attached to no function declaration" (allocbudget
+// marks every annotation it attaches as used).
+package waiveraudit
+
+// hotClean is the healthy case: attached, budgeted, reasoned, and
+// within budget — no diagnostics from either analyzer.
+//
+//lint:hotpath budget=0 pure arithmetic, nothing may allocate
+func hotClean(n int) int { return n + 1 }
+
+// hotReasonless parses as a valid budget, but the budget token alone is
+// not a justification.
+//
+//lint:hotpath budget=0 // want "must carry a reason"
+func hotReasonless(n int) int { return n + 1 }
+
+// hotFloating's annotation sits mid-body: allocbudget attaches it to no
+// declaration, so it enforces nothing.
+func hotFloating() {
+	//lint:hotpath budget=1 floats mid-body, annotating nothing // want "stale annotation"
+	_ = 0
+}

@@ -3,6 +3,7 @@ package waiveraudit_test
 import (
 	"testing"
 
+	"centuryscale/internal/lint/allocbudget"
 	"centuryscale/internal/lint/analysis"
 	"centuryscale/internal/lint/analysistest"
 	"centuryscale/internal/lint/centurytime"
@@ -11,10 +12,12 @@ import (
 
 // waiveraudit is only meaningful inside a suite: it audits directives
 // recognised by the other analyzers and consumes the suppression log
-// they populate. Run it the way lint.Suite does — after a real
-// analyzer, sharing one log.
+// they populate. Run it the way lint.Suite does — after real
+// analyzers, sharing one log. allocbudget rides along so the
+// //lint:hotpath annotation cases exercise the budget-token stripping
+// and the attached-annotation staleness rule.
 func TestWaiveraudit(t *testing.T) {
 	analysistest.RunSuite(t, "testdata",
-		[]*analysis.Analyzer{centurytime.Analyzer, waiveraudit.Analyzer},
+		[]*analysis.Analyzer{centurytime.Analyzer, allocbudget.Analyzer, waiveraudit.Analyzer},
 		"waiveraudit")
 }

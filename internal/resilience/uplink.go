@@ -146,6 +146,7 @@ func NewUplink(inner Sender, cfg Config) *Uplink {
 }
 
 // Send implements Sender (and gateway.Uplink).
+//lint:hotpath budget=0 gateway datapath: the happy path hands payload to the breaker-guarded trySend without copying; buffering happens only on failure
 func (u *Uplink) Send(payload []byte) error {
 	u.sendMu.Lock()
 	// Anything already buffered must go first: queue behind it.
@@ -181,6 +182,7 @@ var ErrPeerDown = errors.New("resilience: peer down (breaker open)")
 // "durably delivered to W peers", and a payload parked in a
 // store-and-forward queue is not that. Retries, jitter, Retry-After
 // hints, and the circuit breaker all apply exactly as in Send.
+//lint:hotpath budget=0 quorum replication primitive: one synchronous delivery attempt chain, no buffering, no copies
 func (u *Uplink) SendSync(ctx context.Context, payload []byte) error {
 	u.sendMu.Lock()
 	defer u.sendMu.Unlock()

@@ -252,6 +252,7 @@ func (e *Engine) Advance(upTo time.Duration) time.Duration {
 // (At, Seq, Sensor, value bits) — a total order over distinct points —
 // before accumulation, so the floating-point sums and gap statistics
 // are byte-stable across runs and across crash-replay-refold cycles.
+//lint:hotpath budget=3 per-drain-batch scaffolding only (sort closure, first-contact devState); per-point accumulation appends into existing buckets
 func (e *Engine) Fold(drained []tsdb.DrainedSeries) (folded int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()

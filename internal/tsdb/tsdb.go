@@ -197,6 +197,7 @@ func (db *DB) shardFor(dev lpwan.EUI64) *shard {
 // Append durably stores one point: WAL (fsynced per policy) first, then
 // the in-memory series. An error means the point is NOT stored and the
 // caller must not acknowledge it.
+//lint:hotpath budget=0 acknowledgement path: WAL encode and series insert reuse scratch buffers, growth is amortized (BENCH_tsdb.json pins AppendSerial at 1 amortized alloc/op)
 func (db *DB) Append(p Point) error {
 	if err := db.shardFor(p.Device).append(p, true); err != nil {
 		db.appendErrors.Add(1)
