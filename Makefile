@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-pkg lint-gate lint-baseline race check bench bench-tsdb bench-obs bench-query smoke-obs smoke-cluster smoke-query
+.PHONY: build test vet lint lint-pkg lint-gate lint-baseline race check bench bench-tsdb bench-obs bench-ingest bench-query smoke-obs smoke-cluster smoke-query
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,15 @@ bench-tsdb:
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkObs' -benchmem ./internal/obs/
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest' -benchmem ./internal/cloud/
+
+# bench-ingest measures the batched-ingest path at equal durability:
+# bare one-fsync-per-packet ingest vs whole-frame WAL group commit,
+# both with SyncAlways on a real WAL directory. The acceptance ratio is
+# bare ns/packet over batched ns/packet >= 10x, and the batched
+# allocs/op divided by the 256-packet frame must stay <= 2 per packet.
+# Compare against the batching section of BENCH_obs.json.
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestBareSyncAlways|BenchmarkIngestBatched' -benchmem ./internal/cloud/
 
 # bench-query runs the read-path benchmarks: a century of hourly data
 # queried week-by-week from the rollup tiers vs. the same answer

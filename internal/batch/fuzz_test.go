@@ -1,0 +1,80 @@
+package batch
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzBatchDecode drives Split with arbitrary bytes, the way a hostile
+// gateway or a corrupted proxy would: it must never panic, never accept
+// a payload past the packet cap, and anything it does accept must
+// re-encode to the exact bytes it came from (the framing is canonical).
+// Mirrors internal/tsdb's FuzzWALDecode discipline — the frame reuses
+// the WAL's CRC-32C taxonomy, so it earns the WAL's fuzz coverage too.
+func FuzzBatchDecode(f *testing.F) {
+	one := make([]byte, PacketSize)
+	for i := range one {
+		one[i] = byte(i)
+	}
+	valid, err := AppendFrame(nil, one)
+	if err != nil {
+		f.Fatal(err)
+	}
+	big, err := AppendFrame(nil, one, one, one, one)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(big)
+	f.Add(valid[:len(valid)-5])                   // torn tail
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))         // garbage length prefix
+	f.Add(make([]byte, 64))                       // zero length prefix
+	f.Add(make([]byte, HeaderSize))               // zero-count frame
+	f.Add(bytes.Repeat([]byte{0xAB}, PacketSize)) // bare packet, not a frame
+	corrupted := append([]byte(nil), valid...)
+	corrupted[HeaderSize+4] ^= 0x20 // payload bit flip -> CRC mismatch
+	f.Add(corrupted)
+	overlong, err := AppendFrame(nil, one, one, one)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(overlong) // fuzz body runs Split with maxPackets=2
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxPackets = 2
+		payload, n, err := Split(data, maxPackets)
+		if err != nil {
+			// Any corruption classification is fine; what matters is
+			// that it IS classified, not panicked on.
+			if !errors.Is(err, ErrTornFrame) && !errors.Is(err, ErrFrameSize) &&
+				!errors.Is(err, ErrFrameCRC) && !errors.Is(err, ErrBadCount) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if n < 1 || n > maxPackets {
+			t.Fatalf("accepted %d packets past the cap %d", n, maxPackets)
+		}
+		if len(payload) != n*PacketSize {
+			t.Fatalf("payload %d bytes for %d packets", len(payload), n)
+		}
+		// Canonical: re-framing the accepted packets reproduces the
+		// input byte for byte.
+		packets := make([][]byte, n)
+		for i := range packets {
+			packets[i] = Packet(payload, i)
+		}
+		reframed, err := AppendFrame(nil, packets...)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(reframed, data) {
+			t.Fatalf("round trip not canonical:\n in: %x\nout: %x", data, reframed)
+		}
+		// An accepted frame is also structurally a frame for routing.
+		if !IsFrame(data) {
+			t.Fatal("Split accepted a frame IsFrame rejects")
+		}
+	})
+}

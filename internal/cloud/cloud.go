@@ -142,6 +142,13 @@ type Store struct {
 
 	stats ingestCounters // lock-free; see IngestStats for the export form
 
+	// batchFrames / batchFrameErrors count whole frames on the batched
+	// ingest path (per-packet dispositions land in stats like any other
+	// packet): admitted well-formed frames, and frames rejected at the
+	// structural layer (torn, bad CRC, bad count).
+	batchFrames      atomic.Uint64
+	batchFrameErrors atomic.Uint64
+
 	// rollups is the tiered-downsampling engine (nil = rollups
 	// disabled). An atomic pointer because the ingest hot path reads it
 	// per packet while boot (EnableRollups, ReadSnapshot) installs it;

@@ -9,10 +9,13 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"centuryscale/internal/batch"
 	"centuryscale/internal/lpwan"
+	"centuryscale/internal/sim"
 	"centuryscale/internal/tsdb"
 )
 
@@ -60,6 +63,7 @@ type Server struct {
 func NewServer(store *Store, now time.Time) *Server {
 	s := &Server{store: store, start: now, mux: http.NewServeMux(), retryAfterSec: 1}
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /ingest/batch", s.handleIngestBatch)
 	s.mux.HandleFunc("GET /status", s.handleStatus)
 	s.mux.HandleFunc("GET /devices", s.handleDevices)
 	s.mux.HandleFunc("GET /history", s.handleHistory)
@@ -117,39 +121,113 @@ func (s *Server) shedLoad(w http.ResponseWriter, reason string) {
 	http.Error(w, "cloud: "+reason, http.StatusServiceUnavailable)
 }
 
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+// maxPacketBody bounds POST /ingest bodies. A telemetry packet is 24
+// bytes; 1024 leaves generous headroom while keeping the pooled read
+// buffers small.
+const maxPacketBody = 1024
+
+// errBodyTooLarge maps to 413: the body exceeded the route's cap. This
+// replaces the old silent io.LimitReader truncation, which turned an
+// oversized body into a misleading "malformed packet" count.
+var errBodyTooLarge = errors.New("cloud: request body exceeds limit")
+
+// bodyPool recycles request-body read buffers across ingest requests.
+// Entries are *[]byte (pointer to avoid an allocation per Put); each is
+// grown once to the largest limit it has served.
+var bodyPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, maxPacketBody+1)
+		return &b
+	},
+}
+
+// readBody reads the whole body into a pooled buffer, rejecting bodies
+// over limit with errBodyTooLarge (it reads limit+1 bytes to tell "at
+// the limit" from "over it"). release returns the buffer to the pool;
+// the body must not be used after calling it.
+func readBody(r io.Reader, limit int) (body []byte, release func(), err error) {
+	bp := bodyPool.Get().(*[]byte)
+	if cap(*bp) < limit+1 {
+		*bp = make([]byte, 0, limit+1)
+	}
+	buf := (*bp)[:limit+1]
+	release = func() { bodyPool.Put(bp) }
+	n, err := io.ReadFull(r, buf)
+	switch {
+	case err == nil:
+		// limit+1 bytes arrived without EOF: over the cap.
+		release()
+		return nil, nil, errBodyTooLarge
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return buf[:n], release, nil
+	default:
+		release()
+		return nil, nil, err
+	}
+}
+
+// arrival resolves the request's arrival stamp: the server clock, unless
+// a cluster-authenticated peer asserts the coordinator's. Replicated
+// ingest carries that stamp so every replica stores the same time; only
+// authenticated peers may assert one (an outsider stamping history
+// would corrupt the ledger). On failure the response has been written
+// and ok is false.
+func (s *Server) arrival(w http.ResponseWriter, r *http.Request) (at time.Duration, ok bool) {
+	at = s.now()
+	hdr := r.Header.Get(ClusterArrivalHeader)
+	if hdr == "" {
+		return at, true
+	}
+	if !s.clusterAuthorized(r) {
+		http.Error(w, "cloud: arrival override requires cluster auth", http.StatusForbidden)
+		return 0, false
+	}
+	nanos, err := strconv.ParseInt(hdr, 10, 64)
+	if err != nil {
+		http.Error(w, "cloud: bad arrival header: "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return time.Duration(nanos), true
+}
+
+// admitIngest applies the shared front door of both ingest routes:
+// degradation and overload shedding. ok=false means the response has
+// been written; done must be called (deferred) when ok.
+func (s *Server) admitIngest(w http.ResponseWriter) (done func(), ok bool) {
 	if s.degraded.Load() {
 		s.shedLoad(w, "endpoint degraded (persist failure); buffer and retry")
-		return
+		return nil, false
 	}
 	if limit := atomic.LoadInt64(&s.maxInFlight); limit > 0 {
 		if s.inFlight.Add(1) > limit {
 			s.inFlight.Add(-1)
 			s.shedLoad(w, "endpoint overloaded; buffer and retry")
+			return nil, false
+		}
+		return func() { s.inFlight.Add(-1) }, true
+	}
+	return func() {}, true
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admitIngest(w)
+	if !ok {
+		return
+	}
+	defer done()
+	body, release, err := readBody(r.Body, maxPacketBody)
+	if err != nil {
+		if errors.Is(err, errBodyTooLarge) {
+			http.Error(w, errBodyTooLarge.Error(), http.StatusRequestEntityTooLarge)
 			return
 		}
-		defer s.inFlight.Add(-1)
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1024))
-	if err != nil {
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Replicated ingest carries the coordinator's arrival stamp so every
-	// replica stores the same time; only cluster-authenticated peers may
-	// assert one (an outsider stamping history would corrupt the ledger).
-	at := s.now()
-	if hdr := r.Header.Get(ClusterArrivalHeader); hdr != "" {
-		if !s.clusterAuthorized(r) {
-			http.Error(w, "cloud: arrival override requires cluster auth", http.StatusForbidden)
-			return
-		}
-		nanos, err := strconv.ParseInt(hdr, 10, 64)
-		if err != nil {
-			http.Error(w, "cloud: bad arrival header: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		at = time.Duration(nanos)
+	defer release()
+	at, ok := s.arrival(w, r)
+	if !ok {
+		return
 	}
 	if err := s.store.Ingest(at, body); err != nil {
 		// A WAL append failure means the reading is not durable: shed
@@ -165,6 +243,52 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleIngestBatch accepts one batch frame of N packets. The response
+// is written only after IngestBatch returns — and IngestBatch does not
+// return success for any packet before the WAL group commit covering it
+// has fsynced — so the WAL-before-ack contract holds for the whole
+// frame: a 202 means every accepted packet is on stable storage.
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	done, ok := s.admitIngest(w)
+	if !ok {
+		return
+	}
+	defer done()
+	body, release, err := readBody(r.Body, batch.MaxFrameBytes)
+	if err != nil {
+		if errors.Is(err, errBodyTooLarge) {
+			http.Error(w, "cloud: frame exceeds cap", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer release()
+	at, ok := s.arrival(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.store.IngestBatch(at, body)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		if err := json.NewEncoder(w).Encode(res); err != nil {
+			return // headers already sent
+		}
+	case errors.Is(err, ErrPersist):
+		// At least one shard's group commit failed: refuse the whole
+		// frame so the gateway buffers and retries; the replay guards
+		// deduplicate whatever did commit.
+		s.shedLoad(w, "endpoint storage failing; buffer and retry")
+	case errors.Is(err, batch.ErrTornFrame), errors.Is(err, batch.ErrFrameSize),
+		errors.Is(err, batch.ErrFrameCRC), errors.Is(err, batch.ErrBadCount):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	}
 }
 
 type statusPayload struct {
@@ -260,9 +384,12 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	cw := csv.NewWriter(w)
-	_ = cw.Write([]string{"at_seconds", "seq", "sensor", "value", "device_uptime_seconds"})
+	werr := cw.Write([]string{"at_seconds", "seq", "sensor", "value", "device_uptime_seconds"})
 	for _, rd := range s.store.HistoryRange(dev, from, to) {
-		_ = cw.Write([]string{
+		if werr != nil {
+			break
+		}
+		werr = cw.Write([]string{
 			strconv.FormatFloat(rd.At.Seconds(), 'f', 3, 64),
 			strconv.FormatUint(uint64(rd.Packet.Seq), 10),
 			rd.Packet.Sensor.String(),
@@ -270,7 +397,19 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 			strconv.FormatUint(uint64(rd.Packet.UptimeSeconds), 10),
 		})
 	}
-	cw.Flush()
+	if werr == nil {
+		cw.Flush()
+		werr = cw.Error()
+	}
+	if werr != nil {
+		// The 200 header and some rows are already on the wire, so a
+		// truncated archival export cannot be turned into an error
+		// status. What it must NOT look like is success: count it, and
+		// kill the connection so the client sees an aborted transfer
+		// rather than a clean EOF mid-history.
+		s.queryStats.exportErrors.Add(1)
+		panic(http.ErrAbortHandler)
+	}
 }
 
 func parseDevice(s string) (lpwan.EUI64, error) {
@@ -286,20 +425,33 @@ func parseDevice(s string) (lpwan.EUI64, error) {
 func parseRange(r *http.Request) (from, to time.Duration, err error) {
 	from, to = math.MinInt64, math.MaxInt64
 	if v := r.URL.Query().Get("from"); v != "" {
-		secs, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return 0, 0, fmt.Errorf("cloud: bad from parameter: %v", err)
+		if from, err = clampedSeconds(v, "from"); err != nil {
+			return 0, 0, err
 		}
-		from = time.Duration(secs * float64(time.Second))
 	}
 	if v := r.URL.Query().Get("to"); v != "" {
-		secs, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return 0, 0, fmt.Errorf("cloud: bad to parameter: %v", err)
+		if to, err = clampedSeconds(v, "to"); err != nil {
+			return 0, 0, err
 		}
-		to = time.Duration(secs * float64(time.Second))
 	}
 	return from, to, nil
+}
+
+// clampedSeconds converts a query parameter of fractional seconds to a
+// Duration, clamping at ±sim.MaxHorizon (the centurytime ±292-year
+// contract). The raw `time.Duration(secs * float64(time.Second))` it
+// replaces hit Go's implementation-defined out-of-range float→int64
+// conversion on inputs like 1e300. NaN is rejected, not clamped: it
+// names no range boundary at all.
+func clampedSeconds(v, name string) (time.Duration, error) {
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cloud: bad %s parameter: %v", name, err)
+	}
+	if math.IsNaN(secs) {
+		return 0, fmt.Errorf("cloud: bad %s parameter: NaN", name)
+	}
+	return sim.Seconds(secs), nil
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {

@@ -7,6 +7,10 @@ import "centuryscale/internal/obs"
 // scrape-time closures over counters the store already keeps.
 type ingestObs struct {
 	latency *obs.Histogram
+	// batchLatency observes whole frames on the batched path: one
+	// observation per POST /ingest/batch, not per packet, so the two
+	// histograms stay comparable to their own routes.
+	batchLatency *obs.Histogram
 }
 
 // RegisterMetrics exposes the endpoint's ingest disposition counters and
@@ -24,7 +28,12 @@ func (s *Store) RegisterMetrics(reg *obs.Registry, clock obs.Clock) {
 	reg.CounterFunc("cloud_ingest_quarantined_total", "packets from devices whose trust was revoked", s.stats.quarantined.Load)
 	reg.CounterFunc("cloud_ingest_persist_failures_total", "packets refused because the WAL append failed", s.stats.persistFailures.Load)
 	reg.CounterFunc("cloud_repair_readings_total", "readings merged from replicas by read-repair", s.stats.repaired.Load)
+	reg.CounterFunc("cloud_ingest_stale_total", "packets arriving below the rollup fold watermark (sealed region)", s.stats.stale.Load)
+	reg.CounterFunc("cloud_ingest_batch_frames_total", "well-formed frames admitted on the batched ingest path", s.batchFrames.Load)
+	reg.CounterFunc("cloud_ingest_batch_frame_errors_total", "frames rejected at the structural layer (torn, bad CRC, bad count)", s.batchFrameErrors.Load)
+	reg.CounterFunc("cloud_wal_group_commits_total", "WAL group commits (one amortized fsync per touched shard per frame)", s.db.GroupCommits)
 	s.obs.Store(&ingestObs{
-		latency: reg.Histogram("cloud_ingest_seconds", "wall time per Ingest call, all dispositions", nil, clock),
+		latency:      reg.Histogram("cloud_ingest_seconds", "wall time per Ingest call, all dispositions", nil, clock),
+		batchLatency: reg.Histogram("cloud_ingest_batch_seconds", "wall time per IngestBatch frame, all dispositions", nil, clock),
 	})
 }

@@ -1,7 +1,6 @@
 package cloud
 
 import (
-	"fmt"
 	"math"
 	"net/http"
 	"strconv"
@@ -38,6 +37,10 @@ type queryCounters struct {
 	daily    atomic.Uint64
 	hourly   atomic.Uint64
 	raw      atomic.Uint64
+	// exportErrors counts /export streams that hit a csv.Writer error
+	// mid-stream and were aborted — the only honest signal left once
+	// the 200 header is on the wire.
+	exportErrors atomic.Uint64
 }
 
 // RegisterQueryMetrics exposes the query layer's counters and installs
@@ -48,6 +51,7 @@ func (s *Server) RegisterQueryMetrics(reg *obs.Registry, clock obs.Clock) {
 	reg.CounterFunc("query_tier_daily_buckets_total", "daily rollup buckets consumed answering queries", s.queryStats.daily.Load)
 	reg.CounterFunc("query_tier_hourly_buckets_total", "hourly rollup buckets consumed answering queries", s.queryStats.hourly.Load)
 	reg.CounterFunc("query_tier_raw_points_total", "raw points consumed answering queries", s.queryStats.raw.Load)
+	reg.CounterFunc("query_export_errors_total", "CSV exports aborted mid-stream on a write error", s.queryStats.exportErrors.Load)
 	s.queryObs.Store(&queryObs{
 		latency: reg.Histogram("query_seconds", "wall time per query API request", nil, clock),
 	})
@@ -234,9 +238,5 @@ func parseSeconds(r *http.Request, name string) (time.Duration, error) {
 	if v == "" {
 		return 0, nil
 	}
-	secs, err := strconv.ParseFloat(v, 64)
-	if err != nil {
-		return 0, fmt.Errorf("cloud: bad %s parameter: %v", name, err)
-	}
-	return time.Duration(secs * float64(time.Second)), nil
+	return clampedSeconds(v, name)
 }

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"centuryscale/internal/batch"
 	"centuryscale/internal/cloud"
 	"centuryscale/internal/lpwan"
 	"centuryscale/internal/obs"
@@ -208,7 +209,14 @@ func (s *replicaSender) Send(payload []byte) error {
 	if err != nil {
 		return resilience.Permanent(err)
 	}
-	req, err := http.NewRequest("POST", s.url+"/ingest", bytes.NewReader(wire))
+	// One sender carries both shapes: a bare packet (exactly PacketSize
+	// bytes) goes to /ingest, a batch frame to /ingest/batch. The two
+	// can never be confused — a frame is at least header + one packet.
+	route := "/ingest"
+	if batch.IsFrame(wire) {
+		route = "/ingest/batch"
+	}
+	req, err := http.NewRequest("POST", s.url+route, bytes.NewReader(wire))
 	if err != nil {
 		return resilience.Permanent(err)
 	}
@@ -307,6 +315,122 @@ func (c *Coordinator) Ingest(ctx context.Context, wire []byte) error {
 	return &resilience.RetryAfterError{
 		After: hint,
 		Err:   fmt.Errorf("%w: %d of %d (last: %v)", ErrNoQuorum, successes, c.cfg.WriteQuorum, lastErr),
+	}
+}
+
+// IngestBatch replicates a frame of packets to the partitions' owners
+// and acknowledges (returns nil) only when EVERY packet in the frame
+// has reached its write quorum. Each owner node receives one sub-frame
+// holding exactly the packets it owns — stamped with one shared arrival
+// time — so a frame of N packets costs at most R HTTP requests and R
+// group commits cluster-wide instead of N×R of each. A replica's 202
+// covers its whole sub-frame (the endpoint does not acknowledge a batch
+// before the group fsync covering it returns), so sub-frame success
+// counts toward every contained packet's quorum.
+//
+// On a missed quorum the caller retries the whole frame: replicas that
+// already hold some packets count them as duplicates, which remain
+// quorum-countable, exactly like the single-packet retry path.
+func (c *Coordinator) IngestBatch(ctx context.Context, frame []byte) error {
+	payload, n, err := batch.Split(frame, 0)
+	if err != nil {
+		c.rejected.Add(1)
+		return resilience.Permanent(err)
+	}
+	arrival := c.clock()
+
+	// Route each packet to its owners, building one sub-frame per node.
+	builders := make([]*batch.Builder, len(c.peers))
+	ownersOf := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		wire := batch.Packet(payload, i)
+		p, err := telemetry.Parse(wire)
+		if err != nil {
+			// A structurally invalid packet poisons the frame: the
+			// sender's batcher only frames fixed-size packets, so this
+			// is corruption or abuse, not weather. Unsendable anywhere.
+			c.rejected.Add(1)
+			return resilience.Permanent(err)
+		}
+		owners := c.ring.Owners(p.Device, c.cfg.Replicas)
+		for _, node := range owners {
+			if builders[node] == nil {
+				builders[node] = &batch.Builder{}
+			}
+			// Cannot fail: the size matched Split's contract and a
+			// sub-frame can never exceed the source frame's cap.
+			_ = builders[node].Add(wire)
+		}
+		ownersOf = append(ownersOf, owners)
+	}
+
+	// One concurrent SendSync per owner node, same delivery discipline
+	// as the single-packet path: nil from SendSync means the node
+	// accepted the sub-frame before it returned.
+	payloads := make([][]byte, len(c.peers))
+	for node, b := range builders {
+		if b != nil {
+			payloads[node] = clusterPayload(arrival, b.Take())
+		}
+	}
+	errs := make([]error, len(c.peers))
+	var wg sync.WaitGroup
+	for node := range payloads {
+		if payloads[node] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			errs[node] = c.peers[node].uplink.SendSync(ctx, payloads[node])
+		}(node)
+	}
+	wg.Wait()
+
+	var hint time.Duration
+	var lastErr error
+	for node := range payloads {
+		if payloads[node] == nil {
+			continue
+		}
+		if quorumSuccess(errs[node]) {
+			c.det.Observe(node, true)
+			continue
+		}
+		lastErr = errs[node]
+		var ra *resilience.RetryAfterError
+		if errors.As(errs[node], &ra) && ra.After > hint {
+			hint = ra.After
+		}
+	}
+
+	// Per-packet quorum: a packet is acknowledged iff enough of ITS
+	// owners succeeded — node outcomes are shared across the frame, but
+	// the durability question is still asked packet by packet.
+	ackedPkts := 0
+	for _, owners := range ownersOf {
+		succ := 0
+		for _, node := range owners {
+			if quorumSuccess(errs[node]) {
+				succ++
+			}
+		}
+		if succ >= c.cfg.WriteQuorum {
+			ackedPkts++
+		}
+	}
+	if ackedPkts == len(ownersOf) {
+		c.acked.Add(uint64(ackedPkts))
+		return nil
+	}
+	c.noQuorum.Add(uint64(len(ownersOf) - ackedPkts))
+	if hint <= 0 {
+		hint = time.Second
+	}
+	return &resilience.RetryAfterError{
+		After: hint,
+		Err: fmt.Errorf("%w: %d of %d packets short of quorum %d (last: %v)",
+			ErrNoQuorum, len(ownersOf)-ackedPkts, len(ownersOf), c.cfg.WriteQuorum, lastErr),
 	}
 }
 

@@ -10,9 +10,11 @@ import (
 	"strconv"
 	"time"
 
+	"centuryscale/internal/batch"
 	"centuryscale/internal/lpwan"
 	"centuryscale/internal/obs"
 	"centuryscale/internal/resilience"
+	"centuryscale/internal/sim"
 )
 
 // Handler returns the router tier's public face — shaped like a single
@@ -30,19 +32,51 @@ import (
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /ingest", c.handleIngest)
+	mux.HandleFunc("POST /ingest/batch", c.handleIngestBatch)
 	mux.HandleFunc("GET /history", c.handleHistory)
 	mux.HandleFunc("GET /status", c.handleStatus)
 	c.queryRoutes(mux)
 	return mux
 }
 
-func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1024))
+// readLimited reads the whole body, answering 413 for bodies over limit
+// — not the silent io.LimitReader truncation this replaces, which turned
+// an oversized body into a misleading "malformed packet" rejection.
+// ok=false means the response has been written.
+func readLimited(w http.ResponseWriter, r *http.Request, limit int) (body []byte, ok bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, int64(limit)+1))
 	if err != nil {
 		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	if len(body) > limit {
+		http.Error(w, "cluster: request body exceeds limit", http.StatusRequestEntityTooLarge)
+		return nil, false
+	}
+	return body, true
+}
+
+func (c *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, ok := readLimited(w, r, 1024)
+	if !ok {
 		return
 	}
-	switch err := c.Ingest(r.Context(), body); {
+	c.writeIngestOutcome(w, c.Ingest(r.Context(), body))
+}
+
+// handleIngestBatch is the router's frame front door: one frame in, one
+// quorum answer out. 202 means every packet in the frame reached its
+// write quorum; anything less sheds the whole frame back to the gateway.
+func (c *Coordinator) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readLimited(w, r, batch.MaxFrameBytes)
+	if !ok {
+		return
+	}
+	c.writeIngestOutcome(w, c.IngestBatch(r.Context(), body))
+}
+
+func (c *Coordinator) writeIngestOutcome(w http.ResponseWriter, err error) {
+	switch {
 	case err == nil:
 		w.WriteHeader(http.StatusAccepted)
 	case resilience.IsPermanent(err):
@@ -109,20 +143,31 @@ func (c *Coordinator) handleHistory(w http.ResponseWriter, r *http.Request) {
 func parseRange(r *http.Request) (from, to time.Duration, err error) {
 	from, to = math.MinInt64, math.MaxInt64
 	if v := r.URL.Query().Get("from"); v != "" {
-		secs, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return 0, 0, fmt.Errorf("cluster: bad from parameter: %v", err)
+		if from, err = clampedSeconds(v, "from"); err != nil {
+			return 0, 0, err
 		}
-		from = time.Duration(secs * float64(time.Second))
 	}
 	if v := r.URL.Query().Get("to"); v != "" {
-		secs, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return 0, 0, fmt.Errorf("cluster: bad to parameter: %v", err)
+		if to, err = clampedSeconds(v, "to"); err != nil {
+			return 0, 0, err
 		}
-		to = time.Duration(secs * float64(time.Second))
 	}
 	return from, to, nil
+}
+
+// clampedSeconds converts a float seconds parameter to a Duration,
+// clamping at ±sim.MaxHorizon and rejecting NaN — the router-tier twin
+// of the endpoint's helper, replacing the implementation-defined
+// out-of-range float→int64 conversion on inputs like 1e300.
+func clampedSeconds(v, name string) (time.Duration, error) {
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: bad %s parameter: %v", name, err)
+	}
+	if math.IsNaN(secs) {
+		return 0, fmt.Errorf("cluster: bad %s parameter: NaN", name)
+	}
+	return sim.Seconds(secs), nil
 }
 
 type nodeStatus struct {

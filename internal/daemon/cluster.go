@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"centuryscale/internal/batch"
 	"centuryscale/internal/cluster"
 	"centuryscale/internal/resilience"
 )
@@ -54,10 +55,15 @@ func (f *ClusterFlags) Coordinator(up resilience.Config) (*cluster.Coordinator, 
 }
 
 // ClusterSender adapts the coordinator's quorum ingest to the resilience
-// layer's Sender, so a store-and-forward Uplink can buffer frames the
-// cluster sheds during an outage instead of dropping them.
+// layer's Sender, so a store-and-forward Uplink can buffer payloads the
+// cluster sheds during an outage instead of dropping them. Batch frames
+// route to the coordinator's frame path (per-node sub-frames, per-packet
+// quorum); bare packets keep the single-packet path.
 func ClusterSender(c *cluster.Coordinator) resilience.Sender {
 	return resilience.SenderFunc(func(payload []byte) error {
+		if batch.IsFrame(payload) {
+			return c.IngestBatch(context.Background(), payload)
+		}
 		return c.Ingest(context.Background(), payload)
 	})
 }

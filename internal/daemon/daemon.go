@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"centuryscale/internal/batch"
 	"centuryscale/internal/gateway"
 	"centuryscale/internal/lorawan"
 	"centuryscale/internal/lpwan"
@@ -58,9 +59,16 @@ func (u *HTTPUplink) client() *http.Client {
 	return u.fallback
 }
 
-// Send implements gateway.Uplink (and resilience.Sender).
+// Send implements gateway.Uplink (and resilience.Sender). Bare packets
+// post to /ingest; batch frames (built by a resilience.Uplink running
+// with -batch) post to /ingest/batch — the shapes are structurally
+// disjoint, so one sender serves both without configuration.
 func (u *HTTPUplink) Send(payload []byte) error {
-	resp, err := u.client().Post(u.URL+"/ingest", "application/octet-stream", bytes.NewReader(payload))
+	route := "/ingest"
+	if batch.IsFrame(payload) {
+		route = "/ingest/batch"
+	}
+	resp, err := u.client().Post(u.URL+route, "application/octet-stream", bytes.NewReader(payload))
 	if err != nil {
 		return fmt.Errorf("daemon: uplink post: %w", err)
 	}

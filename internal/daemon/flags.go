@@ -22,6 +22,8 @@ type ResilienceFlags struct {
 	BreakerFail int
 	BreakerOpen time.Duration
 	Seed        uint64
+	Batch       int
+	BatchAge    time.Duration
 }
 
 // RegisterResilienceFlags declares the standard resilience flags on the
@@ -35,6 +37,10 @@ func RegisterResilienceFlags() *ResilienceFlags {
 	flag.IntVar(&f.BreakerFail, "breaker-fails", 5, "consecutive failures that open the circuit breaker")
 	flag.DurationVar(&f.BreakerOpen, "breaker-open", 5*time.Second, "how long the breaker stays open before probing")
 	flag.Uint64Var(&f.Seed, "retry-seed", 1, "seed for retry jitter (reproducible recovery timing)")
+	flag.IntVar(&f.Batch, "batch", 0,
+		"packets per uplink batch frame (0 or 1 = unbatched; >1 amortizes one endpoint fsync over the frame)")
+	flag.DurationVar(&f.BatchAge, "batch-age", 100*time.Millisecond,
+		"max age of a pending batch frame before it is flushed part-full")
 	return f
 }
 
@@ -48,6 +54,8 @@ func (f *ResilienceFlags) Config() resilience.Config {
 		BreakerOpenFor:   f.BreakerOpen,
 		QueueDepth:       f.Queue,
 		Seed:             f.Seed,
+		BatchSize:        f.Batch,
+		BatchAge:         f.BatchAge,
 	}
 }
 

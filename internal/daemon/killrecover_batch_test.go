@@ -1,0 +1,175 @@
+package daemon
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"centuryscale/internal/cloud"
+	"centuryscale/internal/lpwan"
+	"centuryscale/internal/resilience"
+	"centuryscale/internal/telemetry"
+	"centuryscale/internal/tsdb"
+)
+
+// TestKillRecoverBatchedZeroAcknowledgedLoss is the batched-frame twin
+// of TestKillRecoverZeroAcknowledgedLoss: the uplink runs with -batch
+// style frame building, so acknowledgements arrive per frame and the
+// endpoint's durability unit is the WAL group commit. The hard kill
+// lands between group fsyncs, with frames in every intermediate state —
+// acknowledged, in flight, pending in the builder, buffered in the
+// queue.
+//
+// The contract under test: a frame the endpoint acknowledged (202) had
+// its group fsync complete first, so no packet of any acknowledged
+// frame is lost across the kill; frames whose acknowledgement died with
+// the connection are retried whole and deduplicated by the replay guard
+// rebuilt from the WAL. Every sequence number ends up stored exactly
+// once — group commit must be all-or-nothing per ack, never "some of
+// the frame was durable".
+func TestKillRecoverBatchedZeroAcknowledgedLoss(t *testing.T) {
+	const packets = 96
+	const killAfter = 32 // hard-kill once this many are acknowledged
+	const frameSize = 8
+
+	dir := t.TempDir()
+	start := time.Now()
+
+	open := func() (*cloud.Store, tsdb.ReplayStats) {
+		t.Helper()
+		db, err := tsdb.Open(tsdb.Options{Dir: dir, Shards: 4, Sync: tsdb.SyncAlways, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := cloud.NewStoreWithDB(cloud.StaticKeys(master), db)
+		rs, err := store.ReplayWAL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store, rs
+	}
+
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	endpointAddr := ln1.Addr().String()
+	store1, _ := open()
+	srv1 := &http.Server{Handler: cloud.NewServer(store1, start)}
+	go srv1.Serve(ln1)
+
+	up := resilience.NewUplink(
+		&HTTPUplink{URL: "http://" + endpointAddr, Client: &http.Client{Timeout: 2 * time.Second}},
+		resilience.Config{
+			MaxAttempts:      2,
+			BackoffBase:      time.Millisecond,
+			BackoffMax:       10 * time.Millisecond,
+			BreakerThreshold: 3,
+			BreakerOpenFor:   20 * time.Millisecond,
+			QueueDepth:       256,
+			DrainInterval:    5 * time.Millisecond,
+			Seed:             11,
+			BatchSize:        frameSize,
+			BatchAge:         5 * time.Millisecond,
+		})
+	defer up.Close(context.Background())
+
+	dev := lpwan.EUIFromUint64(0xBA7C)
+	key := telemetry.DeriveKey(master, dev)
+	send := func(seq uint32) {
+		t.Helper()
+		wire, err := telemetry.Packet{Device: dev, Seq: seq, Sensor: telemetry.SensorStrain, Value: float32(seq)}.Seal(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := up.Send(wire); err != nil {
+			t.Fatalf("seq %d surfaced permanent error: %v", seq, err)
+		}
+	}
+
+	// Phase 1: traffic into the first instance until killAfter readings
+	// are acknowledged — whole frames, each behind one group fsync.
+	seq := uint32(1)
+	for ; seq <= killAfter; seq++ {
+		send(seq)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for store1.Count() < killAfter && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if store1.Count() < killAfter {
+		t.Fatalf("first instance stored %d of %d before kill (uplink %+v)", store1.Count(), killAfter, up.Stats())
+	}
+	if store1.BatchFrames() == 0 {
+		t.Fatalf("acknowledged traffic never used the batch path: %+v", up.Stats())
+	}
+
+	// Hard kill between group fsyncs: listener and connections die,
+	// store1's WAL handles are abandoned unclosed.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: the device keeps transmitting into the outage. Frames
+	// accumulate in the builder and, once full, buffer in the queue —
+	// nothing is acknowledged, nothing surfaces as lost.
+	for ; seq <= killAfter+2*frameSize; seq++ {
+		send(seq)
+		time.Sleep(time.Millisecond)
+	}
+	if st := up.Stats(); st.Buffered == 0 && st.PendingPackets == 0 {
+		t.Fatalf("outage never forced buffering: %+v", st)
+	}
+
+	// Instance 2: recover from the WAL alone. Replay must hold every
+	// acknowledged reading — an acknowledged frame's fsync preceded its
+	// 202 — and nothing torn: Kept is a multiple of nothing in
+	// particular (frames interleave shards), but >= killAfter always.
+	store2, rs := open()
+	defer store2.Close()
+	if rs.Kept < killAfter {
+		t.Fatalf("WAL replay recovered %d of %d acknowledged readings", rs.Kept, killAfter)
+	}
+	var ln2 net.Listener
+	for attempt := time.Now().Add(5 * time.Second); ; {
+		ln2, err = net.Listen("tcp", endpointAddr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(attempt) {
+			t.Fatalf("rebind %s: %v", endpointAddr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv2 := &http.Server{Handler: cloud.NewServer(store2, start)}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
+	// Phase 3: the rest of the stream flows into the recovered instance.
+	// Flush drives the pending part-frame and the queued frames out.
+	for ; seq <= packets; seq++ {
+		send(seq)
+	}
+	flushCtx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := up.Flush(flushCtx); err != nil {
+		t.Fatalf("uplink flush: %v (stats %+v)", err, up.Stats())
+	}
+
+	// Zero acknowledged loss, exactly once — including frames that were
+	// retried whole after their ack died with the first instance.
+	if got := store2.Count(); got != packets {
+		t.Fatalf("recovered instance holds %d of %d readings (uplink %+v)", got, packets, up.Stats())
+	}
+	seen := make(map[uint32]int)
+	for _, r := range store2.History(dev) {
+		seen[r.Packet.Seq]++
+	}
+	for s := uint32(1); s <= packets; s++ {
+		if seen[s] != 1 {
+			t.Fatalf("seq %d stored %d times after recovery", s, seen[s])
+		}
+	}
+}

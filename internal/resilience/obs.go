@@ -32,6 +32,8 @@ func (u *Uplink) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.CounterFunc(name("breaker_transitions_total"), "breaker state changes, trips included", func() uint64 {
 		return u.breaker.Stats().Transitions
 	})
+	reg.CounterFunc(name("batched_packets_total"), "packets copied into the pending batch frame", u.batched.Load)
+	reg.CounterFunc(name("frames_built_total"), "batch frames sealed and dispatched downstream", u.frames.Load)
 	reg.GaugeFunc(name("queue_depth"), "payloads currently buffered", func() float64 {
 		return float64(u.queue.Len())
 	})

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"centuryscale/internal/batch"
 )
 
 // Config tunes an Uplink. Zero fields take the defaults noted.
@@ -28,6 +30,17 @@ type Config struct {
 	// DrainInterval is how often the drain loop re-checks the queue when
 	// nothing has kicked it. Default 250ms.
 	DrainInterval time.Duration
+	// BatchSize, when > 1, enables gateway-side batching: packet-sized
+	// payloads (exactly batch.PacketSize bytes) accumulate into a batch
+	// frame that is flushed downstream once it holds this many packets
+	// or once the oldest pending packet is BatchAge old. Other payload
+	// sizes bypass the batcher. Capped at batch.DefaultMaxPackets.
+	BatchSize int
+	// BatchAge bounds how long a pending frame may wait for more
+	// packets before it is flushed anyway. Default 100ms when batching
+	// is enabled — small enough that a trickle-rate fleet still meets
+	// its delivery cadence, large enough to fill frames under load.
+	BatchAge time.Duration
 	// Seed feeds the jitter stream; the same seed replays the same
 	// delays. Default 1.
 	Seed uint64
@@ -47,6 +60,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.BatchSize > batch.DefaultMaxPackets {
+		c.BatchSize = batch.DefaultMaxPackets
+	}
+	if c.BatchSize > 1 && c.BatchAge <= 0 {
+		c.BatchAge = 100 * time.Millisecond
 	}
 	if c.Sleep == nil {
 		c.Sleep = func(ctx context.Context, d time.Duration) {
@@ -77,10 +96,17 @@ type UplinkStats struct {
 	// RejectedPermanent counts payloads the peer permanently refused
 	// (from either path); they are not buffered or retried.
 	RejectedPermanent uint64
-	Queue             QueueStats
-	Breaker           BreakerStats
-	QueueLen          int
-	State             BreakerState
+	// BatchedPackets counts packets that entered the pending frame;
+	// FramesBuilt counts the frames sealed from them. Their ratio is
+	// the realized batching factor.
+	BatchedPackets uint64
+	FramesBuilt    uint64
+	// PendingPackets is the open frame's current fill.
+	PendingPackets int
+	Queue          QueueStats
+	Breaker        BreakerStats
+	QueueLen       int
+	State          BreakerState
 }
 
 // Uplink wraps an inner Sender with retry, circuit breaking, and
@@ -113,10 +139,18 @@ type Uplink struct {
 	drained atomic.Uint64
 	retries atomic.Uint64
 	rejects atomic.Uint64
+	batched atomic.Uint64
+	frames  atomic.Uint64
 
 	// sendMu serialises fast-path sends with the drain loop so buffered
 	// payloads cannot be overtaken by fresh ones.
 	sendMu sync.Mutex
+
+	// pending is the open batch frame (nil = batching disabled), guarded
+	// by sendMu like everything else on the send path. pendingSince is
+	// when its oldest packet arrived, for the age flush.
+	pending      *batch.Builder
+	pendingSince time.Time
 }
 
 // NewUplink wraps inner and starts the drain loop. Callers must Close it.
@@ -141,33 +175,96 @@ func NewUplink(inner Sender, cfg Config) *Uplink {
 		stop:  cancel,
 		done:  make(chan struct{}),
 	}
+	if cfg.BatchSize > 1 {
+		u.pending = &batch.Builder{MaxPackets: cfg.BatchSize}
+	}
 	go u.drainLoop(ctx)
 	return u
 }
 
+func (u *Uplink) now() time.Time {
+	if u.cfg.Now != nil {
+		return u.cfg.Now()
+	}
+	return time.Now()
+}
+
 // Send implements Sender (and gateway.Uplink).
-//lint:hotpath budget=0 gateway datapath: the happy path hands payload to the breaker-guarded trySend without copying; buffering happens only on failure
+//
+// With batching enabled (Config.BatchSize > 1), packet-sized payloads
+// are copied into the pending frame and Send returns nil immediately —
+// the packet is this hop's responsibility, exactly as if it had been
+// buffered. The frame flushes downstream at BatchSize packets or
+// BatchAge, whichever first; a peer's permanent refusal of a frame is
+// then counted, not returned (there is no caller left to return it to —
+// the same trade the drain loop has always made for buffered payloads).
+//lint:hotpath budget=0 gateway datapath: the happy path hands payload to the breaker-guarded trySend without copying; batched packets append into the builder's reused buffer; buffering happens only on failure
 func (u *Uplink) Send(payload []byte) error {
 	u.sendMu.Lock()
-	// Anything already buffered must go first: queue behind it.
-	if u.queue.Len() > 0 || !u.breaker.Allow() {
-		u.buffer(payload)
+	if u.pending != nil && len(payload) == batch.PacketSize {
+		if u.pending.Count() == 0 {
+			u.pendingSince = u.now()
+		}
+		// Add copies the packet and cannot fail here: the size matched
+		// and the flush below keeps the frame strictly under its cap.
+		_ = u.pending.Add(payload)
+		u.batched.Add(1)
+		if u.pending.Count() >= u.cfg.BatchSize {
+			u.flushPendingLocked(context.Background())
+		}
 		u.sendMu.Unlock()
 		return nil
 	}
-	err := u.trySend(context.Background(), payload, u.cfg.MaxAttempts)
+	err := u.sendNowLocked(context.Background(), payload)
+	u.sendMu.Unlock()
+	return err
+}
+
+// sendNowLocked is Send's delivery core, called with sendMu held: try
+// the peer now, buffer on transient failure, surface only permanent
+// refusals.
+func (u *Uplink) sendNowLocked(ctx context.Context, payload []byte) error {
+	// Anything already buffered must go first: queue behind it.
+	if u.queue.Len() > 0 || !u.breaker.Allow() {
+		u.buffer(payload)
+		return nil
+	}
+	err := u.trySend(ctx, payload, u.cfg.MaxAttempts)
 	switch {
 	case err == nil:
 		u.sent.Add(1)
 	case IsPermanent(err):
 		u.rejects.Add(1)
-		u.sendMu.Unlock()
 		return err
 	default:
 		u.buffer(payload)
 	}
-	u.sendMu.Unlock()
 	return nil
+}
+
+// flushPendingLocked seals the pending frame and pushes it through the
+// normal delivery core, with sendMu held. The builder hands over the
+// frame's buffer (it allocates a fresh one next cycle), so the frame
+// can sit in the store-and-forward queue indefinitely. A permanent
+// refusal is counted via sendNowLocked; there is no caller to surface
+// it to.
+func (u *Uplink) flushPendingLocked(ctx context.Context) {
+	frame := u.pending.Take()
+	if frame == nil {
+		return
+	}
+	u.frames.Add(1)
+	_ = u.sendNowLocked(ctx, frame)
+}
+
+// flushAged flushes the pending frame if its oldest packet has waited
+// at least BatchAge. Called from the drain loop's age ticker.
+func (u *Uplink) flushAged(ctx context.Context) {
+	u.sendMu.Lock()
+	if u.pending != nil && u.pending.Count() > 0 && u.now().Sub(u.pendingSince) >= u.cfg.BatchAge {
+		u.flushPendingLocked(ctx)
+	}
+	u.sendMu.Unlock()
 }
 
 // ErrPeerDown reports that SendSync could not attempt delivery because
@@ -256,17 +353,29 @@ func (u *Uplink) trySend(ctx context.Context, payload []byte, attempts int) erro
 	return err
 }
 
-// drainLoop replays the buffer in order whenever the peer allows.
+// drainLoop replays the buffer in order whenever the peer allows. With
+// batching enabled it also owns the age flush: a second ticker at
+// BatchAge bounds how long a pending frame waits for more packets. One
+// goroutine carries both duties, so the uplink's lifecycle surface is
+// unchanged — Close cancels ctx and joins done exactly as before.
 func (u *Uplink) drainLoop(ctx context.Context) {
 	defer close(u.done)
 	tick := time.NewTicker(u.cfg.DrainInterval)
 	defer tick.Stop()
+	var ageC <-chan time.Time
+	if u.pending != nil {
+		age := time.NewTicker(u.cfg.BatchAge)
+		defer age.Stop()
+		ageC = age.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-u.kick:
 		case <-tick.C:
+		case <-ageC:
+			u.flushAged(ctx)
 		}
 		u.drainOnce(ctx)
 	}
@@ -312,9 +421,15 @@ func (u *Uplink) drainOnce(ctx context.Context) {
 	}
 }
 
-// Flush blocks until the buffer is empty or ctx expires, returning an
-// error describing what is still stranded in the latter case.
+// Flush blocks until the pending frame is dispatched and the buffer is
+// empty, or ctx expires — returning an error describing what is still
+// stranded in the latter case.
 func (u *Uplink) Flush(ctx context.Context) error {
+	if u.pending != nil {
+		u.sendMu.Lock()
+		u.flushPendingLocked(ctx)
+		u.sendMu.Unlock()
+	}
 	for {
 		if u.queue.Len() == 0 {
 			return nil
@@ -345,15 +460,23 @@ func (u *Uplink) QueueLen() int { return u.queue.Len() }
 
 // Stats returns a snapshot of the uplink's counters.
 func (u *Uplink) Stats() UplinkStats {
-	return UplinkStats{
+	st := UplinkStats{
 		Sent:              u.sent.Load(),
 		Drained:           u.drained.Load(),
 		Retries:           u.retries.Load(),
 		Buffered:          u.queue.Stats().Enqueued,
 		RejectedPermanent: u.rejects.Load(),
+		BatchedPackets:    u.batched.Load(),
+		FramesBuilt:       u.frames.Load(),
 		Queue:             u.queue.Stats(),
 		Breaker:           u.breaker.Stats(),
 		QueueLen:          u.queue.Len(),
 		State:             u.breaker.State(),
 	}
+	if u.pending != nil {
+		u.sendMu.Lock()
+		st.PendingPackets = u.pending.Count()
+		u.sendMu.Unlock()
+	}
+	return st
 }

@@ -51,6 +51,26 @@ func Years(y float64) time.Duration {
 	return time.Duration(ns)
 }
 
+// Seconds converts a (possibly fractional, possibly enormous) number of
+// seconds to a Duration, clamping at ±MaxHorizon: the safe form of
+// `time.Duration(s * float64(time.Second))` for values that cross a
+// trust boundary, where an out-of-range float→int64 conversion is
+// implementation-defined. NaN yields 0 — callers that must distinguish
+// it reject NaN before converting.
+func Seconds(s float64) time.Duration {
+	ns := s * float64(time.Second)
+	if ns != ns { // NaN
+		return 0
+	}
+	if ns >= float64(MaxHorizon) {
+		return MaxHorizon
+	}
+	if ns <= -float64(MaxHorizon) {
+		return -MaxHorizon
+	}
+	return time.Duration(ns)
+}
+
 // ToYears converts a Duration to fractional Julian years.
 func ToYears(d time.Duration) float64 {
 	return float64(d) / float64(Year)

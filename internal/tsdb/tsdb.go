@@ -80,6 +80,7 @@ type DB struct {
 	orphanDirs []string
 
 	appended          atomic.Uint64
+	groupCommits      atomic.Uint64
 	replayed          atomic.Uint64
 	corruptions       atomic.Uint64
 	appendErrors      atomic.Uint64
